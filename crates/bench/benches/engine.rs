@@ -1,0 +1,124 @@
+//! Criterion benchmarks of the simulation substrate itself: slot-loop
+//! throughput, OPT surrogates, trace generation, and exact-OPT search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use smbm_core::{exact_work_opt, Lwd, Mrd, ValuePqOpt, ValueRunner, WorkPqOpt, WorkRunner};
+use smbm_sim::{run_value, run_work, EngineConfig};
+use smbm_switch::{PortId, ValueSwitchConfig, WorkSwitchConfig};
+use smbm_traffic::{MmppScenario, PortMix, ValueMix};
+
+fn engine_slot_throughput(c: &mut Criterion) {
+    let cfg = WorkSwitchConfig::contiguous(8, 64).expect("valid");
+    let scenario = MmppScenario {
+        sources: 12,
+        slots: 5_000,
+        seed: 3,
+        ..Default::default()
+    };
+    let trace = scenario
+        .work_trace(&cfg, &PortMix::Uniform)
+        .expect("valid scenario");
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(trace.slots() as u64));
+    group.bench_function("lwd-slot-loop", |b| {
+        b.iter(|| {
+            let mut runner = WorkRunner::new(cfg.clone(), Lwd::new(), 1);
+            let s = run_work(&mut runner, &trace, &EngineConfig::horizon_only())
+                .expect("LWD never errs");
+            black_box(s.score)
+        });
+    });
+    group.bench_function("pq-opt-slot-loop", |b| {
+        b.iter(|| {
+            let mut opt = WorkPqOpt::new(64, 8);
+            let s = run_work(&mut opt, &trace, &EngineConfig::horizon_only())
+                .expect("OPT never errs");
+            black_box(s.score)
+        });
+    });
+    group.finish();
+}
+
+fn value_engine_slot_throughput(c: &mut Criterion) {
+    let cfg = ValueSwitchConfig::new(64, 8).expect("valid");
+    let scenario = MmppScenario {
+        sources: 32,
+        slots: 5_000,
+        seed: 3,
+        ..Default::default()
+    };
+    let trace = scenario
+        .value_trace(8, &PortMix::Uniform, &ValueMix::Uniform { max: 16 })
+        .expect("valid scenario");
+    let mut group = c.benchmark_group("value-engine");
+    group.throughput(Throughput::Elements(trace.slots() as u64));
+    group.bench_function("mrd-slot-loop", |b| {
+        b.iter(|| {
+            let mut runner = ValueRunner::new(cfg, Mrd::new(), 1);
+            let s = run_value(&mut runner, &trace, &EngineConfig::horizon_only())
+                .expect("MRD never errs");
+            black_box(s.score)
+        });
+    });
+    group.bench_function("value-pq-opt-slot-loop", |b| {
+        b.iter(|| {
+            let mut opt = ValuePqOpt::new(64, 8);
+            let s = run_value(&mut opt, &trace, &EngineConfig::horizon_only())
+                .expect("OPT never errs");
+            black_box(s.score)
+        });
+    });
+    group.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let cfg = WorkSwitchConfig::contiguous(8, 64).expect("valid");
+    let mut group = c.benchmark_group("trace-generation");
+    for sources in [10usize, 100, 500] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sources),
+            &sources,
+            |b, &sources| {
+                let scenario = MmppScenario {
+                    sources,
+                    slots: 2_000,
+                    seed: 4,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let t = scenario
+                        .work_trace(&cfg, &PortMix::Uniform)
+                        .expect("valid scenario");
+                    black_box(t.arrivals())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn exact_opt_search(c: &mut Criterion) {
+    let cfg = WorkSwitchConfig::contiguous(2, 4).expect("valid");
+    // 16 arrivals over 4 slots: a realistic test-suite-sized instance.
+    let trace: Vec<Vec<PortId>> = (0..4)
+        .map(|_| vec![PortId::new(0), PortId::new(1), PortId::new(0), PortId::new(1)])
+        .collect();
+    c.bench_function("exact-work-opt-16-arrivals", |b| {
+        b.iter(|| black_box(exact_work_opt(&cfg, 1, &trace).expect("small instance")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = engine_slot_throughput,
+        value_engine_slot_throughput,
+        trace_generation,
+        exact_opt_search
+}
+criterion_main!(benches);

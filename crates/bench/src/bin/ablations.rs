@@ -1,0 +1,67 @@
+//! Runs the design-choice ablations documented in DESIGN.md.
+//!
+//! ```text
+//! ablations [--slots N] [--seed S]
+//! ```
+
+use std::process::ExitCode;
+
+use smbm_bench::ablation::render_ablation;
+use smbm_bench::{flush_ablation, lwd_tie_break_ablation, opt_cores_ablation};
+
+fn main() -> ExitCode {
+    let mut slots = 50_000usize;
+    let mut seed = 0xB0FFE2u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--slots" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => slots = v,
+                None => {
+                    eprintln!("usage: ablations [--slots N] [--seed S]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("usage: ablations [--slots N] [--seed S]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ablations [--slots N] [--seed S]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[allow(clippy::type_complexity)]
+    let runs: [(&str, fn(usize, u64) -> _); 5] = [
+        ("flush mode (LWD throughput)", flush_ablation),
+        ("LWD tie-break", lwd_tie_break_ablation),
+        ("OPT surrogate core count", opt_cores_ablation),
+        ("AWD(alpha): LQD..LWD interpolation", smbm_bench::awd_alpha_ablation),
+        ("MRD variants across port mixes", smbm_bench::mrd_variants_ablation),
+    ];
+    for (title, run) in runs {
+        match run(slots, seed) {
+            Ok(rows) => println!("{}", render_ablation(title, &rows)),
+            Err(e) => {
+                eprintln!("{title} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match smbm_bench::nhdt_generalization_ablation(seed) {
+        Ok(rows) => println!("{}", render_ablation("NHDT vs NHDT-W (open problem)", &rows)),
+        Err(e) => {
+            eprintln!("NHDT generalization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,123 @@
+//! Regenerates the panels of the paper's Fig. 5 as CSV on stdout.
+//!
+//! ```text
+//! fig5 [--panel N] [--scale smoke|default|paper] [--seed S] [--repeats R]\n//!      [--gnuplot-dir DIR]   # also write panelN.csv + panelN.gp files
+//! ```
+//!
+//! Without `--panel`, all nine panels are printed in order.
+
+use std::process::ExitCode;
+
+use smbm_bench::{Panel, PanelScale};
+
+fn usage() -> &'static str {
+    "usage: fig5 [--panel 1..9] [--scale smoke|default|paper] [--seed N] [--repeats R] [--gnuplot-dir DIR]"
+}
+
+fn main() -> ExitCode {
+    let mut panel: Option<u8> = None;
+    let mut scale = PanelScale::Default;
+    let mut seed = 0xB0FFE2u64;
+    let mut repeats = 1u32;
+    let mut gnuplot_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--panel" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                panel = Some(v);
+            }
+            "--scale" => match args.next().as_deref() {
+                Some("smoke") => scale = PanelScale::Smoke,
+                Some("default") => scale = PanelScale::Default,
+                Some("paper") => scale = PanelScale::Paper,
+                _ => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--repeats" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if v == 0 {
+                    eprintln!("--repeats must be at least 1");
+                    return ExitCode::FAILURE;
+                }
+                repeats = v;
+            }
+            "--gnuplot-dir" => {
+                let Some(v) = args.next() else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                gnuplot_dir = Some(v);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let panels: Vec<Panel> = match panel {
+        Some(n) => match Panel::new(n) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("panel must be 1..9\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Panel::all().collect(),
+    };
+    for p in panels {
+        let (series, _spread) = match smbm_bench::run_panel_averaged(p, scale, seed, repeats) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("panel {} failed: {e}", p.number());
+                return ExitCode::FAILURE;
+            }
+        };
+        let csv = smbm_sim::series_to_csv(p.x_label(), &series);
+        println!(
+            "# Fig.5({}) {} [scale {:?}, seed {}, repeats {}]",
+            p.number(),
+            p.caption(),
+            scale,
+            seed,
+            repeats
+        );
+        println!("{csv}");
+        if let Some(dir) = &gnuplot_dir {
+            let base = format!("{dir}/panel{}", p.number());
+            let gp = smbm_sim::series_to_gnuplot(
+                p.caption(),
+                p.x_label(),
+                &format!("panel{}.csv", p.number()),
+                &series,
+            );
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|_| std::fs::write(format!("{base}.csv"), &csv))
+                .and_then(|_| std::fs::write(format!("{base}.gp"), &gp))
+            {
+                eprintln!("failed to write gnuplot files: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,461 @@
+//! The nine panels of Fig. 5.
+//!
+//! Panel layout (matching the paper's Fig. 5 numbering):
+//!
+//! | # | model | swept | fixed |
+//! |---|---|---|---|
+//! | 1 | heterogeneous processing | `k` | `B = 64, C = 1` |
+//! | 2 | heterogeneous processing | `B` | `k = 8, C = 1` |
+//! | 3 | heterogeneous processing | `C` | `k = 8, B = 64` |
+//! | 4 | values, uniform | `k` (max value) | `n = 8, B = 64, C = 1` |
+//! | 5 | values, uniform | `B` | `k = 16, n = 8, C = 1` |
+//! | 6 | values, uniform | `C` | `k = 16, n = 8, B = 64` |
+//! | 7 | values == port | `k = n` | `B = 64, C = 1` |
+//! | 8 | values == port | `B` | `k = n = 8, C = 1` |
+//! | 9 | values == port | `C` | `k = n = 8, B = 64` |
+
+use smbm_sim::{
+    series_from_sweep, series_to_csv, sweep, EngineConfig, ExperimentError, FlushPolicy, Series,
+    ValueExperiment, WorkExperiment,
+};
+use smbm_switch::{ValueSwitchConfig, WorkSwitchConfig};
+use smbm_traffic::{MmppParams, MmppScenario, PortMix, ValueMix};
+
+/// One of the nine Fig. 5 panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Panel(u8);
+
+impl Panel {
+    /// Creates a panel handle from its Fig. 5 number.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` unless `1 <= n <= 9`.
+    pub fn new(n: u8) -> Option<Panel> {
+        (1..=9).contains(&n).then_some(Panel(n))
+    }
+
+    /// All nine panels.
+    pub fn all() -> impl Iterator<Item = Panel> {
+        (1..=9).map(Panel)
+    }
+
+    /// The Fig. 5 panel number.
+    pub fn number(&self) -> u8 {
+        self.0
+    }
+
+    /// The swept parameter's axis label.
+    pub fn x_label(&self) -> &'static str {
+        match self.0 {
+            1 | 4 | 7 => "k",
+            2 | 5 | 8 => "B",
+            _ => "C",
+        }
+    }
+
+    /// A one-line description matching the paper's caption.
+    pub fn caption(&self) -> &'static str {
+        match self.0 {
+            1 => "required processing model: ratio vs max processing k",
+            2 => "required processing model: ratio vs buffer size B",
+            3 => "required processing model: ratio vs speedup C",
+            4 => "value model (uniform values): ratio vs max value k",
+            5 => "value model (uniform values): ratio vs buffer size B",
+            6 => "value model (uniform values): ratio vs speedup C",
+            7 => "value model (value==port): ratio vs max value k",
+            8 => "value model (value==port): ratio vs buffer size B",
+            _ => "value model (value==port): ratio vs speedup C",
+        }
+    }
+}
+
+/// Simulation scale: how many sources and slots back each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanelScale {
+    /// A sub-second smoke scale, used by tests.
+    Smoke,
+    /// The default: seconds per panel, ratios within a few percent of the
+    /// paper-scale run.
+    Default,
+    /// The paper's setting: 500 sources, 2,000,000 slots per point.
+    Paper,
+}
+
+impl PanelScale {
+    fn slots(&self) -> usize {
+        match self {
+            PanelScale::Smoke => 2_000,
+            PanelScale::Default => 50_000,
+            PanelScale::Paper => 2_000_000,
+        }
+    }
+
+    /// MMPP sources backing the *work-model* panels. The per-source rate is
+    /// fixed ([`mmpp_params`]); the source count sets the offered load
+    /// relative to the switch's service capacity (`H_k` packets/slot for a
+    /// contiguous work switch, `n*C` for a value switch), so the two models
+    /// use different counts.
+    fn work_sources(&self) -> usize {
+        match self {
+            PanelScale::Paper => 500,
+            _ => 12,
+        }
+    }
+
+    fn value_sources(&self) -> usize {
+        match self {
+            PanelScale::Paper => 500,
+            _ => 32,
+        }
+    }
+
+    /// Per-source parameters. At paper scale the per-source rate is reduced
+    /// so the *aggregate* offered load stays comparable with 500 sources.
+    fn mmpp_params(&self, sources_default: usize) -> MmppParams {
+        let base = MmppParams {
+            lambda_on: 2.0,
+            p_on_to_off: 0.1,
+            p_off_to_on: 1.0 / 30.0,
+        };
+        match self {
+            PanelScale::Paper => MmppParams {
+                lambda_on: base.lambda_on * sources_default as f64 / 500.0,
+                ..base
+            },
+            _ => base,
+        }
+    }
+}
+
+/// Flushout period used by every panel (the paper flushes periodically but
+/// does not give the period).
+const FLUSH_PERIOD: u64 = 10_000;
+
+fn engine() -> EngineConfig {
+    EngineConfig {
+        flush: Some(FlushPolicy::every(FLUSH_PERIOD)),
+        drain_at_end: true,
+    }
+}
+
+fn work_scenario(scale: PanelScale, seed: u64) -> MmppScenario {
+    MmppScenario {
+        sources: scale.work_sources(),
+        params: scale.mmpp_params(PanelScale::Default.work_sources()),
+        slots: scale.slots(),
+        seed,
+    }
+}
+
+fn value_scenario(scale: PanelScale, seed: u64) -> MmppScenario {
+    MmppScenario {
+        sources: scale.value_sources(),
+        params: scale.mmpp_params(PanelScale::Default.value_sources()),
+        slots: scale.slots(),
+        seed,
+    }
+}
+
+/// The swept x values of each panel.
+pub fn panel_xs(panel: Panel, scale: PanelScale) -> Vec<f64> {
+    let full: Vec<f64> = match panel.number() {
+        1 => vec![2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0],
+        2 | 5 | 8 => vec![16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
+        3 | 6 | 9 => vec![1.0, 2.0, 3.0, 4.0, 6.0, 8.0],
+        4 => vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+        7 => vec![2.0, 4.0, 8.0, 16.0, 32.0],
+        _ => unreachable!("panel numbers validated"),
+    };
+    if scale == PanelScale::Smoke {
+        full.into_iter().take(3).collect()
+    } else {
+        full
+    }
+}
+
+/// Runs one panel at the given scale, returning one ratio series per policy.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError`] (registry or policy-decision failures) and
+/// panics on invalid internal configurations (which would be a bug in the
+/// panel definitions).
+pub fn run_panel(
+    panel: Panel,
+    scale: PanelScale,
+    seed: u64,
+) -> Result<Vec<Series>, ExperimentError> {
+    let xs = panel_xs(panel, scale);
+    let points = sweep(&xs, |x| {
+        match panel.number() {
+            1 => {
+                let k = x as u32;
+                let cfg = WorkSwitchConfig::contiguous(k, 64.max(k as usize)).expect("valid");
+                run_work_point(cfg, 1, scale, seed)
+            }
+            2 => {
+                let cfg = WorkSwitchConfig::contiguous(8, x as usize).expect("valid");
+                run_work_point(cfg, 1, scale, seed)
+            }
+            3 => {
+                let cfg = WorkSwitchConfig::contiguous(8, 64).expect("valid");
+                run_work_point(cfg, x as u32, scale, seed)
+            }
+            4 => run_value_point(
+                ValueSwitchConfig::new(64, 8).expect("valid"),
+                1,
+                &ValueMix::Uniform { max: x as u64 },
+                scale,
+                seed,
+            ),
+            5 => run_value_point(
+                ValueSwitchConfig::new(x as usize, 8).expect("valid"),
+                1,
+                &ValueMix::Uniform { max: 16 },
+                scale,
+                seed,
+            ),
+            6 => run_value_point(
+                ValueSwitchConfig::new(64, 8).expect("valid"),
+                x as u32,
+                &ValueMix::Uniform { max: 16 },
+                scale,
+                seed,
+            ),
+            7 => run_value_point(
+                ValueSwitchConfig::new(64.max(x as usize), x as usize).expect("valid"),
+                1,
+                &ValueMix::EqualsPort,
+                scale,
+                seed,
+            ),
+            8 => run_value_point(
+                ValueSwitchConfig::new(x as usize, 8).expect("valid"),
+                1,
+                &ValueMix::EqualsPort,
+                scale,
+                seed,
+            ),
+            9 => run_value_point(
+                ValueSwitchConfig::new(64, 8).expect("valid"),
+                x as u32,
+                &ValueMix::EqualsPort,
+                scale,
+                seed,
+            ),
+            _ => unreachable!("panel numbers validated"),
+        }
+    })?;
+    Ok(series_from_sweep(&points))
+}
+
+fn run_work_point(
+    cfg: WorkSwitchConfig,
+    speedup: u32,
+    scale: PanelScale,
+    seed: u64,
+) -> Result<smbm_sim::ExperimentReport, ExperimentError> {
+    let trace = work_scenario(scale, seed)
+        .work_trace(&cfg, &PortMix::Uniform)
+        .expect("valid scenario parameters");
+    let mut exp = WorkExperiment::full_roster(cfg, speedup);
+    exp.engine = engine();
+    exp.run(&trace)
+}
+
+fn run_value_point(
+    cfg: ValueSwitchConfig,
+    speedup: u32,
+    mix: &ValueMix,
+    scale: PanelScale,
+    seed: u64,
+) -> Result<smbm_sim::ExperimentReport, ExperimentError> {
+    let trace = value_scenario(scale, seed)
+        .value_trace(cfg.ports(), &PortMix::Uniform, mix)
+        .expect("valid scenario parameters");
+    let mut exp = ValueExperiment::full_roster(cfg, speedup);
+    exp.engine = engine();
+    exp.run(&trace)
+}
+
+/// Runs a panel `repeats` times with consecutive seeds and returns the
+/// per-policy series of *mean* ratios, plus the largest observed relative
+/// half-spread `(max-min)/(2*mean)` across all points (a cheap dispersion
+/// diagnostic reported in the CSV header).
+///
+/// # Errors
+///
+/// See [`run_panel`].
+pub fn run_panel_averaged(
+    panel: Panel,
+    scale: PanelScale,
+    seed: u64,
+    repeats: u32,
+) -> Result<(Vec<Series>, f64), ExperimentError> {
+    assert!(repeats >= 1, "need at least one repeat");
+    let mut runs: Vec<Vec<Series>> = Vec::with_capacity(repeats as usize);
+    for r in 0..repeats {
+        runs.push(run_panel(panel, scale, seed.wrapping_add(u64::from(r)))?);
+    }
+    let first = &runs[0];
+    let mut spread_max = 0.0f64;
+    let averaged = first
+        .iter()
+        .enumerate()
+        .map(|(si, s)| Series {
+            label: s.label.clone(),
+            points: s
+                .points
+                .iter()
+                .enumerate()
+                .map(|(pi, &(x, _))| {
+                    let ys: Vec<f64> = runs.iter().map(|run| run[si].points[pi].1).collect();
+                    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+                    let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    if mean > 0.0 {
+                        spread_max = spread_max.max((hi - lo) / (2.0 * mean));
+                    }
+                    (x, mean)
+                })
+                .collect(),
+        })
+        .collect();
+    Ok((averaged, spread_max))
+}
+
+/// Runs a panel and renders it as CSV with a caption header comment.
+/// With `repeats > 1` the values are means over consecutive seeds and the
+/// header reports the worst relative half-spread observed.
+///
+/// # Errors
+///
+/// See [`run_panel`].
+pub fn render_panel_averaged(
+    panel: Panel,
+    scale: PanelScale,
+    seed: u64,
+    repeats: u32,
+) -> Result<String, ExperimentError> {
+    let (series, spread) = run_panel_averaged(panel, scale, seed, repeats)?;
+    let mut out = format!(
+        "# Fig.5({}) {} [scale {:?}, seed {}, repeats {}, max half-spread {:.4}]\n",
+        panel.number(),
+        panel.caption(),
+        scale,
+        seed,
+        repeats,
+        spread
+    );
+    out.push_str(&series_to_csv(panel.x_label(), &series));
+    Ok(out)
+}
+
+/// Runs a panel and renders it as CSV with a caption header comment.
+///
+/// # Errors
+///
+/// See [`run_panel`].
+pub fn render_panel(
+    panel: Panel,
+    scale: PanelScale,
+    seed: u64,
+) -> Result<String, ExperimentError> {
+    let series = run_panel(panel, scale, seed)?;
+    let mut out = format!(
+        "# Fig.5({}) {} [scale {:?}, seed {}]\n",
+        panel.number(),
+        panel.caption(),
+        scale,
+        seed
+    );
+    out.push_str(&series_to_csv(panel.x_label(), &series));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_validation() {
+        assert!(Panel::new(0).is_none());
+        assert!(Panel::new(10).is_none());
+        assert_eq!(Panel::new(5).unwrap().number(), 5);
+        assert_eq!(Panel::all().count(), 9);
+    }
+
+    #[test]
+    fn labels_and_captions() {
+        assert_eq!(Panel::new(1).unwrap().x_label(), "k");
+        assert_eq!(Panel::new(5).unwrap().x_label(), "B");
+        assert_eq!(Panel::new(9).unwrap().x_label(), "C");
+        for p in Panel::all() {
+            assert!(!p.caption().is_empty());
+        }
+    }
+
+    #[test]
+    fn xs_are_nonempty_and_increasing() {
+        for p in Panel::all() {
+            for scale in [PanelScale::Smoke, PanelScale::Default] {
+                let xs = panel_xs(p, scale);
+                assert!(!xs.is_empty());
+                assert!(xs.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_scale_truncates() {
+        assert_eq!(panel_xs(Panel::new(2).unwrap(), PanelScale::Smoke).len(), 3);
+    }
+
+    #[test]
+    fn work_panel_smoke_runs() {
+        let series = run_panel(Panel::new(1).unwrap(), PanelScale::Smoke, 7).unwrap();
+        assert_eq!(series.len(), smbm_core::WORK_POLICY_NAMES.len());
+        for s in &series {
+            assert_eq!(s.points.len(), 3);
+            for &(_, ratio) in &s.points {
+                assert!(ratio.is_finite() && ratio > 0.5, "{}: {ratio}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn value_panel_smoke_runs() {
+        let series = run_panel(Panel::new(7).unwrap(), PanelScale::Smoke, 7).unwrap();
+        assert_eq!(series.len(), smbm_core::VALUE_POLICY_NAMES.len());
+    }
+
+    #[test]
+    fn averaging_reduces_to_single_run_for_one_repeat() {
+        let p = Panel::new(1).unwrap();
+        let single = run_panel(p, PanelScale::Smoke, 7).unwrap();
+        let (avg, spread) = run_panel_averaged(p, PanelScale::Smoke, 7, 1).unwrap();
+        assert_eq!(avg, single);
+        assert_eq!(spread, 0.0);
+    }
+
+    #[test]
+    fn averaging_over_seeds_stays_near_each_run() {
+        let p = Panel::new(1).unwrap();
+        let (avg, spread) = run_panel_averaged(p, PanelScale::Smoke, 7, 3).unwrap();
+        assert_eq!(avg.len(), smbm_core::WORK_POLICY_NAMES.len());
+        assert!((0.0..0.5).contains(&spread), "spread {spread}");
+        for s in &avg {
+            for &(_, y) in &s.points {
+                assert!(y.is_finite() && y > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn render_includes_caption() {
+        let csv = render_panel(Panel::new(4).unwrap(), PanelScale::Smoke, 7).unwrap();
+        assert!(csv.starts_with("# Fig.5(4)"));
+        assert!(csv.contains("k,"));
+    }
+}

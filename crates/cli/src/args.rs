@@ -1,0 +1,148 @@
+//! A tiny dependency-free argument parser: `--key value` flags plus
+//! positional arguments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// Error parsing or interpreting arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--flag` appeared without a value.
+    MissingValue(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+    },
+    /// An unknown flag was supplied.
+    UnknownFlag(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "--{flag} got unparsable value {value:?}")
+            }
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments. Flags are `--name value`;
+    /// everything else is positional.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingValue`] for a trailing `--flag`.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| ArgError::MissingValue(name.into()))?;
+                args.flags.insert(name.to_string(), value);
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The raw value of `flag`, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Parses `flag` as `T`, or returns `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Ensures every supplied flag is in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnknownFlag`] naming the first stray flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for flag in self.flags.keys() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(ArgError::UnknownFlag(flag.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(raw.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["run", "--k", "8", "extra"]).unwrap();
+        assert_eq!(a.positional(), &["run".to_string(), "extra".to_string()]);
+        assert_eq!(a.get("k"), Some("8"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let a = parse(&["--k", "8"]).unwrap();
+        assert_eq!(a.get_or("k", 1u32).unwrap(), 8);
+        assert_eq!(a.get_or("b", 64usize).unwrap(), 64);
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let a = parse(&["--k", "eight"]).unwrap();
+        let err = a.get_or("k", 1u32).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("eight"));
+    }
+
+    #[test]
+    fn missing_value_reported() {
+        let err = parse(&["--k"]).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("k".into()));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = parse(&["--k", "1", "--oops", "2"]).unwrap();
+        assert!(a.expect_only(&["k"]).is_err());
+        assert!(a.expect_only(&["k", "oops"]).is_ok());
+    }
+}

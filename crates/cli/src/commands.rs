@@ -1,0 +1,386 @@
+//! The `smbm` commands as pure functions: parsed arguments in, report text
+//! out.
+
+use std::fmt::Write as _;
+
+use smbm_sim::{
+    measure_value_construction, measure_work_construction, ValueExperiment, WorkExperiment,
+};
+use smbm_switch::{ValueSwitchConfig, WorkSwitchConfig};
+use smbm_traffic::{adversarial, MmppScenario, PortMix, Summarize, Trace, ValueMix};
+
+use crate::args::Args;
+
+/// The top-level help text.
+pub const HELP: &str = "\
+smbm — shared-memory buffer management simulator (ICDCS 2014 reproduction)
+
+commands:
+  work-run    run the heterogeneous-processing roster on MMPP traffic
+  value-run   run the heterogeneous-value roster on MMPP traffic
+  bounds      replay theorem lower-bound constructions
+  combined-run run the combined work+value roster (extension)
+  trace-gen   generate a work-model MMPP trace (text format) on stdout
+  trace-stats summarize a work-model trace (--file PATH, or text via stdin)
+  help        show this message
+
+flags are `--name value`; see the crate README for the full list.";
+
+/// Executes one command. `stdin` supplies the input text for commands that
+/// read a stream (currently `trace-stats` without `--file`).
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments or failed runs.
+pub fn execute(args: &Args, stdin: &str) -> Result<String, String> {
+    match args.positional().first().map(String::as_str) {
+        Some("work-run") => work_run(args),
+        Some("value-run") => value_run(args),
+        Some("combined-run") => combined_run(args),
+        Some("bounds") => bounds(args),
+        Some("trace-gen") => trace_gen(args),
+        Some("trace-stats") => trace_stats(args, stdin),
+        Some("help") | None => Ok(HELP.to_string()),
+        Some(other) => Err(format!("unknown command {other:?}; try `smbm help`")),
+    }
+}
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn scenario_from(args: &Args, default_sources: usize) -> Result<MmppScenario, String> {
+    Ok(MmppScenario {
+        sources: args.get_or("sources", default_sources).map_err(err)?,
+        slots: args.get_or("slots", 50_000usize).map_err(err)?,
+        seed: args.get_or("seed", 1u64).map_err(err)?,
+        ..Default::default()
+    })
+}
+
+fn roster(args: &Args, default: &[&str]) -> Vec<String> {
+    match args.get("policies") {
+        Some(spec) => spec.split(',').map(|s| s.trim().to_string()).collect(),
+        None => default.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn work_run(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "k", "buffer", "speedup", "slots", "sources", "seed", "policies",
+    ])
+    .map_err(err)?;
+    let k: u32 = args.get_or("k", 8).map_err(err)?;
+    let buffer: usize = args.get_or("buffer", 64).map_err(err)?;
+    let speedup: u32 = args.get_or("speedup", 1).map_err(err)?;
+    let cfg = WorkSwitchConfig::contiguous(k, buffer).map_err(err)?;
+    let trace = scenario_from(args, 12)?
+        .work_trace(&cfg, &PortMix::Uniform)
+        .map_err(err)?;
+    let mut exp = WorkExperiment::full_roster(cfg, speedup);
+    exp.policies = roster(args, smbm_core::WORK_POLICY_NAMES);
+    let report = exp.run(&trace).map_err(err)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# work model: k={k} B={buffer} C={speedup} arrivals={}",
+        trace.arrivals()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>10} {:>10} {:>9}",
+        "policy", "packets", "ratio", "latency", "goodput"
+    );
+    let _ = writeln!(out, "{:<8} {:>12} {:>10}", "OPT(pq)", report.opt_score, 1.0);
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>10.4} {:>10.2} {:>9.4}",
+            row.policy, row.score, row.ratio, row.mean_latency, row.goodput
+        );
+    }
+    Ok(out)
+}
+
+fn value_run(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "ports",
+        "buffer",
+        "max-value",
+        "speedup",
+        "mix",
+        "slots",
+        "sources",
+        "seed",
+        "policies",
+    ])
+    .map_err(err)?;
+    let ports: usize = args.get_or("ports", 8).map_err(err)?;
+    let buffer: usize = args.get_or("buffer", 64).map_err(err)?;
+    let max_value: u64 = args.get_or("max-value", 16).map_err(err)?;
+    let speedup: u32 = args.get_or("speedup", 1).map_err(err)?;
+    let mix = match args.get("mix").unwrap_or("uniform") {
+        "uniform" => ValueMix::Uniform { max: max_value },
+        "port" => ValueMix::EqualsPort,
+        other => return Err(format!("unknown --mix {other:?}; use uniform|port")),
+    };
+    let cfg = ValueSwitchConfig::new(buffer, ports).map_err(err)?;
+    let trace = scenario_from(args, 32)?
+        .value_trace(ports, &PortMix::Uniform, &mix)
+        .map_err(err)?;
+    let mut exp = ValueExperiment::full_roster(cfg, speedup);
+    exp.policies = roster(args, smbm_core::VALUE_POLICY_NAMES);
+    let report = exp.run(&trace).map_err(err)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# value model: n={ports} B={buffer} C={speedup} mix={} arrivals={}",
+        args.get("mix").unwrap_or("uniform"),
+        trace.arrivals()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>10} {:>10} {:>9}",
+        "policy", "value", "ratio", "latency", "goodput"
+    );
+    let _ = writeln!(out, "{:<8} {:>12} {:>10}", "OPT(pq)", report.opt_score, 1.0);
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>10.4} {:>10.2} {:>9.4}",
+            row.policy, row.score, row.ratio, row.mean_latency, row.goodput
+        );
+    }
+    Ok(out)
+}
+
+fn combined_run(args: &Args) -> Result<String, String> {
+    use smbm_core::{combined_policy_by_name, CombinedPqOpt, CombinedRunner};
+    use smbm_sim::{run_combined, EngineConfig};
+    args.expect_only(&[
+        "k", "buffer", "max-value", "speedup", "mix", "slots", "sources", "seed", "policies",
+    ])
+    .map_err(err)?;
+    let k: u32 = args.get_or("k", 8).map_err(err)?;
+    let buffer: usize = args.get_or("buffer", 64).map_err(err)?;
+    let max_value: u64 = args.get_or("max-value", 16).map_err(err)?;
+    let speedup: u32 = args.get_or("speedup", 1).map_err(err)?;
+    let mix = match args.get("mix").unwrap_or("uniform") {
+        "uniform" => ValueMix::Uniform { max: max_value },
+        "port" => ValueMix::EqualsPort,
+        other => return Err(format!("unknown --mix {other:?}; use uniform|port")),
+    };
+    let cfg = WorkSwitchConfig::contiguous(k, buffer).map_err(err)?;
+    let trace = scenario_from(args, 12)?
+        .combined_trace(&cfg, &PortMix::Uniform, &mix)
+        .map_err(err)?;
+    let mut opt = CombinedPqOpt::new(buffer, k * speedup);
+    let engine = EngineConfig::draining();
+    let opt_score = run_combined(&mut opt, &trace, &engine).map_err(err)?.score;
+    let names: Vec<String> = roster(args, smbm_core::COMBINED_POLICY_NAMES);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# combined model: k={k} B={buffer} C={speedup} arrivals={}",
+        trace.arrivals()
+    );
+    let _ = writeln!(out, "{:<8} {:>14} {:>8}", "policy", "value", "ratio");
+    let _ = writeln!(out, "{:<8} {:>14} {:>8}", "OPT(den)", opt_score, 1.0);
+    for name in &names {
+        let policy = combined_policy_by_name(name)
+            .ok_or_else(|| format!("unknown combined policy {name:?}"))?;
+        let mut runner = CombinedRunner::new(cfg.clone(), policy, speedup);
+        let score = run_combined(&mut runner, &trace, &engine).map_err(err)?.score;
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14} {:>8.4}",
+            name,
+            score,
+            opt_score as f64 / score.max(1) as f64
+        );
+    }
+    Ok(out)
+}
+
+fn bounds(args: &Args) -> Result<String, String> {
+    args.expect_only(&[]).map_err(err)?;
+    let selected: Vec<&str> = args.positional()[1..].iter().map(String::as_str).collect();
+    let all = [
+        "nhst", "nest", "nhdt", "lqd-work", "bpd", "lwd", "lqd-value", "mvd", "mrd",
+    ];
+    let names: Vec<&str> = if selected.is_empty() {
+        all.to_vec()
+    } else {
+        selected
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<30} {:>8} {:>10} {:>10}",
+        "construction", "policy", "measured", "predicted"
+    );
+    for name in names {
+        let report = match name {
+            "nhst" => measure_work_construction(&adversarial::nhst_lower_bound(8, 192, 10)),
+            "nest" => measure_work_construction(&adversarial::nest_lower_bound(8, 48, 10)),
+            "nhdt" => measure_work_construction(&adversarial::nhdt_lower_bound(64, 512, 4)),
+            "lqd-work" => {
+                measure_work_construction(&adversarial::lqd_work_lower_bound(64, 256, 4))
+            }
+            "bpd" => measure_work_construction(&adversarial::bpd_lower_bound(16, 64, 10_000)),
+            "lwd" => measure_work_construction(&adversarial::lwd_lower_bound(120, 20)),
+            "lqd-value" => {
+                measure_value_construction(&adversarial::lqd_value_lower_bound(64, 128, 10))
+            }
+            "mvd" => measure_value_construction(&adversarial::mvd_lower_bound(16, 64, 10_000)),
+            "mrd" => measure_value_construction(&adversarial::mrd_lower_bound(120, 20)),
+            other => return Err(format!("unknown construction {other:?}")),
+        }
+        .map_err(err)?;
+        let _ = writeln!(
+            out,
+            "{:<30} {:>8} {:>10.3} {:>10.3}",
+            report.name,
+            report.policy,
+            report.ratio(),
+            report.predicted
+        );
+    }
+    Ok(out)
+}
+
+fn trace_gen(args: &Args) -> Result<String, String> {
+    args.expect_only(&["k", "buffer", "slots", "sources", "seed"])
+        .map_err(err)?;
+    let k: u32 = args.get_or("k", 8).map_err(err)?;
+    let buffer: usize = args.get_or("buffer", 64).map_err(err)?;
+    let cfg = WorkSwitchConfig::contiguous(k, buffer).map_err(err)?;
+    let mut scenario = scenario_from(args, 12)?;
+    scenario.slots = args.get_or("slots", 1_000usize).map_err(err)?;
+    let trace = scenario
+        .work_trace(&cfg, &PortMix::Uniform)
+        .map_err(err)?;
+    Ok(trace.to_text())
+}
+
+fn trace_stats(args: &Args, stdin: &str) -> Result<String, String> {
+    args.expect_only(&["file"]).map_err(err)?;
+    let text = match args.get("file") {
+        Some(path) => std::fs::read_to_string(path).map_err(err)?,
+        None => stdin.to_string(),
+    };
+    let trace: Trace<smbm_switch::WorkPacket> = Trace::from_text(&text).map_err(err)?;
+    Ok(trace.stats().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, String> {
+        run_with_stdin(argv, "")
+    }
+
+    fn run_with_stdin(argv: &[&str], stdin: &str) -> Result<String, String> {
+        let args = Args::parse(argv.iter().map(|s| s.to_string())).map_err(err)?;
+        execute(&args, stdin)
+    }
+
+    #[test]
+    fn help_on_empty_and_help() {
+        assert!(run(&[]).unwrap().contains("commands:"));
+        assert!(run(&["help"]).unwrap().contains("work-run"));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert!(e.contains("frobnicate"));
+    }
+
+    #[test]
+    fn work_run_small() {
+        let out = run(&["work-run", "--slots", "500", "--k", "4", "--buffer", "16"]).unwrap();
+        assert!(out.contains("# work model: k=4 B=16"));
+        assert!(out.contains("LWD"));
+        assert!(out.contains("OPT(pq)"));
+    }
+
+    #[test]
+    fn work_run_policy_subset() {
+        let out = run(&[
+            "work-run", "--slots", "500", "--policies", "LWD,LQD",
+        ])
+        .unwrap();
+        assert!(out.contains("LWD"));
+        assert!(out.contains("LQD"));
+        assert!(!out.contains("NHDT"));
+    }
+
+    #[test]
+    fn work_run_rejects_unknown_flag() {
+        let e = run(&["work-run", "--bogus", "1"]).unwrap_err();
+        assert!(e.contains("bogus"));
+    }
+
+    #[test]
+    fn value_run_small_port_mix() {
+        let out = run(&[
+            "value-run", "--slots", "500", "--ports", "4", "--buffer", "16", "--mix", "port",
+        ])
+        .unwrap();
+        assert!(out.contains("mix=port"));
+        assert!(out.contains("MRD"));
+    }
+
+    #[test]
+    fn value_run_rejects_bad_mix() {
+        let e = run(&["value-run", "--mix", "sideways"]).unwrap_err();
+        assert!(e.contains("sideways"));
+    }
+
+    #[test]
+    fn combined_run_small() {
+        let out = run(&[
+            "combined-run", "--slots", "500", "--k", "4", "--buffer", "16", "--mix", "port",
+        ])
+        .unwrap();
+        assert!(out.contains("# combined model: k=4 B=16"));
+        assert!(out.contains("WVD"));
+        assert!(out.contains("OPT(den)"));
+    }
+
+    #[test]
+    fn combined_run_rejects_unknown_policy() {
+        let e = run(&["combined-run", "--slots", "100", "--policies", "ZZZ"]).unwrap_err();
+        assert!(e.contains("ZZZ"));
+    }
+
+    #[test]
+    fn bounds_single_construction() {
+        let out = run(&["bounds", "nest"]).unwrap();
+        assert!(out.contains("Thm2 NEST"));
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn bounds_rejects_unknown() {
+        let e = run(&["bounds", "thmX"]).unwrap_err();
+        assert!(e.contains("thmX"));
+    }
+
+    #[test]
+    fn trace_gen_then_stats_roundtrip() {
+        let text = run(&["trace-gen", "--slots", "40", "--seed", "9"]).unwrap();
+        assert!(text.lines().count() == 40);
+        let stats = run_with_stdin(&["trace-stats"], &text).unwrap();
+        assert!(stats.contains("slots=40"), "{stats}");
+        assert!(stats.contains("port#1"));
+    }
+
+    #[test]
+    fn trace_stats_rejects_garbage() {
+        let e = run_with_stdin(&["trace-stats"], "not a trace").unwrap_err();
+        assert!(e.contains("line 1"));
+    }
+}

@@ -1,0 +1,14 @@
+//! # smbm-cli
+//!
+//! Library backing the `smbm` command-line tool: every command is a pure
+//! function from parsed arguments to output text, so the whole surface is
+//! unit-testable; `main.rs` only does I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{execute, HELP};

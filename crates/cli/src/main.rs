@@ -1,0 +1,45 @@
+//! `smbm` — command-line front end for the shared-memory buffer-management
+//! simulator. All logic lives in the library (`smbm_cli::execute`); this
+//! binary only parses `argv`, wires stdin, and prints.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use smbm_cli::{execute, Args};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Only trace-stats without --file consumes stdin; read lazily.
+    let needs_stdin = args.positional().first().map(String::as_str) == Some("trace-stats")
+        && args.get("file").is_none();
+    let stdin = if needs_stdin {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("failed to read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        String::new()
+    };
+    match execute(&args, &stdin) {
+        Ok(out) => {
+            print!("{out}");
+            if !out.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Competitive-ratio bookkeeping.
+
+use std::fmt;
+
+/// An empirical competitive ratio: an optimal (or surrogate-optimal) score
+/// against an online algorithm's score on the same arrival sequence.
+///
+/// Scores are packet counts in the processing model and transmitted value in
+/// the value model.
+///
+/// ```
+/// use smbm_core::CompetitiveRatio;
+/// let r = CompetitiveRatio::new(200, 100);
+/// assert_eq!(r.ratio(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompetitiveRatio {
+    opt: u64,
+    alg: u64,
+}
+
+impl CompetitiveRatio {
+    /// Records an OPT score and an algorithm score.
+    pub fn new(opt: u64, alg: u64) -> Self {
+        CompetitiveRatio { opt, alg }
+    }
+
+    /// The OPT score.
+    pub fn opt(&self) -> u64 {
+        self.opt
+    }
+
+    /// The algorithm score.
+    pub fn alg(&self) -> u64 {
+        self.alg
+    }
+
+    /// `opt / alg`. By convention the ratio of two zero scores is 1 (both
+    /// did nothing, neither outperformed the other), and a zero algorithm
+    /// score against a positive OPT is `+inf`.
+    pub fn ratio(&self) -> f64 {
+        match (self.opt, self.alg) {
+            (0, 0) => 1.0,
+            (_, 0) => f64::INFINITY,
+            (o, a) => o as f64 / a as f64,
+        }
+    }
+}
+
+impl fmt::Display for CompetitiveRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} (opt={}, alg={})", self.ratio(), self.opt, self.alg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ratio() {
+        assert_eq!(CompetitiveRatio::new(3, 2).ratio(), 1.5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(CompetitiveRatio::new(0, 0).ratio(), 1.0);
+        assert_eq!(CompetitiveRatio::new(5, 0).ratio(), f64::INFINITY);
+        assert_eq!(CompetitiveRatio::new(0, 5).ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_components() {
+        let s = CompetitiveRatio::new(4, 2).to_string();
+        assert!(s.contains("2.0000"));
+        assert!(s.contains("opt=4"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Uniform interfaces over "things that receive a packet stream" — policy
+//! runners and OPT surrogates — so the simulation engine can drive an
+//! algorithm and its yardstick through identical slot phases.
+
+use smbm_switch::{AdmitError, CombinedPacket, ValuePacket, WorkPacket};
+
+use crate::{
+    CombinedPolicy, CombinedPqOpt, CombinedRunner, ValuePolicy, ValuePqOpt, ValueRunner,
+    WorkPolicy, WorkPqOpt, WorkRunner,
+};
+
+/// A system processing work-labelled packets slot by slot.
+pub trait WorkSystem {
+    /// Human-readable label for reports.
+    fn label(&self) -> String;
+
+    /// Presents one arrival during the current slot's arrival phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an [`AdmitError`] from an inconsistent policy decision.
+    fn offer(&mut self, pkt: WorkPacket) -> Result<(), AdmitError>;
+
+    /// Runs the transmission phase; returns packets transmitted.
+    fn transmission_phase(&mut self) -> u64;
+
+    /// Marks the end of the slot.
+    fn end_slot(&mut self);
+
+    /// Discards all buffered packets (simulation flushout).
+    fn flush(&mut self);
+
+    /// Packets transmitted since construction.
+    fn transmitted(&self) -> u64;
+
+    /// Packets currently buffered.
+    fn occupancy(&self) -> usize;
+}
+
+impl<P: WorkPolicy> WorkSystem for WorkRunner<P> {
+    fn label(&self) -> String {
+        self.policy().name().to_owned()
+    }
+
+    fn offer(&mut self, pkt: WorkPacket) -> Result<(), AdmitError> {
+        self.arrival(pkt).map(|_| ())
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        self.transmission().transmitted
+    }
+
+    fn end_slot(&mut self) {
+        WorkRunner::end_slot(self);
+    }
+
+    fn flush(&mut self) {
+        WorkRunner::flush(self);
+    }
+
+    fn transmitted(&self) -> u64 {
+        WorkRunner::transmitted(self)
+    }
+
+    fn occupancy(&self) -> usize {
+        self.switch().occupancy()
+    }
+}
+
+impl WorkSystem for WorkPqOpt {
+    fn label(&self) -> String {
+        format!("OPT(pq,{}cores)", self.cores())
+    }
+
+    fn offer(&mut self, pkt: WorkPacket) -> Result<(), AdmitError> {
+        WorkPqOpt::offer(self, pkt);
+        Ok(())
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        WorkPqOpt::transmission(self)
+    }
+
+    fn end_slot(&mut self) {}
+
+    fn flush(&mut self) {
+        WorkPqOpt::flush(self);
+    }
+
+    fn transmitted(&self) -> u64 {
+        WorkPqOpt::transmitted(self)
+    }
+
+    fn occupancy(&self) -> usize {
+        WorkPqOpt::occupancy(self)
+    }
+}
+
+/// A system processing value-labelled packets slot by slot.
+pub trait ValueSystem {
+    /// Human-readable label for reports.
+    fn label(&self) -> String;
+
+    /// Presents one arrival during the current slot's arrival phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an [`AdmitError`] from an inconsistent policy decision.
+    fn offer(&mut self, pkt: ValuePacket) -> Result<(), AdmitError>;
+
+    /// Runs the transmission phase; returns the value transmitted.
+    fn transmission_phase(&mut self) -> u64;
+
+    /// Marks the end of the slot.
+    fn end_slot(&mut self);
+
+    /// Discards all buffered packets (simulation flushout).
+    fn flush(&mut self);
+
+    /// Total value transmitted since construction.
+    fn transmitted_value(&self) -> u64;
+
+    /// Packets currently buffered.
+    fn occupancy(&self) -> usize;
+}
+
+impl<P: ValuePolicy> ValueSystem for ValueRunner<P> {
+    fn label(&self) -> String {
+        self.policy().name().to_owned()
+    }
+
+    fn offer(&mut self, pkt: ValuePacket) -> Result<(), AdmitError> {
+        self.arrival(pkt).map(|_| ())
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        self.transmission().value
+    }
+
+    fn end_slot(&mut self) {
+        ValueRunner::end_slot(self);
+    }
+
+    fn flush(&mut self) {
+        ValueRunner::flush(self);
+    }
+
+    fn transmitted_value(&self) -> u64 {
+        ValueRunner::transmitted_value(self)
+    }
+
+    fn occupancy(&self) -> usize {
+        self.switch().occupancy()
+    }
+}
+
+impl ValueSystem for ValuePqOpt {
+    fn label(&self) -> String {
+        format!("OPT(pq,{}cores)", self.cores())
+    }
+
+    fn offer(&mut self, pkt: ValuePacket) -> Result<(), AdmitError> {
+        ValuePqOpt::offer(self, pkt);
+        Ok(())
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        ValuePqOpt::transmission(self)
+    }
+
+    fn end_slot(&mut self) {}
+
+    fn flush(&mut self) {
+        ValuePqOpt::flush(self);
+    }
+
+    fn transmitted_value(&self) -> u64 {
+        ValuePqOpt::transmitted_value(self)
+    }
+
+    fn occupancy(&self) -> usize {
+        ValuePqOpt::occupancy(self)
+    }
+}
+
+/// A system processing combined-model packets slot by slot (extension).
+pub trait CombinedSystem {
+    /// Human-readable label for reports.
+    fn label(&self) -> String;
+
+    /// Presents one arrival during the arrival phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an [`AdmitError`] from an inconsistent policy decision.
+    fn offer(&mut self, pkt: CombinedPacket) -> Result<(), AdmitError>;
+
+    /// Runs the transmission phase; returns the value transmitted.
+    fn transmission_phase(&mut self) -> u64;
+
+    /// Marks the end of the slot.
+    fn end_slot(&mut self);
+
+    /// Discards all buffered packets.
+    fn flush(&mut self);
+
+    /// Total value transmitted since construction.
+    fn transmitted_value(&self) -> u64;
+
+    /// Packets currently buffered.
+    fn occupancy(&self) -> usize;
+}
+
+impl<P: CombinedPolicy> CombinedSystem for CombinedRunner<P> {
+    fn label(&self) -> String {
+        self.policy().name().to_owned()
+    }
+
+    fn offer(&mut self, pkt: CombinedPacket) -> Result<(), AdmitError> {
+        self.arrival(pkt).map(|_| ())
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        self.transmission().value
+    }
+
+    fn end_slot(&mut self) {
+        CombinedRunner::end_slot(self);
+    }
+
+    fn flush(&mut self) {
+        CombinedRunner::flush(self);
+    }
+
+    fn transmitted_value(&self) -> u64 {
+        CombinedRunner::transmitted_value(self)
+    }
+
+    fn occupancy(&self) -> usize {
+        self.switch().occupancy()
+    }
+}
+
+impl CombinedSystem for CombinedPqOpt {
+    fn label(&self) -> String {
+        format!("OPT(density,{}cores)", self.cores())
+    }
+
+    fn offer(&mut self, pkt: CombinedPacket) -> Result<(), AdmitError> {
+        CombinedPqOpt::offer(self, pkt);
+        Ok(())
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        CombinedPqOpt::transmission(self)
+    }
+
+    fn end_slot(&mut self) {}
+
+    fn flush(&mut self) {
+        CombinedPqOpt::flush(self);
+    }
+
+    fn transmitted_value(&self) -> u64 {
+        CombinedPqOpt::transmitted_value(self)
+    }
+
+    fn occupancy(&self) -> usize {
+        CombinedPqOpt::occupancy(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GreedyValue, Lwd};
+    use smbm_switch::{PortId, Value, Work, WorkSwitchConfig, ValueSwitchConfig};
+
+    #[test]
+    fn runner_and_opt_share_the_work_interface() {
+        let cfg = WorkSwitchConfig::contiguous(2, 4).unwrap();
+        let mut systems: Vec<Box<dyn WorkSystem>> = vec![
+            Box::new(WorkRunner::new(cfg, Lwd::new(), 1)),
+            Box::new(WorkPqOpt::new(4, 2)),
+        ];
+        for sys in systems.iter_mut() {
+            sys.offer(WorkPacket::new(PortId::new(0), Work::new(1)))
+                .unwrap();
+            let sent = sys.transmission_phase();
+            sys.end_slot();
+            assert_eq!(sent, 1, "{}", sys.label());
+            assert_eq!(sys.transmitted(), 1);
+            assert_eq!(sys.occupancy(), 0);
+        }
+    }
+
+    #[test]
+    fn runner_and_opt_share_the_value_interface() {
+        let cfg = ValueSwitchConfig::new(4, 2).unwrap();
+        let mut systems: Vec<Box<dyn ValueSystem>> = vec![
+            Box::new(ValueRunner::new(cfg, GreedyValue::new(), 1)),
+            Box::new(ValuePqOpt::new(4, 2)),
+        ];
+        for sys in systems.iter_mut() {
+            sys.offer(ValuePacket::new(PortId::new(1), Value::new(7)))
+                .unwrap();
+            assert_eq!(sys.transmission_phase(), 7, "{}", sys.label());
+            sys.end_slot();
+            assert_eq!(sys.transmitted_value(), 7);
+        }
+    }
+
+    #[test]
+    fn flush_via_trait_objects() {
+        let cfg = WorkSwitchConfig::contiguous(1, 2).unwrap();
+        let mut sys: Box<dyn WorkSystem> = Box::new(WorkRunner::new(cfg, Lwd::new(), 1));
+        sys.offer(WorkPacket::new(PortId::new(0), Work::new(1)))
+            .unwrap();
+        sys.flush();
+        assert_eq!(sys.occupancy(), 0);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let opt = WorkPqOpt::new(2, 3);
+        assert_eq!(WorkSystem::label(&opt), "OPT(pq,3cores)");
+    }
+}

@@ -1,0 +1,370 @@
+//! The two-phase slot loop: drives any [`WorkSystem`]/[`ValueSystem`]
+//! through an arrival trace, with the paper's periodic flushouts.
+
+use smbm_core::{CombinedSystem, ValueSystem, WorkSystem};
+use smbm_switch::{AdmitError, CombinedPacket, ValuePacket, WorkPacket};
+use smbm_traffic::Trace;
+
+use crate::{FlushMode, FlushPolicy};
+
+/// Engine knobs shared by both models.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Periodic flushouts, as in the paper's simulations (`None` disables).
+    pub flush: Option<FlushPolicy>,
+    /// Whether to keep running arrival-free slots after the trace until the
+    /// buffer empties, so every admitted packet is counted. The theorem
+    /// traces set this to `false` (stuck heavy packets are the point);
+    /// MMPP experiments set it to `true`.
+    pub drain_at_end: bool,
+}
+
+impl EngineConfig {
+    /// No flushouts, final drain enabled: the default for statistical runs.
+    pub fn draining() -> Self {
+        EngineConfig {
+            flush: None,
+            drain_at_end: true,
+        }
+    }
+
+    /// No flushouts, no final drain: the setting for theorem traces.
+    pub fn horizon_only() -> Self {
+        EngineConfig {
+            flush: None,
+            drain_at_end: false,
+        }
+    }
+}
+
+/// Summary of one system's run over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Slots executed, including drain slots.
+    pub slots: u64,
+    /// Final objective value: packets transmitted (work model) or total
+    /// value transmitted (value model).
+    pub score: u64,
+    /// Mean buffer occupancy sampled at the end of every slot.
+    pub mean_occupancy: f64,
+    /// Peak buffer occupancy sampled at the end of any slot.
+    pub max_occupancy: usize,
+}
+
+/// Hard cap on drain slots, guarding against a non-work-conserving system
+/// looping forever.
+const MAX_DRAIN_SLOTS: u64 = 100_000_000;
+
+/// Runs a work-model system over `trace`.
+///
+/// # Errors
+///
+/// Propagates an [`AdmitError`] raised by an inconsistent policy decision.
+pub fn run_work<S: WorkSystem + ?Sized>(
+    sys: &mut S,
+    trace: &Trace<WorkPacket>,
+    engine: &EngineConfig,
+) -> Result<RunSummary, AdmitError> {
+    let mut slots = 0u64;
+    let mut occ_sum = 0u64;
+    let mut occ_max = 0usize;
+    for (i, burst) in trace.iter().enumerate() {
+        if let Some(flush) = &engine.flush {
+            if flush.due(i as u64) {
+                match flush.mode {
+                    FlushMode::Drop => sys.flush(),
+                    FlushMode::Drain => {
+                        let mut guard = 0u64;
+                        while sys.occupancy() > 0 {
+                            sys.transmission_phase();
+                            sys.end_slot();
+                            slots += 1;
+                            guard += 1;
+                            assert!(guard < MAX_DRAIN_SLOTS, "drain did not terminate");
+                        }
+                    }
+                }
+            }
+        }
+        for &pkt in burst {
+            sys.offer(pkt)?;
+        }
+        sys.transmission_phase();
+        sys.end_slot();
+        slots += 1;
+        occ_sum += sys.occupancy() as u64;
+        occ_max = occ_max.max(sys.occupancy());
+    }
+    if engine.drain_at_end {
+        let mut guard = 0u64;
+        while sys.occupancy() > 0 {
+            sys.transmission_phase();
+            sys.end_slot();
+            slots += 1;
+            occ_sum += sys.occupancy() as u64;
+            guard += 1;
+            assert!(guard < MAX_DRAIN_SLOTS, "final drain did not terminate");
+        }
+    }
+    Ok(RunSummary {
+        slots,
+        score: sys.transmitted(),
+        mean_occupancy: if slots == 0 { 0.0 } else { occ_sum as f64 / slots as f64 },
+        max_occupancy: occ_max,
+    })
+}
+
+/// Runs a value-model system over `trace`.
+///
+/// # Errors
+///
+/// Propagates an [`AdmitError`] raised by an inconsistent policy decision.
+pub fn run_value<S: ValueSystem + ?Sized>(
+    sys: &mut S,
+    trace: &Trace<ValuePacket>,
+    engine: &EngineConfig,
+) -> Result<RunSummary, AdmitError> {
+    let mut slots = 0u64;
+    let mut occ_sum = 0u64;
+    let mut occ_max = 0usize;
+    for (i, burst) in trace.iter().enumerate() {
+        if let Some(flush) = &engine.flush {
+            if flush.due(i as u64) {
+                match flush.mode {
+                    FlushMode::Drop => sys.flush(),
+                    FlushMode::Drain => {
+                        let mut guard = 0u64;
+                        while sys.occupancy() > 0 {
+                            sys.transmission_phase();
+                            sys.end_slot();
+                            slots += 1;
+                            guard += 1;
+                            assert!(guard < MAX_DRAIN_SLOTS, "drain did not terminate");
+                        }
+                    }
+                }
+            }
+        }
+        for &pkt in burst {
+            sys.offer(pkt)?;
+        }
+        sys.transmission_phase();
+        sys.end_slot();
+        slots += 1;
+        occ_sum += sys.occupancy() as u64;
+        occ_max = occ_max.max(sys.occupancy());
+    }
+    if engine.drain_at_end {
+        let mut guard = 0u64;
+        while sys.occupancy() > 0 {
+            sys.transmission_phase();
+            sys.end_slot();
+            slots += 1;
+            occ_sum += sys.occupancy() as u64;
+            guard += 1;
+            assert!(guard < MAX_DRAIN_SLOTS, "final drain did not terminate");
+        }
+    }
+    Ok(RunSummary {
+        slots,
+        score: sys.transmitted_value(),
+        mean_occupancy: if slots == 0 { 0.0 } else { occ_sum as f64 / slots as f64 },
+        max_occupancy: occ_max,
+    })
+}
+
+/// Runs a combined-model system over `trace` (extension).
+///
+/// # Errors
+///
+/// Propagates an [`AdmitError`] raised by an inconsistent policy decision.
+pub fn run_combined<S: CombinedSystem + ?Sized>(
+    sys: &mut S,
+    trace: &Trace<CombinedPacket>,
+    engine: &EngineConfig,
+) -> Result<RunSummary, AdmitError> {
+    let mut slots = 0u64;
+    let mut occ_sum = 0u64;
+    let mut occ_max = 0usize;
+    for (i, burst) in trace.iter().enumerate() {
+        if let Some(flush) = &engine.flush {
+            if flush.due(i as u64) {
+                match flush.mode {
+                    FlushMode::Drop => sys.flush(),
+                    FlushMode::Drain => {
+                        let mut guard = 0u64;
+                        while sys.occupancy() > 0 {
+                            sys.transmission_phase();
+                            sys.end_slot();
+                            slots += 1;
+                            guard += 1;
+                            assert!(guard < MAX_DRAIN_SLOTS, "drain did not terminate");
+                        }
+                    }
+                }
+            }
+        }
+        for &pkt in burst {
+            sys.offer(pkt)?;
+        }
+        sys.transmission_phase();
+        sys.end_slot();
+        slots += 1;
+        occ_sum += sys.occupancy() as u64;
+        occ_max = occ_max.max(sys.occupancy());
+    }
+    if engine.drain_at_end {
+        let mut guard = 0u64;
+        while sys.occupancy() > 0 {
+            sys.transmission_phase();
+            sys.end_slot();
+            slots += 1;
+            occ_sum += sys.occupancy() as u64;
+            guard += 1;
+            assert!(guard < MAX_DRAIN_SLOTS, "final drain did not terminate");
+        }
+    }
+    Ok(RunSummary {
+        slots,
+        score: sys.transmitted_value(),
+        mean_occupancy: if slots == 0 { 0.0 } else { occ_sum as f64 / slots as f64 },
+        max_occupancy: occ_max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smbm_core::{GreedyValue, GreedyWork, ValueRunner, WorkRunner};
+    use smbm_switch::{PortId, Value, Work, WorkSwitchConfig, ValueSwitchConfig};
+
+    fn wp(port: usize, w: u32) -> WorkPacket {
+        WorkPacket::new(PortId::new(port), Work::new(w))
+    }
+
+    fn vp(port: usize, v: u64) -> ValuePacket {
+        ValuePacket::new(PortId::new(port), Value::new(v))
+    }
+
+    #[test]
+    fn run_work_counts_transmissions() {
+        let cfg = WorkSwitchConfig::contiguous(2, 4).unwrap();
+        let mut sys = WorkRunner::new(cfg, GreedyWork::new(), 1);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![wp(0, 1), wp(1, 2)]);
+        trace.push_silence(2);
+        let s = run_work(&mut sys, &trace, &EngineConfig::horizon_only()).unwrap();
+        assert_eq!(s.slots, 3);
+        assert_eq!(s.score, 2); // 1-cycle done slot 0, 2-cycle done slot 1
+    }
+
+    #[test]
+    fn final_drain_counts_resident_packets() {
+        let cfg = WorkSwitchConfig::contiguous(1, 8).unwrap();
+        let mut sys = WorkRunner::new(cfg, GreedyWork::new(), 1);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![wp(0, 1); 5]);
+        let horizon = run_work(
+            &mut sys,
+            &trace,
+            &EngineConfig::horizon_only(),
+        )
+        .unwrap();
+        assert_eq!(horizon.score, 1);
+
+        let cfg = WorkSwitchConfig::contiguous(1, 8).unwrap();
+        let mut sys = WorkRunner::new(cfg, GreedyWork::new(), 1);
+        let drained = run_work(&mut sys, &trace, &EngineConfig::draining()).unwrap();
+        assert_eq!(drained.score, 5);
+        assert_eq!(drained.slots, 5); // 1 trace slot + 4 drain slots
+    }
+
+    #[test]
+    fn flush_drop_discards_backlog() {
+        let cfg = WorkSwitchConfig::contiguous(1, 8).unwrap();
+        let mut sys = WorkRunner::new(cfg, GreedyWork::new(), 1);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![wp(0, 1); 6]);
+        trace.push_silence(3); // slots 1..3
+        trace.push_slot(vec![wp(0, 1)]); // slot 4, right at flush boundary
+        let engine = EngineConfig {
+            flush: Some(FlushPolicy {
+                period: 4,
+                mode: FlushMode::Drop,
+            }),
+            drain_at_end: false,
+        };
+        let s = run_work(&mut sys, &trace, &engine).unwrap();
+        // Slots 0-3 transmit 4; flush at slot 4 drops the remaining 2, the
+        // new arrival transmits at slot 4.
+        assert_eq!(s.score, 5);
+    }
+
+    #[test]
+    fn flush_drain_pauses_arrivals() {
+        let cfg = WorkSwitchConfig::contiguous(1, 8).unwrap();
+        let mut sys = WorkRunner::new(cfg, GreedyWork::new(), 1);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![wp(0, 1); 6]);
+        trace.push_silence(3);
+        trace.push_slot(vec![wp(0, 1)]);
+        let engine = EngineConfig {
+            flush: Some(FlushPolicy {
+                period: 4,
+                mode: FlushMode::Drain,
+            }),
+            drain_at_end: false,
+        };
+        let s = run_work(&mut sys, &trace, &engine).unwrap();
+        // Everything is transmitted: the drain inserts extra slots.
+        assert_eq!(s.score, 7);
+        assert!(s.slots > 5);
+    }
+
+    #[test]
+    fn occupancy_statistics_are_tracked() {
+        let cfg = WorkSwitchConfig::contiguous(1, 8).unwrap();
+        let mut sys = WorkRunner::new(cfg, GreedyWork::new(), 1);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![wp(0, 1); 5]); // slot 0 ends with 4 resident
+        trace.push_silence(2); // 3, 2 resident
+        let s = run_work(&mut sys, &trace, &EngineConfig::draining()).unwrap();
+        assert_eq!(s.max_occupancy, 4);
+        // Occupancies after each slot: 4, 3, 2, then drain 1, 0.
+        assert!((s.mean_occupancy - 2.0).abs() < 1e-12, "{}", s.mean_occupancy);
+    }
+
+    #[test]
+    fn run_value_scores_value() {
+        let cfg = ValueSwitchConfig::new(4, 2).unwrap();
+        let mut sys = ValueRunner::new(cfg, GreedyValue::new(), 1);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![vp(0, 5), vp(1, 3), vp(0, 2)]);
+        let s = run_value(&mut sys, &trace, &EngineConfig::draining()).unwrap();
+        assert_eq!(s.score, 10);
+    }
+
+    #[test]
+    fn run_combined_scores_value() {
+        use smbm_core::{CombinedRunner, GreedyCombined};
+        use smbm_switch::{CombinedPacket, Value, WorkSwitchConfig};
+        let cfg = WorkSwitchConfig::contiguous(2, 4).unwrap();
+        let mut sys = CombinedRunner::new(cfg.clone(), GreedyCombined::new(), 1);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![
+            CombinedPacket::new(PortId::new(0), cfg.work(PortId::new(0)), Value::new(5)),
+            CombinedPacket::new(PortId::new(1), cfg.work(PortId::new(1)), Value::new(3)),
+        ]);
+        let s = run_combined(&mut sys, &trace, &EngineConfig::draining()).unwrap();
+        assert_eq!(s.score, 8);
+    }
+
+    #[test]
+    fn opt_surrogates_run_through_the_same_engine() {
+        let mut opt = smbm_core::WorkPqOpt::new(4, 2);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![wp(0, 1), wp(1, 2), wp(0, 1)]);
+        let s = run_work(&mut opt, &trace, &EngineConfig::draining()).unwrap();
+        assert_eq!(s.score, 3);
+    }
+}

@@ -1,0 +1,423 @@
+//! Experiments: run a roster of policies plus the OPT surrogate over one
+//! trace and report empirical competitive ratios.
+
+use smbm_core::{
+    combined_policy_by_name, value_policy_by_name, work_policy_by_name, CappedValue, CappedWork,
+    CombinedPqOpt, CombinedRunner, CompetitiveRatio, ValuePqOpt, ValueRunner, WorkPqOpt,
+    WorkRunner,
+};
+use smbm_switch::{
+    AdmitError, CombinedPacket, ValuePacket, ValueSwitchConfig, WorkPacket, WorkSwitchConfig,
+};
+use smbm_traffic::adversarial::{ValueConstruction, WorkConstruction};
+use smbm_traffic::Trace;
+
+use crate::engine::{run_combined, run_value, run_work, EngineConfig};
+
+/// One policy's outcome on a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRow {
+    /// Policy name (registry key).
+    pub policy: String,
+    /// Objective score: packets (work model) or value (value model).
+    pub score: u64,
+    /// Empirical competitive ratio against the experiment's OPT reference.
+    pub ratio: f64,
+    /// Mean sojourn time of transmitted packets, in slots.
+    pub mean_latency: f64,
+    /// Fraction of offered packets eventually transmitted.
+    pub goodput: f64,
+}
+
+/// Result of running a roster of policies against the OPT surrogate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// OPT surrogate's score.
+    pub opt_score: u64,
+    /// Per-policy outcomes, in roster order.
+    pub rows: Vec<PolicyRow>,
+}
+
+impl ExperimentReport {
+    /// The row for `policy`, if it was in the roster.
+    pub fn row(&self, policy: &str) -> Option<&PolicyRow> {
+        self.rows.iter().find(|r| r.policy == policy)
+    }
+}
+
+/// Error running an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A roster entry is not in the policy registry.
+    UnknownPolicy(String),
+    /// A policy made a decision the switch rejected.
+    Admit(AdmitError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::UnknownPolicy(p) => write!(f, "unknown policy {p:?}"),
+            ExperimentError::Admit(e) => write!(f, "policy decision rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<AdmitError> for ExperimentError {
+    fn from(e: AdmitError) -> Self {
+        ExperimentError::Admit(e)
+    }
+}
+
+/// A work-model experiment: a switch configuration, a speedup, and a roster
+/// of policies compared against the paper's single-PQ OPT surrogate with
+/// `ports * speedup` cores.
+#[derive(Debug, Clone)]
+pub struct WorkExperiment {
+    /// Switch configuration shared by every contender.
+    pub config: WorkSwitchConfig,
+    /// Cores per queue (`C` in Fig. 5).
+    pub speedup: u32,
+    /// Policy roster (registry keys).
+    pub policies: Vec<String>,
+    /// Engine settings (flushouts, final drain).
+    pub engine: EngineConfig,
+}
+
+impl WorkExperiment {
+    /// Creates an experiment with the paper's full work-model roster.
+    pub fn full_roster(config: WorkSwitchConfig, speedup: u32) -> Self {
+        WorkExperiment {
+            config,
+            speedup,
+            policies: smbm_core::WORK_POLICY_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            engine: EngineConfig::draining(),
+        }
+    }
+
+    /// Runs every policy and the OPT surrogate over `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for unknown roster entries or invalid
+    /// policy decisions.
+    pub fn run(&self, trace: &Trace<WorkPacket>) -> Result<ExperimentReport, ExperimentError> {
+        let cores = self.config.ports() as u32 * self.speedup;
+        let mut opt = WorkPqOpt::new(self.config.buffer(), cores);
+        let opt_score = run_work(&mut opt, trace, &self.engine)?.score;
+        let mut rows = Vec::with_capacity(self.policies.len());
+        for name in &self.policies {
+            let policy = work_policy_by_name(name)
+                .ok_or_else(|| ExperimentError::UnknownPolicy(name.clone()))?;
+            let mut runner = WorkRunner::new(self.config.clone(), policy, self.speedup);
+            let score = run_work(&mut runner, trace, &self.engine)?.score;
+            let counters = runner.switch().counters();
+            rows.push(PolicyRow {
+                policy: name.clone(),
+                score,
+                ratio: CompetitiveRatio::new(opt_score, score).ratio(),
+                mean_latency: counters.mean_latency(),
+                goodput: counters.goodput(),
+            });
+        }
+        Ok(ExperimentReport { opt_score, rows })
+    }
+}
+
+/// A value-model experiment, mirroring [`WorkExperiment`].
+#[derive(Debug, Clone)]
+pub struct ValueExperiment {
+    /// Switch configuration shared by every contender.
+    pub config: ValueSwitchConfig,
+    /// Packets each port transmits per slot (`C` in Fig. 5).
+    pub speedup: u32,
+    /// Policy roster (registry keys).
+    pub policies: Vec<String>,
+    /// Engine settings (flushouts, final drain).
+    pub engine: EngineConfig,
+}
+
+impl ValueExperiment {
+    /// Creates an experiment with the paper's full value-model roster.
+    pub fn full_roster(config: ValueSwitchConfig, speedup: u32) -> Self {
+        ValueExperiment {
+            config,
+            speedup,
+            policies: smbm_core::VALUE_POLICY_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            engine: EngineConfig::draining(),
+        }
+    }
+
+    /// Runs every policy and the OPT surrogate over `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for unknown roster entries or invalid
+    /// policy decisions.
+    pub fn run(&self, trace: &Trace<ValuePacket>) -> Result<ExperimentReport, ExperimentError> {
+        let cores = self.config.ports() as u32 * self.speedup;
+        let mut opt = ValuePqOpt::new(self.config.buffer(), cores);
+        let opt_score = run_value(&mut opt, trace, &self.engine)?.score;
+        let mut rows = Vec::with_capacity(self.policies.len());
+        for name in &self.policies {
+            let policy = value_policy_by_name(name)
+                .ok_or_else(|| ExperimentError::UnknownPolicy(name.clone()))?;
+            let mut runner = ValueRunner::new(self.config, policy, self.speedup);
+            let score = run_value(&mut runner, trace, &self.engine)?.score;
+            let counters = runner.switch().counters();
+            rows.push(PolicyRow {
+                policy: name.clone(),
+                score,
+                ratio: CompetitiveRatio::new(opt_score, score).ratio(),
+                mean_latency: counters.mean_latency(),
+                goodput: counters.goodput(),
+            });
+        }
+        Ok(ExperimentReport { opt_score, rows })
+    }
+}
+
+/// A combined-model experiment (extension), mirroring [`WorkExperiment`]:
+/// roster versus the density-greedy OPT surrogate.
+#[derive(Debug, Clone)]
+pub struct CombinedExperiment {
+    /// Switch configuration (buffer + per-port works) shared by every
+    /// contender.
+    pub config: WorkSwitchConfig,
+    /// Cores per queue.
+    pub speedup: u32,
+    /// Policy roster (combined registry keys).
+    pub policies: Vec<String>,
+    /// Engine settings.
+    pub engine: EngineConfig,
+}
+
+impl CombinedExperiment {
+    /// Creates an experiment with the full combined-model roster.
+    pub fn full_roster(config: WorkSwitchConfig, speedup: u32) -> Self {
+        CombinedExperiment {
+            config,
+            speedup,
+            policies: smbm_core::COMBINED_POLICY_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            engine: EngineConfig::draining(),
+        }
+    }
+
+    /// Runs every policy and the density OPT surrogate over `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for unknown roster entries or invalid
+    /// policy decisions.
+    pub fn run(&self, trace: &Trace<CombinedPacket>) -> Result<ExperimentReport, ExperimentError> {
+        let cores = self.config.ports() as u32 * self.speedup;
+        let mut opt = CombinedPqOpt::new(self.config.buffer(), cores);
+        let opt_score = run_combined(&mut opt, trace, &self.engine)?.score;
+        let mut rows = Vec::with_capacity(self.policies.len());
+        for name in &self.policies {
+            let policy = combined_policy_by_name(name)
+                .ok_or_else(|| ExperimentError::UnknownPolicy(name.clone()))?;
+            let mut runner = CombinedRunner::new(self.config.clone(), policy, self.speedup);
+            let score = run_combined(&mut runner, trace, &self.engine)?.score;
+            let counters = runner.switch().counters();
+            rows.push(PolicyRow {
+                policy: name.clone(),
+                score,
+                ratio: CompetitiveRatio::new(opt_score, score).ratio(),
+                mean_latency: counters.mean_latency(),
+                goodput: counters.goodput(),
+            });
+        }
+        Ok(ExperimentReport { opt_score, rows })
+    }
+}
+
+/// Outcome of replaying a theorem's adversarial construction.
+#[derive(Debug, Clone)]
+pub struct ConstructionReport {
+    /// The construction's name (theorem + parameters).
+    pub name: String,
+    /// The targeted policy.
+    pub policy: String,
+    /// Ratio of the scripted OPT's score to the policy's score.
+    pub measured: CompetitiveRatio,
+    /// The theorem's bound at these parameters.
+    pub predicted: f64,
+}
+
+impl ConstructionReport {
+    /// The measured competitive ratio.
+    pub fn ratio(&self) -> f64 {
+        self.measured.ratio()
+    }
+}
+
+/// Replays a work-model lower-bound construction: the target policy versus
+/// the proof's scripted OPT (per-queue caps), over the same trace, counting
+/// only in-horizon transmissions (no final drain — the constructions are
+/// built to leave the policy clogged).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] for unknown target policies or invalid
+/// decisions.
+pub fn measure_work_construction(
+    c: &WorkConstruction,
+) -> Result<ConstructionReport, ExperimentError> {
+    let engine = EngineConfig::horizon_only();
+    let policy = work_policy_by_name(c.target_policy)
+        .ok_or_else(|| ExperimentError::UnknownPolicy(c.target_policy.to_string()))?;
+    let mut alg = WorkRunner::new(c.config.clone(), policy, 1);
+    let alg_score = run_work(&mut alg, &c.trace, &engine)?.score;
+    let mut opt = WorkRunner::new(c.config.clone(), CappedWork::new(c.opt_caps.clone()), 1);
+    let opt_score = run_work(&mut opt, &c.trace, &engine)?.score;
+    Ok(ConstructionReport {
+        name: c.name.clone(),
+        policy: c.target_policy.to_string(),
+        measured: CompetitiveRatio::new(opt_score, alg_score),
+        predicted: c.predicted_ratio,
+    })
+}
+
+/// Replays a value-model lower-bound construction; see
+/// [`measure_work_construction`].
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] for unknown target policies or invalid
+/// decisions.
+pub fn measure_value_construction(
+    c: &ValueConstruction,
+) -> Result<ConstructionReport, ExperimentError> {
+    let engine = EngineConfig::horizon_only();
+    let policy = value_policy_by_name(c.target_policy)
+        .ok_or_else(|| ExperimentError::UnknownPolicy(c.target_policy.to_string()))?;
+    let mut alg = ValueRunner::new(c.config, policy, 1);
+    let alg_score = run_value(&mut alg, &c.trace, &engine)?.score;
+    let mut opt = ValueRunner::new(c.config, CappedValue::new(c.opt_caps.clone()), 1);
+    let opt_score = run_value(&mut opt, &c.trace, &engine)?.score;
+    Ok(ConstructionReport {
+        name: c.name.clone(),
+        policy: c.target_policy.to_string(),
+        measured: CompetitiveRatio::new(opt_score, alg_score),
+        predicted: c.predicted_ratio,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smbm_switch::{PortId, Work};
+
+    #[test]
+    fn work_experiment_ranks_policies() {
+        let config = WorkSwitchConfig::contiguous(3, 9).unwrap();
+        let exp = WorkExperiment::full_roster(config.clone(), 1);
+        let mut trace = Trace::new();
+        // A congested burst toward the heavy port plus cheap traffic.
+        for _ in 0..5 {
+            let mut burst = Vec::new();
+            for _ in 0..6 {
+                burst.push(WorkPacket::new(PortId::new(2), Work::new(3)));
+            }
+            for _ in 0..6 {
+                burst.push(WorkPacket::new(PortId::new(0), Work::new(1)));
+            }
+            trace.push_slot(burst);
+        }
+        let report = exp.run(&trace).unwrap();
+        assert_eq!(report.rows.len(), smbm_core::WORK_POLICY_NAMES.len());
+        assert!(report.opt_score > 0);
+        for row in &report.rows {
+            assert!(row.score > 0, "{} scored zero", row.policy);
+            assert!(row.ratio >= 0.9, "{} ratio {}", row.policy, row.ratio);
+        }
+        assert!(report.row("LWD").is_some());
+        assert!(report.row("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_policy_is_reported() {
+        let config = WorkSwitchConfig::contiguous(2, 4).unwrap();
+        let mut exp = WorkExperiment::full_roster(config, 1);
+        exp.policies.push("BOGUS".into());
+        let trace = Trace::from_slots(vec![vec![]]);
+        let err = exp.run(&trace).unwrap_err();
+        assert_eq!(err, ExperimentError::UnknownPolicy("BOGUS".into()));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn value_experiment_runs_roster() {
+        let config = ValueSwitchConfig::new(8, 4).unwrap();
+        let exp = ValueExperiment::full_roster(config, 1);
+        let mut trace = Trace::new();
+        for _ in 0..4 {
+            let burst: Vec<ValuePacket> = (0..8)
+                .map(|i| {
+                    ValuePacket::new(
+                        PortId::new(i % 4),
+                        smbm_switch::Value::new((i % 4) as u64 + 1),
+                    )
+                })
+                .collect();
+            trace.push_slot(burst);
+        }
+        let report = exp.run(&trace).unwrap();
+        assert_eq!(report.rows.len(), smbm_core::VALUE_POLICY_NAMES.len());
+        for row in &report.rows {
+            assert!(row.score > 0, "{} scored zero", row.policy);
+        }
+    }
+
+    #[test]
+    fn combined_experiment_runs_roster() {
+        use smbm_switch::{Value, Work};
+        let config = WorkSwitchConfig::contiguous(3, 9).unwrap();
+        let exp = CombinedExperiment::full_roster(config.clone(), 1);
+        let mut trace = Trace::new();
+        for _ in 0..4 {
+            let burst: Vec<CombinedPacket> = (0..6)
+                .map(|i| {
+                    let p = PortId::new(i % 3);
+                    CombinedPacket::new(p, config.work(p), Value::new((i % 4) as u64 + 1))
+                })
+                .collect();
+            trace.push_slot(burst);
+        }
+        let _ = Work::new(1); // keep import used in both cfg layouts
+        let report = exp.run(&trace).unwrap();
+        assert_eq!(report.rows.len(), smbm_core::COMBINED_POLICY_NAMES.len());
+        for row in &report.rows {
+            assert!(row.score > 0, "{} scored zero", row.policy);
+        }
+        assert!(report.row("WVD").is_some());
+    }
+
+    #[test]
+    fn construction_measurement_runs() {
+        let c = smbm_traffic::adversarial::bpd_lower_bound(4, 16, 200);
+        let r = measure_work_construction(&c).unwrap();
+        assert!(r.ratio() > 1.0, "BPD should lose: {}", r.ratio());
+        assert!(r.predicted > 1.0);
+        assert_eq!(r.policy, "BPD");
+    }
+
+    #[test]
+    fn value_construction_measurement_runs() {
+        let c = smbm_traffic::adversarial::mvd_lower_bound(4, 16, 200);
+        let r = measure_value_construction(&c).unwrap();
+        assert!(r.ratio() > 1.0, "MVD should lose: {}", r.ratio());
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-port fairness metrics.
+//!
+//! The paper motivates shared-memory buffer management with the tension
+//! between *complete sharing* (full utilization, but "a single output port
+//! may monopolize the shared memory") and *complete partitioning* (fair, but
+//! underutilized). These metrics quantify that tension for any run.
+
+/// Jain's fairness index over per-port throughputs:
+/// `(Σx)² / (n · Σx²)` — 1 when perfectly fair, `1/n` when one port
+/// monopolizes. Empty or all-zero inputs yield 1 (vacuously fair).
+///
+/// ```
+/// use smbm_sim::jain_index;
+/// assert_eq!(jain_index(&[5, 5, 5, 5]), 1.0);
+/// assert_eq!(jain_index(&[8, 0, 0, 0]), 0.25);
+/// ```
+pub fn jain_index(per_port: &[u64]) -> f64 {
+    let n = per_port.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = per_port.iter().map(|&x| x as f64).sum();
+    if sum == 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = per_port.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+/// The largest single port's share of the total throughput (`1/n` when
+/// perfectly balanced, 1 under monopoly). Empty or all-zero inputs yield 0.
+///
+/// ```
+/// use smbm_sim::max_port_share;
+/// assert_eq!(max_port_share(&[1, 1, 2]), 0.5);
+/// ```
+pub fn max_port_share(per_port: &[u64]) -> f64 {
+    let sum: u64 = per_port.iter().sum();
+    if sum == 0 {
+        return 0.0;
+    }
+    let max = per_port.iter().copied().max().unwrap_or(0);
+    max as f64 / sum as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_perfectly_fair() {
+        assert_eq!(jain_index(&[3, 3, 3]), 1.0);
+        assert_eq!(jain_index(&[7]), 1.0);
+    }
+
+    #[test]
+    fn jain_monopoly_is_one_over_n() {
+        let j = jain_index(&[10, 0, 0, 0, 0]);
+        assert!((j - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_intermediate() {
+        // Known value: x = [4, 2]: (6)^2 / (2 * 20) = 36/40 = 0.9.
+        assert!((jain_index(&[4, 2]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn jain_scale_invariant() {
+        let a = jain_index(&[1, 2, 3]);
+        let b = jain_index(&[10, 20, 30]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_share_cases() {
+        assert_eq!(max_port_share(&[]), 0.0);
+        assert_eq!(max_port_share(&[0, 0]), 0.0);
+        assert_eq!(max_port_share(&[5, 5]), 0.5);
+        assert_eq!(max_port_share(&[9, 1]), 0.9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Report formatting: turn sweeps into the CSV series of Fig. 5.
+
+use crate::sweep::SweepPoint;
+
+/// A labelled series of `(x, ratio)` points, one per policy, extracted from
+/// a sweep — the unit of a Fig. 5 panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Policy label.
+    pub label: String,
+    /// `(swept parameter, competitive ratio)` pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Extracts one series per policy from sweep points.
+pub fn series_from_sweep(points: &[SweepPoint]) -> Vec<Series> {
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    first
+        .report
+        .rows
+        .iter()
+        .map(|row| Series {
+            label: row.policy.clone(),
+            points: points
+                .iter()
+                .filter_map(|p| {
+                    p.report
+                        .row(&row.policy)
+                        .map(|r| (p.x, r.ratio))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders series as CSV: a header `x,<label>,...` then one line per x.
+/// Policies missing a point render an empty cell.
+pub fn series_to_csv(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(x_label);
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    // Collect the union of x values in first-seen order.
+    let mut xs: Vec<f64> = Vec::new();
+    for s in series {
+        for &(x, _) in &s.points {
+            if !xs.contains(&x) {
+                xs.push(x);
+            }
+        }
+    }
+    for &x in &xs {
+        out.push_str(&trim_float(x));
+        for s in series {
+            out.push(',');
+            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px == x) {
+                out.push_str(&format!("{y:.4}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a gnuplot script that plots a CSV produced by
+/// [`series_to_csv`] (one line per policy, logarithmic x for B sweeps is
+/// left to the caller's taste — the script is a plain-text starting point).
+pub fn series_to_gnuplot(title: &str, x_label: &str, csv_file: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str("set datafile separator \",\"\n");
+    out.push_str(&format!("set title \"{title}\"\n"));
+    out.push_str(&format!("set xlabel \"{x_label}\"\n"));
+    out.push_str("set ylabel \"competitive ratio\"\n");
+    out.push_str("set key outside right\n");
+    out.push_str("set grid\n");
+    out.push_str("plot \\\n");
+    let lines: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!(
+                "  \"{csv_file}\" using 1:{} with linespoints title \"{}\"",
+                i + 2,
+                s.label
+            )
+        })
+        .collect();
+    out.push_str(&lines.join(", \\\n"));
+    out.push('\n');
+    out
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentReport, PolicyRow};
+
+    fn point(x: f64, ratios: &[(&str, f64)]) -> SweepPoint {
+        SweepPoint {
+            x,
+            report: ExperimentReport {
+                opt_score: 100,
+                rows: ratios
+                    .iter()
+                    .map(|(p, r)| PolicyRow {
+                        policy: p.to_string(),
+                        score: 1,
+                        ratio: *r,
+                        mean_latency: 0.0,
+                        goodput: 1.0,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn extracts_one_series_per_policy() {
+        let points = vec![
+            point(1.0, &[("LWD", 1.1), ("LQD", 1.5)]),
+            point(2.0, &[("LWD", 1.2), ("LQD", 1.9)]),
+        ];
+        let series = series_from_sweep(&points);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].label, "LWD");
+        assert_eq!(series[0].points, vec![(1.0, 1.1), (2.0, 1.2)]);
+    }
+
+    #[test]
+    fn empty_sweep_gives_no_series() {
+        assert!(series_from_sweep(&[]).is_empty());
+    }
+
+    #[test]
+    fn csv_layout() {
+        let points = vec![
+            point(1.0, &[("A", 1.0)]),
+            point(2.5, &[("A", 2.0)]),
+        ];
+        let csv = series_to_csv("k", &series_from_sweep(&points));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "k,A");
+        assert_eq!(lines[1], "1,1.0000");
+        assert_eq!(lines[2], "2.5,2.0000");
+    }
+
+    #[test]
+    fn gnuplot_script_references_every_series() {
+        let series = vec![
+            Series { label: "LWD".into(), points: vec![(1.0, 1.0)] },
+            Series { label: "LQD".into(), points: vec![(1.0, 1.2)] },
+        ];
+        let gp = series_to_gnuplot("panel", "k", "p1.csv", &series);
+        assert!(gp.contains("using 1:2 with linespoints title \"LWD\""));
+        assert!(gp.contains("using 1:3 with linespoints title \"LQD\""));
+        assert!(gp.contains("set xlabel \"k\""));
+    }
+
+    #[test]
+    fn csv_handles_missing_points() {
+        let series = vec![
+            Series {
+                label: "A".into(),
+                points: vec![(1.0, 1.0)],
+            },
+            Series {
+                label: "B".into(),
+                points: vec![(2.0, 3.0)],
+            },
+        ];
+        let csv = series_to_csv("x", &series);
+        assert!(csv.contains("1,1.0000,\n"));
+        assert!(csv.contains("2,,3.0000\n"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Parameter sweeps over experiments, parallelised across points with
+//! scoped threads.
+
+use std::sync::Mutex;
+
+use crate::experiment::{ExperimentError, ExperimentReport};
+
+/// One point of a sweep: the swept parameter's value and the experiment
+/// report measured there.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter (k, B, or C in Fig. 5).
+    pub x: f64,
+    /// The report at this point.
+    pub report: ExperimentReport,
+}
+
+/// Runs `measure` at every `x`, in parallel, returning points in input
+/// order. `measure` builds and runs a full experiment for one parameter
+/// value; any error aborts the sweep.
+///
+/// # Errors
+///
+/// Returns the first [`ExperimentError`] any point produced.
+///
+/// ```
+/// use smbm_sim::sweep;
+/// use smbm_sim::{ExperimentReport};
+///
+/// let points = sweep(&[1.0, 2.0], |x| {
+///     Ok(ExperimentReport { opt_score: x as u64, rows: vec![] })
+/// })?;
+/// assert_eq!(points.len(), 2);
+/// assert_eq!(points[1].report.opt_score, 2);
+/// # Ok::<(), smbm_sim::ExperimentError>(())
+/// ```
+pub fn sweep<F>(xs: &[f64], measure: F) -> Result<Vec<SweepPoint>, ExperimentError>
+where
+    F: Fn(f64) -> Result<ExperimentReport, ExperimentError> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(xs.len().max(1));
+    let results: Mutex<Vec<Option<Result<ExperimentReport, ExperimentError>>>> =
+        Mutex::new((0..xs.len()).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= xs.len() {
+                    break;
+                }
+                let r = measure(xs[i]);
+                results.lock().expect("no panics hold the lock")[i] = Some(r);
+            });
+        }
+    });
+    let results = results.into_inner().expect("threads joined");
+    let mut points = Vec::with_capacity(xs.len());
+    for (i, r) in results.into_iter().enumerate() {
+        let report = r.expect("every index was visited")?;
+        points.push(SweepPoint { x: xs[i], report });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PolicyRow;
+
+    fn fake_report(x: f64) -> ExperimentReport {
+        ExperimentReport {
+            opt_score: (x * 10.0) as u64,
+            rows: vec![PolicyRow {
+                policy: "X".into(),
+                score: x as u64,
+                ratio: 1.0,
+                mean_latency: 0.0,
+                goodput: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let xs: Vec<f64> = (1..=20).map(f64::from).collect();
+        let points = sweep(&xs, |x| Ok(fake_report(x))).unwrap();
+        assert_eq!(points.len(), 20);
+        for (p, x) in points.iter().zip(&xs) {
+            assert_eq!(p.x, *x);
+            assert_eq!(p.report.opt_score, (*x * 10.0) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let points = sweep(&[], |x| Ok(fake_report(x))).unwrap();
+        assert!(points.is_empty());
+    }
+
+    #[test]
+    fn errors_abort() {
+        let r = sweep(&[1.0, 2.0], |x| {
+            if x > 1.5 {
+                Err(ExperimentError::UnknownPolicy("boom".into()))
+            } else {
+                Ok(fake_report(x))
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn actually_runs_in_parallel_threads() {
+        // Smoke test: heavy closure across many points completes.
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let points = sweep(&xs, |x| {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i * x as u64);
+            }
+            let mut r = fake_report(x);
+            r.opt_score = acc.max(1);
+            Ok(r)
+        })
+        .unwrap();
+        assert_eq!(points.len(), 50);
+    }
+}

@@ -1,0 +1,295 @@
+//! A single output queue in the *combined* model (extension): per-port work
+//! requirements as in Section III, per-packet values as in Section IV.
+//!
+//! Processing order is priority-by-value (Section IV's "most favourable
+//! order") but **run-to-completion**: the packet in service is never
+//! preempted, matching the paper's run-for-completion motivation. New
+//! arrivals join a value-sorted backlog; when the serviced packet completes,
+//! the most valuable backlog packet enters service.
+
+use crate::{Slot, Value, Work};
+
+/// A packet in service: its value, remaining cycles, and arrival slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InService {
+    /// Intrinsic value.
+    pub value: Value,
+    /// Remaining processing cycles (always >= 1).
+    pub residual: u32,
+    /// Arrival slot.
+    pub arrived: Slot,
+}
+
+/// One output queue of a [`crate::CombinedSwitch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinedQueue {
+    work: Work,
+    in_service: Option<InService>,
+    /// Backlog sorted by value, descending; ties keep arrival order.
+    backlog: Vec<(Value, Slot)>,
+    /// Cached sum of all resident values (service + backlog).
+    value_sum: u64,
+}
+
+impl CombinedQueue {
+    /// Creates an empty queue whose packets all require `work` cycles.
+    pub fn new(work: Work) -> Self {
+        CombinedQueue {
+            work,
+            in_service: None,
+            backlog: Vec::new(),
+            value_sum: 0,
+        }
+    }
+
+    /// The fixed per-packet requirement of this queue.
+    pub fn work(&self) -> Work {
+        self.work
+    }
+
+    /// Number of resident packets (service + backlog).
+    pub fn len(&self) -> usize {
+        self.backlog.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// True when no packets are resident.
+    pub fn is_empty(&self) -> bool {
+        self.in_service.is_none() && self.backlog.is_empty()
+    }
+
+    /// The packet currently in service, if any.
+    pub fn in_service(&self) -> Option<&InService> {
+        self.in_service.as_ref()
+    }
+
+    /// Total outstanding work: the serviced packet's residual plus the full
+    /// requirement of every backlog packet.
+    pub fn total_work(&self) -> u64 {
+        self.in_service.map_or(0, |s| s.residual as u64)
+            + self.backlog.len() as u64 * self.work.as_u64()
+    }
+
+    /// Sum of resident values.
+    pub fn total_value(&self) -> u64 {
+        self.value_sum
+    }
+
+    /// Average resident value, `None` when empty.
+    pub fn average_value(&self) -> Option<f64> {
+        let n = self.len();
+        (n > 0).then(|| self.value_sum as f64 / n as f64)
+    }
+
+    /// Smallest resident value (the push-out victim's value).
+    pub fn min_value(&self) -> Option<Value> {
+        let backlog_min = self.backlog.last().map(|&(v, _)| v);
+        let service = self.in_service.map(|s| s.value);
+        match (backlog_min, service) {
+            (Some(b), Some(s)) => Some(b.min(s)),
+            (b, s) => b.or(s),
+        }
+    }
+
+    /// Inserts a packet of value `value` arriving at `slot`. If the queue
+    /// was idle the packet enters service immediately.
+    pub fn insert(&mut self, value: Value, slot: Slot) {
+        self.value_sum += value.get();
+        if self.in_service.is_none() && self.backlog.is_empty() {
+            self.in_service = Some(InService {
+                value,
+                residual: self.work.cycles(),
+                arrived: slot,
+            });
+            return;
+        }
+        let pos = self.backlog.partition_point(|&(v, _)| v >= value);
+        self.backlog.insert(pos, (value, slot));
+    }
+
+    /// Evicts the lowest-value packet: the backlog minimum, or the serviced
+    /// packet when the backlog is empty (its partial work is lost). Returns
+    /// the evicted value.
+    pub fn evict_min(&mut self) -> Option<Value> {
+        if let Some((v, _)) = self.backlog.pop() {
+            self.value_sum -= v.get();
+            return Some(v);
+        }
+        let s = self.in_service.take()?;
+        self.value_sum -= s.value.get();
+        Some(s.value)
+    }
+
+    /// Applies up to `cycles` to the serviced packet (promoting from the
+    /// backlog as packets complete). Completed packets' `(value, latency
+    /// source slot)` pairs are appended to `completions`. Returns cycles
+    /// actually used.
+    pub fn process(&mut self, cycles: u32, completions: &mut Vec<(Value, Slot)>) -> u32 {
+        let mut budget = cycles;
+        while budget > 0 {
+            let Some(current) = self.in_service.as_mut() else {
+                // Promote the most valuable backlog packet.
+                let Some((value, arrived)) = take_first(&mut self.backlog) else {
+                    break;
+                };
+                self.in_service = Some(InService {
+                    value,
+                    residual: self.work.cycles(),
+                    arrived,
+                });
+                continue;
+            };
+            let step = budget.min(current.residual);
+            current.residual -= step;
+            budget -= step;
+            if current.residual == 0 {
+                let done = self.in_service.take().expect("current exists");
+                self.value_sum -= done.value.get();
+                completions.push((done.value, done.arrived));
+            }
+        }
+        cycles - budget
+    }
+
+    /// Removes every resident packet, returning how many were discarded.
+    pub fn clear(&mut self) -> u64 {
+        let n = self.len() as u64;
+        self.in_service = None;
+        self.backlog.clear();
+        self.value_sum = 0;
+        n
+    }
+
+    /// Checks internal invariants: descending backlog and a correct sum.
+    pub fn invariants_hold(&self) -> bool {
+        let sorted = self.backlog.windows(2).all(|w| w[0].0 >= w[1].0);
+        let sum: u64 = self.backlog.iter().map(|&(v, _)| v.get()).sum::<u64>()
+            + self.in_service.map_or(0, |s| s.value.get());
+        let service_ok = self
+            .in_service
+            .is_none_or(|s| s.residual >= 1 && s.residual <= self.work.cycles());
+        sorted && sum == self.value_sum && service_ok
+    }
+}
+
+fn take_first(backlog: &mut Vec<(Value, Slot)>) -> Option<(Value, Slot)> {
+    if backlog.is_empty() {
+        None
+    } else {
+        Some(backlog.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(w: u32) -> CombinedQueue {
+        CombinedQueue::new(Work::new(w))
+    }
+
+    #[test]
+    fn first_insert_enters_service() {
+        let mut q = q(3);
+        q.insert(Value::new(5), Slot::ZERO);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.in_service().unwrap().residual, 3);
+        assert_eq!(q.total_work(), 3);
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn backlog_sorted_desc_and_totals_track() {
+        let mut q = q(2);
+        for v in [4, 9, 1] {
+            q.insert(Value::new(v), Slot::ZERO);
+        }
+        // 4 is in service; backlog = [9, 1].
+        assert_eq!(q.in_service().unwrap().value, Value::new(4));
+        assert_eq!(q.total_value(), 14);
+        assert_eq!(q.total_work(), 2 + 2 * 2);
+        assert_eq!(q.min_value(), Some(Value::new(1)));
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn service_is_not_preempted_but_promotion_is_by_value() {
+        let mut q = q(2);
+        q.insert(Value::new(1), Slot::ZERO); // enters service
+        q.insert(Value::new(9), Slot::ZERO);
+        q.insert(Value::new(5), Slot::ZERO);
+        let mut done = Vec::new();
+        // Two cycles: the 1 completes (run-to-completion, no preemption).
+        assert_eq!(q.process(2, &mut done), 2);
+        assert_eq!(done, vec![(Value::new(1), Slot::ZERO)]);
+        // The 9 is promoted at the next processing opportunity, not the 5.
+        assert_eq!(q.process(1, &mut done), 1);
+        let s = q.in_service().unwrap();
+        assert_eq!(s.value, Value::new(9));
+        assert_eq!(s.residual, 1);
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn process_spans_multiple_packets_with_speedup() {
+        let mut q = q(1);
+        for v in [3, 2, 1] {
+            q.insert(Value::new(v), Slot::ZERO);
+        }
+        let mut done = Vec::new();
+        assert_eq!(q.process(2, &mut done), 2);
+        let values: Vec<u64> = done.iter().map(|&(v, _)| v.get()).collect();
+        assert_eq!(values, vec![3, 2]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn evict_prefers_backlog_minimum() {
+        let mut q = q(4);
+        q.insert(Value::new(2), Slot::ZERO); // in service
+        q.insert(Value::new(7), Slot::ZERO);
+        q.insert(Value::new(3), Slot::ZERO);
+        assert_eq!(q.evict_min(), Some(Value::new(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.in_service().unwrap().value, Value::new(2));
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn evict_falls_back_to_service() {
+        let mut q = q(4);
+        q.insert(Value::new(2), Slot::ZERO);
+        let mut done = Vec::new();
+        q.process(1, &mut done); // partial work
+        assert_eq!(q.evict_min(), Some(Value::new(2)));
+        assert!(q.is_empty());
+        assert_eq!(q.total_value(), 0);
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn min_value_considers_service_packet() {
+        let mut q = q(2);
+        q.insert(Value::new(1), Slot::ZERO); // service
+        q.insert(Value::new(5), Slot::ZERO); // backlog
+        assert_eq!(q.min_value(), Some(Value::new(1)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = q(2);
+        q.insert(Value::new(5), Slot::ZERO);
+        q.insert(Value::new(3), Slot::ZERO);
+        assert_eq!(q.clear(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.total_work(), 0);
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn idle_queue_uses_no_cycles() {
+        let mut q = q(2);
+        let mut done = Vec::new();
+        assert_eq!(q.process(5, &mut done), 0);
+        assert!(done.is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Lifetime accounting for every packet a switch ever sees.
+//!
+//! The counters uphold two conservation laws that double as test oracles:
+//!
+//! * `arrived == admitted + dropped`
+//! * `admitted == transmitted + pushed_out + resident`
+//!
+//! where `resident` is the current buffer occupancy. Any policy or engine bug
+//! that loses or duplicates a packet breaks one of these identities.
+
+use std::fmt;
+
+/// Packet-lifetime counters maintained by [`crate::WorkSwitch`] and
+/// [`crate::ValueSwitch`].
+///
+/// ```
+/// use smbm_switch::Counters;
+/// let mut c = Counters::default();
+/// c.record_arrival(1);
+/// c.record_admission(1);
+/// c.record_transmission(1, 1);
+/// assert!(c.check_conservation(0).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    arrived: u64,
+    arrived_value: u64,
+    admitted: u64,
+    dropped: u64,
+    pushed_out: u64,
+    transmitted: u64,
+    transmitted_value: u64,
+    cycles_consumed: u64,
+    latency_sum: u64,
+    latency_max: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a packet offered to the switch, carrying `value` (use 1 in the
+    /// processing model, where throughput is a packet count).
+    pub fn record_arrival(&mut self, value: u64) {
+        self.arrived += 1;
+        self.arrived_value += value;
+    }
+
+    /// Records a packet accepted into the buffer.
+    pub fn record_admission(&mut self, _value: u64) {
+        self.admitted += 1;
+    }
+
+    /// Records a packet rejected on arrival.
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Records an admitted packet evicted to make room for another.
+    pub fn record_push_out(&mut self) {
+        self.pushed_out += 1;
+    }
+
+    /// Records a completed transmission of a packet worth `value`, after it
+    /// spent `latency` slots in the buffer.
+    pub fn record_transmission(&mut self, value: u64, latency: u64) {
+        self.transmitted += 1;
+        self.transmitted_value += value;
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+    }
+
+    /// Records processing cycles consumed during a transmission phase.
+    pub fn record_cycles(&mut self, cycles: u64) {
+        self.cycles_consumed += cycles;
+    }
+
+    /// Records packets discarded by a buffer flush (counted as push-outs so
+    /// conservation still holds).
+    pub fn record_flush(&mut self, packets: u64) {
+        self.pushed_out += packets;
+    }
+
+    /// Total packets offered.
+    pub fn arrived(&self) -> u64 {
+        self.arrived
+    }
+
+    /// Total value offered.
+    pub fn arrived_value(&self) -> u64 {
+        self.arrived_value
+    }
+
+    /// Total packets accepted into the buffer.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Total packets rejected on arrival.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total admitted packets later evicted.
+    pub fn pushed_out(&self) -> u64 {
+        self.pushed_out
+    }
+
+    /// Total packets transmitted.
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Total value transmitted (equals `transmitted()` in the processing
+    /// model).
+    pub fn transmitted_value(&self) -> u64 {
+        self.transmitted_value
+    }
+
+    /// Total processing cycles consumed.
+    pub fn cycles_consumed(&self) -> u64 {
+        self.cycles_consumed
+    }
+
+    /// Mean sojourn time of transmitted packets, in slots.
+    pub fn mean_latency(&self) -> f64 {
+        if self.transmitted == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.transmitted as f64
+        }
+    }
+
+    /// Largest sojourn time observed.
+    pub fn max_latency(&self) -> u64 {
+        self.latency_max
+    }
+
+    /// Fraction of offered packets that were eventually transmitted.
+    pub fn goodput(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.transmitted as f64 / self.arrived as f64
+        }
+    }
+
+    /// Verifies both conservation laws against the current buffer
+    /// `occupancy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConservationError`] describing the violated identity.
+    pub fn check_conservation(&self, occupancy: usize) -> Result<(), ConservationError> {
+        if self.arrived != self.admitted + self.dropped {
+            return Err(ConservationError::Arrivals {
+                arrived: self.arrived,
+                admitted: self.admitted,
+                dropped: self.dropped,
+            });
+        }
+        let accounted = self.transmitted + self.pushed_out + occupancy as u64;
+        if self.admitted != accounted {
+            return Err(ConservationError::Admissions {
+                admitted: self.admitted,
+                transmitted: self.transmitted,
+                pushed_out: self.pushed_out,
+                resident: occupancy as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arrived={} admitted={} dropped={} pushed_out={} transmitted={} value={}",
+            self.arrived,
+            self.admitted,
+            self.dropped,
+            self.pushed_out,
+            self.transmitted,
+            self.transmitted_value
+        )
+    }
+}
+
+/// A violated conservation identity, reported by
+/// [`Counters::check_conservation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConservationError {
+    /// `arrived != admitted + dropped`.
+    Arrivals {
+        /// Packets offered.
+        arrived: u64,
+        /// Packets admitted.
+        admitted: u64,
+        /// Packets dropped.
+        dropped: u64,
+    },
+    /// `admitted != transmitted + pushed_out + resident`.
+    Admissions {
+        /// Packets admitted.
+        admitted: u64,
+        /// Packets transmitted.
+        transmitted: u64,
+        /// Packets pushed out.
+        pushed_out: u64,
+        /// Packets still buffered.
+        resident: u64,
+    },
+}
+
+impl fmt::Display for ConservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConservationError::Arrivals {
+                arrived,
+                admitted,
+                dropped,
+            } => write!(
+                f,
+                "arrival conservation violated: {arrived} arrived but {admitted} admitted + {dropped} dropped"
+            ),
+            ConservationError::Admissions {
+                admitted,
+                transmitted,
+                pushed_out,
+                resident,
+            } => write!(
+                f,
+                "admission conservation violated: {admitted} admitted but {transmitted} transmitted + {pushed_out} pushed out + {resident} resident"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConservationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counters_conserve() {
+        assert!(Counters::new().check_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn full_lifecycle_conserves() {
+        let mut c = Counters::new();
+        for _ in 0..10 {
+            c.record_arrival(2);
+        }
+        for _ in 0..6 {
+            c.record_admission(2);
+        }
+        for _ in 0..4 {
+            c.record_drop();
+        }
+        c.record_push_out();
+        c.record_transmission(2, 3);
+        c.record_transmission(2, 5);
+        // 6 admitted = 2 transmitted + 1 pushed out + 3 resident.
+        assert!(c.check_conservation(3).is_ok());
+        assert_eq!(c.transmitted_value(), 4);
+        assert_eq!(c.arrived_value(), 20);
+    }
+
+    #[test]
+    fn detects_arrival_violation() {
+        let mut c = Counters::new();
+        c.record_arrival(1);
+        let err = c.check_conservation(0).unwrap_err();
+        assert!(matches!(err, ConservationError::Arrivals { .. }));
+        assert!(err.to_string().contains("arrival conservation"));
+    }
+
+    #[test]
+    fn detects_admission_violation() {
+        let mut c = Counters::new();
+        c.record_arrival(1);
+        c.record_admission(1);
+        let err = c.check_conservation(0).unwrap_err();
+        assert!(matches!(err, ConservationError::Admissions { .. }));
+        assert!(err.to_string().contains("admission conservation"));
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut c = Counters::new();
+        c.record_transmission(1, 2);
+        c.record_transmission(1, 6);
+        assert_eq!(c.mean_latency(), 4.0);
+        assert_eq!(c.max_latency(), 6);
+    }
+
+    #[test]
+    fn latency_of_empty_counters_is_zero() {
+        let c = Counters::new();
+        assert_eq!(c.mean_latency(), 0.0);
+        assert_eq!(c.goodput(), 0.0);
+    }
+
+    #[test]
+    fn goodput_fraction() {
+        let mut c = Counters::new();
+        for _ in 0..4 {
+            c.record_arrival(1);
+            c.record_admission(1);
+        }
+        c.record_transmission(1, 0);
+        assert_eq!(c.goodput(), 0.25);
+    }
+
+    #[test]
+    fn flush_counts_as_push_out() {
+        let mut c = Counters::new();
+        for _ in 0..3 {
+            c.record_arrival(1);
+            c.record_admission(1);
+        }
+        c.record_flush(3);
+        assert!(c.check_conservation(0).is_ok());
+        assert_eq!(c.pushed_out(), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = Counters::new();
+        let s = c.to_string();
+        assert!(s.contains("arrived=0"));
+        assert!(s.contains("transmitted=0"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # smbm-switch
+//!
+//! Shared-memory switch substrate for the reproduction of *"Shared Memory
+//! Buffer Management for Heterogeneous Packet Processing"* (Eugster, Kogan,
+//! Nikolenko, Sirotkin — ICDCS 2014).
+//!
+//! The paper studies an `l × n` switch whose `n` output queues share a single
+//! buffer of `B` unit-sized packet slots, in two flavours:
+//!
+//! * the **heterogeneous-processing model** ([`WorkSwitch`]): each packet
+//!   carries a required amount of processing; all packets destined to the
+//!   same port require the same work; queues are FIFO; throughput is the
+//!   number of transmitted packets;
+//! * the **heterogeneous-value model** ([`ValueSwitch`]): unit-work packets
+//!   carry intrinsic values; queues are priority queues (most valuable
+//!   first); throughput is the total transmitted value.
+//!
+//! This crate owns the *mechanics* — queues, shared-buffer occupancy, the
+//! two-phase slot structure, packet accounting and its conservation laws.
+//! Admission *decisions* (LWD, LQD, MRD, ...) live in the `smbm-core` crate;
+//! traffic lives in `smbm-traffic`; the slot loop lives in `smbm-sim`.
+//!
+//! ## Example
+//!
+//! ```
+//! use smbm_switch::{PortId, ValuePacket, ValueSwitch, ValueSwitchConfig, Value};
+//!
+//! let mut sw = ValueSwitch::new(ValueSwitchConfig::new(8, 4)?);
+//! sw.admit(ValuePacket::new(PortId::new(2), Value::new(6)))?;
+//! assert_eq!(sw.occupancy(), 1);
+//! let report = sw.transmit(1);
+//! assert_eq!(report.value, 6);
+//! sw.check_invariants().expect("conservation holds");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod combined {
+    pub mod queue;
+    pub mod switch;
+}
+mod config;
+mod counters;
+mod error;
+mod ids;
+mod packet;
+mod work {
+    pub mod queue;
+    pub mod switch;
+}
+mod value {
+    pub mod queue;
+    pub mod switch;
+}
+
+pub use combined::queue::{CombinedQueue, InService};
+pub use combined::switch::{CombinedPacket, CombinedPhaseReport, CombinedSwitch};
+pub use config::{ValueSwitchConfig, WorkSwitchConfig};
+pub use counters::{ConservationError, Counters};
+pub use error::{AdmitError, ConfigError};
+pub use ids::{PortId, Slot, Value, Work};
+pub use packet::{Transmitted, ValuePacket, WorkPacket};
+pub use value::queue::{RatioKey, ValueEntry, ValueQueue};
+pub use value::switch::{ValuePhaseReport, ValueSwitch};
+pub use work::queue::WorkQueue;
+pub use work::switch::{PhaseReport, WorkSwitch};

@@ -1,0 +1,275 @@
+//! A single priority output queue in the heterogeneous-value model.
+
+use crate::{Slot, Value};
+
+/// One resident packet of a [`ValueQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueEntry {
+    /// Intrinsic value of the packet.
+    pub value: Value,
+    /// Slot during which the packet arrived.
+    pub arrived: Slot,
+}
+
+/// One output queue of a [`crate::ValueSwitch`].
+///
+/// Section IV fixes the *most favourable* processing order per queue: a
+/// priority queue where the most valuable packets are transmitted first. We
+/// keep entries sorted by value, descending; the transmission phase pops from
+/// the front, push-out policies evict from the back (the minimal value).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValueQueue {
+    /// Entries in non-increasing value order.
+    entries: Vec<ValueEntry>,
+    /// Cached sum of resident values.
+    sum: u64,
+}
+
+impl ValueQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident packets `|Q_i|`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no packets are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of resident values.
+    pub fn total_value(&self) -> u64 {
+        self.sum
+    }
+
+    /// Average resident value `a_i`, the quantity in MRD's ratio
+    /// `|Q_i| / a_i`. Returns `None` for an empty queue.
+    pub fn average_value(&self) -> Option<f64> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.sum as f64 / self.entries.len() as f64)
+        }
+    }
+
+    /// MRD's selection key `|Q_i| / a_i = |Q_i|^2 / sum`, computed without
+    /// intermediate division so ties compare exactly. Returns `None` for an
+    /// empty queue.
+    pub fn ratio_key(&self) -> Option<RatioKey> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(RatioKey {
+                len_squared: (self.entries.len() as u128) * (self.entries.len() as u128),
+                sum: self.sum as u128,
+            })
+        }
+    }
+
+    /// Largest resident value (head of the priority queue).
+    pub fn max_value(&self) -> Option<Value> {
+        self.entries.first().map(|e| e.value)
+    }
+
+    /// Smallest resident value (push-out victim position).
+    pub fn min_value(&self) -> Option<Value> {
+        self.entries.last().map(|e| e.value)
+    }
+
+    /// Inserts a packet of value `value` that arrived during `slot`,
+    /// maintaining descending order. Among equal values the newcomer goes
+    /// last, so the earlier arrival transmits first.
+    pub fn insert(&mut self, value: Value, slot: Slot) {
+        // Find the first index whose value is strictly smaller: insert there.
+        let pos = self.entries.partition_point(|e| e.value >= value);
+        self.entries.insert(pos, ValueEntry { value, arrived: slot });
+        self.sum += value.get();
+    }
+
+    /// Removes and returns the most valuable packet (transmission).
+    pub fn pop_max(&mut self) -> Option<ValueEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let e = self.entries.remove(0);
+        self.sum -= e.value.get();
+        Some(e)
+    }
+
+    /// Removes and returns the least valuable packet (push-out).
+    pub fn pop_min(&mut self) -> Option<ValueEntry> {
+        let e = self.entries.pop()?;
+        self.sum -= e.value.get();
+        Some(e)
+    }
+
+    /// Removes every resident packet, returning how many were discarded.
+    pub fn clear(&mut self) -> u64 {
+        let n = self.entries.len() as u64;
+        self.entries.clear();
+        self.sum = 0;
+        n
+    }
+
+    /// Resident entries in transmission (descending-value) order.
+    pub fn entries(&self) -> &[ValueEntry] {
+        &self.entries
+    }
+
+    /// Checks internal invariants: descending order and a correct cached sum.
+    pub fn invariants_hold(&self) -> bool {
+        let sorted = self
+            .entries
+            .windows(2)
+            .all(|w| w[0].value >= w[1].value);
+        let sum: u64 = self.entries.iter().map(|e| e.value.get()).sum();
+        sorted && sum == self.sum
+    }
+}
+
+/// Exact comparison key for MRD's ratio `|Q|^2 / sum`, avoiding floating
+/// point: `a/b > c/d  <=>  a*d > c*b` for positive denominators. Equality is
+/// equality *of the ratio* (`4/2 == 2/1`), consistent with the ordering.
+#[derive(Debug, Clone, Copy)]
+pub struct RatioKey {
+    len_squared: u128,
+    sum: u128,
+}
+
+impl RatioKey {
+    /// The ratio as a float, for reporting.
+    pub fn as_f64(&self) -> f64 {
+        self.len_squared as f64 / self.sum as f64
+    }
+}
+
+impl PartialEq for RatioKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for RatioKey {}
+
+impl PartialOrd for RatioKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RatioKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.len_squared * other.sum).cmp(&(other.len_squared * self.sum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> Value {
+        Value::new(x)
+    }
+
+    #[test]
+    fn insert_keeps_descending_order() {
+        let mut q = ValueQueue::new();
+        for x in [3, 1, 6, 2, 6] {
+            q.insert(v(x), Slot::ZERO);
+        }
+        let values: Vec<u64> = q.entries().iter().map(|e| e.value.get()).collect();
+        assert_eq!(values, vec![6, 6, 3, 2, 1]);
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn equal_values_preserve_arrival_order() {
+        let mut q = ValueQueue::new();
+        q.insert(v(5), Slot::new(1));
+        q.insert(v(5), Slot::new(2));
+        let first = q.pop_max().unwrap();
+        assert_eq!(first.arrived, Slot::new(1));
+    }
+
+    #[test]
+    fn sum_and_average_track_contents() {
+        let mut q = ValueQueue::new();
+        assert_eq!(q.average_value(), None);
+        q.insert(v(2), Slot::ZERO);
+        q.insert(v(4), Slot::ZERO);
+        assert_eq!(q.total_value(), 6);
+        assert_eq!(q.average_value(), Some(3.0));
+        q.pop_min();
+        assert_eq!(q.total_value(), 4);
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn pop_max_and_min_are_extremes() {
+        let mut q = ValueQueue::new();
+        for x in [3, 9, 1] {
+            q.insert(v(x), Slot::ZERO);
+        }
+        assert_eq!(q.pop_max().unwrap().value, v(9));
+        assert_eq!(q.pop_min().unwrap().value, v(1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.max_value(), Some(v(3)));
+        assert_eq!(q.min_value(), Some(v(3)));
+    }
+
+    #[test]
+    fn pops_on_empty_return_none() {
+        let mut q = ValueQueue::new();
+        assert_eq!(q.pop_max(), None);
+        assert_eq!(q.pop_min(), None);
+        assert_eq!(q.max_value(), None);
+        assert_eq!(q.min_value(), None);
+    }
+
+    #[test]
+    fn clear_resets_sum() {
+        let mut q = ValueQueue::new();
+        q.insert(v(7), Slot::ZERO);
+        q.insert(v(2), Slot::ZERO);
+        assert_eq!(q.clear(), 2);
+        assert_eq!(q.total_value(), 0);
+        assert!(q.invariants_hold());
+    }
+
+    #[test]
+    fn ratio_key_matches_float_ratio() {
+        let mut q = ValueQueue::new();
+        q.insert(v(2), Slot::ZERO);
+        q.insert(v(4), Slot::ZERO);
+        let key = q.ratio_key().unwrap();
+        // |Q| / a = 2 / 3 = |Q|^2 / sum = 4 / 6.
+        assert!((key.as_f64() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_key_ordering_is_exact() {
+        let mut a = ValueQueue::new();
+        a.insert(v(1), Slot::ZERO);
+        a.insert(v(1), Slot::ZERO); // ratio 4/2 = 2
+        let mut b = ValueQueue::new();
+        b.insert(v(3), Slot::ZERO); // ratio 1/3
+        assert!(a.ratio_key().unwrap() > b.ratio_key().unwrap());
+
+        let mut c = ValueQueue::new();
+        c.insert(v(2), Slot::ZERO);
+        c.insert(v(6), Slot::ZERO); // ratio 4/8 = 1/2
+        let mut d = ValueQueue::new();
+        d.insert(v(8), Slot::ZERO); // ratio 1/8
+        assert!(c.ratio_key().unwrap() > d.ratio_key().unwrap());
+        assert_eq!(c.ratio_key().unwrap(), c.ratio_key().unwrap());
+    }
+
+    #[test]
+    fn empty_queue_has_no_ratio_key() {
+        assert_eq!(ValueQueue::new().ratio_key(), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! Differential tests: the optimized queue structures against naive
+//! reference models, driven by random operation sequences.
+
+use proptest::prelude::*;
+
+use smbm_switch::{Slot, Value, ValueQueue, Work, WorkQueue};
+
+// ---------------------------------------------------------------------
+// WorkQueue vs a reference that stores explicit residuals per packet.
+// ---------------------------------------------------------------------
+
+/// Reference model: a plain vector of per-packet residual cycles.
+#[derive(Debug, Default)]
+struct RefWorkQueue {
+    work: u32,
+    residuals: Vec<u32>,
+}
+
+impl RefWorkQueue {
+    fn new(work: u32) -> Self {
+        RefWorkQueue {
+            work,
+            residuals: Vec::new(),
+        }
+    }
+
+    fn push_back(&mut self) {
+        self.residuals.push(self.work);
+    }
+
+    fn pop_back(&mut self) -> bool {
+        self.residuals.pop().is_some()
+    }
+
+    fn process(&mut self, mut cycles: u32) -> u32 {
+        let budget = cycles;
+        while cycles > 0 && !self.residuals.is_empty() {
+            let step = cycles.min(self.residuals[0]);
+            self.residuals[0] -= step;
+            cycles -= step;
+            if self.residuals[0] == 0 {
+                self.residuals.remove(0);
+            }
+        }
+        budget - cycles
+    }
+
+    fn total_work(&self) -> u64 {
+        self.residuals.iter().map(|&r| r as u64).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum WorkOp {
+    Push,
+    PopBack,
+    Process(u32),
+}
+
+fn work_ops() -> impl Strategy<Value = Vec<WorkOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => Just(WorkOp::Push),
+            1 => Just(WorkOp::PopBack),
+            2 => (1u32..=5).prop_map(WorkOp::Process),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn work_queue_matches_reference(work in 1u32..=5, ops in work_ops()) {
+        let mut q = WorkQueue::new(Work::new(work));
+        let mut reference = RefWorkQueue::new(work);
+        let mut completions = Vec::new();
+        for op in ops {
+            match op {
+                WorkOp::Push => {
+                    q.push_back(Slot::ZERO);
+                    reference.push_back();
+                }
+                WorkOp::PopBack => {
+                    let got = q.pop_back().is_some();
+                    let want = reference.pop_back();
+                    prop_assert_eq!(got, want);
+                }
+                WorkOp::Process(c) => {
+                    completions.clear();
+                    let used = q.process(c, &mut completions);
+                    let ref_before = reference.residuals.len();
+                    let ref_used = reference.process(c);
+                    let ref_done = ref_before - reference.residuals.len();
+                    prop_assert_eq!(used, ref_used, "cycles diverged");
+                    prop_assert_eq!(completions.len(), ref_done, "completions diverged");
+                }
+            }
+            prop_assert_eq!(q.len(), reference.residuals.len());
+            prop_assert_eq!(q.total_work(), reference.total_work());
+            prop_assert!(q.invariants_hold());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ValueQueue vs a reference backed by an unsorted vector.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct RefValueQueue {
+    values: Vec<u64>,
+}
+
+impl RefValueQueue {
+    fn insert(&mut self, v: u64) {
+        self.values.push(v);
+    }
+
+    fn pop_max(&mut self) -> Option<u64> {
+        let (i, _) = self
+            .values
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)?;
+        Some(self.values.swap_remove(i))
+    }
+
+    fn pop_min(&mut self) -> Option<u64> {
+        let (i, _) = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, v)| *v)?;
+        Some(self.values.swap_remove(i))
+    }
+
+    fn sum(&self) -> u64 {
+        self.values.iter().sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ValueOp {
+    Insert(u64),
+    PopMax,
+    PopMin,
+}
+
+fn value_ops() -> impl Strategy<Value = Vec<ValueOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (1u64..=9).prop_map(ValueOp::Insert),
+            1 => Just(ValueOp::PopMax),
+            1 => Just(ValueOp::PopMin),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn value_queue_matches_reference(ops in value_ops()) {
+        let mut q = ValueQueue::new();
+        let mut reference = RefValueQueue::default();
+        for op in ops {
+            match op {
+                ValueOp::Insert(v) => {
+                    q.insert(Value::new(v), Slot::ZERO);
+                    reference.insert(v);
+                }
+                ValueOp::PopMax => {
+                    let got = q.pop_max().map(|e| e.value.get());
+                    let want = reference.pop_max();
+                    prop_assert_eq!(got, want);
+                }
+                ValueOp::PopMin => {
+                    let got = q.pop_min().map(|e| e.value.get());
+                    let want = reference.pop_min();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(q.len(), reference.values.len());
+            prop_assert_eq!(q.total_value(), reference.sum());
+            prop_assert_eq!(
+                q.min_value().map(|v| v.get()),
+                reference.values.iter().min().copied()
+            );
+            prop_assert_eq!(
+                q.max_value().map(|v| v.get()),
+                reference.values.iter().max().copied()
+            );
+            prop_assert!(q.invariants_hold());
+        }
+    }
+
+    /// The cached ratio key always equals len^2 / sum computed from scratch.
+    #[test]
+    fn ratio_key_is_consistent(values in proptest::collection::vec(1u64..=9, 1..30)) {
+        let mut q = ValueQueue::new();
+        for &v in &values {
+            q.insert(Value::new(v), Slot::ZERO);
+        }
+        let key = q.ratio_key().expect("non-empty");
+        let expect = (values.len() as f64).powi(2) / values.iter().sum::<u64>() as f64;
+        prop_assert!((key.as_f64() - expect).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CombinedQueue vs a reference with explicit (value, residual) packets.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct RefCombinedQueue {
+    work: u32,
+    /// In-service packet (value, residual), then backlog values (unsorted).
+    service: Option<(u64, u32)>,
+    backlog: Vec<u64>,
+}
+
+impl RefCombinedQueue {
+    fn new(work: u32) -> Self {
+        RefCombinedQueue {
+            work,
+            service: None,
+            backlog: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.backlog.len() + usize::from(self.service.is_some())
+    }
+
+    fn insert(&mut self, v: u64) {
+        if self.service.is_none() && self.backlog.is_empty() {
+            self.service = Some((v, self.work));
+        } else {
+            self.backlog.push(v);
+        }
+    }
+
+    fn evict_min(&mut self) -> Option<u64> {
+        if let Some((i, _)) = self
+            .backlog
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, v)| *v)
+        {
+            return Some(self.backlog.swap_remove(i));
+        }
+        self.service.take().map(|(v, _)| v)
+    }
+
+    fn process(&mut self, mut cycles: u32, done: &mut Vec<u64>) -> u32 {
+        let budget = cycles;
+        while cycles > 0 {
+            match self.service.as_mut() {
+                None => {
+                    // Promote max backlog value.
+                    let Some((i, _)) = self
+                        .backlog
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(_, v)| *v)
+                    else {
+                        break;
+                    };
+                    let v = self.backlog.remove(i);
+                    self.service = Some((v, self.work));
+                }
+                Some((v, r)) => {
+                    let step = cycles.min(*r);
+                    *r -= step;
+                    cycles -= step;
+                    if *r == 0 {
+                        done.push(*v);
+                        self.service = None;
+                    }
+                }
+            }
+        }
+        budget - cycles
+    }
+
+    fn total_value(&self) -> u64 {
+        self.backlog.iter().sum::<u64>() + self.service.map_or(0, |(v, _)| v)
+    }
+
+    fn total_work(&self) -> u64 {
+        self.backlog.len() as u64 * self.work as u64
+            + self.service.map_or(0, |(_, r)| r as u64)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CombinedOp {
+    Insert(u64),
+    EvictMin,
+    Process(u32),
+}
+
+fn combined_ops() -> impl Strategy<Value = Vec<CombinedOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (1u64..=9).prop_map(CombinedOp::Insert),
+            1 => Just(CombinedOp::EvictMin),
+            2 => (1u32..=5).prop_map(CombinedOp::Process),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn combined_queue_matches_reference(work in 1u32..=4, ops in combined_ops()) {
+        use smbm_switch::CombinedQueue;
+        let mut q = CombinedQueue::new(Work::new(work));
+        let mut reference = RefCombinedQueue::new(work);
+        let mut done = Vec::new();
+        let mut ref_done = Vec::new();
+        for op in ops {
+            match op {
+                CombinedOp::Insert(v) => {
+                    q.insert(Value::new(v), Slot::ZERO);
+                    reference.insert(v);
+                }
+                CombinedOp::EvictMin => {
+                    let got = q.evict_min().map(|v| v.get());
+                    let want = reference.evict_min();
+                    prop_assert_eq!(got, want);
+                }
+                CombinedOp::Process(c) => {
+                    done.clear();
+                    ref_done.clear();
+                    let used = q.process(c, &mut done);
+                    let ref_used = reference.process(c, &mut ref_done);
+                    prop_assert_eq!(used, ref_used, "cycles diverged");
+                    let got: Vec<u64> = done.iter().map(|&(v, _)| v.get()).collect();
+                    prop_assert_eq!(&got, &ref_done, "completions diverged");
+                }
+            }
+            prop_assert_eq!(q.len(), reference.len());
+            prop_assert_eq!(q.total_value(), reference.total_value());
+            prop_assert_eq!(q.total_work(), reference.total_work());
+            prop_assert!(q.invariants_hold());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Weighted categorical sampling.
+
+use rand::{Rng, RngExt};
+
+use super::poisson::ParamError;
+
+/// A categorical distribution over `{0, ..., n-1}` with arbitrary positive
+/// weights, sampled by inversion over the precomputed CDF. Backs the
+/// configurable port/value mixes of the traffic scenarios.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smbm_traffic::Categorical;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let d = Categorical::new(&[1.0, 3.0])?;
+/// assert!(d.sample(&mut rng) < 2);
+/// # Ok::<(), smbm_traffic::ParamError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from non-negative weights (at
+    /// least one must be positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for an empty weight vector, negative or
+    /// non-finite weights, or an all-zero weight vector.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("categorical weights must be non-empty"));
+        }
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ParamError::new(
+                    "categorical weights must be finite and non-negative",
+                ));
+            }
+            acc += w;
+            cdf.push(acc);
+        }
+        if acc <= 0.0 {
+            return Err(ParamError::new("categorical weights must not all be zero"));
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Ok(Categorical { cdf })
+    }
+
+    /// A uniform distribution over `n` outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::new("uniform support must be non-empty"));
+        }
+        Self::new(&vec![1.0; n])
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[1.0, -1.0]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[f64::INFINITY]).is_err());
+        assert!(Categorical::uniform(0).is_err());
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let d = Categorical::new(&[0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_frequencies_match() {
+        let d = Categorical::new(&[1.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1).count();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.75).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn uniform_covers_support() {
+        let d = Categorical::uniform(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[d.sample(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Geometric (Bernoulli-trial) sampling.
+
+use rand::{Rng, RngExt};
+
+use super::poisson::ParamError;
+
+/// A geometric distribution counting the number of failures before the first
+/// success of a Bernoulli(`p`) trial (support `0, 1, 2, ...`). Used for
+/// sampling on/off sojourn times of MMPP sources.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smbm_traffic::Geometric;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let d = Geometric::new(0.25)?;
+/// let _failures = d.sample(&mut rng);
+/// # Ok::<(), smbm_traffic::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+    /// `ln(1 - p)`, precomputed for inversion sampling.
+    ln_q: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !p.is_finite() || p <= 0.0 || p > 1.0 {
+            return Err(ParamError::new("geometric probability must be in (0, 1]"));
+        }
+        Ok(Geometric {
+            p,
+            ln_q: (1.0 - p).ln(),
+        })
+    }
+
+    /// The success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean number of failures, `(1 - p) / p`.
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+
+    /// Draws one sample by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let x = u.ln() / self.ln_q;
+        // x >= 0 since both logs are negative; floor gives the failure count.
+        if x >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            x as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(-0.5).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn p_one_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Geometric::new(1.0).unwrap();
+        for _ in 0..50 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn mean_matches_theory() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = Geometric::new(0.2).unwrap();
+        let n = 60_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - d.mean()).abs() < 0.1, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Geometric::new(0.5).unwrap();
+        assert_eq!(d.p(), 0.5);
+        assert_eq!(d.mean(), 1.0);
+    }
+}

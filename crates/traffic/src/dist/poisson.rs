@@ -1,0 +1,170 @@
+//! Poisson sampling over a generic [`rand::Rng`].
+
+use rand::{Rng, RngExt};
+
+/// A Poisson distribution with mean `lambda`, sampled with Knuth's product
+/// method for small means and a normal approximation for large ones (the
+/// MMPP sources of the paper's simulations have small per-slot means, so the
+/// exact branch is the hot one).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smbm_traffic::Poisson;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let d = Poisson::new(2.0).expect("positive finite mean");
+/// let x = d.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+    /// `exp(-lambda)`, precomputed for the Knuth branch.
+    exp_neg_lambda: f64,
+}
+
+/// Error creating a distribution with an invalid parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl ParamError {
+    pub(crate) fn new(what: &'static str) -> Self {
+        ParamError { what }
+    }
+}
+
+/// Mean threshold above which the normal approximation is used.
+const NORMAL_APPROX_THRESHOLD: f64 = 30.0;
+
+impl Poisson {
+    /// Creates a Poisson distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError::new("poisson mean must be finite and positive"));
+        }
+        Ok(Poisson {
+            lambda,
+            exp_neg_lambda: (-lambda).exp(),
+        })
+    }
+
+    /// The mean `lambda`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda < NORMAL_APPROX_THRESHOLD {
+            self.sample_knuth(rng)
+        } else {
+            self.sample_normal(rng)
+        }
+    }
+
+    fn sample_knuth<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= self.exp_neg_lambda {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    fn sample_normal<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Box-Muller; mean lambda, stddev sqrt(lambda), half-integer
+        // continuity correction, clamped at zero.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let x = self.lambda + self.lambda.sqrt() * z + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(lambda: f64, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = Poisson::new(lambda).unwrap();
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        sum as f64 / n as f64
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+        assert!(!Poisson::new(-1.0).unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn small_lambda_mean_is_close() {
+        let m = mean_of(0.5, 40_000, 1);
+        assert!((m - 0.5).abs() < 0.03, "mean {m}");
+    }
+
+    #[test]
+    fn moderate_lambda_mean_is_close() {
+        let m = mean_of(5.0, 40_000, 2);
+        assert!((m - 5.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn large_lambda_uses_normal_and_is_close() {
+        let m = mean_of(100.0, 40_000, 3);
+        assert!((m - 100.0).abs() < 1.0, "mean {m}");
+    }
+
+    #[test]
+    fn variance_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Poisson::new(3.0).unwrap();
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut rng) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((var - 3.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let d = Poisson::new(1.5).unwrap();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn accessor() {
+        assert_eq!(Poisson::new(2.5).unwrap().lambda(), 2.5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Zipf sampling for skewed port/value popularity.
+
+use rand::{Rng, RngExt};
+
+use super::poisson::ParamError;
+
+/// A Zipf distribution over `{0, 1, ..., n-1}` with exponent `s`: outcome `i`
+/// has probability proportional to `1 / (i + 1)^s`. Used for the skewed
+/// traffic mixes in the extension experiments (the paper notes MRD's
+/// advantage grows "for distributions that prioritize certain values at
+/// specific queues").
+///
+/// Sampling is by inversion over the precomputed CDF (`O(log n)` per draw).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smbm_traffic::Zipf;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let d = Zipf::new(8, 1.0)?;
+/// assert!(d.sample(&mut rng) < 8);
+/// # Ok::<(), smbm_traffic::ParamError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` outcomes with exponent `s`
+    /// (`s = 0` is uniform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `n == 0` or `s` is not finite and
+    /// non-negative.
+    pub fn new(n: usize, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::new("zipf support must be non-empty"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError::new("zipf exponent must be finite and >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf, s })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability of outcome `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(4, -1.0).is_err());
+        assert!(Zipf::new(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let d = Zipf::new(4, 0.0).unwrap();
+        for i in 0..4 {
+            assert!((d.probability(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = Zipf::new(7, 1.3).unwrap();
+        let sum: f64 = (0..7).map(|i| d.probability(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let d = Zipf::new(10, 1.0).unwrap();
+        assert!(d.probability(0) > d.probability(1));
+        assert!(d.probability(1) > d.probability(9));
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let d = Zipf::new(5, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!(
+                (freq - d.probability(i)).abs() < 0.01,
+                "outcome {i}: {freq} vs {}",
+                d.probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let d = Zipf::new(3, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) < 3);
+        }
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.exponent(), 2.0);
+    }
+}

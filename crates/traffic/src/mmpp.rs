@@ -1,0 +1,285 @@
+//! Markov-modulated Poisson (on-off) traffic sources.
+//!
+//! The paper's simulations generate traffic "as the interleaving of 500
+//! independent sources", each an on-off bursty process: a two-state Markov
+//! chain that emits Poisson(`lambda_on`) packets per slot while "on" and
+//! nothing while "off" (Section V-A).
+
+use rand::{Rng, RngExt};
+
+use crate::dist::poisson::ParamError;
+use crate::Poisson;
+
+/// Parameters of one on-off MMPP source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppParams {
+    /// Mean packets emitted per slot while in the "on" state.
+    pub lambda_on: f64,
+    /// Per-slot probability of switching on -> off.
+    pub p_on_to_off: f64,
+    /// Per-slot probability of switching off -> on.
+    pub p_off_to_on: f64,
+}
+
+impl MmppParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `lambda_on` is not positive or either
+    /// transition probability lies outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        Poisson::new(self.lambda_on)?;
+        for p in [self.p_on_to_off, self.p_off_to_on] {
+            if !p.is_finite() || p <= 0.0 || p > 1.0 {
+                return Err(ParamError::new(
+                    "MMPP transition probabilities must lie in (0, 1]",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The stationary probability of the "on" state,
+    /// `p_off_to_on / (p_off_to_on + p_on_to_off)`.
+    pub fn on_fraction(&self) -> f64 {
+        self.p_off_to_on / (self.p_off_to_on + self.p_on_to_off)
+    }
+
+    /// The long-run mean packets per slot, `lambda_on * on_fraction`.
+    pub fn mean_rate(&self) -> f64 {
+        self.lambda_on * self.on_fraction()
+    }
+}
+
+impl Default for MmppParams {
+    /// Moderately bursty defaults: mean on-period 10 slots, off-period 30
+    /// slots, 2 packets per on-slot (long-run rate 0.5 packets/slot).
+    fn default() -> Self {
+        MmppParams {
+            lambda_on: 2.0,
+            p_on_to_off: 0.1,
+            p_off_to_on: 1.0 / 30.0,
+        }
+    }
+}
+
+/// One on-off source.
+#[derive(Debug, Clone)]
+pub struct MmppSource {
+    params: MmppParams,
+    poisson: Poisson,
+    on: bool,
+}
+
+impl MmppSource {
+    /// Creates a source in the given initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for invalid parameters.
+    pub fn new(params: MmppParams, initially_on: bool) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(MmppSource {
+            poisson: Poisson::new(params.lambda_on)?,
+            params,
+            on: initially_on,
+        })
+    }
+
+    /// Creates a source whose initial state is drawn from the stationary
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for invalid parameters.
+    pub fn stationary<R: Rng + ?Sized>(params: MmppParams, rng: &mut R) -> Result<Self, ParamError> {
+        let on = rng.random::<f64>() < params.on_fraction();
+        Self::new(params, on)
+    }
+
+    /// The source parameters.
+    pub fn params(&self) -> &MmppParams {
+        &self.params
+    }
+
+    /// Whether the source is currently "on".
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Advances one slot: performs the state transition, then emits packets
+    /// according to the (possibly new) state. Returns the number of packets
+    /// emitted this slot.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let flip: f64 = rng.random();
+        if self.on {
+            if flip < self.params.p_on_to_off {
+                self.on = false;
+            }
+        } else if flip < self.params.p_off_to_on {
+            self.on = true;
+        }
+        if self.on {
+            self.poisson.sample(rng)
+        } else {
+            0
+        }
+    }
+}
+
+/// A bank of independent sources whose emissions are interleaved slot by
+/// slot, as in the paper's setup.
+#[derive(Debug, Clone)]
+pub struct MmppBank {
+    sources: Vec<MmppSource>,
+}
+
+impl MmppBank {
+    /// Creates `n` identical-parameter sources, initial states drawn from
+    /// the stationary distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for invalid parameters.
+    pub fn stationary<R: Rng + ?Sized>(
+        n: usize,
+        params: MmppParams,
+        rng: &mut R,
+    ) -> Result<Self, ParamError> {
+        let mut sources = Vec::with_capacity(n);
+        for _ in 0..n {
+            sources.push(MmppSource::stationary(params, rng)?);
+        }
+        Ok(MmppBank { sources })
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when the bank has no sources.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Advances all sources one slot and returns the total emission count.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        self.sources.iter_mut().map(|s| s.step(rng)).sum()
+    }
+
+    /// The long-run mean packets per slot summed over sources.
+    pub fn mean_rate(&self) -> f64 {
+        self.sources.iter().map(|s| s.params().mean_rate()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_validate() {
+        assert!(MmppParams::default().validate().is_ok());
+        let bad = MmppParams {
+            lambda_on: 0.0,
+            ..MmppParams::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = MmppParams {
+            p_on_to_off: 0.0,
+            ..MmppParams::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = MmppParams {
+            p_off_to_on: 1.5,
+            ..MmppParams::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn stationary_fraction_formula() {
+        let p = MmppParams {
+            lambda_on: 1.0,
+            p_on_to_off: 0.2,
+            p_off_to_on: 0.1,
+        };
+        assert!((p.on_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p.mean_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_source_emits_nothing_until_switch() {
+        let params = MmppParams {
+            lambda_on: 5.0,
+            p_on_to_off: 0.5,
+            p_off_to_on: 1e-9, // effectively never turns on
+        };
+        let mut s = MmppSource::new(params, false).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..100 {
+            assert_eq!(s.step(&mut rng), 0);
+        }
+        assert!(!s.is_on());
+    }
+
+    #[test]
+    fn long_run_rate_matches_theory() {
+        let params = MmppParams {
+            lambda_on: 2.0,
+            p_on_to_off: 0.1,
+            p_off_to_on: 0.1,
+        };
+        let mut s = MmppSource::new(params, true).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        let slots = 200_000;
+        let total: u64 = (0..slots).map(|_| s.step(&mut rng)).sum();
+        let rate = total as f64 / slots as f64;
+        assert!(
+            (rate - params.mean_rate()).abs() < 0.05,
+            "rate {rate} vs {}",
+            params.mean_rate()
+        );
+    }
+
+    #[test]
+    fn source_is_bursty() {
+        // Emissions cluster: the variance of per-slot counts exceeds the
+        // mean (over-dispersion relative to plain Poisson).
+        let params = MmppParams {
+            lambda_on: 4.0,
+            p_on_to_off: 0.05,
+            p_off_to_on: 0.05,
+        };
+        let mut s = MmppSource::new(params, true).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let xs: Vec<f64> = (0..100_000).map(|_| s.step(&mut rng) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(var > 1.5 * mean, "var {var} vs mean {mean}: not bursty");
+    }
+
+    #[test]
+    fn bank_aggregates_sources() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let bank = MmppBank::stationary(10, MmppParams::default(), &mut rng).unwrap();
+        assert_eq!(bank.len(), 10);
+        assert!(!bank.is_empty());
+        assert!((bank.mean_rate() - 10.0 * MmppParams::default().mean_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_step_sums_emissions() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let mut bank = MmppBank::stationary(50, MmppParams::default(), &mut rng).unwrap();
+        let slots = 20_000;
+        let total: u64 = (0..slots).map(|_| bank.step(&mut rng)).sum();
+        let rate = total as f64 / slots as f64;
+        let expect = bank.mean_rate();
+        assert!((rate - expect).abs() < 0.25 * expect, "rate {rate} vs {expect}");
+    }
+}

@@ -1,0 +1,1 @@
+//! Root package holding the workspace examples and integration tests.

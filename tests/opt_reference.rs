@@ -1,0 +1,195 @@
+//! Properties of the optimal references: the PQ surrogate and the exact
+//! search must dominate every online policy and behave monotonically.
+
+use proptest::prelude::*;
+
+use smbm_core::{
+    exact_value_opt, exact_work_opt, value_policy_by_name, work_policy_by_name, ValuePqOpt,
+    ValueRunner, WorkPqOpt, WorkRunner,
+};
+use smbm_sim::{run_value, run_work, EngineConfig};
+use smbm_switch::{PortId, Value, ValuePacket, ValueSwitchConfig, Work, WorkSwitchConfig};
+use smbm_traffic::Trace;
+
+fn tiny_work_case() -> impl Strategy<Value = (Vec<u32>, usize, Vec<Vec<usize>>)> {
+    (2usize..=3).prop_flat_map(|ports| {
+        (
+            proptest::collection::vec(1u32..=3, ports),
+            ports..=5usize,
+            proptest::collection::vec(
+                proptest::collection::vec(0usize..ports, 0..=4),
+                1..=4,
+            )
+            .prop_filter("small", |s| s.iter().map(Vec::len).sum::<usize>() <= 14),
+        )
+    })
+}
+
+fn tiny_value_case() -> impl Strategy<Value = (usize, usize, Vec<Vec<(usize, u64)>>)> {
+    (2usize..=3).prop_flat_map(|ports| {
+        (
+            Just(ports),
+            ports..=5usize,
+            proptest::collection::vec(
+                proptest::collection::vec((0usize..ports, 1u64..=6), 0..=4),
+                1..=4,
+            )
+            .prop_filter("small", |s| s.iter().map(Vec::len).sum::<usize>() <= 14),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// The exact work-model optimum dominates every bundled online policy.
+    #[test]
+    fn exact_work_opt_dominates_all_policies(
+        (works, buffer, slots) in tiny_work_case()
+    ) {
+        let cfg = WorkSwitchConfig::new(
+            buffer,
+            works.iter().map(|&w| Work::new(w)).collect(),
+        ).unwrap();
+        let ports_trace: Vec<Vec<PortId>> = slots
+            .iter()
+            .map(|b| b.iter().map(|&p| PortId::new(p)).collect())
+            .collect();
+        let opt = exact_work_opt(&cfg, 1, &ports_trace).unwrap();
+        let mut trace = Trace::new();
+        for burst in &slots {
+            trace.push_slot(
+                burst
+                    .iter()
+                    .map(|&p| cfg_packet(&cfg, p))
+                    .collect(),
+            );
+        }
+        for name in smbm_core::WORK_POLICY_NAMES {
+            let policy = work_policy_by_name(name).unwrap();
+            let mut runner = WorkRunner::new(cfg.clone(), policy, 1);
+            let score = run_work(&mut runner, &trace, &EngineConfig::draining())
+                .unwrap()
+                .score;
+            prop_assert!(
+                score <= opt,
+                "{} transmitted {} > exact OPT {}", name, score, opt
+            );
+        }
+    }
+
+    /// The exact value-model optimum dominates every bundled online policy.
+    #[test]
+    fn exact_value_opt_dominates_all_policies(
+        (ports, buffer, slots) in tiny_value_case()
+    ) {
+        let cfg = ValueSwitchConfig::new(buffer, ports).unwrap();
+        let packets: Vec<Vec<ValuePacket>> = slots
+            .iter()
+            .map(|b| {
+                b.iter()
+                    .map(|&(p, v)| ValuePacket::new(PortId::new(p), Value::new(v)))
+                    .collect()
+            })
+            .collect();
+        let opt = exact_value_opt(&cfg, 1, &packets).unwrap();
+        let trace = Trace::from_slots(packets);
+        for name in smbm_core::VALUE_POLICY_NAMES {
+            let policy = value_policy_by_name(name).unwrap();
+            let mut runner = ValueRunner::new(cfg, policy, 1);
+            let score = run_value(&mut runner, &trace, &EngineConfig::draining())
+                .unwrap()
+                .score;
+            prop_assert!(
+                score <= opt,
+                "{} got value {} > exact OPT {}", name, score, opt
+            );
+        }
+    }
+
+    /// The exact optimum is monotone in buffer size and in speedup.
+    #[test]
+    fn exact_work_opt_monotone_in_resources(
+        (works, buffer, slots) in tiny_work_case()
+    ) {
+        let trace: Vec<Vec<PortId>> = slots
+            .iter()
+            .map(|b| b.iter().map(|&p| PortId::new(p)).collect())
+            .collect();
+        let works: Vec<Work> = works.iter().map(|&w| Work::new(w)).collect();
+        let small = WorkSwitchConfig::new(buffer, works.clone()).unwrap();
+        let big = WorkSwitchConfig::new(buffer + 2, works).unwrap();
+        let base = exact_work_opt(&small, 1, &trace).unwrap();
+        prop_assert!(exact_work_opt(&big, 1, &trace).unwrap() >= base);
+        prop_assert!(exact_work_opt(&small, 2, &trace).unwrap() >= base);
+    }
+}
+
+fn cfg_packet(cfg: &WorkSwitchConfig, port: usize) -> smbm_switch::WorkPacket {
+    let p = PortId::new(port);
+    smbm_switch::WorkPacket::new(p, cfg.work(p))
+}
+
+#[test]
+fn pq_opt_monotone_in_cores() {
+    // Deterministic check over a congested burst sequence.
+    let mut scores = Vec::new();
+    for cores in [1u32, 2, 4, 8] {
+        let mut opt = WorkPqOpt::new(16, cores);
+        for _ in 0..50 {
+            for w in [1u32, 2, 3, 4] {
+                for _ in 0..4 {
+                    opt.offer(smbm_switch::WorkPacket::new(PortId::new(0), Work::new(w)));
+                }
+            }
+            opt.transmission();
+        }
+        opt.check_invariants().unwrap();
+        scores.push(opt.transmitted());
+    }
+    assert!(scores.windows(2).all(|w| w[0] <= w[1]), "{scores:?}");
+}
+
+#[test]
+fn value_pq_opt_collects_top_values() {
+    let mut opt = ValuePqOpt::new(4, 2);
+    for v in 1..=10u64 {
+        opt.offer(ValuePacket::new(PortId::new(0), Value::new(v)));
+    }
+    // Buffer keeps the top 4: 7, 8, 9, 10.
+    let mut total = 0;
+    for _ in 0..3 {
+        total += opt.transmission();
+    }
+    assert_eq!(total, 7 + 8 + 9 + 10);
+    opt.check_invariants().unwrap();
+}
+
+#[test]
+fn pq_opt_beats_every_policy_on_bursty_traffic() {
+    use smbm_traffic::{MmppScenario, PortMix};
+    let cfg = WorkSwitchConfig::contiguous(6, 24).unwrap();
+    let trace = MmppScenario {
+        sources: 16,
+        slots: 4_000,
+        seed: 21,
+        ..Default::default()
+    }
+    .work_trace(&cfg, &PortMix::Uniform)
+    .unwrap();
+    let mut opt = WorkPqOpt::new(24, 6);
+    let opt_score = run_work(&mut opt, &trace, &EngineConfig::draining())
+        .unwrap()
+        .score;
+    for name in smbm_core::WORK_POLICY_NAMES {
+        let policy = work_policy_by_name(name).unwrap();
+        let mut runner = WorkRunner::new(cfg.clone(), policy, 1);
+        let score = run_work(&mut runner, &trace, &EngineConfig::draining())
+            .unwrap()
+            .score;
+        assert!(
+            score <= opt_score,
+            "{name} ({score}) beat the PQ surrogate ({opt_score})"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Qualitative regression tests over the Fig. 5 panels at smoke scale: the
+//! orderings and trends the paper reports must hold on every run.
+//!
+//! These guard the *reproduction claims* — if a refactor flips who wins,
+//! the suite fails even though every unit test still passes.
+
+use smbm_bench::{run_panel, Panel, PanelScale};
+use smbm_sim::Series;
+
+fn ratio_of(series: &[Series], label: &str, x: f64) -> f64 {
+    series
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("{label} missing"))
+        .points
+        .iter()
+        .find(|&&(px, _)| px == x)
+        .unwrap_or_else(|| panic!("{label} has no point at {x}"))
+        .1
+}
+
+fn mean_ratio(series: &[Series], label: &str) -> f64 {
+    let s = series
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("{label} missing"));
+    s.points.iter().map(|&(_, y)| y).sum::<f64>() / s.points.len() as f64
+}
+
+#[test]
+fn work_panel_lwd_is_best_and_bpd_is_worst() {
+    let series = run_panel(Panel::new(1).unwrap(), PanelScale::Smoke, 0xB0FFE2).unwrap();
+    let lwd = mean_ratio(&series, "LWD");
+    for label in ["NHST", "NEST", "NHDT", "LQD", "BPD", "BPD1"] {
+        assert!(
+            lwd <= mean_ratio(&series, label) + 1e-9,
+            "LWD ({lwd}) lost to {label} ({})",
+            mean_ratio(&series, label)
+        );
+    }
+    let bpd = mean_ratio(&series, "BPD");
+    for label in ["NHST", "NEST", "NHDT", "LQD", "BPD1", "LWD"] {
+        assert!(
+            bpd >= mean_ratio(&series, label),
+            "BPD ({bpd}) beat {label}"
+        );
+    }
+    // BPD1 repairs part of BPD's damage.
+    assert!(mean_ratio(&series, "BPD1") < bpd);
+}
+
+#[test]
+fn work_panel_speedup_drives_ratios_toward_one() {
+    let series = run_panel(Panel::new(3).unwrap(), PanelScale::Smoke, 0xB0FFE2).unwrap();
+    for s in &series {
+        let first = s.points.first().unwrap().1;
+        let last = s.points.last().unwrap().1;
+        assert!(
+            last <= first + 0.02,
+            "{}: ratio did not fall with speedup ({first} -> {last})",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn value_panel_push_out_beats_non_push_out_uniform() {
+    let series = run_panel(Panel::new(4).unwrap(), PanelScale::Smoke, 0xB0FFE2).unwrap();
+    let greedy = mean_ratio(&series, "GREEDY");
+    for label in ["LQD", "MVD", "MVD1", "MRD"] {
+        assert!(
+            mean_ratio(&series, label) < greedy,
+            "{label} did not beat GREEDY"
+        );
+    }
+    // MRD leads (possibly narrowly) in the uniform setting.
+    assert!(mean_ratio(&series, "MRD") <= mean_ratio(&series, "LQD") + 0.01);
+}
+
+#[test]
+fn value_port_panel_mvd_collapses_and_mvd1_recovers() {
+    let series = run_panel(Panel::new(7).unwrap(), PanelScale::Smoke, 0xB0FFE2).unwrap();
+    // At k = 4 (a congested point at smoke scale) MVD must be far worse
+    // than LQD, with MVD1 strictly between them.
+    let lqd = ratio_of(&series, "LQD", 4.0);
+    let mvd = ratio_of(&series, "MVD", 4.0);
+    let mvd1 = ratio_of(&series, "MVD1", 4.0);
+    assert!(mvd > 1.5 * lqd, "MVD ({mvd}) did not collapse vs LQD ({lqd})");
+    assert!(mvd1 < mvd, "MVD1 ({mvd1}) did not improve on MVD ({mvd})");
+    assert!(mvd1 > lqd, "MVD1 ({mvd1}) should still trail LQD ({lqd})");
+}
+
+#[test]
+fn buffer_growth_relieves_push_out_policies() {
+    let series = run_panel(Panel::new(5).unwrap(), PanelScale::Smoke, 0xB0FFE2).unwrap();
+    for label in ["LQD", "MRD", "MVD"] {
+        let s = series.iter().find(|s| s.label == label).unwrap();
+        let first = s.points.first().unwrap().1;
+        let last = s.points.last().unwrap().1;
+        assert!(
+            last < first,
+            "{label}: ratio did not improve with buffer ({first} -> {last})"
+        );
+    }
+}
+
+#[test]
+fn every_panel_produces_full_series() {
+    for panel in Panel::all() {
+        let series = run_panel(panel, PanelScale::Smoke, 0xB0FFE2).unwrap();
+        assert!(!series.is_empty(), "panel {} empty", panel.number());
+        let n = series[0].points.len();
+        for s in &series {
+            assert_eq!(
+                s.points.len(),
+                n,
+                "panel {}: ragged series {}",
+                panel.number(),
+                s.label
+            );
+            for &(_, y) in &s.points {
+                assert!(
+                    y.is_finite() && y > 0.0,
+                    "panel {}: bad ratio {y} for {}",
+                    panel.number(),
+                    s.label
+                );
+            }
+        }
+    }
+}

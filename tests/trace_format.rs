@@ -1,0 +1,89 @@
+//! Property tests for the trace text format: arbitrary traces round-trip.
+
+use proptest::prelude::*;
+
+use smbm_switch::{PortId, Value, ValuePacket, Work, WorkPacket};
+use smbm_traffic::Trace;
+
+fn work_trace_strategy() -> impl Strategy<Value = Trace<WorkPacket>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..10, 1u32..=20), 0..=6),
+        0..=8,
+    )
+    .prop_map(|slots| {
+        Trace::from_slots(
+            slots
+                .into_iter()
+                .map(|burst| {
+                    burst
+                        .into_iter()
+                        .map(|(p, w)| WorkPacket::new(PortId::new(p), Work::new(w)))
+                        .collect()
+                })
+                .collect(),
+        )
+    })
+}
+
+fn value_trace_strategy() -> impl Strategy<Value = Trace<ValuePacket>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..10, 1u64..=1_000_000), 0..=6),
+        0..=8,
+    )
+    .prop_map(|slots| {
+        Trace::from_slots(
+            slots
+                .into_iter()
+                .map(|burst| {
+                    burst
+                        .into_iter()
+                        .map(|(p, v)| ValuePacket::new(PortId::new(p), Value::new(v)))
+                        .collect()
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn work_traces_roundtrip(trace in work_trace_strategy()) {
+        let text = trace.to_text();
+        let back: Trace<WorkPacket> = Trace::from_text(&text).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn value_traces_roundtrip(trace in value_trace_strategy()) {
+        let text = trace.to_text();
+        let back: Trace<ValuePacket> = Trace::from_text(&text).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Serialization is line-per-slot, so slot counts survive even for
+    /// traces with empty bursts.
+    #[test]
+    fn slot_structure_is_preserved(trace in work_trace_strategy()) {
+        let text = trace.to_text();
+        let back: Trace<WorkPacket> = Trace::from_text(&text).unwrap();
+        prop_assert_eq!(back.slots(), trace.slots());
+        prop_assert_eq!(back.arrivals(), trace.arrivals());
+    }
+
+    /// `repeated` multiplies slots and arrivals exactly.
+    #[test]
+    fn repeat_multiplies(trace in work_trace_strategy(), times in 1usize..4) {
+        let slots = trace.slots();
+        let arrivals = trace.arrivals();
+        let repeated = trace.repeated(times);
+        prop_assert_eq!(repeated.slots(), slots * times);
+        prop_assert_eq!(repeated.arrivals(), arrivals * times);
+    }
+}
+
+#[test]
+fn corrupted_text_is_rejected_with_line_numbers() {
+    let text = "1:2\n2:3 bogus\n";
+    let err = Trace::<WorkPacket>::from_text(text).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+}
