@@ -4,8 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use smbm_core::WorkSystem;
 use smbm_core::{exact_work_opt, Lwd, Mrd, ValuePqOpt, ValueRunner, WorkPqOpt, WorkRunner};
-use smbm_sim::{run_value, run_work, EngineConfig};
+use smbm_obs::HistogramRecorder;
+use smbm_sim::{run_value, run_work, run_work_observed, EngineConfig};
 use smbm_switch::{PortId, ValueSwitchConfig, WorkSwitchConfig};
 use smbm_traffic::{MmppScenario, PortMix, ValueMix};
 
@@ -33,8 +35,8 @@ fn engine_slot_throughput(c: &mut Criterion) {
     group.bench_function("pq-opt-slot-loop", |b| {
         b.iter(|| {
             let mut opt = WorkPqOpt::new(64, 8);
-            let s = run_work(&mut opt, &trace, &EngineConfig::horizon_only())
-                .expect("OPT never errs");
+            let s =
+                run_work(&mut opt, &trace, &EngineConfig::horizon_only()).expect("OPT never errs");
             black_box(s.score)
         });
     });
@@ -65,9 +67,72 @@ fn value_engine_slot_throughput(c: &mut Criterion) {
     group.bench_function("value-pq-opt-slot-loop", |b| {
         b.iter(|| {
             let mut opt = ValuePqOpt::new(64, 8);
-            let s = run_value(&mut opt, &trace, &EngineConfig::horizon_only())
-                .expect("OPT never errs");
+            let s =
+                run_value(&mut opt, &trace, &EngineConfig::horizon_only()).expect("OPT never errs");
             black_box(s.score)
+        });
+    });
+    group.finish();
+}
+
+/// The engine's observer hooks must be free when unused: `run_work` with the
+/// default `NullObserver` against a hand-rolled replica of the
+/// pre-instrumentation slot loop (same phases, no hooks), plus the fully
+/// instrumented run for scale. The first two must stay within ~2% of each
+/// other.
+fn observer_overhead(c: &mut Criterion) {
+    let cfg = WorkSwitchConfig::contiguous(8, 64).expect("valid");
+    let scenario = MmppScenario {
+        sources: 12,
+        slots: 5_000,
+        seed: 3,
+        ..Default::default()
+    };
+    let trace = scenario
+        .work_trace(&cfg, &PortMix::Uniform)
+        .expect("valid scenario");
+    let mut group = c.benchmark_group("observer-overhead");
+    group.throughput(Throughput::Elements(trace.slots() as u64));
+    group.bench_function("null-observer", |b| {
+        b.iter(|| {
+            let mut runner = WorkRunner::new(cfg.clone(), Lwd::new(), 1);
+            let s = run_work(&mut runner, &trace, &EngineConfig::horizon_only())
+                .expect("LWD never errs");
+            black_box(s.score)
+        });
+    });
+    group.bench_function("hand-rolled-baseline", |b| {
+        b.iter(|| {
+            let mut runner = WorkRunner::new(cfg.clone(), Lwd::new(), 1);
+            let mut slots = 0u64;
+            let mut occ_sum = 0u64;
+            let mut occ_max = 0usize;
+            for burst in trace.iter() {
+                for &pkt in burst {
+                    let _ = runner.offer(pkt).expect("LWD never errs");
+                }
+                runner.transmission_phase();
+                runner.end_slot();
+                slots += 1;
+                let occ = runner.occupancy();
+                occ_sum += occ as u64;
+                occ_max = occ_max.max(occ);
+            }
+            black_box((WorkSystem::transmitted(&runner), slots, occ_sum, occ_max))
+        });
+    });
+    group.bench_function("histogram-recorder", |b| {
+        b.iter(|| {
+            let mut runner = WorkRunner::new(cfg.clone(), Lwd::new(), 1);
+            let mut hist = HistogramRecorder::new();
+            let s = run_work_observed(
+                &mut runner,
+                &trace,
+                &EngineConfig::horizon_only(),
+                &mut hist,
+            )
+            .expect("LWD never errs");
+            black_box((s.score, hist.latency().p99()))
         });
     });
     group.finish();
@@ -103,7 +168,14 @@ fn exact_opt_search(c: &mut Criterion) {
     let cfg = WorkSwitchConfig::contiguous(2, 4).expect("valid");
     // 16 arrivals over 4 slots: a realistic test-suite-sized instance.
     let trace: Vec<Vec<PortId>> = (0..4)
-        .map(|_| vec![PortId::new(0), PortId::new(1), PortId::new(0), PortId::new(1)])
+        .map(|_| {
+            vec![
+                PortId::new(0),
+                PortId::new(1),
+                PortId::new(0),
+                PortId::new(1),
+            ]
+        })
         .collect();
     c.bench_function("exact-work-opt-16-arrivals", |b| {
         b.iter(|| black_box(exact_work_opt(&cfg, 1, &trace).expect("small instance")));
@@ -118,6 +190,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3));
     targets = engine_slot_throughput,
         value_engine_slot_throughput,
+        observer_overhead,
         trace_generation,
         exact_opt_search
 }

@@ -4,7 +4,7 @@
 
 use smbm_core::{
     value_policy_by_name, work_policy_by_name, AlphaWd, CappedWork, Lwd, LwdTieBreak, ValuePqOpt,
-    ValueRunner, WorkPqOpt, WorkPolicy, WorkRunner,
+    ValueRunner, WorkPolicy, WorkPqOpt, WorkRunner,
 };
 use smbm_sim::{run_value, run_work, EngineConfig, ExperimentError, FlushMode, FlushPolicy};
 use smbm_switch::{ValueSwitchConfig, WorkSwitchConfig};
@@ -92,10 +92,17 @@ pub fn flush_ablation(slots: usize, seed: u64) -> Result<Vec<AblationRow>, Exper
 /// # Errors
 ///
 /// Propagates engine failures (none for well-formed inputs).
-pub fn lwd_tie_break_ablation(slots: usize, seed: u64) -> Result<Vec<AblationRow>, ExperimentError> {
+pub fn lwd_tie_break_ablation(
+    slots: usize,
+    seed: u64,
+) -> Result<Vec<AblationRow>, ExperimentError> {
     let (cfg, trace) = standard_trace(slots, seed);
     let mut scores = Vec::new();
-    for tie in [LwdTieBreak::MaxWork, LwdTieBreak::MaxLen, LwdTieBreak::MinWork] {
+    for tie in [
+        LwdTieBreak::MaxWork,
+        LwdTieBreak::MaxLen,
+        LwdTieBreak::MinWork,
+    ] {
         let policy = Lwd::with_tie_break(tie);
         let name = policy.name().to_string();
         let mut runner = WorkRunner::new(cfg.clone(), policy, 1);
@@ -229,7 +236,10 @@ pub fn mrd_variants_ablation(slots: usize, seed: u64) -> Result<Vec<AblationRow>
 /// Renders ablation rows as an aligned table.
 pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
     let mut out = format!("== {title} ==\n");
-    out.push_str(&format!("{:<14} {:>12} {:>10}\n", "variant", "score", "relative"));
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>10}\n",
+        "variant", "score", "relative"
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:<14} {:>12} {:>10.4}\n",

@@ -44,8 +44,14 @@ fn main() -> ExitCode {
         ("flush mode (LWD throughput)", flush_ablation),
         ("LWD tie-break", lwd_tie_break_ablation),
         ("OPT surrogate core count", opt_cores_ablation),
-        ("AWD(alpha): LQD..LWD interpolation", smbm_bench::awd_alpha_ablation),
-        ("MRD variants across port mixes", smbm_bench::mrd_variants_ablation),
+        (
+            "AWD(alpha): LQD..LWD interpolation",
+            smbm_bench::awd_alpha_ablation,
+        ),
+        (
+            "MRD variants across port mixes",
+            smbm_bench::mrd_variants_ablation,
+        ),
     ];
     for (title, run) in runs {
         match run(slots, seed) {
@@ -57,7 +63,10 @@ fn main() -> ExitCode {
         }
     }
     match smbm_bench::nhdt_generalization_ablation(seed) {
-        Ok(rows) => println!("{}", render_ablation("NHDT vs NHDT-W (open problem)", &rows)),
+        Ok(rows) => println!(
+            "{}",
+            render_ablation("NHDT vs NHDT-W (open problem)", &rows)
+        ),
         Err(e) => {
             eprintln!("NHDT generalization failed: {e}");
             return ExitCode::FAILURE;

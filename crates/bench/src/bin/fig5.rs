@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fig5 [--panel N] [--scale smoke|default|paper] [--seed S] [--repeats R]\n//!      [--gnuplot-dir DIR]   # also write panelN.csv + panelN.gp files
+//!      [--metrics-dir DIR]   # also write panelN.POLICY.json metric sidecars
 //! ```
 //!
 //! Without `--panel`, all nine panels are printed in order.
@@ -11,7 +12,7 @@ use std::process::ExitCode;
 use smbm_bench::{Panel, PanelScale};
 
 fn usage() -> &'static str {
-    "usage: fig5 [--panel 1..9] [--scale smoke|default|paper] [--seed N] [--repeats R] [--gnuplot-dir DIR]"
+    "usage: fig5 [--panel 1..9] [--scale smoke|default|paper] [--seed N] [--repeats R] [--gnuplot-dir DIR] [--metrics-dir DIR]"
 }
 
 fn main() -> ExitCode {
@@ -20,6 +21,7 @@ fn main() -> ExitCode {
     let mut seed = 0xB0FFE2u64;
     let mut repeats = 1u32;
     let mut gnuplot_dir: Option<String> = None;
+    let mut metrics_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -63,6 +65,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 gnuplot_dir = Some(v);
+            }
+            "--metrics-dir" => {
+                let Some(v) = args.next() else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                metrics_dir = Some(v);
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -115,6 +124,26 @@ fn main() -> ExitCode {
                 .and_then(|_| std::fs::write(format!("{base}.gp"), &gp))
             {
                 eprintln!("failed to write gnuplot files: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(dir) = &metrics_dir {
+            let metrics = match smbm_bench::panel_point_metrics(p, scale, seed) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("panel {} metrics failed: {e}", p.number());
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| {
+                for (policy, json) in &metrics {
+                    let path = format!("{dir}/panel{}.{policy}.json", p.number());
+                    std::fs::write(&path, format!("{json}\n"))?;
+                    println!("# metrics written to {path}");
+                }
+                Ok(())
+            }) {
+                eprintln!("failed to write metrics files: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -23,9 +23,9 @@ pub use ablation::{
     nhdt_generalization_ablation, opt_cores_ablation, render_ablation, AblationRow,
 };
 pub use lower_bounds::{
-    all_lower_bounds, lower_bound_by_name, lwd_upper_bound_stress, render_table,
-    LOWER_BOUND_NAMES,
+    all_lower_bounds, lower_bound_by_name, lwd_upper_bound_stress, render_table, LOWER_BOUND_NAMES,
 };
 pub use panels::{
-    render_panel, render_panel_averaged, run_panel, run_panel_averaged, Panel, PanelScale,
+    panel_point_metrics, render_panel, render_panel_averaged, run_panel, run_panel_averaged, Panel,
+    PanelScale,
 };

@@ -8,8 +8,17 @@ use smbm_traffic::adversarial;
 
 /// Registry keys accepted by [`lower_bound_by_name`].
 pub const LOWER_BOUND_NAMES: &[&str] = &[
-    "nhst", "nest", "nhdt", "lqd-work", "bpd", "lwd", "lwd-upper", "greedy-value", "lqd-value",
-    "mvd", "mrd",
+    "nhst",
+    "nest",
+    "nhdt",
+    "lqd-work",
+    "bpd",
+    "lwd",
+    "lwd-upper",
+    "greedy-value",
+    "lqd-value",
+    "mvd",
+    "mrd",
 ];
 
 /// Theorem 7 stress: runs **LWD** on every *work-model* attack trace

@@ -14,6 +14,7 @@
 //! | 8 | values == port | `B` | `k = n = 8, C = 1` |
 //! | 9 | values == port | `C` | `k = n = 8, B = 64` |
 
+use smbm_obs::HistogramRecorder;
 use smbm_sim::{
     series_from_sweep, series_to_csv, sweep, EngineConfig, ExperimentError, FlushPolicy, Series,
     ValueExperiment, WorkExperiment,
@@ -187,67 +188,131 @@ pub fn run_panel(
     seed: u64,
 ) -> Result<Vec<Series>, ExperimentError> {
     let xs = panel_xs(panel, scale);
-    let points = sweep(&xs, |x| {
-        match panel.number() {
-            1 => {
-                let k = x as u32;
-                let cfg = WorkSwitchConfig::contiguous(k, 64.max(k as usize)).expect("valid");
-                run_work_point(cfg, 1, scale, seed)
-            }
-            2 => {
-                let cfg = WorkSwitchConfig::contiguous(8, x as usize).expect("valid");
-                run_work_point(cfg, 1, scale, seed)
-            }
-            3 => {
-                let cfg = WorkSwitchConfig::contiguous(8, 64).expect("valid");
-                run_work_point(cfg, x as u32, scale, seed)
-            }
-            4 => run_value_point(
-                ValueSwitchConfig::new(64, 8).expect("valid"),
-                1,
-                &ValueMix::Uniform { max: x as u64 },
-                scale,
-                seed,
-            ),
-            5 => run_value_point(
-                ValueSwitchConfig::new(x as usize, 8).expect("valid"),
-                1,
-                &ValueMix::Uniform { max: 16 },
-                scale,
-                seed,
-            ),
-            6 => run_value_point(
-                ValueSwitchConfig::new(64, 8).expect("valid"),
-                x as u32,
-                &ValueMix::Uniform { max: 16 },
-                scale,
-                seed,
-            ),
-            7 => run_value_point(
-                ValueSwitchConfig::new(64.max(x as usize), x as usize).expect("valid"),
-                1,
-                &ValueMix::EqualsPort,
-                scale,
-                seed,
-            ),
-            8 => run_value_point(
-                ValueSwitchConfig::new(x as usize, 8).expect("valid"),
-                1,
-                &ValueMix::EqualsPort,
-                scale,
-                seed,
-            ),
-            9 => run_value_point(
-                ValueSwitchConfig::new(64, 8).expect("valid"),
-                x as u32,
-                &ValueMix::EqualsPort,
-                scale,
-                seed,
-            ),
-            _ => unreachable!("panel numbers validated"),
-        }
+    let points = sweep(&xs, |x| match panel_point(panel, x) {
+        PanelPoint::Work { config, speedup } => run_work_point(config, speedup, scale, seed),
+        PanelPoint::Value {
+            config,
+            speedup,
+            mix,
+        } => run_value_point(config, speedup, &mix, scale, seed),
     })?;
     Ok(series_from_sweep(&points))
+}
+
+/// The experiment configuration a panel uses at one swept x value.
+enum PanelPoint {
+    Work {
+        config: WorkSwitchConfig,
+        speedup: u32,
+    },
+    Value {
+        config: ValueSwitchConfig,
+        speedup: u32,
+        mix: ValueMix,
+    },
+}
+
+fn panel_point(panel: Panel, x: f64) -> PanelPoint {
+    match panel.number() {
+        1 => {
+            let k = x as u32;
+            PanelPoint::Work {
+                config: WorkSwitchConfig::contiguous(k, 64.max(k as usize)).expect("valid"),
+                speedup: 1,
+            }
+        }
+        2 => PanelPoint::Work {
+            config: WorkSwitchConfig::contiguous(8, x as usize).expect("valid"),
+            speedup: 1,
+        },
+        3 => PanelPoint::Work {
+            config: WorkSwitchConfig::contiguous(8, 64).expect("valid"),
+            speedup: x as u32,
+        },
+        4 => PanelPoint::Value {
+            config: ValueSwitchConfig::new(64, 8).expect("valid"),
+            speedup: 1,
+            mix: ValueMix::Uniform { max: x as u64 },
+        },
+        5 => PanelPoint::Value {
+            config: ValueSwitchConfig::new(x as usize, 8).expect("valid"),
+            speedup: 1,
+            mix: ValueMix::Uniform { max: 16 },
+        },
+        6 => PanelPoint::Value {
+            config: ValueSwitchConfig::new(64, 8).expect("valid"),
+            speedup: x as u32,
+            mix: ValueMix::Uniform { max: 16 },
+        },
+        7 => PanelPoint::Value {
+            config: ValueSwitchConfig::new(64.max(x as usize), x as usize).expect("valid"),
+            speedup: 1,
+            mix: ValueMix::EqualsPort,
+        },
+        8 => PanelPoint::Value {
+            config: ValueSwitchConfig::new(x as usize, 8).expect("valid"),
+            speedup: 1,
+            mix: ValueMix::EqualsPort,
+        },
+        9 => PanelPoint::Value {
+            config: ValueSwitchConfig::new(64, 8).expect("valid"),
+            speedup: x as u32,
+            mix: ValueMix::EqualsPort,
+        },
+        _ => unreachable!("panel numbers validated"),
+    }
+}
+
+/// Runs one *representative* point of a panel (the median swept x) with a
+/// [`HistogramRecorder`] attached to every roster policy and returns
+/// `(policy, metrics JSON)` pairs in roster order — the per-policy metric
+/// sidecars behind `fig5 --metrics-dir`. Observation does not change scores,
+/// so this is a diagnostics add-on, not part of the ratio pipeline.
+///
+/// # Errors
+///
+/// See [`run_panel`].
+pub fn panel_point_metrics(
+    panel: Panel,
+    scale: PanelScale,
+    seed: u64,
+) -> Result<Vec<(String, String)>, ExperimentError> {
+    let xs = panel_xs(panel, scale);
+    let x = xs[xs.len() / 2];
+    match panel_point(panel, x) {
+        PanelPoint::Work { config, speedup } => {
+            let trace = work_scenario(scale, seed)
+                .work_trace(&config, &PortMix::Uniform)
+                .expect("valid scenario parameters");
+            let mut exp = WorkExperiment::full_roster(config, speedup);
+            exp.engine = engine();
+            let mut hists = vec![HistogramRecorder::new(); exp.policies.len()];
+            exp.run_observed(&trace, &mut hists)?;
+            Ok(pair_metrics(&exp.policies, &hists))
+        }
+        PanelPoint::Value {
+            config,
+            speedup,
+            mix,
+        } => {
+            let trace = value_scenario(scale, seed)
+                .value_trace(config.ports(), &PortMix::Uniform, &mix)
+                .expect("valid scenario parameters");
+            let mut exp = ValueExperiment::full_roster(config, speedup);
+            exp.engine = engine();
+            let mut hists = vec![HistogramRecorder::new(); exp.policies.len()];
+            exp.run_observed(&trace, &mut hists)?;
+            Ok(pair_metrics(&exp.policies, &hists))
+        }
+    }
+}
+
+fn pair_metrics(policies: &[String], hists: &[HistogramRecorder]) -> Vec<(String, String)> {
+    policies
+        .iter()
+        .cloned()
+        .zip(hists.iter().map(HistogramRecorder::to_json))
+        .collect()
 }
 
 fn run_work_point(
@@ -357,11 +422,7 @@ pub fn render_panel_averaged(
 /// # Errors
 ///
 /// See [`run_panel`].
-pub fn render_panel(
-    panel: Panel,
-    scale: PanelScale,
-    seed: u64,
-) -> Result<String, ExperimentError> {
+pub fn render_panel(panel: Panel, scale: PanelScale, seed: u64) -> Result<String, ExperimentError> {
     let series = run_panel(panel, scale, seed)?;
     let mut out = format!(
         "# Fig.5({}) {} [scale {:?}, seed {}]\n",
@@ -448,6 +509,26 @@ mod tests {
         for s in &avg {
             for &(_, y) in &s.points {
                 assert!(y.is_finite() && y > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn point_metrics_cover_the_roster() {
+        // One work panel and one value panel; every policy gets a sidecar.
+        for (panel, names) in [
+            (1u8, smbm_core::WORK_POLICY_NAMES),
+            (7, smbm_core::VALUE_POLICY_NAMES),
+        ] {
+            let metrics =
+                panel_point_metrics(Panel::new(panel).unwrap(), PanelScale::Smoke, 7).unwrap();
+            assert_eq!(metrics.len(), names.len());
+            for ((policy, json), expect) in metrics.iter().zip(names) {
+                assert_eq!(policy, expect);
+                assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+                for key in ["\"drops\"", "\"latency\"", "\"p99\"", "\"occupancy\""] {
+                    assert!(json.contains(key), "missing {key} in {json}");
+                }
             }
         }
     }

@@ -1,14 +1,18 @@
 //! A tiny dependency-free argument parser: `--key value` flags plus
 //! positional arguments.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Flags the `smbm` commands treat as presence-only switches (no value).
+pub const SWITCHES: &[&str] = &["profile"];
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     positional: Vec<String>,
     flags: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
 }
 
 /// Error parsing or interpreting arguments.
@@ -49,17 +53,41 @@ impl Args {
     ///
     /// Returns [`ArgError::MissingValue`] for a trailing `--flag`.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        Self::parse_with_switches(raw, SWITCHES)
+    }
+
+    /// Like [`Args::parse`], treating each flag named in `switches` as a
+    /// boolean switch that consumes no value (query with [`Args::has`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingValue`] for a trailing valued `--flag`.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        raw: I,
+        switches: &[&str],
+    ) -> Result<Self, ArgError> {
         let mut args = Args::default();
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it.next().ok_or_else(|| ArgError::MissingValue(name.into()))?;
-                args.flags.insert(name.to_string(), value);
+                if switches.contains(&name) {
+                    args.switches.insert(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.into()))?;
+                    args.flags.insert(name.to_string(), value);
+                }
             } else {
                 args.positional.push(a);
             }
         }
         Ok(args)
+    }
+
+    /// Whether the boolean switch `flag` was supplied.
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.contains(flag)
     }
 
     /// Positional arguments, in order.
@@ -93,7 +121,7 @@ impl Args {
     ///
     /// Returns [`ArgError::UnknownFlag`] naming the first stray flag.
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
-        for flag in self.flags.keys() {
+        for flag in self.flags.keys().chain(self.switches.iter()) {
             if !allowed.contains(&flag.as_str()) {
                 return Err(ArgError::UnknownFlag(flag.clone()));
             }
@@ -137,6 +165,27 @@ mod tests {
     fn missing_value_reported() {
         let err = parse(&["--k"]).unwrap_err();
         assert_eq!(err, ArgError::MissingValue("k".into()));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(
+            ["--profile", "--k", "8"].iter().map(|s| s.to_string()),
+            &["profile"],
+        )
+        .unwrap();
+        assert!(a.has("profile"));
+        assert!(!a.has("k"));
+        assert_eq!(a.get("k"), Some("8"));
+        // Switches still count for expect_only.
+        assert!(a.expect_only(&["k"]).is_err());
+        assert!(a.expect_only(&["k", "profile"]).is_ok());
+    }
+
+    #[test]
+    fn default_parse_knows_the_standard_switches() {
+        let a = parse(&["work-run", "--profile"]).unwrap();
+        assert!(a.has("profile"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use std::fmt::Write as _;
 
+use smbm_obs::{HistogramRecorder, PhaseProfiler, RingEventLog};
 use smbm_sim::{
     measure_value_construction, measure_work_construction, ValueExperiment, WorkExperiment,
 };
@@ -24,7 +25,11 @@ commands:
   trace-stats summarize a work-model trace (--file PATH, or text via stdin)
   help        show this message
 
-flags are `--name value`; see the crate README for the full list.";
+flags are `--name value`; see the crate README for the full list.
+observability (work-run, value-run, combined-run):
+  --events-out PATH   write per-policy engine events as JSON Lines
+  --metrics-out PATH  write per-policy histogram metrics as JSON
+  --profile           print per-phase wall-clock profiles";
 
 /// Executes one command. `stdin` supplies the input text for commands that
 /// read a stream (currently `trace-stats` without `--file`).
@@ -65,9 +70,103 @@ fn roster(args: &Args, default: &[&str]) -> Vec<String> {
     }
 }
 
+/// Events retained per policy when `--events-out` is set: enough to keep the
+/// interesting tail of a long run without unbounded memory.
+const EVENT_CAPACITY: usize = 1 << 16;
+
+/// The per-policy observer stack behind the observability flags. Each layer
+/// is `Some` only when its flag was supplied, so unrequested instrumentation
+/// costs nothing.
+type CliObserver = (
+    Option<RingEventLog>,
+    (Option<HistogramRecorder>, Option<PhaseProfiler>),
+);
+
+/// The observability flags of a run command, parsed once.
+struct ObsFlags {
+    events_out: Option<String>,
+    metrics_out: Option<String>,
+    profile: bool,
+}
+
+impl ObsFlags {
+    fn from(args: &Args) -> Self {
+        ObsFlags {
+            events_out: args.get("events-out").map(str::to_string),
+            metrics_out: args.get("metrics-out").map(str::to_string),
+            profile: args.has("profile"),
+        }
+    }
+
+    fn observers(&self, n: usize) -> Vec<CliObserver> {
+        (0..n)
+            .map(|_| {
+                (
+                    self.events_out
+                        .as_ref()
+                        .map(|_| RingEventLog::new(EVENT_CAPACITY)),
+                    (
+                        self.metrics_out.as_ref().map(|_| HistogramRecorder::new()),
+                        self.profile.then(PhaseProfiler::new),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Writes the requested artifacts and appends any inline report lines to
+    /// `out`. `model` tags the metrics file; `names` parallels `observers`.
+    fn finish(
+        &self,
+        model: &str,
+        names: &[String],
+        observers: &[CliObserver],
+        out: &mut String,
+    ) -> Result<(), String> {
+        if let Some(path) = &self.events_out {
+            let mut jsonl = String::new();
+            for (name, (log, _)) in names.iter().zip(observers) {
+                let log = log.as_ref().expect("events flag implies a log");
+                jsonl.push_str(&log.to_jsonl_with(&[("policy", name)]));
+            }
+            std::fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+            let _ = writeln!(out, "# events written to {path}");
+        }
+        if let Some(path) = &self.metrics_out {
+            let mut json = format!("{{\"model\":\"{model}\",\"policies\":{{");
+            for (i, (name, (_, (hist, _)))) in names.iter().zip(observers).enumerate() {
+                let hist = hist.as_ref().expect("metrics flag implies a recorder");
+                if i > 0 {
+                    json.push(',');
+                }
+                let _ = write!(json, "\"{name}\":{}", hist.to_json());
+            }
+            json.push_str("}}\n");
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            let _ = writeln!(out, "# metrics written to {path}");
+        }
+        if self.profile {
+            for (name, (_, (_, prof))) in names.iter().zip(observers) {
+                let prof = prof.as_ref().expect("profile flag implies a profiler");
+                let _ = writeln!(out, "# profile {name}: {}", prof.report());
+            }
+        }
+        Ok(())
+    }
+}
+
 fn work_run(args: &Args) -> Result<String, String> {
     args.expect_only(&[
-        "k", "buffer", "speedup", "slots", "sources", "seed", "policies",
+        "k",
+        "buffer",
+        "speedup",
+        "slots",
+        "sources",
+        "seed",
+        "policies",
+        "events-out",
+        "metrics-out",
+        "profile",
     ])
     .map_err(err)?;
     let k: u32 = args.get_or("k", 8).map_err(err)?;
@@ -79,7 +178,9 @@ fn work_run(args: &Args) -> Result<String, String> {
         .map_err(err)?;
     let mut exp = WorkExperiment::full_roster(cfg, speedup);
     exp.policies = roster(args, smbm_core::WORK_POLICY_NAMES);
-    let report = exp.run(&trace).map_err(err)?;
+    let obs_flags = ObsFlags::from(args);
+    let mut observers = obs_flags.observers(exp.policies.len());
+    let report = exp.run_observed(&trace, &mut observers).map_err(err)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -99,6 +200,7 @@ fn work_run(args: &Args) -> Result<String, String> {
             row.policy, row.score, row.ratio, row.mean_latency, row.goodput
         );
     }
+    obs_flags.finish("work", &exp.policies, &observers, &mut out)?;
     Ok(out)
 }
 
@@ -113,6 +215,9 @@ fn value_run(args: &Args) -> Result<String, String> {
         "sources",
         "seed",
         "policies",
+        "events-out",
+        "metrics-out",
+        "profile",
     ])
     .map_err(err)?;
     let ports: usize = args.get_or("ports", 8).map_err(err)?;
@@ -130,7 +235,9 @@ fn value_run(args: &Args) -> Result<String, String> {
         .map_err(err)?;
     let mut exp = ValueExperiment::full_roster(cfg, speedup);
     exp.policies = roster(args, smbm_core::VALUE_POLICY_NAMES);
-    let report = exp.run(&trace).map_err(err)?;
+    let obs_flags = ObsFlags::from(args);
+    let mut observers = obs_flags.observers(exp.policies.len());
+    let report = exp.run_observed(&trace, &mut observers).map_err(err)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -151,14 +258,26 @@ fn value_run(args: &Args) -> Result<String, String> {
             row.policy, row.score, row.ratio, row.mean_latency, row.goodput
         );
     }
+    obs_flags.finish("value", &exp.policies, &observers, &mut out)?;
     Ok(out)
 }
 
 fn combined_run(args: &Args) -> Result<String, String> {
     use smbm_core::{combined_policy_by_name, CombinedPqOpt, CombinedRunner};
-    use smbm_sim::{run_combined, EngineConfig};
+    use smbm_sim::{run_combined, run_combined_observed, EngineConfig};
     args.expect_only(&[
-        "k", "buffer", "max-value", "speedup", "mix", "slots", "sources", "seed", "policies",
+        "k",
+        "buffer",
+        "max-value",
+        "speedup",
+        "mix",
+        "slots",
+        "sources",
+        "seed",
+        "policies",
+        "events-out",
+        "metrics-out",
+        "profile",
     ])
     .map_err(err)?;
     let k: u32 = args.get_or("k", 8).map_err(err)?;
@@ -178,6 +297,8 @@ fn combined_run(args: &Args) -> Result<String, String> {
     let engine = EngineConfig::draining();
     let opt_score = run_combined(&mut opt, &trace, &engine).map_err(err)?.score;
     let names: Vec<String> = roster(args, smbm_core::COMBINED_POLICY_NAMES);
+    let obs_flags = ObsFlags::from(args);
+    let mut observers = obs_flags.observers(names.len());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -186,11 +307,13 @@ fn combined_run(args: &Args) -> Result<String, String> {
     );
     let _ = writeln!(out, "{:<8} {:>14} {:>8}", "policy", "value", "ratio");
     let _ = writeln!(out, "{:<8} {:>14} {:>8}", "OPT(den)", opt_score, 1.0);
-    for name in &names {
+    for (name, obs) in names.iter().zip(observers.iter_mut()) {
         let policy = combined_policy_by_name(name)
             .ok_or_else(|| format!("unknown combined policy {name:?}"))?;
         let mut runner = CombinedRunner::new(cfg.clone(), policy, speedup);
-        let score = run_combined(&mut runner, &trace, &engine).map_err(err)?.score;
+        let score = run_combined_observed(&mut runner, &trace, &engine, obs)
+            .map_err(err)?
+            .score;
         let _ = writeln!(
             out,
             "{:<8} {:>14} {:>8.4}",
@@ -199,6 +322,7 @@ fn combined_run(args: &Args) -> Result<String, String> {
             opt_score as f64 / score.max(1) as f64
         );
     }
+    obs_flags.finish("combined", &names, &observers, &mut out)?;
     Ok(out)
 }
 
@@ -206,7 +330,15 @@ fn bounds(args: &Args) -> Result<String, String> {
     args.expect_only(&[]).map_err(err)?;
     let selected: Vec<&str> = args.positional()[1..].iter().map(String::as_str).collect();
     let all = [
-        "nhst", "nest", "nhdt", "lqd-work", "bpd", "lwd", "lqd-value", "mvd", "mrd",
+        "nhst",
+        "nest",
+        "nhdt",
+        "lqd-work",
+        "bpd",
+        "lwd",
+        "lqd-value",
+        "mvd",
+        "mrd",
     ];
     let names: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -224,9 +356,7 @@ fn bounds(args: &Args) -> Result<String, String> {
             "nhst" => measure_work_construction(&adversarial::nhst_lower_bound(8, 192, 10)),
             "nest" => measure_work_construction(&adversarial::nest_lower_bound(8, 48, 10)),
             "nhdt" => measure_work_construction(&adversarial::nhdt_lower_bound(64, 512, 4)),
-            "lqd-work" => {
-                measure_work_construction(&adversarial::lqd_work_lower_bound(64, 256, 4))
-            }
+            "lqd-work" => measure_work_construction(&adversarial::lqd_work_lower_bound(64, 256, 4)),
             "bpd" => measure_work_construction(&adversarial::bpd_lower_bound(16, 64, 10_000)),
             "lwd" => measure_work_construction(&adversarial::lwd_lower_bound(120, 20)),
             "lqd-value" => {
@@ -257,9 +387,7 @@ fn trace_gen(args: &Args) -> Result<String, String> {
     let cfg = WorkSwitchConfig::contiguous(k, buffer).map_err(err)?;
     let mut scenario = scenario_from(args, 12)?;
     scenario.slots = args.get_or("slots", 1_000usize).map_err(err)?;
-    let trace = scenario
-        .work_trace(&cfg, &PortMix::Uniform)
-        .map_err(err)?;
+    let trace = scenario.work_trace(&cfg, &PortMix::Uniform).map_err(err)?;
     Ok(trace.to_text())
 }
 
@@ -308,10 +436,7 @@ mod tests {
 
     #[test]
     fn work_run_policy_subset() {
-        let out = run(&[
-            "work-run", "--slots", "500", "--policies", "LWD,LQD",
-        ])
-        .unwrap();
+        let out = run(&["work-run", "--slots", "500", "--policies", "LWD,LQD"]).unwrap();
         assert!(out.contains("LWD"));
         assert!(out.contains("LQD"));
         assert!(!out.contains("NHDT"));
@@ -326,7 +451,15 @@ mod tests {
     #[test]
     fn value_run_small_port_mix() {
         let out = run(&[
-            "value-run", "--slots", "500", "--ports", "4", "--buffer", "16", "--mix", "port",
+            "value-run",
+            "--slots",
+            "500",
+            "--ports",
+            "4",
+            "--buffer",
+            "16",
+            "--mix",
+            "port",
         ])
         .unwrap();
         assert!(out.contains("mix=port"));
@@ -342,7 +475,15 @@ mod tests {
     #[test]
     fn combined_run_small() {
         let out = run(&[
-            "combined-run", "--slots", "500", "--k", "4", "--buffer", "16", "--mix", "port",
+            "combined-run",
+            "--slots",
+            "500",
+            "--k",
+            "4",
+            "--buffer",
+            "16",
+            "--mix",
+            "port",
         ])
         .unwrap();
         assert!(out.contains("# combined model: k=4 B=16"));
@@ -367,6 +508,93 @@ mod tests {
     fn bounds_rejects_unknown() {
         let e = run(&["bounds", "thmX"]).unwrap_err();
         assert!(e.contains("thmX"));
+    }
+
+    #[test]
+    fn work_run_writes_events_and_metrics_and_profiles() {
+        let dir = std::env::temp_dir();
+        let events = dir.join("smbm_cli_test_events.jsonl");
+        let metrics = dir.join("smbm_cli_test_metrics.json");
+        let out = run(&[
+            "work-run",
+            "--slots",
+            "200",
+            "--k",
+            "4",
+            "--buffer",
+            "16",
+            "--policies",
+            "LWD,LQD",
+            "--events-out",
+            events.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--profile",
+        ])
+        .unwrap();
+        assert!(out.contains("# events written to"));
+        assert!(out.contains("# metrics written to"));
+        assert!(out.contains("# profile LWD:"), "{out}");
+        assert!(out.contains("slots/s"));
+
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(jsonl.lines().count() > 10);
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"policy\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert!(line.contains("\"type\":\""), "{line}");
+        }
+        assert!(jsonl.contains("\"policy\":\"LQD\""));
+
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.starts_with("{\"model\":\"work\""), "{json}");
+        assert!(json.contains("\"LWD\":{"));
+        assert!(json.contains("\"p99\":"));
+        assert!(json.contains("\"drops\":{\"buffer_full\":"));
+        let _ = std::fs::remove_file(events);
+        let _ = std::fs::remove_file(metrics);
+    }
+
+    #[test]
+    fn observability_flags_do_not_change_scores() {
+        let base = run(&["work-run", "--slots", "300", "--policies", "LWD"]).unwrap();
+        let metrics = std::env::temp_dir().join("smbm_cli_test_scores.json");
+        let observed = run(&[
+            "work-run",
+            "--slots",
+            "300",
+            "--policies",
+            "LWD",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        let _ = std::fs::remove_file(metrics);
+        let base_row = base.lines().find(|l| l.starts_with("LWD")).unwrap();
+        let obs_row = observed.lines().find(|l| l.starts_with("LWD")).unwrap();
+        assert_eq!(base_row, obs_row);
+    }
+
+    #[test]
+    fn combined_run_metrics_sidecar() {
+        let metrics = std::env::temp_dir().join("smbm_cli_test_combined.json");
+        let out = run(&[
+            "combined-run",
+            "--slots",
+            "200",
+            "--k",
+            "4",
+            "--buffer",
+            "16",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("# metrics written to"));
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.starts_with("{\"model\":\"combined\""));
+        assert!(json.contains("\"WVD\":{"));
+        let _ = std::fs::remove_file(metrics);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! policies.
 
 use smbm_switch::{
-    AdmitError, CombinedPacket, CombinedPhaseReport, CombinedSwitch, Counters, PortId, Value,
-    WorkSwitchConfig,
+    AdmitError, ArrivalOutcome, CombinedPacket, CombinedPhaseReport, CombinedSwitch, Counters,
+    DropReason, PortId, Transmitted, Value, WorkSwitchConfig,
 };
 
 use crate::Decision;
@@ -93,6 +93,12 @@ impl<P: CombinedPolicy> CombinedRunner<P> {
     /// Runs the transmission phase.
     pub fn transmission(&mut self) -> CombinedPhaseReport {
         self.switch.transmit(self.speedup)
+    }
+
+    /// Like [`CombinedRunner::transmission`], appending per-packet
+    /// completion details to `out`.
+    pub fn transmission_into(&mut self, out: &mut Vec<Transmitted>) -> CombinedPhaseReport {
+        self.switch.transmit_into(self.speedup, out)
     }
 
     /// Ends the slot.
@@ -264,8 +270,7 @@ impl Wvd {
                 continue;
             }
             let work = (q.total_work() + if own { q.work().as_u64() } else { 0 }) as u128;
-            let sum =
-                q.total_value() as u128 + if own { pkt.value().get() as u128 } else { 0 };
+            let sum = q.total_value() as u128 + if own { pkt.value().get() as u128 } else { 0 };
             let num = work * len; // ratio = num / sum
             let min = {
                 let resident = q.min_value().map_or(u64::MAX, Value::get);
@@ -351,8 +356,8 @@ impl CombinedPolicy for DensityMvd {
         }
         let (port, v, w, _) = victim.expect("full buffer has non-empty queue");
         // Arrival density vs victim density, exactly.
-        let arrival_denser = (pkt.value().get() as u128) * (w as u128)
-            > (v as u128) * (pkt.work().as_u64() as u128);
+        let arrival_denser =
+            (pkt.value().get() as u128) * (w as u128) > (v as u128) * (pkt.work().as_u64() as u128);
         if arrival_denser {
             Decision::PushOut(port)
         } else {
@@ -430,15 +435,16 @@ impl CombinedPqOpt {
         self.counters.transmitted_value()
     }
 
-    /// Offers one packet.
-    pub fn offer(&mut self, pkt: CombinedPacket) {
+    /// Offers one packet, reporting its fate. The single shared queue has
+    /// no per-port structure, so push-outs name port 0.
+    pub fn offer(&mut self, pkt: CombinedPacket) -> ArrivalOutcome {
         let v = pkt.value().get();
         let w = pkt.work().cycles();
         self.counters.record_arrival(v);
         if self.packets.len() < self.buffer {
             self.counters.record_admission(v);
             self.packets.push((v, w));
-            return;
+            return ArrivalOutcome::Admitted;
         }
         // Least dense resident: min v/residual.
         let (idx, &(rv, rr)) = self
@@ -451,11 +457,13 @@ impl CombinedPqOpt {
             .expect("full buffer non-empty");
         if (v as u128) * (rr as u128) > (rv as u128) * (w as u128) {
             self.packets.swap_remove(idx);
-            self.counters.record_push_out();
+            self.counters.record_push_out(rv);
             self.counters.record_admission(v);
             self.packets.push((v, w));
+            ArrivalOutcome::PushedOut(PortId::new(0))
         } else {
-            self.counters.record_drop();
+            self.counters.record_drop(v);
+            ArrivalOutcome::Dropped(DropReason::BufferFull)
         }
     }
 
@@ -491,11 +499,13 @@ impl CombinedPqOpt {
         sent
     }
 
-    /// Discards every resident packet.
-    pub fn flush(&mut self) {
+    /// Discards every resident packet, returning how many were discarded.
+    pub fn flush(&mut self) -> u64 {
         let n = self.packets.len() as u64;
+        let value: u64 = self.packets.iter().map(|&(v, _)| v).sum();
         self.packets.clear();
-        self.counters.record_flush(n);
+        self.counters.record_flush(n, value);
+        n
     }
 
     /// Verifies occupancy and conservation.
@@ -601,7 +611,10 @@ mod tests {
             .collect();
         assert_eq!(lens.iter().sum::<usize>(), 24);
         for (i, (&got, want)) in lens.iter().zip([2usize, 4, 6, 12]).enumerate() {
-            assert!(got.abs_diff(want) <= 2, "queue {i}: {got} vs ~{want} ({lens:?})");
+            assert!(
+                got.abs_diff(want) <= 2,
+                "queue {i}: {got} vs ~{want} ({lens:?})"
+            );
         }
     }
 
@@ -611,7 +624,7 @@ mod tests {
         let mut r = CombinedRunner::new(c.clone(), DensityMvd::new(), 1);
         r.arrival(pkt(&c, 1, 2)).unwrap(); // density 1 (w=2)
         r.arrival(pkt(&c, 0, 1)).unwrap(); // density 1 (w=1)
-        // Arrival with density 3 (w=1, v=3) evicts a density-1 packet.
+                                           // Arrival with density 3 (w=1, v=3) evicts a density-1 packet.
         let d = r.arrival(pkt(&c, 0, 3)).unwrap();
         assert!(matches!(d, Decision::PushOut(_)));
         // Arrival with density 0.5 (w=2, v=1) is dropped.
@@ -637,7 +650,7 @@ mod tests {
         let mut opt = CombinedPqOpt::new(4, 2);
         opt.offer(pkt(&config, 1, 8)); // w=2
         opt.offer(pkt(&config, 1, 6)); // w=2
-        // Two cores: both 2-cycle packets advance; none complete yet.
+                                       // Two cores: both 2-cycle packets advance; none complete yet.
         assert_eq!(opt.transmission(), 0);
         assert_eq!(opt.transmission(), 14);
         opt.check_invariants().unwrap();

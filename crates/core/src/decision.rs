@@ -51,6 +51,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(Decision::Accept.to_string(), "accept");
         assert_eq!(Decision::Drop.to_string(), "drop");
-        assert_eq!(Decision::PushOut(PortId::new(1)).to_string(), "push-out port#2");
+        assert_eq!(
+            Decision::PushOut(PortId::new(1)).to_string(),
+            "push-out port#2"
+        );
     }
 }

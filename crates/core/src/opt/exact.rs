@@ -337,10 +337,7 @@ mod tests {
     #[test]
     fn value_opt_multi_port_parallel_drain() {
         let cfg = ValueSwitchConfig::new(2, 2).unwrap();
-        let trace = vec![
-            vec![vpkt(0, 3), vpkt(1, 4)],
-            vec![vpkt(0, 5), vpkt(1, 6)],
-        ];
+        let trace = vec![vec![vpkt(0, 3), vpkt(1, 4)], vec![vpkt(0, 5), vpkt(1, 6)]];
         // Each port drains one per slot: everything is admitted.
         assert_eq!(exact_value_opt(&cfg, 1, &trace).unwrap(), 18);
     }
@@ -349,10 +346,7 @@ mod tests {
     fn value_opt_single_port_bottleneck() {
         // All to one port, B = 2: admissions limited by drain rate.
         let cfg = ValueSwitchConfig::new(2, 1).unwrap();
-        let trace = vec![
-            vec![vpkt(0, 9), vpkt(0, 9), vpkt(0, 9)],
-            vec![vpkt(0, 9)],
-        ];
+        let trace = vec![vec![vpkt(0, 9), vpkt(0, 9), vpkt(0, 9)], vec![vpkt(0, 9)]];
         // Slot 1: admit 2 (one leaves). Slot 2: admit 1. Total 3 x 9.
         assert_eq!(exact_value_opt(&cfg, 1, &trace).unwrap(), 27);
     }

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use smbm_switch::{Counters, ValuePacket, Work, WorkPacket};
+use smbm_switch::{ArrivalOutcome, Counters, DropReason, PortId, ValuePacket, Work, WorkPacket};
 
 /// OPT surrogate for the heterogeneous-processing model: one priority queue
 /// over the whole buffer, smallest-residual-first, with a configurable core
@@ -84,19 +84,21 @@ impl WorkPqOpt {
 
     /// Offers one packet; the port label is irrelevant to the single queue,
     /// only the work matters.
-    pub fn offer(&mut self, pkt: WorkPacket) {
-        self.offer_work(pkt.work());
+    pub fn offer(&mut self, pkt: WorkPacket) -> ArrivalOutcome {
+        self.offer_work(pkt.work())
     }
 
-    /// Offers one packet by its work requirement.
-    pub fn offer_work(&mut self, work: Work) {
+    /// Offers one packet by its work requirement, reporting its fate. The
+    /// single shared queue has no per-port structure, so push-outs name
+    /// port 0.
+    pub fn offer_work(&mut self, work: Work) -> ArrivalOutcome {
         self.counters.record_arrival(1);
         let w = work.cycles();
         if self.occupancy < self.buffer {
             self.counters.record_admission(1);
             *self.residuals.entry(w).or_insert(0) += 1;
             self.occupancy += 1;
-            return;
+            return ArrivalOutcome::Admitted;
         }
         // Full: keep the packet set with the smallest residuals.
         let (&max_residual, _) = self
@@ -105,12 +107,14 @@ impl WorkPqOpt {
             .expect("full buffer is non-empty");
         if w < max_residual {
             self.remove_one(max_residual);
-            self.counters.record_push_out();
+            self.counters.record_push_out(1);
             self.counters.record_admission(1);
             *self.residuals.entry(w).or_insert(0) += 1;
             self.occupancy += 1;
+            ArrivalOutcome::PushedOut(PortId::new(0))
         } else {
-            self.counters.record_drop();
+            self.counters.record_drop(1);
+            ArrivalOutcome::Dropped(DropReason::BufferFull)
         }
     }
 
@@ -168,7 +172,7 @@ impl WorkPqOpt {
         let n = self.occupancy as u64;
         self.residuals.clear();
         self.occupancy = 0;
-        self.counters.record_flush(n);
+        self.counters.record_flush(n, n);
         n
     }
 
@@ -180,10 +184,7 @@ impl WorkPqOpt {
     pub fn check_invariants(&self) -> Result<(), String> {
         let sum: u64 = self.residuals.values().sum();
         if sum != self.occupancy as u64 {
-            return Err(format!(
-                "occupancy {} != class sum {}",
-                self.occupancy, sum
-            ));
+            return Err(format!("occupancy {} != class sum {}", self.occupancy, sum));
         }
         if self.occupancy > self.buffer {
             return Err(format!(
@@ -267,15 +268,16 @@ impl ValuePqOpt {
         self.counters.transmitted_value()
     }
 
-    /// Offers one packet; only its value matters to the single queue.
-    pub fn offer(&mut self, pkt: ValuePacket) {
+    /// Offers one packet, reporting its fate; only its value matters to the
+    /// single queue, and push-outs name port 0.
+    pub fn offer(&mut self, pkt: ValuePacket) -> ArrivalOutcome {
         let v = pkt.value().get();
         self.counters.record_arrival(v);
         if self.occupancy < self.buffer {
             self.counters.record_admission(v);
             *self.values.entry(v).or_insert(0) += 1;
             self.occupancy += 1;
-            return;
+            return ArrivalOutcome::Admitted;
         }
         let (&min_value, _) = self
             .values
@@ -283,12 +285,14 @@ impl ValuePqOpt {
             .expect("full buffer is non-empty");
         if v > min_value {
             self.remove_one(min_value);
-            self.counters.record_push_out();
+            self.counters.record_push_out(min_value);
             self.counters.record_admission(v);
             *self.values.entry(v).or_insert(0) += 1;
             self.occupancy += 1;
+            ArrivalOutcome::PushedOut(PortId::new(0))
         } else {
-            self.counters.record_drop();
+            self.counters.record_drop(v);
+            ArrivalOutcome::Dropped(DropReason::BufferFull)
         }
     }
 
@@ -326,9 +330,10 @@ impl ValuePqOpt {
     /// Discards every resident packet (flushout).
     pub fn flush(&mut self) -> u64 {
         let n = self.occupancy as u64;
+        let value: u64 = self.values.iter().map(|(&v, &count)| v * count).sum();
         self.values.clear();
         self.occupancy = 0;
-        self.counters.record_flush(n);
+        self.counters.record_flush(n, value);
         n
     }
 
@@ -340,10 +345,7 @@ impl ValuePqOpt {
     pub fn check_invariants(&self) -> Result<(), String> {
         let sum: u64 = self.values.values().sum();
         if sum != self.occupancy as u64 {
-            return Err(format!(
-                "occupancy {} != class sum {}",
-                self.occupancy, sum
-            ));
+            return Err(format!("occupancy {} != class sum {}", self.occupancy, sum));
         }
         if self.occupancy > self.buffer {
             return Err(format!(

@@ -49,7 +49,13 @@ impl CompetitiveRatio {
 
 impl fmt::Display for CompetitiveRatio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.4} (opt={}, alg={})", self.ratio(), self.opt, self.alg)
+        write!(
+            f,
+            "{:.4} (opt={}, alg={})",
+            self.ratio(),
+            self.opt,
+            self.alg
+        )
     }
 }
 

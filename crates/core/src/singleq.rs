@@ -12,7 +12,9 @@
 
 use std::collections::VecDeque;
 
-use smbm_switch::{AdmitError, Counters, Slot, Work, WorkPacket};
+use smbm_switch::{
+    AdmitError, ArrivalOutcome, Counters, DropReason, PortId, Slot, Work, WorkPacket,
+};
 
 use crate::WorkSystem;
 
@@ -97,16 +99,21 @@ impl SingleFifoQueue {
         &self.counters
     }
 
-    /// Offers one packet by its work requirement.
-    pub fn offer_work(&mut self, work: Work) {
+    /// Offers one packet by its work requirement, reporting its fate. The
+    /// single shared queue has no per-port structure, so push-outs name
+    /// port 0.
+    pub fn offer_work(&mut self, work: Work) -> ArrivalOutcome {
         self.counters.record_arrival(1);
         if self.residuals.len() < self.buffer {
             self.counters.record_admission(1);
             self.residuals.push_back((work.cycles(), self.now));
-            return;
+            return ArrivalOutcome::Admitted;
         }
         match self.admission {
-            FifoAdmission::Greedy => self.counters.record_drop(),
+            FifoAdmission::Greedy => {
+                self.counters.record_drop(1);
+                ArrivalOutcome::Dropped(DropReason::BufferFull)
+            }
             FifoAdmission::PushOutLargest => {
                 let (idx, &(max_res, _)) = self
                     .residuals
@@ -116,11 +123,13 @@ impl SingleFifoQueue {
                     .expect("full buffer is non-empty");
                 if work.cycles() < max_res {
                     self.residuals.remove(idx);
-                    self.counters.record_push_out();
+                    self.counters.record_push_out(1);
                     self.counters.record_admission(1);
                     self.residuals.push_back((work.cycles(), self.now));
+                    ArrivalOutcome::PushedOut(PortId::new(0))
                 } else {
-                    self.counters.record_drop();
+                    self.counters.record_drop(1);
+                    ArrivalOutcome::Dropped(DropReason::BufferFull)
                 }
             }
         }
@@ -156,9 +165,8 @@ impl WorkSystem for SingleFifoQueue {
         }
     }
 
-    fn offer(&mut self, pkt: WorkPacket) -> Result<(), AdmitError> {
-        self.offer_work(pkt.work());
-        Ok(())
+    fn offer(&mut self, pkt: WorkPacket) -> Result<ArrivalOutcome, AdmitError> {
+        Ok(self.offer_work(pkt.work()))
     }
 
     fn transmission_phase(&mut self) -> u64 {
@@ -190,10 +198,11 @@ impl WorkSystem for SingleFifoQueue {
         self.now = self.now.next();
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> u64 {
         let n = self.residuals.len() as u64;
         self.residuals.clear();
-        self.counters.record_flush(n);
+        self.counters.record_flush(n, n);
+        n
     }
 
     fn transmitted(&self) -> u64 {

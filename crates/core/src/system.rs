@@ -1,34 +1,70 @@
 //! Uniform interfaces over "things that receive a packet stream" — policy
 //! runners and OPT surrogates — so the simulation engine can drive an
 //! algorithm and its yardstick through identical slot phases.
+//!
+//! Every hook reports enough detail for instrumentation: [`offer`] returns
+//! the packet's fate ([`ArrivalOutcome`]), [`flush`] the number of discarded
+//! packets, and [`transmission_phase_into`] appends per-packet completion
+//! records for systems that track them (the shared-memory runners do; the
+//! aggregate OPT surrogates fall back to the totals-only default).
+//!
+//! [`offer`]: WorkSystem::offer
+//! [`flush`]: WorkSystem::flush
+//! [`transmission_phase_into`]: WorkSystem::transmission_phase_into
 
-use smbm_switch::{AdmitError, CombinedPacket, ValuePacket, WorkPacket};
+use smbm_switch::{
+    AdmitError, ArrivalOutcome, CombinedPacket, DropReason, Transmitted, ValuePacket, WorkPacket,
+};
 
 use crate::{
-    CombinedPolicy, CombinedPqOpt, CombinedRunner, ValuePolicy, ValuePqOpt, ValueRunner,
+    CombinedPolicy, CombinedPqOpt, CombinedRunner, Decision, ValuePolicy, ValuePqOpt, ValueRunner,
     WorkPolicy, WorkPqOpt, WorkRunner,
 };
+
+/// Classifies a policy decision as an [`ArrivalOutcome`], distinguishing
+/// drops forced by a full buffer from voluntary policy rejections.
+fn classify(decision: Decision, was_full: bool) -> ArrivalOutcome {
+    match decision {
+        Decision::Accept => ArrivalOutcome::Admitted,
+        Decision::PushOut(victim) => ArrivalOutcome::PushedOut(victim),
+        Decision::Drop => ArrivalOutcome::Dropped(if was_full {
+            DropReason::BufferFull
+        } else {
+            DropReason::Policy
+        }),
+    }
+}
 
 /// A system processing work-labelled packets slot by slot.
 pub trait WorkSystem {
     /// Human-readable label for reports.
     fn label(&self) -> String;
 
-    /// Presents one arrival during the current slot's arrival phase.
+    /// Presents one arrival during the current slot's arrival phase,
+    /// reporting the packet's fate.
     ///
     /// # Errors
     ///
     /// Propagates an [`AdmitError`] from an inconsistent policy decision.
-    fn offer(&mut self, pkt: WorkPacket) -> Result<(), AdmitError>;
+    fn offer(&mut self, pkt: WorkPacket) -> Result<ArrivalOutcome, AdmitError>;
 
     /// Runs the transmission phase; returns packets transmitted.
     fn transmission_phase(&mut self) -> u64;
 
+    /// Like [`WorkSystem::transmission_phase`], additionally appending
+    /// per-packet completion records to `out` when the system tracks them.
+    /// The default ignores `out` (aggregate-only systems).
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        let _ = out;
+        self.transmission_phase()
+    }
+
     /// Marks the end of the slot.
     fn end_slot(&mut self);
 
-    /// Discards all buffered packets (simulation flushout).
-    fn flush(&mut self);
+    /// Discards all buffered packets (simulation flushout); returns how many
+    /// were discarded.
+    fn flush(&mut self) -> u64;
 
     /// Packets transmitted since construction.
     fn transmitted(&self) -> u64;
@@ -42,20 +78,25 @@ impl<P: WorkPolicy> WorkSystem for WorkRunner<P> {
         self.policy().name().to_owned()
     }
 
-    fn offer(&mut self, pkt: WorkPacket) -> Result<(), AdmitError> {
-        self.arrival(pkt).map(|_| ())
+    fn offer(&mut self, pkt: WorkPacket) -> Result<ArrivalOutcome, AdmitError> {
+        let was_full = self.switch().is_full();
+        Ok(classify(self.arrival(pkt)?, was_full))
     }
 
     fn transmission_phase(&mut self) -> u64 {
         self.transmission().transmitted
     }
 
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        self.transmission_into(out).transmitted
+    }
+
     fn end_slot(&mut self) {
         WorkRunner::end_slot(self);
     }
 
-    fn flush(&mut self) {
-        WorkRunner::flush(self);
+    fn flush(&mut self) -> u64 {
+        WorkRunner::flush(self)
     }
 
     fn transmitted(&self) -> u64 {
@@ -72,9 +113,8 @@ impl WorkSystem for WorkPqOpt {
         format!("OPT(pq,{}cores)", self.cores())
     }
 
-    fn offer(&mut self, pkt: WorkPacket) -> Result<(), AdmitError> {
-        WorkPqOpt::offer(self, pkt);
-        Ok(())
+    fn offer(&mut self, pkt: WorkPacket) -> Result<ArrivalOutcome, AdmitError> {
+        Ok(WorkPqOpt::offer(self, pkt))
     }
 
     fn transmission_phase(&mut self) -> u64 {
@@ -83,8 +123,8 @@ impl WorkSystem for WorkPqOpt {
 
     fn end_slot(&mut self) {}
 
-    fn flush(&mut self) {
-        WorkPqOpt::flush(self);
+    fn flush(&mut self) -> u64 {
+        WorkPqOpt::flush(self)
     }
 
     fn transmitted(&self) -> u64 {
@@ -101,21 +141,31 @@ pub trait ValueSystem {
     /// Human-readable label for reports.
     fn label(&self) -> String;
 
-    /// Presents one arrival during the current slot's arrival phase.
+    /// Presents one arrival during the current slot's arrival phase,
+    /// reporting the packet's fate.
     ///
     /// # Errors
     ///
     /// Propagates an [`AdmitError`] from an inconsistent policy decision.
-    fn offer(&mut self, pkt: ValuePacket) -> Result<(), AdmitError>;
+    fn offer(&mut self, pkt: ValuePacket) -> Result<ArrivalOutcome, AdmitError>;
 
     /// Runs the transmission phase; returns the value transmitted.
     fn transmission_phase(&mut self) -> u64;
 
+    /// Like [`ValueSystem::transmission_phase`], additionally appending
+    /// per-packet completion records to `out` when the system tracks them.
+    /// The default ignores `out` (aggregate-only systems).
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        let _ = out;
+        self.transmission_phase()
+    }
+
     /// Marks the end of the slot.
     fn end_slot(&mut self);
 
-    /// Discards all buffered packets (simulation flushout).
-    fn flush(&mut self);
+    /// Discards all buffered packets (simulation flushout); returns how many
+    /// were discarded.
+    fn flush(&mut self) -> u64;
 
     /// Total value transmitted since construction.
     fn transmitted_value(&self) -> u64;
@@ -129,20 +179,25 @@ impl<P: ValuePolicy> ValueSystem for ValueRunner<P> {
         self.policy().name().to_owned()
     }
 
-    fn offer(&mut self, pkt: ValuePacket) -> Result<(), AdmitError> {
-        self.arrival(pkt).map(|_| ())
+    fn offer(&mut self, pkt: ValuePacket) -> Result<ArrivalOutcome, AdmitError> {
+        let was_full = self.switch().is_full();
+        Ok(classify(self.arrival(pkt)?, was_full))
     }
 
     fn transmission_phase(&mut self) -> u64 {
         self.transmission().value
     }
 
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        self.transmission_into(out).value
+    }
+
     fn end_slot(&mut self) {
         ValueRunner::end_slot(self);
     }
 
-    fn flush(&mut self) {
-        ValueRunner::flush(self);
+    fn flush(&mut self) -> u64 {
+        ValueRunner::flush(self)
     }
 
     fn transmitted_value(&self) -> u64 {
@@ -159,9 +214,8 @@ impl ValueSystem for ValuePqOpt {
         format!("OPT(pq,{}cores)", self.cores())
     }
 
-    fn offer(&mut self, pkt: ValuePacket) -> Result<(), AdmitError> {
-        ValuePqOpt::offer(self, pkt);
-        Ok(())
+    fn offer(&mut self, pkt: ValuePacket) -> Result<ArrivalOutcome, AdmitError> {
+        Ok(ValuePqOpt::offer(self, pkt))
     }
 
     fn transmission_phase(&mut self) -> u64 {
@@ -170,8 +224,8 @@ impl ValueSystem for ValuePqOpt {
 
     fn end_slot(&mut self) {}
 
-    fn flush(&mut self) {
-        ValuePqOpt::flush(self);
+    fn flush(&mut self) -> u64 {
+        ValuePqOpt::flush(self)
     }
 
     fn transmitted_value(&self) -> u64 {
@@ -188,21 +242,30 @@ pub trait CombinedSystem {
     /// Human-readable label for reports.
     fn label(&self) -> String;
 
-    /// Presents one arrival during the arrival phase.
+    /// Presents one arrival during the arrival phase, reporting the packet's
+    /// fate.
     ///
     /// # Errors
     ///
     /// Propagates an [`AdmitError`] from an inconsistent policy decision.
-    fn offer(&mut self, pkt: CombinedPacket) -> Result<(), AdmitError>;
+    fn offer(&mut self, pkt: CombinedPacket) -> Result<ArrivalOutcome, AdmitError>;
 
     /// Runs the transmission phase; returns the value transmitted.
     fn transmission_phase(&mut self) -> u64;
 
+    /// Like [`CombinedSystem::transmission_phase`], additionally appending
+    /// per-packet completion records to `out` when the system tracks them.
+    /// The default ignores `out` (aggregate-only systems).
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        let _ = out;
+        self.transmission_phase()
+    }
+
     /// Marks the end of the slot.
     fn end_slot(&mut self);
 
-    /// Discards all buffered packets.
-    fn flush(&mut self);
+    /// Discards all buffered packets; returns how many were discarded.
+    fn flush(&mut self) -> u64;
 
     /// Total value transmitted since construction.
     fn transmitted_value(&self) -> u64;
@@ -216,20 +279,25 @@ impl<P: CombinedPolicy> CombinedSystem for CombinedRunner<P> {
         self.policy().name().to_owned()
     }
 
-    fn offer(&mut self, pkt: CombinedPacket) -> Result<(), AdmitError> {
-        self.arrival(pkt).map(|_| ())
+    fn offer(&mut self, pkt: CombinedPacket) -> Result<ArrivalOutcome, AdmitError> {
+        let was_full = self.switch().is_full();
+        Ok(classify(self.arrival(pkt)?, was_full))
     }
 
     fn transmission_phase(&mut self) -> u64 {
         self.transmission().value
     }
 
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        self.transmission_into(out).value
+    }
+
     fn end_slot(&mut self) {
         CombinedRunner::end_slot(self);
     }
 
-    fn flush(&mut self) {
-        CombinedRunner::flush(self);
+    fn flush(&mut self) -> u64 {
+        CombinedRunner::flush(self)
     }
 
     fn transmitted_value(&self) -> u64 {
@@ -246,9 +314,8 @@ impl CombinedSystem for CombinedPqOpt {
         format!("OPT(density,{}cores)", self.cores())
     }
 
-    fn offer(&mut self, pkt: CombinedPacket) -> Result<(), AdmitError> {
-        CombinedPqOpt::offer(self, pkt);
-        Ok(())
+    fn offer(&mut self, pkt: CombinedPacket) -> Result<ArrivalOutcome, AdmitError> {
+        Ok(CombinedPqOpt::offer(self, pkt))
     }
 
     fn transmission_phase(&mut self) -> u64 {
@@ -257,8 +324,8 @@ impl CombinedSystem for CombinedPqOpt {
 
     fn end_slot(&mut self) {}
 
-    fn flush(&mut self) {
-        CombinedPqOpt::flush(self);
+    fn flush(&mut self) -> u64 {
+        CombinedPqOpt::flush(self)
     }
 
     fn transmitted_value(&self) -> u64 {
@@ -274,7 +341,7 @@ impl CombinedSystem for CombinedPqOpt {
 mod tests {
     use super::*;
     use crate::{GreedyValue, Lwd};
-    use smbm_switch::{PortId, Value, Work, WorkSwitchConfig, ValueSwitchConfig};
+    use smbm_switch::{PortId, Value, ValueSwitchConfig, Work, WorkSwitchConfig};
 
     #[test]
     fn runner_and_opt_share_the_work_interface() {
@@ -284,8 +351,10 @@ mod tests {
             Box::new(WorkPqOpt::new(4, 2)),
         ];
         for sys in systems.iter_mut() {
-            sys.offer(WorkPacket::new(PortId::new(0), Work::new(1)))
+            let outcome = sys
+                .offer(WorkPacket::new(PortId::new(0), Work::new(1)))
                 .unwrap();
+            assert_eq!(outcome, ArrivalOutcome::Admitted, "{}", sys.label());
             let sent = sys.transmission_phase();
             sys.end_slot();
             assert_eq!(sent, 1, "{}", sys.label());
@@ -316,8 +385,47 @@ mod tests {
         let mut sys: Box<dyn WorkSystem> = Box::new(WorkRunner::new(cfg, Lwd::new(), 1));
         sys.offer(WorkPacket::new(PortId::new(0), Work::new(1)))
             .unwrap();
-        sys.flush();
+        assert_eq!(sys.flush(), 1);
         assert_eq!(sys.occupancy(), 0);
+    }
+
+    #[test]
+    fn runner_distinguishes_drop_reasons() {
+        // Buffer 1: the first packet is admitted, the second is rejected
+        // because the buffer is full (LWD on a single saturated queue keeps
+        // the incumbent when the arrival is not smaller).
+        let cfg = WorkSwitchConfig::contiguous(1, 1).unwrap();
+        let mut sys = WorkRunner::new(cfg, Lwd::new(), 1);
+        let pkt = sys.switch().packet_for(PortId::new(0));
+        assert_eq!(
+            WorkSystem::offer(&mut sys, pkt).unwrap(),
+            ArrivalOutcome::Admitted
+        );
+        let outcome = WorkSystem::offer(&mut sys, pkt).unwrap();
+        assert_eq!(
+            outcome,
+            ArrivalOutcome::Dropped(DropReason::BufferFull),
+            "a drop with the buffer at capacity is a buffer-full drop"
+        );
+    }
+
+    #[test]
+    fn transmission_phase_into_reports_completions() {
+        let cfg = WorkSwitchConfig::contiguous(2, 4).unwrap();
+        let mut sys = WorkRunner::new(cfg, Lwd::new(), 1);
+        WorkSystem::offer(&mut sys, WorkPacket::new(PortId::new(0), Work::new(1))).unwrap();
+        let mut out = Vec::new();
+        let sent = WorkSystem::transmission_phase_into(&mut sys, &mut out);
+        assert_eq!(sent, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, PortId::new(0));
+
+        // The aggregate OPT surrogate leaves `out` untouched.
+        let mut opt = WorkPqOpt::new(4, 2);
+        WorkSystem::offer(&mut opt, WorkPacket::new(PortId::new(0), Work::new(1))).unwrap();
+        out.clear();
+        assert_eq!(WorkSystem::transmission_phase_into(&mut opt, &mut out), 1);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -107,7 +107,10 @@ mod tests {
         // Arrival to queue 0: queue 1 (len 3) is longest; its min (2) leaves.
         let d = r.arrival(pkt(0, 3)).unwrap();
         assert_eq!(d, Decision::PushOut(PortId::new(1)));
-        assert_eq!(r.switch().queue(PortId::new(1)).min_value(), Some(Value::new(5)));
+        assert_eq!(
+            r.switch().queue(PortId::new(1)).min_value(),
+            Some(Value::new(5))
+        );
         assert_eq!(r.switch().queue(PortId::new(0)).len(), 2);
     }
 

@@ -19,7 +19,7 @@ pub use mvd::Mvd;
 pub use nest::NestValue;
 pub use nhst::NhstValue;
 
-use smbm_switch::{AdmitError, ValuePacket, ValuePhaseReport, ValueSwitch};
+use smbm_switch::{AdmitError, Transmitted, ValuePacket, ValuePhaseReport, ValueSwitch};
 
 use crate::Decision;
 
@@ -121,6 +121,12 @@ impl<P: ValuePolicy> ValueRunner<P> {
         self.switch.transmit(self.speedup)
     }
 
+    /// Like [`ValueRunner::transmission`], appending per-packet completion
+    /// details to `out`.
+    pub fn transmission_into(&mut self, out: &mut Vec<Transmitted>) -> ValuePhaseReport {
+        self.switch.transmit_into(self.speedup, out)
+    }
+
     /// Ends the slot (advances the switch clock).
     pub fn end_slot(&mut self) {
         self.switch.advance_slot();
@@ -168,8 +174,7 @@ mod tests {
     #[test]
     fn registry_knows_every_listed_policy() {
         for name in VALUE_POLICY_NAMES {
-            let p = value_policy_by_name(name)
-                .unwrap_or_else(|| panic!("registry missing {name}"));
+            let p = value_policy_by_name(name).unwrap_or_else(|| panic!("registry missing {name}"));
             assert_eq!(p.name(), *name);
         }
     }

@@ -82,9 +82,7 @@ impl super::ValuePolicy for Mvd {
             return Decision::Accept;
         }
         match self.victim(switch) {
-            Some((victim, min_value)) if min_value < pkt.value().get() => {
-                Decision::PushOut(victim)
-            }
+            Some((victim, min_value)) if min_value < pkt.value().get() => Decision::PushOut(victim),
             _ => Decision::Drop,
         }
     }
@@ -131,7 +129,10 @@ mod tests {
         // Equal value: strict inequality required, so drop.
         assert_eq!(r.arrival(pkt(0, 3)).unwrap(), Decision::Drop);
         assert_eq!(r.arrival(pkt(0, 2)).unwrap(), Decision::Drop);
-        assert_eq!(r.arrival(pkt(0, 4)).unwrap(), Decision::PushOut(PortId::new(1)));
+        assert_eq!(
+            r.arrival(pkt(0, 4)).unwrap(),
+            Decision::PushOut(PortId::new(1))
+        );
     }
 
     #[test]
@@ -157,7 +158,10 @@ mod tests {
         // and evicts queue 1's minimum (2).
         assert_eq!(d, Decision::PushOut(PortId::new(1)));
         assert_eq!(r.switch().queue(PortId::new(0)).len(), 2);
-        assert_eq!(r.switch().queue(PortId::new(1)).min_value(), Some(Value::new(3)));
+        assert_eq!(
+            r.switch().queue(PortId::new(1)).min_value(),
+            Some(Value::new(3))
+        );
     }
 
     #[test]

@@ -150,7 +150,9 @@ mod tests {
                 let _ = r.arrival_to(PortId::new(port)).unwrap();
             }
         }
-        let lens: Vec<usize> = (0..4).map(|p| r.switch().queue(PortId::new(p)).len()).collect();
+        let lens: Vec<usize> = (0..4)
+            .map(|p| r.switch().queue(PortId::new(p)).len())
+            .collect();
         assert_eq!(lens.iter().sum::<usize>(), 8);
         assert!(lens.iter().all(|&l| l == 2), "unbalanced: {lens:?}");
         r.switch().check_invariants().unwrap();

@@ -205,8 +205,7 @@ mod tests {
     fn tie_break_variants_differ() {
         let cfg = WorkSwitchConfig::contiguous(3, 4).unwrap();
         let mut maxw = WorkRunner::new(cfg.clone(), Lwd::new(), 1);
-        let mut minw =
-            WorkRunner::new(cfg, Lwd::with_tie_break(LwdTieBreak::MinWork), 1);
+        let mut minw = WorkRunner::new(cfg, Lwd::with_tie_break(LwdTieBreak::MinWork), 1);
         for r in [&mut maxw, &mut minw] {
             for _ in 0..3 {
                 r.arrival_to(PortId::new(0)).unwrap();
@@ -227,8 +226,14 @@ mod tests {
     #[test]
     fn names_reflect_tie_break() {
         assert_eq!(Lwd::new().name(), "LWD");
-        assert_eq!(Lwd::with_tie_break(LwdTieBreak::MaxLen).name(), "LWD-maxlen");
-        assert_eq!(Lwd::with_tie_break(LwdTieBreak::MinWork).name(), "LWD-minwork");
+        assert_eq!(
+            Lwd::with_tie_break(LwdTieBreak::MaxLen).name(),
+            "LWD-maxlen"
+        );
+        assert_eq!(
+            Lwd::with_tie_break(LwdTieBreak::MinWork).name(),
+            "LWD-minwork"
+        );
         assert_eq!(Lwd::new().tie_break(), LwdTieBreak::MaxWork);
     }
 
@@ -260,7 +265,9 @@ mod tests {
         for _ in 0..b / 12 {
             r.arrival_to(PortId::new(3)).unwrap();
         }
-        let lens: Vec<usize> = (0..4).map(|p| r.switch().queue(PortId::new(p)).len()).collect();
+        let lens: Vec<usize> = (0..4)
+            .map(|p| r.switch().queue(PortId::new(p)).len())
+            .collect();
         // Total work equalised at B/2 per queue: 12 = 12x[1] = 6x[2] = 4x[3] = 2x[6].
         assert_eq!(lens, vec![b / 2, b / 4, b / 6, b / 12]);
         let works: Vec<u64> = (0..4)

@@ -21,7 +21,7 @@ pub use nhdt::{harmonic, Nhdt};
 pub use nhdt_w::NhdtW;
 pub use nhst::Nhst;
 
-use smbm_switch::{AdmitError, PhaseReport, WorkPacket, WorkSwitch};
+use smbm_switch::{AdmitError, PhaseReport, Transmitted, WorkPacket, WorkSwitch};
 
 use crate::Decision;
 
@@ -137,6 +137,12 @@ impl<P: WorkPolicy> WorkRunner<P> {
         self.switch.transmit(self.speedup)
     }
 
+    /// Like [`WorkRunner::transmission`], appending per-packet completion
+    /// details to `out`.
+    pub fn transmission_into(&mut self, out: &mut Vec<Transmitted>) -> PhaseReport {
+        self.switch.transmit_into(self.speedup, out)
+    }
+
     /// Ends the slot (advances the switch clock).
     pub fn end_slot(&mut self) {
         self.switch.advance_slot();
@@ -192,8 +198,7 @@ mod tests {
     #[test]
     fn registry_knows_every_listed_policy() {
         for name in WORK_POLICY_NAMES {
-            let p = work_policy_by_name(name)
-                .unwrap_or_else(|| panic!("registry missing {name}"));
+            let p = work_policy_by_name(name).unwrap_or_else(|| panic!("registry missing {name}"));
             assert_eq!(p.name(), *name);
         }
     }

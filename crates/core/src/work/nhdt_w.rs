@@ -53,7 +53,11 @@ impl super::WorkPolicy for NhdtW {
         let mut m = 0usize;
         let mut occupied: u64 = 0;
         for (port, q) in switch.queues() {
-            let w = if port == pkt.port() { own } else { q.total_work() };
+            let w = if port == pkt.port() {
+                own
+            } else {
+                q.total_work()
+            };
             if w >= own {
                 m += 1;
                 occupied += w;
@@ -113,7 +117,10 @@ mod tests {
                 plain += 1;
             }
         }
-        assert!(plain > heavy, "NHDT {plain} should out-admit NHDT-W {heavy}");
+        assert!(
+            plain > heavy,
+            "NHDT {plain} should out-admit NHDT-W {heavy}"
+        );
     }
 
     #[test]

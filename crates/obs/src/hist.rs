@@ -1,0 +1,445 @@
+//! Log-bucketed histograms and the metric-recording observer.
+
+use crate::{DropReason, Observer};
+use smbm_switch::PortId;
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+const BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with logarithmic (power-of-two) buckets:
+/// bucket 0 holds zeros, bucket `i >= 1` holds samples in
+/// `[2^(i-1), 2^i)`. Percentiles are answered from the bucket boundaries
+/// (clamped to the observed maximum), which is exact for small samples and
+/// within a factor of two for large ones — plenty for latency/occupancy
+/// tail reporting at O(1) memory.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a sample falls into.
+    fn bucket(sample: u64) -> usize {
+        if sample == 0 {
+            0
+        } else {
+            64 - sample.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.counts[Self::bucket(sample)] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the inclusive upper bound of the
+    /// bucket where the cumulative count crosses `q * count`, clamped to
+    /// the observed extrema. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`percentile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Renders the summary statistics as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{:.4},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+/// An [`Observer`] aggregating engine activity into log-bucketed histograms:
+///
+/// * **latency** — buffer sojourn of every transmitted packet (slots);
+/// * **occupancy** — buffer occupancy at every slot end;
+/// * **queue length** — the longest per-port queue at every slot end
+///   (tracked from admission/eviction/transmission events);
+/// * **burst size** — arrivals per trace slot (drain slots excluded);
+///
+/// plus drop counts per [`DropReason`] and totals for every event kind.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramRecorder {
+    latency: LogHistogram,
+    occupancy: LogHistogram,
+    queue_len: LogHistogram,
+    burst: LogHistogram,
+    queue_lens: Vec<u64>,
+    arrivals_this_slot: u64,
+    slot_had_arrival_phase: bool,
+    arrivals: u64,
+    admitted: u64,
+    dropped_full: u64,
+    dropped_policy: u64,
+    pushed_out: u64,
+    transmitted: u64,
+    transmitted_value: u64,
+    flushed: u64,
+}
+
+impl HistogramRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn queue_slot(&mut self, port: PortId) -> &mut u64 {
+        let i = port.index();
+        if i >= self.queue_lens.len() {
+            self.queue_lens.resize(i + 1, 0);
+        }
+        &mut self.queue_lens[i]
+    }
+
+    /// Packets offered.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Packets admitted.
+    pub fn admitted_packets(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Packets dropped for the given reason.
+    pub fn drop_count(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::BufferFull => self.dropped_full,
+            DropReason::Policy => self.dropped_policy,
+        }
+    }
+
+    /// Packets evicted after admission (excluding flushes).
+    pub fn pushed_out_packets(&self) -> u64 {
+        self.pushed_out
+    }
+
+    /// Packets transmitted.
+    pub fn transmitted_packets(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Total value transmitted.
+    pub fn transmitted_value(&self) -> u64 {
+        self.transmitted_value
+    }
+
+    /// Packets discarded by periodic flushes.
+    pub fn flushed_packets(&self) -> u64 {
+        self.flushed
+    }
+
+    /// Latency histogram (transmitted packets' buffer sojourn, in slots).
+    pub fn latency(&self) -> &LogHistogram {
+        &self.latency
+    }
+
+    /// Occupancy histogram (buffer occupancy at slot end).
+    pub fn occupancy(&self) -> &LogHistogram {
+        &self.occupancy
+    }
+
+    /// Queue-length histogram (longest queue at slot end).
+    pub fn queue_len(&self) -> &LogHistogram {
+        &self.queue_len
+    }
+
+    /// Burst-size histogram (arrivals per trace slot).
+    pub fn burst(&self) -> &LogHistogram {
+        &self.burst
+    }
+
+    /// Renders every histogram and counter as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"arrived\":{},\"admitted\":{},\"pushed_out\":{},\"transmitted\":{},\
+             \"transmitted_value\":{},\"flushed\":{},\
+             \"drops\":{{\"buffer_full\":{},\"policy\":{}}},\
+             \"latency\":{},\"occupancy\":{},\"queue_len\":{},\"burst\":{}}}",
+            self.arrivals,
+            self.admitted,
+            self.pushed_out,
+            self.transmitted,
+            self.transmitted_value,
+            self.flushed,
+            self.dropped_full,
+            self.dropped_policy,
+            self.latency.to_json(),
+            self.occupancy.to_json(),
+            self.queue_len.to_json(),
+            self.burst.to_json()
+        )
+    }
+}
+
+impl Observer for HistogramRecorder {
+    fn slot_start(&mut self, _slot: u64) {
+        self.arrivals_this_slot = 0;
+        self.slot_had_arrival_phase = false;
+    }
+
+    fn arrival(&mut self, _slot: u64, _port: PortId, _work: u32, _value: u64) {
+        self.arrivals += 1;
+        self.arrivals_this_slot += 1;
+        self.slot_had_arrival_phase = true;
+    }
+
+    fn admitted(&mut self, _slot: u64, port: PortId) {
+        self.admitted += 1;
+        *self.queue_slot(port) += 1;
+    }
+
+    fn dropped(&mut self, _slot: u64, _port: PortId, reason: DropReason) {
+        match reason {
+            DropReason::BufferFull => self.dropped_full += 1,
+            DropReason::Policy => self.dropped_policy += 1,
+        }
+    }
+
+    fn pushed_out(&mut self, _slot: u64, victim: PortId) {
+        self.pushed_out += 1;
+        let q = self.queue_slot(victim);
+        *q = q.saturating_sub(1);
+    }
+
+    fn transmitted(&mut self, _slot: u64, port: PortId, latency: u64, value: u64) {
+        self.transmitted += 1;
+        self.transmitted_value += value;
+        self.latency.record(latency);
+        let q = self.queue_slot(port);
+        *q = q.saturating_sub(1);
+    }
+
+    fn flush(&mut self, _slot: u64, discarded: u64) {
+        self.flushed += discarded;
+        self.queue_lens.fill(0);
+    }
+
+    fn slot_end(&mut self, _slot: u64, occupancy: usize) {
+        self.occupancy.record(occupancy as u64);
+        self.queue_len
+            .record(self.queue_lens.iter().copied().max().unwrap_or(0));
+        // Burst sizes only describe trace slots; a drain slot has no
+        // arrival phase at all and would skew the histogram toward zero.
+        if self.slot_had_arrival_phase {
+            self.burst.record(self.arrivals_this_slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_at_powers_of_two() {
+        assert_eq!(LogHistogram::bucket(0), 0);
+        assert_eq!(LogHistogram::bucket(1), 1);
+        assert_eq!(LogHistogram::bucket(2), 2);
+        assert_eq!(LogHistogram::bucket(3), 2);
+        assert_eq!(LogHistogram::bucket(4), 3);
+        assert_eq!(LogHistogram::bucket(1023), 10);
+        assert_eq!(LogHistogram::bucket(1024), 11);
+        assert_eq!(LogHistogram::bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(37);
+        assert_eq!(h.p50(), 37);
+        assert_eq!(h.p99(), 37);
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+        assert_eq!(h.mean(), 37.0);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut h = LogHistogram::new();
+        // 90 zeros, 9 samples of 5, one of 1000.
+        for _ in 0..90 {
+            h.record(0);
+        }
+        for _ in 0..9 {
+            h.record(5);
+        }
+        h.record(1000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p90(), 0);
+        // 99th falls in the [4, 8) bucket: upper bound 7.
+        assert_eq!(h.percentile(0.99), 7);
+        // The tail sample caps at the observed max.
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn percentile_upper_bounds_clamp_to_observed_range() {
+        let mut h = LogHistogram::new();
+        h.record(9); // bucket [8, 16), upper bound 15 > max 9
+        h.record(9);
+        assert_eq!(h.p50(), 9);
+        let mut lo = LogHistogram::new();
+        lo.record(40);
+        lo.record(41); // both in [32, 64); bucket bound 63 clamps to max 41
+        assert_eq!(lo.p50(), 41);
+    }
+
+    #[test]
+    fn recorder_tracks_queue_lengths_and_bursts() {
+        let p0 = PortId::new(0);
+        let p1 = PortId::new(1);
+        let mut r = HistogramRecorder::new();
+        r.slot_start(0);
+        for _ in 0..3 {
+            r.arrival(0, p0, 1, 1);
+            r.admitted(0, p0);
+        }
+        r.arrival(0, p1, 1, 1);
+        r.dropped(0, p1, DropReason::Policy);
+        r.transmitted(0, p0, 0, 1);
+        r.slot_end(0, 2);
+        // Longest queue after 3 admissions and 1 transmission on port 0.
+        assert_eq!(r.queue_len().max(), 2);
+        assert_eq!(r.burst().max(), 4);
+        assert_eq!(r.drop_count(DropReason::Policy), 1);
+        assert_eq!(r.drop_count(DropReason::BufferFull), 0);
+
+        // A drain slot (no arrivals) leaves the burst histogram untouched.
+        r.slot_start(1);
+        r.transmitted(1, p0, 1, 1);
+        r.slot_end(1, 1);
+        assert_eq!(r.burst().count(), 1);
+        assert_eq!(r.occupancy().count(), 2);
+
+        // Flush zeroes the tracked queues.
+        r.flush(2, 1);
+        assert_eq!(r.flushed_packets(), 1);
+        r.slot_start(3);
+        r.slot_end(3, 0);
+        assert_eq!(r.queue_len().min(), 0);
+    }
+
+    #[test]
+    fn recorder_json_contains_all_sections() {
+        let mut r = HistogramRecorder::new();
+        r.slot_start(0);
+        r.arrival(0, PortId::new(0), 1, 3);
+        r.admitted(0, PortId::new(0));
+        r.slot_end(0, 1);
+        let json = r.to_json();
+        for key in [
+            "\"arrived\":1",
+            "\"admitted\":1",
+            "\"drops\"",
+            "\"buffer_full\":0",
+            "\"policy\":0",
+            "\"latency\"",
+            "\"occupancy\"",
+            "\"queue_len\"",
+            "\"burst\"",
+            "\"p99\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Wall-clock profiling of the slot loop's phases.
+
+use std::time::{Duration, Instant};
+
+use crate::{Observer, Phase};
+
+/// An [`Observer`] accumulating wall-clock time per [`Phase`] plus overall
+/// slot throughput.
+///
+/// The engine reports disjoint phases (drain slots carry only
+/// [`Phase::Drain`]), so the per-phase totals partition the instrumented
+/// portion of the run. Timing costs two `Instant::now()` calls per phase
+/// and per slot — opt in via `--profile`, don't pay by default.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfiler {
+    started: [Option<Instant>; Phase::COUNT],
+    totals: [Duration; Phase::COUNT],
+    entries: [u64; Phase::COUNT],
+    run_started: Option<Instant>,
+    run_elapsed: Duration,
+    slots: u64,
+}
+
+/// A finished profile: per-phase totals and slot throughput, detached from
+/// the live profiler so it can be rendered after the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseReport {
+    /// Total time in the arrival phase.
+    pub arrival: Duration,
+    /// Total time in trace-slot transmission phases.
+    pub transmission: Duration,
+    /// Total time spent flushing.
+    pub flush: Duration,
+    /// Total time in drain slots.
+    pub drain: Duration,
+    /// Wall-clock span from the first slot start to the last slot end.
+    pub wall: Duration,
+    /// Slots executed (trace and drain).
+    pub slots: u64,
+}
+
+impl PhaseReport {
+    /// Slots per wall-clock second, 0.0 before any slot completes.
+    pub fn slots_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.slots as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the report as one JSON object (times in nanoseconds).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"arrival_ns\":{},\"transmission_ns\":{},\"flush_ns\":{},\"drain_ns\":{},\
+             \"wall_ns\":{},\"slots\":{},\"slots_per_sec\":{:.1}}}",
+            self.arrival.as_nanos(),
+            self.transmission.as_nanos(),
+            self.flush.as_nanos(),
+            self.drain.as_nanos(),
+            self.wall.as_nanos(),
+            self.slots,
+            self.slots_per_sec()
+        )
+    }
+}
+
+impl std::fmt::Display for PhaseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "arrival {:.3?}, transmission {:.3?}, flush {:.3?}, drain {:.3?} | {} slots in {:.3?} ({:.0} slots/s)",
+            self.arrival,
+            self.transmission,
+            self.flush,
+            self.drain,
+            self.slots,
+            self.wall,
+            self.slots_per_sec()
+        )
+    }
+}
+
+impl PhaseProfiler {
+    /// Creates an idle profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Slots observed so far.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Times a phase has been entered.
+    pub fn entries(&self, phase: Phase) -> u64 {
+        self.entries[phase.index()]
+    }
+
+    /// Accumulated time in a phase.
+    pub fn total(&self, phase: Phase) -> Duration {
+        self.totals[phase.index()]
+    }
+
+    /// Snapshots the profile.
+    pub fn report(&self) -> PhaseReport {
+        let [arrival, transmission, flush, drain] = Phase::all().map(|p| self.totals[p.index()]);
+        PhaseReport {
+            arrival,
+            transmission,
+            flush,
+            drain,
+            wall: self.run_elapsed,
+            slots: self.slots,
+        }
+    }
+}
+
+impl Observer for PhaseProfiler {
+    fn slot_start(&mut self, _slot: u64) {
+        if self.run_started.is_none() {
+            self.run_started = Some(Instant::now());
+        }
+    }
+
+    fn slot_end(&mut self, _slot: u64, _occupancy: usize) {
+        self.slots += 1;
+        if let Some(start) = self.run_started {
+            self.run_elapsed = start.elapsed();
+        }
+    }
+
+    fn phase_start(&mut self, phase: Phase) {
+        self.started[phase.index()] = Some(Instant::now());
+    }
+
+    fn phase_end(&mut self, phase: Phase) {
+        if let Some(start) = self.started[phase.index()].take() {
+            self.totals[phase.index()] += start.elapsed();
+            self.entries[phase.index()] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_phase_time_and_slots() {
+        let mut p = PhaseProfiler::new();
+        p.slot_start(0);
+        p.phase_start(Phase::Arrival);
+        std::thread::sleep(Duration::from_millis(2));
+        p.phase_end(Phase::Arrival);
+        p.phase_start(Phase::Transmission);
+        p.phase_end(Phase::Transmission);
+        p.slot_end(0, 0);
+
+        assert_eq!(p.slots(), 1);
+        assert_eq!(p.entries(Phase::Arrival), 1);
+        let report = p.report();
+        assert!(report.arrival >= Duration::from_millis(2));
+        assert!(report.wall >= report.arrival);
+        assert!(report.slots_per_sec() > 0.0);
+        assert!(report.to_json().contains("\"slots\":1"));
+        assert!(report.to_string().contains("slots/s"));
+    }
+
+    #[test]
+    fn unmatched_phase_end_is_ignored() {
+        let mut p = PhaseProfiler::new();
+        p.phase_end(Phase::Flush);
+        assert_eq!(p.entries(Phase::Flush), 0);
+        assert_eq!(p.report().slots_per_sec(), 0.0);
+    }
+}

@@ -1,8 +1,19 @@
 //! The two-phase slot loop: drives any [`WorkSystem`]/[`ValueSystem`]
 //! through an arrival trace, with the paper's periodic flushouts.
+//!
+//! All three packet models share one instrumented driver ([`drive`]): the
+//! model-specific `run_*` entry points only adapt their system trait to the
+//! driver's interface. Each entry point has an `_observed` variant taking an
+//! [`Observer`]; the plain variants pass [`NullObserver`], which
+//! monomorphizes every hook to a no-op, so uninstrumented runs cost the same
+//! as before the observer existed — and by construction execute the exact
+//! same slot sequence, so summaries and counters are identical either way.
 
 use smbm_core::{CombinedSystem, ValueSystem, WorkSystem};
-use smbm_switch::{AdmitError, CombinedPacket, ValuePacket, WorkPacket};
+use smbm_obs::{NullObserver, Observer, Phase};
+use smbm_switch::{
+    AdmitError, ArrivalOutcome, CombinedPacket, PortId, Transmitted, ValuePacket, WorkPacket,
+};
 use smbm_traffic::Trace;
 
 use crate::{FlushMode, FlushPolicy};
@@ -55,6 +66,271 @@ pub struct RunSummary {
 /// looping forever.
 const MAX_DRAIN_SLOTS: u64 = 100_000_000;
 
+/// The driver's view of a packet: destination port, work cycles, and value
+/// (1 wherever a model lacks the dimension), feeding arrival events.
+trait EnginePacket: Copy {
+    fn meta(self) -> (PortId, u32, u64);
+}
+
+impl EnginePacket for WorkPacket {
+    fn meta(self) -> (PortId, u32, u64) {
+        (self.port(), self.work().cycles(), 1)
+    }
+}
+
+impl EnginePacket for ValuePacket {
+    fn meta(self) -> (PortId, u32, u64) {
+        (self.port(), 1, self.value().get())
+    }
+}
+
+impl EnginePacket for CombinedPacket {
+    fn meta(self) -> (PortId, u32, u64) {
+        (self.port(), self.work().cycles(), self.value().get())
+    }
+}
+
+/// The driver's view of a system: the subset of the `*System` traits the
+/// slot loop needs, adapted per model so one loop serves all three.
+trait EngineSystem {
+    type Packet: EnginePacket;
+
+    fn offer(&mut self, pkt: Self::Packet) -> Result<ArrivalOutcome, AdmitError>;
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64;
+    fn end_slot(&mut self);
+    fn flush(&mut self) -> u64;
+    fn occupancy(&self) -> usize;
+    fn score(&self) -> u64;
+}
+
+struct WorkAdapter<'a, S: ?Sized>(&'a mut S);
+
+impl<S: WorkSystem + ?Sized> EngineSystem for WorkAdapter<'_, S> {
+    type Packet = WorkPacket;
+
+    fn offer(&mut self, pkt: WorkPacket) -> Result<ArrivalOutcome, AdmitError> {
+        self.0.offer(pkt)
+    }
+
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        self.0.transmission_phase_into(out)
+    }
+
+    fn end_slot(&mut self) {
+        self.0.end_slot();
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.0.flush()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.0.occupancy()
+    }
+
+    fn score(&self) -> u64 {
+        self.0.transmitted()
+    }
+}
+
+struct ValueAdapter<'a, S: ?Sized>(&'a mut S);
+
+impl<S: ValueSystem + ?Sized> EngineSystem for ValueAdapter<'_, S> {
+    type Packet = ValuePacket;
+
+    fn offer(&mut self, pkt: ValuePacket) -> Result<ArrivalOutcome, AdmitError> {
+        self.0.offer(pkt)
+    }
+
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        self.0.transmission_phase_into(out)
+    }
+
+    fn end_slot(&mut self) {
+        self.0.end_slot();
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.0.flush()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.0.occupancy()
+    }
+
+    fn score(&self) -> u64 {
+        self.0.transmitted_value()
+    }
+}
+
+struct CombinedAdapter<'a, S: ?Sized>(&'a mut S);
+
+impl<S: CombinedSystem + ?Sized> EngineSystem for CombinedAdapter<'_, S> {
+    type Packet = CombinedPacket;
+
+    fn offer(&mut self, pkt: CombinedPacket) -> Result<ArrivalOutcome, AdmitError> {
+        self.0.offer(pkt)
+    }
+
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        self.0.transmission_phase_into(out)
+    }
+
+    fn end_slot(&mut self) {
+        self.0.end_slot();
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.0.flush()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.0.occupancy()
+    }
+
+    fn score(&self) -> u64 {
+        self.0.transmitted_value()
+    }
+}
+
+/// Runs one transmission phase, forwarding each completed packet to the
+/// observer. `scratch` is reused across slots, so the uninstrumented path
+/// allocates no more than the pre-observer engine did.
+fn transmission<S: EngineSystem, O: Observer>(
+    sys: &mut S,
+    slot: u64,
+    scratch: &mut Vec<Transmitted>,
+    obs: &mut O,
+) {
+    scratch.clear();
+    sys.transmission_phase_into(scratch);
+    for t in scratch.iter() {
+        obs.transmitted(slot, t.port, t.latency(), t.value.get());
+    }
+}
+
+/// Runs arrival-free slots until the buffer empties. Returns the number of
+/// slots executed; the caller decides how they enter the occupancy
+/// statistics (mid-trace drains are excluded, the final drain is averaged).
+fn drain<S: EngineSystem, O: Observer>(
+    sys: &mut S,
+    slots: &mut u64,
+    scratch: &mut Vec<Transmitted>,
+    obs: &mut O,
+    occ_sum: Option<&mut u64>,
+    guard_msg: &str,
+) {
+    if sys.occupancy() == 0 {
+        return;
+    }
+    obs.drain_start(*slots);
+    let mut sum_acc = 0u64;
+    let mut guard = 0u64;
+    while sys.occupancy() > 0 {
+        let slot = *slots;
+        obs.slot_start(slot);
+        obs.phase_start(Phase::Drain);
+        transmission(sys, slot, scratch, obs);
+        sys.end_slot();
+        obs.phase_end(Phase::Drain);
+        *slots += 1;
+        sum_acc += sys.occupancy() as u64;
+        obs.slot_end(slot, sys.occupancy());
+        guard += 1;
+        assert!(guard < MAX_DRAIN_SLOTS, "{guard_msg}");
+    }
+    if let Some(occ_sum) = occ_sum {
+        *occ_sum += sum_acc;
+    }
+    obs.drain_end(*slots);
+}
+
+/// The shared two-phase slot loop. Only this function encodes the engine's
+/// semantics; the public `run_*` entry points adapt their model to it.
+fn drive<S: EngineSystem, O: Observer>(
+    sys: &mut S,
+    trace: &Trace<S::Packet>,
+    engine: &EngineConfig,
+    obs: &mut O,
+) -> Result<RunSummary, AdmitError> {
+    let mut slots = 0u64;
+    let mut occ_sum = 0u64;
+    let mut occ_max = 0usize;
+    let mut scratch: Vec<Transmitted> = Vec::new();
+    for (i, burst) in trace.iter().enumerate() {
+        if let Some(flush) = &engine.flush {
+            if flush.due(i as u64) {
+                match flush.mode {
+                    FlushMode::Drop => {
+                        obs.phase_start(Phase::Flush);
+                        let discarded = sys.flush();
+                        obs.flush(slots, discarded);
+                        obs.phase_end(Phase::Flush);
+                    }
+                    FlushMode::Drain => {
+                        // Mid-trace drain slots are excluded from the
+                        // occupancy statistics, as in the original engine.
+                        drain(
+                            sys,
+                            &mut slots,
+                            &mut scratch,
+                            obs,
+                            None,
+                            "drain did not terminate",
+                        );
+                    }
+                }
+            }
+        }
+        let slot = slots;
+        obs.slot_start(slot);
+        obs.phase_start(Phase::Arrival);
+        for &pkt in burst {
+            let (port, work, value) = pkt.meta();
+            obs.arrival(slot, port, work, value);
+            match sys.offer(pkt)? {
+                ArrivalOutcome::Admitted => obs.admitted(slot, port),
+                ArrivalOutcome::PushedOut(victim) => {
+                    obs.pushed_out(slot, victim);
+                    obs.admitted(slot, port);
+                }
+                ArrivalOutcome::Dropped(reason) => obs.dropped(slot, port, reason),
+            }
+        }
+        obs.phase_end(Phase::Arrival);
+        obs.phase_start(Phase::Transmission);
+        transmission(sys, slot, &mut scratch, obs);
+        obs.phase_end(Phase::Transmission);
+        sys.end_slot();
+        slots += 1;
+        occ_sum += sys.occupancy() as u64;
+        occ_max = occ_max.max(sys.occupancy());
+        obs.slot_end(slot, sys.occupancy());
+    }
+    if engine.drain_at_end {
+        // The final drain contributes to the occupancy mean but not the
+        // maximum (occupancy only falls while draining).
+        drain(
+            sys,
+            &mut slots,
+            &mut scratch,
+            obs,
+            Some(&mut occ_sum),
+            "final drain did not terminate",
+        );
+    }
+    Ok(RunSummary {
+        slots,
+        score: sys.score(),
+        mean_occupancy: if slots == 0 {
+            0.0
+        } else {
+            occ_sum as f64 / slots as f64
+        },
+        max_occupancy: occ_max,
+    })
+}
+
 /// Runs a work-model system over `trace`.
 ///
 /// # Errors
@@ -65,53 +341,22 @@ pub fn run_work<S: WorkSystem + ?Sized>(
     trace: &Trace<WorkPacket>,
     engine: &EngineConfig,
 ) -> Result<RunSummary, AdmitError> {
-    let mut slots = 0u64;
-    let mut occ_sum = 0u64;
-    let mut occ_max = 0usize;
-    for (i, burst) in trace.iter().enumerate() {
-        if let Some(flush) = &engine.flush {
-            if flush.due(i as u64) {
-                match flush.mode {
-                    FlushMode::Drop => sys.flush(),
-                    FlushMode::Drain => {
-                        let mut guard = 0u64;
-                        while sys.occupancy() > 0 {
-                            sys.transmission_phase();
-                            sys.end_slot();
-                            slots += 1;
-                            guard += 1;
-                            assert!(guard < MAX_DRAIN_SLOTS, "drain did not terminate");
-                        }
-                    }
-                }
-            }
-        }
-        for &pkt in burst {
-            sys.offer(pkt)?;
-        }
-        sys.transmission_phase();
-        sys.end_slot();
-        slots += 1;
-        occ_sum += sys.occupancy() as u64;
-        occ_max = occ_max.max(sys.occupancy());
-    }
-    if engine.drain_at_end {
-        let mut guard = 0u64;
-        while sys.occupancy() > 0 {
-            sys.transmission_phase();
-            sys.end_slot();
-            slots += 1;
-            occ_sum += sys.occupancy() as u64;
-            guard += 1;
-            assert!(guard < MAX_DRAIN_SLOTS, "final drain did not terminate");
-        }
-    }
-    Ok(RunSummary {
-        slots,
-        score: sys.transmitted(),
-        mean_occupancy: if slots == 0 { 0.0 } else { occ_sum as f64 / slots as f64 },
-        max_occupancy: occ_max,
-    })
+    run_work_observed(sys, trace, engine, &mut NullObserver)
+}
+
+/// Runs a work-model system over `trace`, reporting every engine event to
+/// `obs`.
+///
+/// # Errors
+///
+/// Propagates an [`AdmitError`] raised by an inconsistent policy decision.
+pub fn run_work_observed<S: WorkSystem + ?Sized, O: Observer>(
+    sys: &mut S,
+    trace: &Trace<WorkPacket>,
+    engine: &EngineConfig,
+    obs: &mut O,
+) -> Result<RunSummary, AdmitError> {
+    drive(&mut WorkAdapter(sys), trace, engine, obs)
 }
 
 /// Runs a value-model system over `trace`.
@@ -124,53 +369,22 @@ pub fn run_value<S: ValueSystem + ?Sized>(
     trace: &Trace<ValuePacket>,
     engine: &EngineConfig,
 ) -> Result<RunSummary, AdmitError> {
-    let mut slots = 0u64;
-    let mut occ_sum = 0u64;
-    let mut occ_max = 0usize;
-    for (i, burst) in trace.iter().enumerate() {
-        if let Some(flush) = &engine.flush {
-            if flush.due(i as u64) {
-                match flush.mode {
-                    FlushMode::Drop => sys.flush(),
-                    FlushMode::Drain => {
-                        let mut guard = 0u64;
-                        while sys.occupancy() > 0 {
-                            sys.transmission_phase();
-                            sys.end_slot();
-                            slots += 1;
-                            guard += 1;
-                            assert!(guard < MAX_DRAIN_SLOTS, "drain did not terminate");
-                        }
-                    }
-                }
-            }
-        }
-        for &pkt in burst {
-            sys.offer(pkt)?;
-        }
-        sys.transmission_phase();
-        sys.end_slot();
-        slots += 1;
-        occ_sum += sys.occupancy() as u64;
-        occ_max = occ_max.max(sys.occupancy());
-    }
-    if engine.drain_at_end {
-        let mut guard = 0u64;
-        while sys.occupancy() > 0 {
-            sys.transmission_phase();
-            sys.end_slot();
-            slots += 1;
-            occ_sum += sys.occupancy() as u64;
-            guard += 1;
-            assert!(guard < MAX_DRAIN_SLOTS, "final drain did not terminate");
-        }
-    }
-    Ok(RunSummary {
-        slots,
-        score: sys.transmitted_value(),
-        mean_occupancy: if slots == 0 { 0.0 } else { occ_sum as f64 / slots as f64 },
-        max_occupancy: occ_max,
-    })
+    run_value_observed(sys, trace, engine, &mut NullObserver)
+}
+
+/// Runs a value-model system over `trace`, reporting every engine event to
+/// `obs`.
+///
+/// # Errors
+///
+/// Propagates an [`AdmitError`] raised by an inconsistent policy decision.
+pub fn run_value_observed<S: ValueSystem + ?Sized, O: Observer>(
+    sys: &mut S,
+    trace: &Trace<ValuePacket>,
+    engine: &EngineConfig,
+    obs: &mut O,
+) -> Result<RunSummary, AdmitError> {
+    drive(&mut ValueAdapter(sys), trace, engine, obs)
 }
 
 /// Runs a combined-model system over `trace` (extension).
@@ -183,60 +397,29 @@ pub fn run_combined<S: CombinedSystem + ?Sized>(
     trace: &Trace<CombinedPacket>,
     engine: &EngineConfig,
 ) -> Result<RunSummary, AdmitError> {
-    let mut slots = 0u64;
-    let mut occ_sum = 0u64;
-    let mut occ_max = 0usize;
-    for (i, burst) in trace.iter().enumerate() {
-        if let Some(flush) = &engine.flush {
-            if flush.due(i as u64) {
-                match flush.mode {
-                    FlushMode::Drop => sys.flush(),
-                    FlushMode::Drain => {
-                        let mut guard = 0u64;
-                        while sys.occupancy() > 0 {
-                            sys.transmission_phase();
-                            sys.end_slot();
-                            slots += 1;
-                            guard += 1;
-                            assert!(guard < MAX_DRAIN_SLOTS, "drain did not terminate");
-                        }
-                    }
-                }
-            }
-        }
-        for &pkt in burst {
-            sys.offer(pkt)?;
-        }
-        sys.transmission_phase();
-        sys.end_slot();
-        slots += 1;
-        occ_sum += sys.occupancy() as u64;
-        occ_max = occ_max.max(sys.occupancy());
-    }
-    if engine.drain_at_end {
-        let mut guard = 0u64;
-        while sys.occupancy() > 0 {
-            sys.transmission_phase();
-            sys.end_slot();
-            slots += 1;
-            occ_sum += sys.occupancy() as u64;
-            guard += 1;
-            assert!(guard < MAX_DRAIN_SLOTS, "final drain did not terminate");
-        }
-    }
-    Ok(RunSummary {
-        slots,
-        score: sys.transmitted_value(),
-        mean_occupancy: if slots == 0 { 0.0 } else { occ_sum as f64 / slots as f64 },
-        max_occupancy: occ_max,
-    })
+    run_combined_observed(sys, trace, engine, &mut NullObserver)
+}
+
+/// Runs a combined-model system over `trace`, reporting every engine event
+/// to `obs`.
+///
+/// # Errors
+///
+/// Propagates an [`AdmitError`] raised by an inconsistent policy decision.
+pub fn run_combined_observed<S: CombinedSystem + ?Sized, O: Observer>(
+    sys: &mut S,
+    trace: &Trace<CombinedPacket>,
+    engine: &EngineConfig,
+    obs: &mut O,
+) -> Result<RunSummary, AdmitError> {
+    drive(&mut CombinedAdapter(sys), trace, engine, obs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use smbm_core::{GreedyValue, GreedyWork, ValueRunner, WorkRunner};
-    use smbm_switch::{PortId, Value, Work, WorkSwitchConfig, ValueSwitchConfig};
+    use smbm_switch::{PortId, Value, ValueSwitchConfig, Work, WorkSwitchConfig};
 
     fn wp(port: usize, w: u32) -> WorkPacket {
         WorkPacket::new(PortId::new(port), Work::new(w))
@@ -264,12 +447,7 @@ mod tests {
         let mut sys = WorkRunner::new(cfg, GreedyWork::new(), 1);
         let mut trace = Trace::new();
         trace.push_slot(vec![wp(0, 1); 5]);
-        let horizon = run_work(
-            &mut sys,
-            &trace,
-            &EngineConfig::horizon_only(),
-        )
-        .unwrap();
+        let horizon = run_work(&mut sys, &trace, &EngineConfig::horizon_only()).unwrap();
         assert_eq!(horizon.score, 1);
 
         let cfg = WorkSwitchConfig::contiguous(1, 8).unwrap();
@@ -331,7 +509,11 @@ mod tests {
         let s = run_work(&mut sys, &trace, &EngineConfig::draining()).unwrap();
         assert_eq!(s.max_occupancy, 4);
         // Occupancies after each slot: 4, 3, 2, then drain 1, 0.
-        assert!((s.mean_occupancy - 2.0).abs() < 1e-12, "{}", s.mean_occupancy);
+        assert!(
+            (s.mean_occupancy - 2.0).abs() < 1e-12,
+            "{}",
+            s.mean_occupancy
+        );
     }
 
     #[test]
@@ -366,5 +548,62 @@ mod tests {
         trace.push_slot(vec![wp(0, 1), wp(1, 2), wp(0, 1)]);
         let s = run_work(&mut opt, &trace, &EngineConfig::draining()).unwrap();
         assert_eq!(s.score, 3);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_logs_events() {
+        use smbm_obs::{HistogramRecorder, RingEventLog};
+
+        let mk = || {
+            let cfg = WorkSwitchConfig::contiguous(1, 2).unwrap();
+            WorkRunner::new(cfg, GreedyWork::new(), 1)
+        };
+        let mut trace = Trace::new();
+        trace.push_slot(vec![wp(0, 1); 4]); // 2 admitted, 2 dropped
+        trace.push_silence(1);
+
+        let plain = run_work(&mut mk(), &trace, &EngineConfig::draining()).unwrap();
+        let mut log = RingEventLog::new(64);
+        let mut hist = HistogramRecorder::new();
+        let mut obs = (&mut log, &mut hist);
+        let observed =
+            run_work_observed(&mut mk(), &trace, &EngineConfig::draining(), &mut obs).unwrap();
+        assert_eq!(plain, observed);
+
+        assert_eq!(hist.arrivals(), 4);
+        assert_eq!(hist.admitted_packets(), 2);
+        assert_eq!(
+            hist.drop_count(smbm_obs::DropReason::BufferFull),
+            2,
+            "full-buffer greedy drops are classified as buffer_full"
+        );
+        assert_eq!(hist.transmitted_packets(), 2);
+        let jsonl = log.to_jsonl();
+        assert!(jsonl.contains("\"type\":\"arrival\""));
+        assert!(jsonl.contains("\"type\":\"dropped\""));
+        assert!(jsonl.contains("\"type\":\"transmitted\""));
+    }
+
+    #[test]
+    fn drain_slots_are_bracketed() {
+        use smbm_obs::{Event, RingEventLog};
+
+        let cfg = WorkSwitchConfig::contiguous(1, 8).unwrap();
+        let mut sys = WorkRunner::new(cfg, GreedyWork::new(), 1);
+        let mut trace = Trace::new();
+        trace.push_slot(vec![wp(0, 1); 3]);
+        let mut log = RingEventLog::new(64);
+        run_work_observed(&mut sys, &trace, &EngineConfig::draining(), &mut log).unwrap();
+        let events: Vec<&Event> = log.events().collect();
+        assert!(matches!(
+            events
+                .iter()
+                .find(|e| matches!(e, Event::DrainStart { .. })),
+            Some(Event::DrainStart { slot: 1 })
+        ));
+        assert!(matches!(
+            events.iter().find(|e| matches!(e, Event::DrainEnd { .. })),
+            Some(Event::DrainEnd { slot: 3 })
+        ));
     }
 }

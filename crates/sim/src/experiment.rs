@@ -12,7 +12,12 @@ use smbm_switch::{
 use smbm_traffic::adversarial::{ValueConstruction, WorkConstruction};
 use smbm_traffic::Trace;
 
-use crate::engine::{run_combined, run_value, run_work, EngineConfig};
+use smbm_obs::{NullObserver, Observer};
+
+use crate::engine::{
+    run_combined, run_combined_observed, run_value, run_value_observed, run_work,
+    run_work_observed, EngineConfig,
+};
 
 /// One policy's outcome on a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,15 +112,41 @@ impl WorkExperiment {
     /// Returns [`ExperimentError`] for unknown roster entries or invalid
     /// policy decisions.
     pub fn run(&self, trace: &Trace<WorkPacket>) -> Result<ExperimentReport, ExperimentError> {
+        let mut nulls = vec![NullObserver; self.policies.len()];
+        self.run_observed(trace, &mut nulls)
+    }
+
+    /// Like [`WorkExperiment::run`], attaching `observers[i]` to the run of
+    /// `policies[i]` (the OPT surrogate is never instrumented — it is the
+    /// yardstick, not the subject). Observation does not change scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observers` and the roster differ in length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for unknown roster entries or invalid
+    /// policy decisions.
+    pub fn run_observed<O: Observer>(
+        &self,
+        trace: &Trace<WorkPacket>,
+        observers: &mut [O],
+    ) -> Result<ExperimentReport, ExperimentError> {
+        assert_eq!(
+            observers.len(),
+            self.policies.len(),
+            "one observer per roster policy"
+        );
         let cores = self.config.ports() as u32 * self.speedup;
         let mut opt = WorkPqOpt::new(self.config.buffer(), cores);
         let opt_score = run_work(&mut opt, trace, &self.engine)?.score;
         let mut rows = Vec::with_capacity(self.policies.len());
-        for name in &self.policies {
+        for (name, obs) in self.policies.iter().zip(observers.iter_mut()) {
             let policy = work_policy_by_name(name)
                 .ok_or_else(|| ExperimentError::UnknownPolicy(name.clone()))?;
             let mut runner = WorkRunner::new(self.config.clone(), policy, self.speedup);
-            let score = run_work(&mut runner, trace, &self.engine)?.score;
+            let score = run_work_observed(&mut runner, trace, &self.engine, obs)?.score;
             let counters = runner.switch().counters();
             rows.push(PolicyRow {
                 policy: name.clone(),
@@ -163,15 +194,40 @@ impl ValueExperiment {
     /// Returns [`ExperimentError`] for unknown roster entries or invalid
     /// policy decisions.
     pub fn run(&self, trace: &Trace<ValuePacket>) -> Result<ExperimentReport, ExperimentError> {
+        let mut nulls = vec![NullObserver; self.policies.len()];
+        self.run_observed(trace, &mut nulls)
+    }
+
+    /// Like [`ValueExperiment::run`], attaching `observers[i]` to the run of
+    /// `policies[i]`; see [`WorkExperiment::run_observed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observers` and the roster differ in length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for unknown roster entries or invalid
+    /// policy decisions.
+    pub fn run_observed<O: Observer>(
+        &self,
+        trace: &Trace<ValuePacket>,
+        observers: &mut [O],
+    ) -> Result<ExperimentReport, ExperimentError> {
+        assert_eq!(
+            observers.len(),
+            self.policies.len(),
+            "one observer per roster policy"
+        );
         let cores = self.config.ports() as u32 * self.speedup;
         let mut opt = ValuePqOpt::new(self.config.buffer(), cores);
         let opt_score = run_value(&mut opt, trace, &self.engine)?.score;
         let mut rows = Vec::with_capacity(self.policies.len());
-        for name in &self.policies {
+        for (name, obs) in self.policies.iter().zip(observers.iter_mut()) {
             let policy = value_policy_by_name(name)
                 .ok_or_else(|| ExperimentError::UnknownPolicy(name.clone()))?;
             let mut runner = ValueRunner::new(self.config, policy, self.speedup);
-            let score = run_value(&mut runner, trace, &self.engine)?.score;
+            let score = run_value_observed(&mut runner, trace, &self.engine, obs)?.score;
             let counters = runner.switch().counters();
             rows.push(PolicyRow {
                 policy: name.clone(),
@@ -221,15 +277,40 @@ impl CombinedExperiment {
     /// Returns [`ExperimentError`] for unknown roster entries or invalid
     /// policy decisions.
     pub fn run(&self, trace: &Trace<CombinedPacket>) -> Result<ExperimentReport, ExperimentError> {
+        let mut nulls = vec![NullObserver; self.policies.len()];
+        self.run_observed(trace, &mut nulls)
+    }
+
+    /// Like [`CombinedExperiment::run`], attaching `observers[i]` to the run
+    /// of `policies[i]`; see [`WorkExperiment::run_observed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observers` and the roster differ in length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for unknown roster entries or invalid
+    /// policy decisions.
+    pub fn run_observed<O: Observer>(
+        &self,
+        trace: &Trace<CombinedPacket>,
+        observers: &mut [O],
+    ) -> Result<ExperimentReport, ExperimentError> {
+        assert_eq!(
+            observers.len(),
+            self.policies.len(),
+            "one observer per roster policy"
+        );
         let cores = self.config.ports() as u32 * self.speedup;
         let mut opt = CombinedPqOpt::new(self.config.buffer(), cores);
         let opt_score = run_combined(&mut opt, trace, &self.engine)?.score;
         let mut rows = Vec::with_capacity(self.policies.len());
-        for name in &self.policies {
+        for (name, obs) in self.policies.iter().zip(observers.iter_mut()) {
             let policy = combined_policy_by_name(name)
                 .ok_or_else(|| ExperimentError::UnknownPolicy(name.clone()))?;
             let mut runner = CombinedRunner::new(self.config.clone(), policy, self.speedup);
-            let score = run_combined(&mut runner, trace, &self.engine)?.score;
+            let score = run_combined_observed(&mut runner, trace, &self.engine, obs)?.score;
             let counters = runner.switch().counters();
             rows.push(PolicyRow {
                 policy: name.clone(),

@@ -41,11 +41,13 @@ mod flush;
 mod metrics;
 mod sweep;
 
-pub use engine::{run_combined, run_value, run_work, EngineConfig, RunSummary};
+pub use engine::{
+    run_combined, run_combined_observed, run_value, run_value_observed, run_work,
+    run_work_observed, EngineConfig, RunSummary,
+};
 pub use experiment::{
-    measure_value_construction, measure_work_construction, CombinedExperiment,
-    ConstructionReport, ExperimentError, ExperimentReport, PolicyRow, ValueExperiment,
-    WorkExperiment,
+    measure_value_construction, measure_work_construction, CombinedExperiment, ConstructionReport,
+    ExperimentError, ExperimentReport, PolicyRow, ValueExperiment, WorkExperiment,
 };
 pub use fairness::{jain_index, max_port_share};
 pub use flush::{FlushMode, FlushPolicy};

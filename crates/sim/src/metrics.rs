@@ -25,11 +25,7 @@ pub fn series_from_sweep(points: &[SweepPoint]) -> Vec<Series> {
             label: row.policy.clone(),
             points: points
                 .iter()
-                .filter_map(|p| {
-                    p.report
-                        .row(&row.policy)
-                        .map(|r| (p.x, r.ratio))
-                })
+                .filter_map(|p| p.report.row(&row.policy).map(|r| (p.x, r.ratio)))
                 .collect(),
         })
         .collect()
@@ -45,11 +41,13 @@ pub fn series_to_csv(x_label: &str, series: &[Series]) -> String {
         out.push_str(&s.label);
     }
     out.push('\n');
-    // Collect the union of x values in first-seen order.
+    // Collect the union of x values in first-seen order. Sweep x values come
+    // out of arithmetic (e.g. `base * step.powi(i)`), so match them within a
+    // relative epsilon rather than by exact f64 equality.
     let mut xs: Vec<f64> = Vec::new();
     for s in series {
         for &(x, _) in &s.points {
-            if !xs.contains(&x) {
+            if !xs.iter().any(|&seen| close(seen, x)) {
                 xs.push(x);
             }
         }
@@ -58,13 +56,20 @@ pub fn series_to_csv(x_label: &str, series: &[Series]) -> String {
         out.push_str(&trim_float(x));
         for s in series {
             out.push(',');
-            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px == x) {
+            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| close(px, x)) {
                 out.push_str(&format!("{y:.4}"));
             }
         }
         out.push('\n');
     }
     out
+}
+
+/// Whether two swept x values denote the same grid point: equal to within a
+/// relative 1e-9 (absolute near zero).
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
 }
 
 /// Renders a gnuplot script that plots a CSV produced by
@@ -146,10 +151,7 @@ mod tests {
 
     #[test]
     fn csv_layout() {
-        let points = vec![
-            point(1.0, &[("A", 1.0)]),
-            point(2.5, &[("A", 2.0)]),
-        ];
+        let points = vec![point(1.0, &[("A", 1.0)]), point(2.5, &[("A", 2.0)])];
         let csv = series_to_csv("k", &series_from_sweep(&points));
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "k,A");
@@ -160,13 +162,38 @@ mod tests {
     #[test]
     fn gnuplot_script_references_every_series() {
         let series = vec![
-            Series { label: "LWD".into(), points: vec![(1.0, 1.0)] },
-            Series { label: "LQD".into(), points: vec![(1.0, 1.2)] },
+            Series {
+                label: "LWD".into(),
+                points: vec![(1.0, 1.0)],
+            },
+            Series {
+                label: "LQD".into(),
+                points: vec![(1.0, 1.2)],
+            },
         ];
         let gp = series_to_gnuplot("panel", "k", "p1.csv", &series);
         assert!(gp.contains("using 1:2 with linespoints title \"LWD\""));
         assert!(gp.contains("using 1:3 with linespoints title \"LQD\""));
         assert!(gp.contains("set xlabel \"k\""));
+    }
+
+    #[test]
+    fn csv_merges_nearly_equal_x_values() {
+        // 0.1 + 0.2 != 0.3 exactly; the columns must still line up.
+        let series = vec![
+            Series {
+                label: "A".into(),
+                points: vec![(0.3, 1.0)],
+            },
+            Series {
+                label: "B".into(),
+                points: vec![(0.1 + 0.2, 2.0)],
+            },
+        ];
+        let csv = series_to_csv("x", &series);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "one merged row expected:\n{csv}");
+        assert_eq!(lines[1], "0.3,1.0000,2.0000");
     }
 
     #[test]

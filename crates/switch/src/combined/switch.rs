@@ -3,7 +3,7 @@
 //! total transmitted value.
 
 use crate::{
-    AdmitError, CombinedQueue, ConservationError, Counters, PortId, Slot, Value, Work,
+    AdmitError, CombinedQueue, ConservationError, Counters, PortId, Slot, Transmitted, Value, Work,
     WorkSwitchConfig,
 };
 
@@ -198,7 +198,7 @@ impl CombinedSwitch {
     pub fn reject(&mut self, pkt: CombinedPacket) -> Result<(), AdmitError> {
         self.validate(pkt)?;
         self.counters.record_arrival(pkt.value().get());
-        self.counters.record_drop();
+        self.counters.record_drop(pkt.value().get());
         Ok(())
     }
 
@@ -231,12 +231,18 @@ impl CombinedSwitch {
         let evicted = self.queues[victim.index()]
             .evict_min()
             .expect("victim non-empty after insert");
-        self.counters.record_push_out();
+        self.counters.record_push_out(evicted.get());
         Ok(evicted)
     }
 
     /// Runs the transmission phase: every queue receives `speedup` cycles.
-    pub fn transmit(&mut self, speedup: u32) -> CombinedPhaseReport {
+    ///
+    /// Completed packets are appended to `out` with latency information.
+    pub fn transmit_into(
+        &mut self,
+        speedup: u32,
+        out: &mut Vec<Transmitted>,
+    ) -> CombinedPhaseReport {
         let mut report = CombinedPhaseReport::default();
         for (i, q) in self.queues.iter_mut().enumerate() {
             if q.is_empty() {
@@ -246,16 +252,28 @@ impl CombinedSwitch {
             let used = q.process(speedup, &mut self.scratch);
             report.cycles_used += u64::from(used);
             for &(value, arrived) in &self.scratch {
-                self.counters
-                    .record_transmission(value.get(), self.now.since(arrived));
+                let t = Transmitted {
+                    port: PortId::new(i),
+                    value,
+                    arrived,
+                    departed: self.now,
+                };
+                self.counters.record_transmission(value.get(), t.latency());
                 self.transmitted_per_port[i] += 1;
                 report.transmitted += 1;
                 report.value += value.get();
                 self.occupancy -= 1;
+                out.push(t);
             }
         }
         self.counters.record_cycles(report.cycles_used);
         report
+    }
+
+    /// Like [`CombinedSwitch::transmit_into`], discarding per-packet details.
+    pub fn transmit(&mut self, speedup: u32) -> CombinedPhaseReport {
+        let mut scratch = Vec::new();
+        self.transmit_into(speedup, &mut scratch)
     }
 
     /// Packets transmitted per output port since construction.
@@ -270,13 +288,19 @@ impl CombinedSwitch {
 
     /// Discards every resident packet (flushout).
     pub fn flush(&mut self) -> u64 {
+        let flushed_value = self.total_value();
         let mut total = 0;
         for q in &mut self.queues {
             total += q.clear();
         }
         self.occupancy = 0;
-        self.counters.record_flush(total);
+        self.counters.record_flush(total, flushed_value);
         total
+    }
+
+    /// Total value resident in the buffer.
+    pub fn total_value(&self) -> u64 {
+        self.queues.iter().map(CombinedQueue::total_value).sum()
     }
 
     /// Smallest value currently admitted anywhere (ties toward the longest
@@ -323,6 +347,9 @@ impl CombinedSwitch {
         }
         self.counters
             .check_conservation(self.occupancy)
+            .map_err(|e: ConservationError| e.to_string())?;
+        self.counters
+            .check_value_conservation(self.total_value())
             .map_err(|e: ConservationError| e.to_string())
     }
 }
@@ -394,10 +421,7 @@ mod tests {
         let mut sw = switch(3, 6);
         sw.admit(pkt(&sw, 0, 4)).unwrap();
         sw.admit(pkt(&sw, 2, 2)).unwrap();
-        assert_eq!(
-            sw.global_min_value(),
-            Some((PortId::new(2), Value::new(2)))
-        );
+        assert_eq!(sw.global_min_value(), Some((PortId::new(2), Value::new(2))));
         assert_eq!(sw.flush(), 2);
         sw.check_invariants().unwrap();
     }

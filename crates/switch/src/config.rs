@@ -44,7 +44,9 @@ impl WorkSwitchConfig {
         }
         for (i, w) in works.iter().enumerate() {
             if w.cycles() == 0 {
-                return Err(ConfigError::ZeroWork { port: PortId::new(i) });
+                return Err(ConfigError::ZeroWork {
+                    port: PortId::new(i),
+                });
             }
         }
         Ok(WorkSwitchConfig { buffer, works })
@@ -115,7 +117,11 @@ impl WorkSwitchConfig {
 
     /// The largest per-port requirement (the paper's `k`).
     pub fn max_work(&self) -> Work {
-        *self.works.iter().max().expect("validated: at least one port")
+        *self
+            .works
+            .iter()
+            .max()
+            .expect("validated: at least one port")
     }
 
     /// The sum of inverse requirements `Z = sum_i 1/w_i` used by NHST.
@@ -189,11 +195,17 @@ mod tests {
         let works = vec![Work::ONE; 4];
         assert_eq!(
             WorkSwitchConfig::new(3, works),
-            Err(ConfigError::BufferTooSmall { buffer: 3, ports: 4 })
+            Err(ConfigError::BufferTooSmall {
+                buffer: 3,
+                ports: 4
+            })
         );
         assert_eq!(
             ValueSwitchConfig::new(3, 4),
-            Err(ConfigError::BufferTooSmall { buffer: 3, ports: 4 })
+            Err(ConfigError::BufferTooSmall {
+                buffer: 3,
+                ports: 4
+            })
         );
     }
 
@@ -202,7 +214,9 @@ mod tests {
         let works = vec![Work::ONE, Work::new(0)];
         assert_eq!(
             WorkSwitchConfig::new(8, works),
-            Err(ConfigError::ZeroWork { port: PortId::new(1) })
+            Err(ConfigError::ZeroWork {
+                port: PortId::new(1)
+            })
         );
     }
 

@@ -1,12 +1,16 @@
 //! Lifetime accounting for every packet a switch ever sees.
 //!
-//! The counters uphold two conservation laws that double as test oracles:
+//! The counters uphold conservation laws that double as test oracles, in
+//! both packets and value:
 //!
-//! * `arrived == admitted + dropped`
+//! * `arrived == admitted + dropped` (and the same identity over values)
 //! * `admitted == transmitted + pushed_out + resident`
 //!
 //! where `resident` is the current buffer occupancy. Any policy or engine bug
-//! that loses or duplicates a packet breaks one of these identities.
+//! that loses or duplicates a packet breaks one of these identities. The
+//! packet laws are checked by [`Counters::check_conservation`]; the admission
+//! value law needs the resident *value* (which only the buffer knows) and is
+//! checked separately by [`Counters::check_value_conservation`].
 
 use std::fmt;
 
@@ -26,8 +30,11 @@ pub struct Counters {
     arrived: u64,
     arrived_value: u64,
     admitted: u64,
+    admitted_value: u64,
     dropped: u64,
+    dropped_value: u64,
     pushed_out: u64,
+    pushed_out_value: u64,
     transmitted: u64,
     transmitted_value: u64,
     cycles_consumed: u64,
@@ -48,19 +55,23 @@ impl Counters {
         self.arrived_value += value;
     }
 
-    /// Records a packet accepted into the buffer.
-    pub fn record_admission(&mut self, _value: u64) {
+    /// Records a packet worth `value` accepted into the buffer.
+    pub fn record_admission(&mut self, value: u64) {
         self.admitted += 1;
+        self.admitted_value += value;
     }
 
-    /// Records a packet rejected on arrival.
-    pub fn record_drop(&mut self) {
+    /// Records a packet worth `value` rejected on arrival.
+    pub fn record_drop(&mut self, value: u64) {
         self.dropped += 1;
+        self.dropped_value += value;
     }
 
-    /// Records an admitted packet evicted to make room for another.
-    pub fn record_push_out(&mut self) {
+    /// Records an admitted packet worth `value` evicted to make room for
+    /// another.
+    pub fn record_push_out(&mut self, value: u64) {
         self.pushed_out += 1;
+        self.pushed_out_value += value;
     }
 
     /// Records a completed transmission of a packet worth `value`, after it
@@ -77,10 +88,11 @@ impl Counters {
         self.cycles_consumed += cycles;
     }
 
-    /// Records packets discarded by a buffer flush (counted as push-outs so
-    /// conservation still holds).
-    pub fn record_flush(&mut self, packets: u64) {
+    /// Records `packets` packets of total worth `value` discarded by a buffer
+    /// flush (counted as push-outs so conservation still holds).
+    pub fn record_flush(&mut self, packets: u64, value: u64) {
         self.pushed_out += packets;
+        self.pushed_out_value += value;
     }
 
     /// Total packets offered.
@@ -98,14 +110,29 @@ impl Counters {
         self.admitted
     }
 
+    /// Total value accepted into the buffer.
+    pub fn admitted_value(&self) -> u64 {
+        self.admitted_value
+    }
+
     /// Total packets rejected on arrival.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Total admitted packets later evicted.
+    /// Total value rejected on arrival.
+    pub fn dropped_value(&self) -> u64 {
+        self.dropped_value
+    }
+
+    /// Total admitted packets later evicted (including flushed packets).
     pub fn pushed_out(&self) -> u64 {
         self.pushed_out
+    }
+
+    /// Total value evicted after admission (including flushed value).
+    pub fn pushed_out_value(&self) -> u64 {
+        self.pushed_out_value
     }
 
     /// Total packets transmitted.
@@ -147,8 +174,9 @@ impl Counters {
         }
     }
 
-    /// Verifies both conservation laws against the current buffer
-    /// `occupancy`.
+    /// Verifies the packet conservation laws against the current buffer
+    /// `occupancy`, plus the arrival value law
+    /// `arrived_value == admitted_value + dropped_value`.
     ///
     /// # Errors
     ///
@@ -159,6 +187,13 @@ impl Counters {
                 arrived: self.arrived,
                 admitted: self.admitted,
                 dropped: self.dropped,
+            });
+        }
+        if self.arrived_value != self.admitted_value + self.dropped_value {
+            return Err(ConservationError::ArrivalValue {
+                arrived_value: self.arrived_value,
+                admitted_value: self.admitted_value,
+                dropped_value: self.dropped_value,
             });
         }
         let accounted = self.transmitted + self.pushed_out + occupancy as u64;
@@ -172,19 +207,44 @@ impl Counters {
         }
         Ok(())
     }
+
+    /// Verifies the admission value law
+    /// `admitted_value == transmitted_value + pushed_out_value + resident_value`,
+    /// where `resident_value` is the total value currently buffered (known
+    /// only to the buffer itself, hence the separate entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConservationError::AdmissionValue`] when the identity fails.
+    pub fn check_value_conservation(&self, resident_value: u64) -> Result<(), ConservationError> {
+        let accounted = self.transmitted_value + self.pushed_out_value + resident_value;
+        if self.admitted_value != accounted {
+            return Err(ConservationError::AdmissionValue {
+                admitted_value: self.admitted_value,
+                transmitted_value: self.transmitted_value,
+                pushed_out_value: self.pushed_out_value,
+                resident_value,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "arrived={} admitted={} dropped={} pushed_out={} transmitted={} value={}",
+            "arrived={} admitted={} dropped={} pushed_out={} transmitted={} \
+             value={} admitted_value={} dropped_value={} pushed_out_value={}",
             self.arrived,
             self.admitted,
             self.dropped,
             self.pushed_out,
             self.transmitted,
-            self.transmitted_value
+            self.transmitted_value,
+            self.admitted_value,
+            self.dropped_value,
+            self.pushed_out_value
         )
     }
 }
@@ -213,6 +273,26 @@ pub enum ConservationError {
         /// Packets still buffered.
         resident: u64,
     },
+    /// `arrived_value != admitted_value + dropped_value`.
+    ArrivalValue {
+        /// Value offered.
+        arrived_value: u64,
+        /// Value admitted.
+        admitted_value: u64,
+        /// Value dropped.
+        dropped_value: u64,
+    },
+    /// `admitted_value != transmitted_value + pushed_out_value + resident_value`.
+    AdmissionValue {
+        /// Value admitted.
+        admitted_value: u64,
+        /// Value transmitted.
+        transmitted_value: u64,
+        /// Value pushed out.
+        pushed_out_value: u64,
+        /// Value still buffered.
+        resident_value: u64,
+    },
 }
 
 impl fmt::Display for ConservationError {
@@ -234,6 +314,23 @@ impl fmt::Display for ConservationError {
             } => write!(
                 f,
                 "admission conservation violated: {admitted} admitted but {transmitted} transmitted + {pushed_out} pushed out + {resident} resident"
+            ),
+            ConservationError::ArrivalValue {
+                arrived_value,
+                admitted_value,
+                dropped_value,
+            } => write!(
+                f,
+                "arrival value conservation violated: value {arrived_value} arrived but {admitted_value} admitted + {dropped_value} dropped"
+            ),
+            ConservationError::AdmissionValue {
+                admitted_value,
+                transmitted_value,
+                pushed_out_value,
+                resident_value,
+            } => write!(
+                f,
+                "admission value conservation violated: value {admitted_value} admitted but {transmitted_value} transmitted + {pushed_out_value} pushed out + {resident_value} resident"
             ),
         }
     }
@@ -260,15 +357,20 @@ mod tests {
             c.record_admission(2);
         }
         for _ in 0..4 {
-            c.record_drop();
+            c.record_drop(2);
         }
-        c.record_push_out();
+        c.record_push_out(2);
         c.record_transmission(2, 3);
         c.record_transmission(2, 5);
         // 6 admitted = 2 transmitted + 1 pushed out + 3 resident.
         assert!(c.check_conservation(3).is_ok());
+        // Value 12 admitted = 4 transmitted + 2 pushed out + 6 resident.
+        assert!(c.check_value_conservation(6).is_ok());
         assert_eq!(c.transmitted_value(), 4);
         assert_eq!(c.arrived_value(), 20);
+        assert_eq!(c.admitted_value(), 12);
+        assert_eq!(c.dropped_value(), 8);
+        assert_eq!(c.pushed_out_value(), 2);
     }
 
     #[test]
@@ -288,6 +390,28 @@ mod tests {
         let err = c.check_conservation(0).unwrap_err();
         assert!(matches!(err, ConservationError::Admissions { .. }));
         assert!(err.to_string().contains("admission conservation"));
+    }
+
+    #[test]
+    fn detects_arrival_value_violation() {
+        let mut c = Counters::new();
+        c.record_arrival(5);
+        c.record_admission(3); // value leaked: 5 arrived, 3 admitted, 0 dropped
+        let err = c.check_conservation(1).unwrap_err();
+        assert!(matches!(err, ConservationError::ArrivalValue { .. }));
+        assert!(err.to_string().contains("arrival value conservation"));
+    }
+
+    #[test]
+    fn detects_admission_value_violation() {
+        let mut c = Counters::new();
+        c.record_arrival(5);
+        c.record_admission(5);
+        c.record_transmission(3, 0);
+        let err = c.check_value_conservation(0).unwrap_err();
+        assert!(matches!(err, ConservationError::AdmissionValue { .. }));
+        assert!(err.to_string().contains("admission value conservation"));
+        assert!(c.check_value_conservation(2).is_ok());
     }
 
     #[test]
@@ -324,9 +448,11 @@ mod tests {
             c.record_arrival(1);
             c.record_admission(1);
         }
-        c.record_flush(3);
+        c.record_flush(3, 3);
         assert!(c.check_conservation(0).is_ok());
+        assert!(c.check_value_conservation(0).is_ok());
         assert_eq!(c.pushed_out(), 3);
+        assert_eq!(c.pushed_out_value(), 3);
     }
 
     #[test]

@@ -112,9 +112,14 @@ mod tests {
             ConfigError::NoPorts.to_string(),
             "switch must have at least one output port"
         );
-        let e = ConfigError::BufferTooSmall { buffer: 2, ports: 4 };
+        let e = ConfigError::BufferTooSmall {
+            buffer: 2,
+            ports: 4,
+        };
         assert!(e.to_string().contains("B >= n"));
-        let e = ConfigError::ZeroWork { port: PortId::new(1) };
+        let e = ConfigError::ZeroWork {
+            port: PortId::new(1),
+        };
         assert!(e.to_string().contains("port#2"));
         assert!(!ConfigError::ZeroSpeedup.to_string().is_empty());
     }
@@ -122,7 +127,10 @@ mod tests {
     #[test]
     fn admit_error_messages() {
         assert_eq!(AdmitError::BufferFull.to_string(), "shared buffer is full");
-        let e = AdmitError::UnknownPort { port: PortId::new(5), ports: 3 };
+        let e = AdmitError::UnknownPort {
+            port: PortId::new(5),
+            ports: 3,
+        };
         assert!(e.to_string().contains("3 ports"));
         let e = AdmitError::WorkMismatch {
             port: PortId::new(0),
@@ -130,7 +138,9 @@ mod tests {
             port_work: 3,
         };
         assert!(e.to_string().contains("requires 3 cycles"));
-        let e = AdmitError::EmptyQueue { port: PortId::new(0) };
+        let e = AdmitError::EmptyQueue {
+            port: PortId::new(0),
+        };
         assert!(e.to_string().contains("empty queue"));
     }
 

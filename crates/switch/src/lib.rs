@@ -45,6 +45,7 @@ mod config;
 mod counters;
 mod error;
 mod ids;
+mod outcome;
 mod packet;
 mod work {
     pub mod queue;
@@ -61,6 +62,7 @@ pub use config::{ValueSwitchConfig, WorkSwitchConfig};
 pub use counters::{ConservationError, Counters};
 pub use error::{AdmitError, ConfigError};
 pub use ids::{PortId, Slot, Value, Work};
+pub use outcome::{ArrivalOutcome, DropReason};
 pub use packet::{Transmitted, ValuePacket, WorkPacket};
 pub use value::queue::{RatioKey, ValueEntry, ValueQueue};
 pub use value::switch::{ValuePhaseReport, ValueSwitch};

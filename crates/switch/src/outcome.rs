@@ -1,0 +1,68 @@
+//! Per-packet arrival outcome taxonomy.
+//!
+//! Admission control resolves every offered packet into exactly one of
+//! three fates: admitted into the buffer, admitted at the cost of evicting
+//! a resident packet, or dropped. [`ArrivalOutcome`] captures that fate so
+//! engine-level observers can attribute drops to a [`DropReason`] without
+//! re-deriving policy internals.
+
+use crate::PortId;
+
+/// Why an offered packet was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The shared buffer was full and the policy declined to push anything
+    /// out to make room.
+    BufferFull,
+    /// The policy rejected the packet even though buffer space remained
+    /// (e.g. a harmonic/exponential static threshold said no).
+    Policy,
+}
+
+impl DropReason {
+    /// A stable lowercase label, used in event logs and metric reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropReason::BufferFull => "buffer_full",
+            DropReason::Policy => "policy",
+        }
+    }
+}
+
+/// The resolved fate of one offered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOutcome {
+    /// The packet was admitted into free buffer space.
+    Admitted,
+    /// The packet was admitted after evicting a resident packet queued for
+    /// the given port.
+    PushedOut(PortId),
+    /// The packet was rejected for the given reason.
+    Dropped(DropReason),
+}
+
+impl ArrivalOutcome {
+    /// True when the packet ended up in the buffer (with or without an
+    /// eviction).
+    pub fn admitted(&self) -> bool {
+        !matches!(self, ArrivalOutcome::Dropped(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_reason_labels_are_stable() {
+        assert_eq!(DropReason::BufferFull.label(), "buffer_full");
+        assert_eq!(DropReason::Policy.label(), "policy");
+    }
+
+    #[test]
+    fn admitted_predicate() {
+        assert!(ArrivalOutcome::Admitted.admitted());
+        assert!(ArrivalOutcome::PushedOut(PortId::new(0)).admitted());
+        assert!(!ArrivalOutcome::Dropped(DropReason::Policy).admitted());
+    }
+}

@@ -86,7 +86,13 @@ impl ValueQueue {
     pub fn insert(&mut self, value: Value, slot: Slot) {
         // Find the first index whose value is strictly smaller: insert there.
         let pos = self.entries.partition_point(|e| e.value >= value);
-        self.entries.insert(pos, ValueEntry { value, arrived: slot });
+        self.entries.insert(
+            pos,
+            ValueEntry {
+                value,
+                arrived: slot,
+            },
+        );
         self.sum += value.get();
     }
 
@@ -122,10 +128,7 @@ impl ValueQueue {
 
     /// Checks internal invariants: descending order and a correct cached sum.
     pub fn invariants_hold(&self) -> bool {
-        let sorted = self
-            .entries
-            .windows(2)
-            .all(|w| w[0].value >= w[1].value);
+        let sorted = self.entries.windows(2).all(|w| w[0].value >= w[1].value);
         let sum: u64 = self.entries.iter().map(|e| e.value.get()).sum();
         sorted && sum == self.sum
     }

@@ -147,7 +147,7 @@ impl ValueSwitch {
     pub fn reject(&mut self, pkt: ValuePacket) -> Result<(), AdmitError> {
         self.validate(pkt)?;
         self.counters.record_arrival(pkt.value().get());
-        self.counters.record_drop();
+        self.counters.record_drop(pkt.value().get());
         Ok(())
     }
 
@@ -183,7 +183,7 @@ impl ValueSwitch {
         let evicted = self.queues[victim.index()]
             .pop_min()
             .expect("victim queue non-empty after insertion");
-        self.counters.record_push_out();
+        self.counters.record_push_out(evicted.value.get());
         Ok(evicted.value)
     }
 
@@ -230,12 +230,13 @@ impl ValueSwitch {
     /// Discards every resident packet (a "flushout"), returning how many were
     /// discarded.
     pub fn flush(&mut self) -> u64 {
+        let flushed_value = self.total_value();
         let mut total = 0;
         for q in &mut self.queues {
             total += q.clear();
         }
         self.occupancy = 0;
-        self.counters.record_flush(total);
+        self.counters.record_flush(total, flushed_value);
         total
     }
 
@@ -294,6 +295,9 @@ impl ValueSwitch {
         }
         self.counters
             .check_conservation(self.occupancy)
+            .map_err(|e: ConservationError| e.to_string())?;
+        self.counters
+            .check_value_conservation(self.total_value())
             .map_err(|e: ConservationError| e.to_string())
     }
 }
@@ -390,7 +394,12 @@ mod tests {
         sw.admit(pkt(0, 1)).unwrap();
         sw.admit(pkt(0, 2)).unwrap();
         let err = sw.push_out_and_admit(PortId::new(1), pkt(0, 3));
-        assert_eq!(err, Err(AdmitError::EmptyQueue { port: PortId::new(1) }));
+        assert_eq!(
+            err,
+            Err(AdmitError::EmptyQueue {
+                port: PortId::new(1)
+            })
+        );
     }
 
     #[test]

@@ -170,7 +170,7 @@ impl WorkSwitch {
     pub fn reject(&mut self, pkt: WorkPacket) -> Result<(), AdmitError> {
         self.validate(pkt)?;
         self.counters.record_arrival(1);
-        self.counters.record_drop();
+        self.counters.record_drop(1);
         Ok(())
     }
 
@@ -200,7 +200,7 @@ impl WorkSwitch {
         self.queues[victim.index()]
             .pop_back()
             .expect("checked non-empty");
-        self.counters.record_push_out();
+        self.counters.record_push_out(1);
         self.counters.record_arrival(1);
         self.counters.record_admission(1);
         self.queues[pkt.port().index()].push_back(self.now);
@@ -262,7 +262,7 @@ impl WorkSwitch {
             total += q.clear();
         }
         self.occupancy = 0;
-        self.counters.record_flush(total);
+        self.counters.record_flush(total, total);
         total
     }
 
@@ -293,6 +293,10 @@ impl WorkSwitch {
         }
         self.counters
             .check_conservation(self.occupancy)
+            .map_err(|e: ConservationError| e.to_string())?;
+        // Every work-model packet is worth 1, so resident value == occupancy.
+        self.counters
+            .check_value_conservation(self.occupancy as u64)
             .map_err(|e: ConservationError| e.to_string())
     }
 
@@ -387,7 +391,12 @@ mod tests {
         let mut sw = switch(2, 2);
         sw.admit(pkt(&sw, 0)).unwrap();
         let err = sw.push_out_and_admit(PortId::new(1), pkt(&sw, 0));
-        assert_eq!(err, Err(AdmitError::EmptyQueue { port: PortId::new(1) }));
+        assert_eq!(
+            err,
+            Err(AdmitError::EmptyQueue {
+                port: PortId::new(1)
+            })
+        );
     }
 
     #[test]

@@ -117,20 +117,12 @@ impl RefValueQueue {
     }
 
     fn pop_max(&mut self) -> Option<u64> {
-        let (i, _) = self
-            .values
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, v)| *v)?;
+        let (i, _) = self.values.iter().enumerate().max_by_key(|&(_, v)| *v)?;
         Some(self.values.swap_remove(i))
     }
 
     fn pop_min(&mut self) -> Option<u64> {
-        let (i, _) = self
-            .values
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, v)| *v)?;
+        let (i, _) = self.values.iter().enumerate().min_by_key(|&(_, v)| *v)?;
         Some(self.values.swap_remove(i))
     }
 
@@ -240,12 +232,7 @@ impl RefCombinedQueue {
     }
 
     fn evict_min(&mut self) -> Option<u64> {
-        if let Some((i, _)) = self
-            .backlog
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, v)| *v)
-        {
+        if let Some((i, _)) = self.backlog.iter().enumerate().min_by_key(|&(_, v)| *v) {
             return Some(self.backlog.swap_remove(i));
         }
         self.service.take().map(|(v, _)| v)
@@ -257,11 +244,7 @@ impl RefCombinedQueue {
             match self.service.as_mut() {
                 None => {
                     // Promote max backlog value.
-                    let Some((i, _)) = self
-                        .backlog
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|&(_, v)| *v)
+                    let Some((i, _)) = self.backlog.iter().enumerate().max_by_key(|&(_, v)| *v)
                     else {
                         break;
                     };
@@ -287,8 +270,7 @@ impl RefCombinedQueue {
     }
 
     fn total_work(&self) -> u64 {
-        self.backlog.len() as u64 * self.work as u64
-            + self.service.map_or(0, |(_, r)| r as u64)
+        self.backlog.len() as u64 * self.work as u64 + self.service.map_or(0, |(_, r)| r as u64)
     }
 }
 

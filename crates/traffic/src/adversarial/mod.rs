@@ -10,7 +10,9 @@
 mod value;
 mod work;
 
-pub use value::{greedy_value_lower_bound, lqd_value_lower_bound, mrd_lower_bound, mvd_lower_bound};
+pub use value::{
+    greedy_value_lower_bound, lqd_value_lower_bound, mrd_lower_bound, mvd_lower_bound,
+};
 pub use work::{
     bpd_lower_bound, lqd_work_lower_bound, lwd_lower_bound, nest_lower_bound, nhdt_lower_bound,
     nhst_lower_bound,

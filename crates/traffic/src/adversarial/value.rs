@@ -109,7 +109,10 @@ pub fn mvd_lower_bound(k: u64, buffer: usize, slots: usize) -> ValueConstruction
 /// its stock of `6`s; OPT hoards `B − 3` of them. Values 1, 2, 3 keep
 /// arriving so OPT's cheap ports stay busy; the `6`s stop.
 pub fn mrd_lower_bound(buffer: usize, episodes: usize) -> ValueConstruction {
-    assert!(buffer.is_multiple_of(12), "Theorem 11 needs B divisible by 12");
+    assert!(
+        buffer.is_multiple_of(12),
+        "Theorem 11 needs B divisible by 12"
+    );
     let values = [1u64, 2, 3, 6];
     let config = ValueSwitchConfig::new(buffer, 4).expect("valid parameters");
     let pkt = |i: usize| ValuePacket::new(PortId::new(i), Value::new(values[i]));
@@ -149,11 +152,7 @@ mod tests {
         assert!((c.predicted_ratio - 2.5).abs() < 1e-12);
         // Replenishment slots carry one of each cheap value.
         assert_eq!(c.trace.burst(1).len(), 3);
-        assert!(c
-            .trace
-            .burst(1)
-            .iter()
-            .all(|p| p.value().get() <= 3));
+        assert!(c.trace.burst(1).iter().all(|p| p.value().get() <= 3));
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub fn nest_lower_bound(n: usize, buffer: usize, episodes: usize) -> WorkConstru
     let config = WorkSwitchConfig::homogeneous(n, buffer).expect("valid parameters");
     let mut episode = Trace::new();
     episode.push_slot(vec![
-        WorkPacket::new(PortId::new(0), config.work(PortId::new(0)));
+        WorkPacket::new(
+            PortId::new(0),
+            config.work(PortId::new(0))
+        );
         buffer
     ]);
     episode.push_silence(buffer);
@@ -161,8 +164,7 @@ pub fn lqd_work_lower_bound(k: u32, buffer: usize, episodes: usize) -> WorkConst
     let beta = harmonic(k) - harmonic(k - m);
     let mf = f64::from(m);
     let bf = buffer as f64;
-    let predicted =
-        1.0 + ((mf - 1.0) / mf - mf / bf) / (1.0 / mf + (1.0 - mf / bf) * beta);
+    let predicted = 1.0 + ((mf - 1.0) / mf - mf / bf) / (1.0 / mf + (1.0 - mf / bf) * beta);
     WorkConstruction {
         name: format!("Thm4 LQD k={k} B={buffer} m={m}"),
         target_policy: "LQD",
@@ -208,7 +210,10 @@ pub fn bpd_lower_bound(k: u32, buffer: usize, slots: usize) -> WorkConstruction 
 /// its cheap-class inventory; OPT keeps `B − 3` cheap packets and one of
 /// each heavy class (replenished at each class's service rate).
 pub fn lwd_lower_bound(buffer: usize, episodes: usize) -> WorkConstruction {
-    assert!(buffer.is_multiple_of(12), "Theorem 6 needs B divisible by 12");
+    assert!(
+        buffer.is_multiple_of(12),
+        "Theorem 6 needs B divisible by 12"
+    );
     let works = vec![
         smbm_switch::Work::new(1),
         smbm_switch::Work::new(2),
@@ -279,11 +284,7 @@ mod tests {
         let c = nhdt_lower_bound(16, 64, 1);
         assert!(c.trace.slots() >= 2);
         // First burst: the k - m heavy classes plus the cheap class, B each.
-        let heavy = c
-            .opt_caps
-            .iter()
-            .filter(|&&cap| cap == 1)
-            .count();
+        let heavy = c.opt_caps.iter().filter(|&&cap| cap == 1).count();
         assert!(heavy >= 1);
         assert_eq!(c.trace.burst(0).len(), (heavy + 1) * 64);
         assert!(c.predicted_ratio > 1.0);

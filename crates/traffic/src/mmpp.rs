@@ -93,7 +93,10 @@ impl MmppSource {
     /// # Errors
     ///
     /// Returns [`ParamError`] for invalid parameters.
-    pub fn stationary<R: Rng + ?Sized>(params: MmppParams, rng: &mut R) -> Result<Self, ParamError> {
+    pub fn stationary<R: Rng + ?Sized>(
+        params: MmppParams,
+        rng: &mut R,
+    ) -> Result<Self, ParamError> {
         let on = rng.random::<f64>() < params.on_fraction();
         Self::new(params, on)
     }
@@ -280,6 +283,9 @@ mod tests {
         let total: u64 = (0..slots).map(|_| bank.step(&mut rng)).sum();
         let rate = total as f64 / slots as f64;
         let expect = bank.mean_rate();
-        assert!((rate - expect).abs() < 0.25 * expect, "rate {rate} vs {expect}");
+        assert!(
+            (rate - expect).abs() < 0.25 * expect,
+            "rate {rate} vs {expect}"
+        );
     }
 }

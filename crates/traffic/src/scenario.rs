@@ -206,7 +206,11 @@ impl MmppScenario {
                         max - rank
                     }
                 };
-                burst.push(CombinedPacket::new(port, config.work(port), Value::new(value)));
+                burst.push(CombinedPacket::new(
+                    port,
+                    config.work(port),
+                    Value::new(value),
+                ));
             }
             slots.push(burst);
         }
@@ -265,10 +269,7 @@ mod tests {
         let t = scenario(300)
             .work_trace(&cfg, &PortMix::Weighted(vec![1.0, 0.0, 1.0]))
             .unwrap();
-        assert!(t
-            .iter()
-            .flatten()
-            .all(|pkt| pkt.port() != PortId::new(1)));
+        assert!(t.iter().flatten().all(|pkt| pkt.port() != PortId::new(1)));
     }
 
     #[test]

@@ -262,10 +262,8 @@ impl<P: TracePacket> Trace<P> {
         ) -> Result<(), ParseTraceError> {
             let mut burst = Vec::new();
             for field in line.split_whitespace() {
-                let pkt = P::from_field(field).map_err(|what| ParseTraceError {
-                    line: i + 1,
-                    what,
-                })?;
+                let pkt =
+                    P::from_field(field).map_err(|what| ParseTraceError { line: i + 1, what })?;
                 burst.push(pkt);
             }
             slots.push(burst);

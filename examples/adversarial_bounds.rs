@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // LWD is the punchline: even its own worst-case trace cannot push it
     // past 2 (Theorem 7), while every other policy's construction grows.
-    let lwd = reports.iter().find(|r| r.name.contains("LWD")).expect("present");
+    let lwd = reports
+        .iter()
+        .find(|r| r.name.contains("LWD"))
+        .expect("present");
     assert!(
         lwd.ratio() < 2.0,
         "Theorem 7 violated: LWD measured {}",

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example combined_model`
 
-use smbm_core::{
-    combined_policy_by_name, CombinedPqOpt, CombinedRunner, COMBINED_POLICY_NAMES,
-};
+use smbm_core::{combined_policy_by_name, CombinedPqOpt, CombinedRunner, COMBINED_POLICY_NAMES};
 use smbm_sim::{run_combined, EngineConfig};
 use smbm_switch::WorkSwitchConfig;
 use smbm_traffic::{MmppScenario, PortMix, ValueMix};

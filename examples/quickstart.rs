@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "slot complete: {} packet(s) out, {} cycles consumed",
         report.transmitted, report.cycles_used
     );
-    runner.switch().check_invariants().expect("conservation holds");
+    runner
+        .switch()
+        .check_invariants()
+        .expect("conservation holds");
 
     // Now at simulation scale: bursty MMPP traffic, LWD vs the OPT yardstick.
     let scenario = MmppScenario {

@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use smbm_core::{
-    combined_policy_by_name, CombinedPqOpt, CombinedRunner, Wvd,
-    COMBINED_POLICY_NAMES,
+    combined_policy_by_name, CombinedPqOpt, CombinedRunner, Wvd, COMBINED_POLICY_NAMES,
 };
 use smbm_sim::{run_combined, EngineConfig};
 use smbm_switch::{CombinedPacket, PortId, Value, Work, WorkSwitchConfig};

@@ -7,18 +7,17 @@
 
 use proptest::prelude::*;
 
-use smbm_core::{LqdValue, Lqd, Lwd, Mrd, ValueRunner, WorkRunner};
+use smbm_core::{Lqd, LqdValue, Lwd, Mrd, ValueRunner, WorkRunner};
 use smbm_switch::{PortId, Value, ValuePacket, ValueSwitchConfig, WorkSwitchConfig};
 
 fn arrival_pattern() -> impl Strategy<Value = (usize, usize, Vec<usize>)> {
-    (2usize..=4)
-        .prop_flat_map(|ports| {
-            (
-                Just(ports),
-                ports..=8usize,
-                proptest::collection::vec(0usize..ports, 1..60),
-            )
-        })
+    (2usize..=4).prop_flat_map(|ports| {
+        (
+            Just(ports),
+            ports..=8usize,
+            proptest::collection::vec(0usize..ports, 1..60),
+        )
+    })
 }
 
 proptest! {

@@ -88,14 +88,11 @@ fn micro_work_case() -> impl Strategy<Value = (Vec<u32>, usize, u32, Vec<Vec<usi
             proptest::collection::vec(1u32..=3, ports),
             ports..=4usize,
             1u32..=2,
-            proptest::collection::vec(
-                proptest::collection::vec(0usize..ports, 0..=3),
-                1..=4,
-            )
-            .prop_filter("tiny", |s| {
-                let n: usize = s.iter().map(Vec::len).sum();
-                (1..=10).contains(&n)
-            }),
+            proptest::collection::vec(proptest::collection::vec(0usize..ports, 0..=3), 1..=4)
+                .prop_filter("tiny", |s| {
+                    let n: usize = s.iter().map(Vec::len).sum();
+                    (1..=10).contains(&n)
+                }),
         )
     })
 }

@@ -79,7 +79,10 @@ fn awd_endpoints_bracket_lqd_and_lwd_scores() {
     let awd1 = score(Box::new(AlphaWd::new(1.0)));
     assert_eq!(awd0, lqd, "AWD(0) must equal LQD end-to-end");
     assert_eq!(awd1, lwd, "AWD(1) must equal LWD end-to-end");
-    assert!(lwd >= lqd, "LWD should beat LQD under heterogeneous congestion");
+    assert!(
+        lwd >= lqd,
+        "LWD should beat LQD under heterogeneous congestion"
+    );
 }
 
 #[test]

@@ -94,5 +94,8 @@ fn striped_configuration_scales() {
     // throughputs of the two w=1 copies differ by at most a few percent.
     let per_port = runner.switch().transmitted_per_port();
     let (a, b) = (per_port[0] as f64, per_port[1] as f64);
-    assert!((a - b).abs() / a.max(b) < 0.1, "asymmetric copies: {a} vs {b}");
+    assert!(
+        (a - b).abs() / a.max(b) < 0.1,
+        "asymmetric copies: {a} vs {b}"
+    );
 }

@@ -21,13 +21,13 @@ const SEED: u64 = 0xC0FFEE;
 #[test]
 fn work_model_scores_are_bit_stable() {
     let golden: &[(&str, u64)] = &[
-        ("NHST", 17631),
-        ("NEST", 16947),
-        ("NHDT", 16062),
-        ("LQD", 17383),
-        ("BPD", 13097),
-        ("BPD1", 16733),
-        ("LWD", 17842),
+        ("NHST", 17544),
+        ("NEST", 16867),
+        ("NHDT", 16059),
+        ("LQD", 17295),
+        ("BPD", 13075),
+        ("BPD1", 16680),
+        ("LWD", 17741),
     ];
     let cfg = WorkSwitchConfig::contiguous(6, 32).unwrap();
     let trace = MmppScenario {
@@ -51,13 +51,13 @@ fn work_model_scores_are_bit_stable() {
 #[test]
 fn value_model_scores_are_bit_stable() {
     let golden: &[(&str, u64)] = &[
-        ("GREEDY", 287616),
-        ("NEST-V", 310237),
-        ("NHST-V", 304194),
-        ("LQD", 434948),
-        ("MVD", 431290),
-        ("MVD1", 432813),
-        ("MRD", 435528),
+        ("GREEDY", 286505),
+        ("NEST-V", 310535),
+        ("NHST-V", 305210),
+        ("LQD", 434772),
+        ("MVD", 431406),
+        ("MVD1", 432659),
+        ("MRD", 435460),
     ];
     let cfg = ValueSwitchConfig::new(32, 6).unwrap();
     let trace = MmppScenario {
@@ -81,11 +81,11 @@ fn value_model_scores_are_bit_stable() {
 #[test]
 fn combined_model_scores_are_bit_stable() {
     let golden: &[(&str, u64)] = &[
-        ("GREEDY", 52963),
-        ("LQD", 152926),
-        ("LWD", 153407),
-        ("MVD-D", 134681),
-        ("WVD", 154188),
+        ("GREEDY", 53033),
+        ("LQD", 150576),
+        ("LWD", 151470),
+        ("MVD-D", 135219),
+        ("WVD", 152204),
     ];
     let cfg = WorkSwitchConfig::contiguous(6, 32).unwrap();
     let trace = MmppScenario {

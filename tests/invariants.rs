@@ -116,10 +116,7 @@ fn flushouts_preserve_conservation_in_both_modes() {
     for mode in [FlushMode::Drain, FlushMode::Drop] {
         let mut runner = WorkRunner::new(cfg.clone(), smbm_core::Lwd::new(), 1);
         let engine = EngineConfig {
-            flush: Some(FlushPolicy {
-                period: 500,
-                mode,
-            }),
+            flush: Some(FlushPolicy { period: 500, mode }),
             drain_at_end: true,
         };
         run_work(&mut runner, &trace, &engine).unwrap();

@@ -24,10 +24,7 @@ fn tiny_instance() -> impl Strategy<Value = TinyInstance> {
             (
                 proptest::collection::vec(1u32..=4, ports),
                 ports..=5usize,
-                proptest::collection::vec(
-                    proptest::collection::vec(0usize..ports, 0..=4),
-                    1..=5,
-                ),
+                proptest::collection::vec(proptest::collection::vec(0usize..ports, 0..=4), 1..=5),
             )
         })
         .prop_map(|(works, buffer, slots)| TinyInstance {

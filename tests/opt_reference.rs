@@ -16,11 +16,8 @@ fn tiny_work_case() -> impl Strategy<Value = (Vec<u32>, usize, Vec<Vec<usize>>)>
         (
             proptest::collection::vec(1u32..=3, ports),
             ports..=5usize,
-            proptest::collection::vec(
-                proptest::collection::vec(0usize..ports, 0..=4),
-                1..=4,
-            )
-            .prop_filter("small", |s| s.iter().map(Vec::len).sum::<usize>() <= 14),
+            proptest::collection::vec(proptest::collection::vec(0usize..ports, 0..=4), 1..=4)
+                .prop_filter("small", |s| s.iter().map(Vec::len).sum::<usize>() <= 14),
         )
     })
 }

@@ -85,7 +85,10 @@ fn value_port_panel_mvd_collapses_and_mvd1_recovers() {
     let lqd = ratio_of(&series, "LQD", 4.0);
     let mvd = ratio_of(&series, "MVD", 4.0);
     let mvd1 = ratio_of(&series, "MVD1", 4.0);
-    assert!(mvd > 1.5 * lqd, "MVD ({mvd}) did not collapse vs LQD ({lqd})");
+    assert!(
+        mvd > 1.5 * lqd,
+        "MVD ({mvd}) did not collapse vs LQD ({lqd})"
+    );
     assert!(mvd1 < mvd, "MVD1 ({mvd1}) did not improve on MVD ({mvd})");
     assert!(mvd1 > lqd, "MVD1 ({mvd1}) should still trail LQD ({lqd})");
 }

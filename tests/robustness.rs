@@ -131,7 +131,10 @@ fn engine_propagates_policy_errors() {
     let mut trace = Trace::new();
     // Enough arrivals that chaos is guaranteed to emit an invalid decision.
     trace.push_slot(vec![
-        smbm_switch::WorkPacket::new(PortId::new(0), smbm_switch::Work::new(1));
+        smbm_switch::WorkPacket::new(
+            PortId::new(0),
+            smbm_switch::Work::new(1)
+        );
         64
     ]);
     let result = run_work(&mut runner, &trace, &EngineConfig::draining());

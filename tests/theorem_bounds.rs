@@ -110,11 +110,6 @@ fn lwd_survives_every_other_works_construction() {
     for c in &mut constructions {
         c.target_policy = "LWD";
         let r = measure_work_construction(c).unwrap();
-        assert!(
-            r.ratio() < 2.0,
-            "LWD beyond 2 on {}: {}",
-            r.name,
-            r.ratio()
-        );
+        assert!(r.ratio() < 2.0, "LWD beyond 2 on {}: {}", r.name, r.ratio());
     }
 }

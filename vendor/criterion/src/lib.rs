@@ -1,0 +1,298 @@
+//! Offline subset of the `criterion` benchmarking API used by this
+//! workspace.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! pieces of criterion its benches rely on: [`Criterion`] with
+//! `sample_size` / `warm_up_time` / `measurement_time`, benchmark groups
+//! with optional [`Throughput`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The harness is deliberately simple: each benchmark warms up for the
+//! configured warm-up window, then collects `sample_size` timed samples
+//! spread over the measurement window and reports the median ns/iter (plus
+//! derived element throughput when configured). There is no statistical
+//! regression analysis, plotting, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A display label for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs closures under timing; handed to benchmark functions.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses, measuring the
+        // rough per-iteration cost so samples can batch iterations.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Pick an iteration count per sample so all samples together fill
+        // roughly the measurement window.
+        let samples = self.config.sample_size.max(2);
+        let target_sample_secs = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((target_sample_secs / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            sample_ns.push(elapsed / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        self.median_ns = sample_ns[sample_ns.len() / 2];
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up window run before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement window shared by the samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&self.config, &name.to_string(), None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&self.criterion.config, &label, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.criterion.config, &label, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F>(config: &Config, label: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let mut bencher = Bencher {
+        config,
+        median_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    if bencher.median_ns.is_nan() {
+        println!("{label:<50} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let ns = bencher.median_ns;
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{label:<50} {ns:>14.1} ns/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{label:<50} {ns:>14.1} ns/iter  {rate:>14.0} B/s");
+        }
+        _ => println!("{label:<50} {ns:>14.1} ns/iter"),
+    }
+}
+
+/// Collects benchmark functions (and an optional configuration) into a
+/// callable group for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target from [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags (e.g. `--bench`); the
+            // vendored harness runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("input");
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(42u64), &42u64, |b, &x| {
+            seen = x;
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+}

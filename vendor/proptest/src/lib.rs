@@ -1,0 +1,603 @@
+//! Offline sampling-only subset of the `proptest` API used by this workspace.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! parts of `proptest` its property tests rely on: the [`Strategy`] trait
+//! with `prop_map` / `prop_flat_map` / `prop_filter`, [`Just`], integer range
+//! strategies, tuple strategies, [`collection::vec`], weighted unions via
+//! [`prop_oneof!`], and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros.
+//!
+//! Unlike upstream proptest this implementation only *samples*: failing
+//! cases are reported by the panicking assertion but are not shrunk to a
+//! minimal counterexample. Sampling is deterministic — each generated test
+//! seeds its generator from a hash of the test's module path and name — so
+//! failures reproduce exactly across runs.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` sampled cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the vendored runner keeps the suite
+            // quick while still exercising each property broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator used to sample strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label (the test name).
+        pub fn from_label(label: &str) -> Self {
+            // FNV-1a over the label gives a stable per-test seed.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in label.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(hash),
+            }
+        }
+
+        /// Access to the underlying `rand` generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+
+    impl Rng for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// A failed test case, usable with `?` inside [`proptest!`] bodies.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        reason: String,
+    }
+
+    impl TestCaseError {
+        /// Fails the current case with `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError {
+                reason: reason.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.reason)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// How many rejected samples [`Strategy::prop_filter`] tolerates before
+    /// giving up on a case.
+    const MAX_FILTER_ATTEMPTS: usize = 10_000;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// The vendored strategy only samples; it performs no shrinking.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then samples from the strategy `f` builds
+        /// from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Rejects samples for which `f` returns `false`, resampling.
+        ///
+        /// # Panics
+        ///
+        /// Panics with `reason` if no sample passes the filter after a
+        /// bounded number of attempts.
+        fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                reason: reason.into(),
+                f,
+            }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        reason: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_FILTER_ATTEMPTS {
+                let candidate = self.source.sample(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!(
+                "prop_filter gave up after {MAX_FILTER_ATTEMPTS} attempts: {}",
+                self.reason
+            );
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample_dyn(rng)
+        }
+    }
+
+    /// A weighted choice among erased strategies (backs [`prop_oneof!`]).
+    pub struct Union<T> {
+        variants: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `variants` is empty or all weights are zero.
+        pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight: u64 = variants.iter().map(|&(w, _)| u64::from(w)).sum();
+            assert!(
+                total_weight > 0,
+                "prop_oneof! requires a positive total weight"
+            );
+            Union {
+                variants,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.rng().random_range(0..self.total_weight);
+            for (weight, strat) in &self.variants {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.sample(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick exceeded total weight")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests over sampled strategies.
+///
+/// Mirrors the upstream macro's surface: an optional
+/// `#![proptest_config(...)]` header followed by `fn name(pat in strategy,
+/// ...) { body }` items (each carrying its own `#[test]` attribute).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_label(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::sample(&$strat, &mut rng),)+
+                    );
+                    // Run the body in a `Result` context so `?` with
+                    // `TestCaseError` works as it does upstream.
+                    let case = || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = case();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!("test case failed: {err}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Chooses among strategies, optionally `weight => strategy` pairs.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = TestRng::from_label("just");
+        assert_eq!(Just(7u32).sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_label("ranges");
+        for _ in 0..1_000 {
+            let a = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (1u64..=4).sample(&mut rng);
+            assert!((1..=4).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::from_label("vec-sizes");
+        let strat = crate::collection::vec(0u32..5, 2..=6);
+        for _ in 0..500 {
+            let v = strat.sample(&mut rng);
+            assert!((2..=6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let exact = crate::collection::vec(0u32..5, 4usize);
+        assert_eq!(exact.sample(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn map_flat_map_filter_compose() {
+        let mut rng = TestRng::from_label("compose");
+        let strat = (1usize..=3)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..10, n)))
+            .prop_map(|(n, v)| (n, v.len()))
+            .prop_filter("lengths agree", |&(n, len)| n == len);
+        for _ in 0..200 {
+            let (n, len) = strat.sample(&mut rng);
+            assert_eq!(n, len);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let mut rng = TestRng::from_label("oneof");
+        let strat = prop_oneof![
+            3 => Just(0u8),
+            1 => Just(1u8),
+        ];
+        let ones = (0..4_000).filter(|_| strat.sample(&mut rng) == 1).count();
+        // Expect ~1000 of 4000; accept a generous band.
+        assert!((600..=1400).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_label() {
+        let strat = crate::collection::vec(0u64..1_000, 5usize);
+        let mut a = TestRng::from_label("det");
+        let mut b = TestRng::from_label("det");
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke((a, b) in (0u32..10, 0u32..10), c in 1usize..4) {
+            prop_assert!(a < 10 && b < 10, "a={} b={}", a, b);
+            prop_assert_eq!(c.clamp(1, 3), c);
+        }
+    }
+}
