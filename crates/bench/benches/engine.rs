@@ -40,6 +40,28 @@ fn engine_slot_throughput(c: &mut Criterion) {
             black_box(s.score)
         });
     });
+    // Fig. 5-representative scale: n = 64 ports, shared buffer, and the
+    // paper's 500-source MMPP configuration (solidly overloaded, so victim
+    // selection runs on most arrivals).
+    let cfg64 = WorkSwitchConfig::contiguous(64, 512).expect("valid");
+    let scenario64 = MmppScenario {
+        sources: 500,
+        slots: 2_000,
+        seed: 7,
+        ..Default::default()
+    };
+    let trace64 = scenario64
+        .work_trace(&cfg64, &PortMix::Uniform)
+        .expect("valid scenario");
+    group.throughput(Throughput::Elements(trace64.slots() as u64));
+    group.bench_function("lwd-slot-loop-n64", |b| {
+        b.iter(|| {
+            let mut runner = WorkRunner::new(cfg64.clone(), Lwd::new(), 1);
+            let s = run_work(&mut runner, &trace64, &EngineConfig::horizon_only())
+                .expect("LWD never errs");
+            black_box(s.score)
+        });
+    });
     group.finish();
 }
 
@@ -69,6 +91,85 @@ fn value_engine_slot_throughput(c: &mut Criterion) {
             let mut opt = ValuePqOpt::new(64, 8);
             let s =
                 run_value(&mut opt, &trace, &EngineConfig::horizon_only()).expect("OPT never errs");
+            black_box(s.score)
+        });
+    });
+    // Fig. 5-representative scale: n = 64 ports, shared buffer, and the
+    // paper's 500-source MMPP configuration (solidly overloaded).
+    let cfg64 = ValueSwitchConfig::new(512, 64).expect("valid");
+    let scenario64 = MmppScenario {
+        sources: 500,
+        slots: 2_000,
+        seed: 7,
+        ..Default::default()
+    };
+    let trace64 = scenario64
+        .value_trace(64, &PortMix::Uniform, &ValueMix::Uniform { max: 16 })
+        .expect("valid scenario");
+    group.throughput(Throughput::Elements(trace64.slots() as u64));
+    group.bench_function("mrd-slot-loop-n64", |b| {
+        b.iter(|| {
+            let mut runner = ValueRunner::new(cfg64, Mrd::new(), 1);
+            let s = run_value(&mut runner, &trace64, &EngineConfig::horizon_only())
+                .expect("MRD never errs");
+            black_box(s.score)
+        });
+    });
+    group.finish();
+}
+
+/// Indexed victim selection vs. the retained full-scan oracle, at the
+/// Fig. 5-representative n = 64 scale where the O(n) scan per arrival is
+/// most expensive. `*-indexed` forces the incremental `ScoreIndex` (what
+/// the registry default auto-selects at this port count); `*-scan` is the
+/// original linear scan (`Policy::scan()`).
+fn slab_index_vs_scan(c: &mut Criterion) {
+    let cfg64 = WorkSwitchConfig::contiguous(64, 512).expect("valid");
+    let scenario64 = MmppScenario {
+        sources: 500,
+        slots: 2_000,
+        seed: 7,
+        ..Default::default()
+    };
+    let work_trace = scenario64
+        .work_trace(&cfg64, &PortMix::Uniform)
+        .expect("valid scenario");
+    let vcfg64 = ValueSwitchConfig::new(512, 64).expect("valid");
+    let value_trace = scenario64
+        .value_trace(64, &PortMix::Uniform, &ValueMix::Uniform { max: 16 })
+        .expect("valid scenario");
+
+    let mut group = c.benchmark_group("slab");
+    group.throughput(Throughput::Elements(work_trace.slots() as u64));
+    group.bench_function("lwd-n64-indexed", |b| {
+        b.iter(|| {
+            let mut runner = WorkRunner::new(cfg64.clone(), Lwd::indexed(), 1);
+            let s = run_work(&mut runner, &work_trace, &EngineConfig::horizon_only())
+                .expect("LWD never errs");
+            black_box(s.score)
+        });
+    });
+    group.bench_function("lwd-n64-scan", |b| {
+        b.iter(|| {
+            let mut runner = WorkRunner::new(cfg64.clone(), Lwd::scan(), 1);
+            let s = run_work(&mut runner, &work_trace, &EngineConfig::horizon_only())
+                .expect("LWD never errs");
+            black_box(s.score)
+        });
+    });
+    group.bench_function("mrd-n64-indexed", |b| {
+        b.iter(|| {
+            let mut runner = ValueRunner::new(vcfg64, Mrd::indexed(), 1);
+            let s = run_value(&mut runner, &value_trace, &EngineConfig::horizon_only())
+                .expect("MRD never errs");
+            black_box(s.score)
+        });
+    });
+    group.bench_function("mrd-n64-scan", |b| {
+        b.iter(|| {
+            let mut runner = ValueRunner::new(vcfg64, Mrd::scan(), 1);
+            let s = run_value(&mut runner, &value_trace, &EngineConfig::horizon_only())
+                .expect("MRD never errs");
             black_box(s.score)
         });
     });
@@ -190,6 +291,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3));
     targets = engine_slot_throughput,
         value_engine_slot_throughput,
+        slab_index_vs_scan,
         observer_overhead,
         trace_generation,
         exact_opt_search

@@ -1,7 +1,9 @@
 //! Regenerates the panels of the paper's Fig. 5 as CSV on stdout.
 //!
 //! ```text
-//! fig5 [--panel N] [--scale smoke|default|paper] [--seed S] [--repeats R]\n//!      [--gnuplot-dir DIR]   # also write panelN.csv + panelN.gp files
+//! fig5 [--panel N] [--scale smoke|default|paper] [--seed S] [--repeats R]
+//!      [--jobs N]            # cap sweep worker threads (default: all cores)
+//!      [--gnuplot-dir DIR]   # also write panelN.csv + panelN.gp files
 //!      [--metrics-dir DIR]   # also write panelN.POLICY.json metric sidecars
 //! ```
 //!
@@ -12,7 +14,7 @@ use std::process::ExitCode;
 use smbm_bench::{Panel, PanelScale};
 
 fn usage() -> &'static str {
-    "usage: fig5 [--panel 1..9] [--scale smoke|default|paper] [--seed N] [--repeats R] [--gnuplot-dir DIR] [--metrics-dir DIR]"
+    "usage: fig5 [--panel 1..9] [--scale smoke|default|paper] [--seed N] [--repeats R] [--jobs N] [--gnuplot-dir DIR] [--metrics-dir DIR]"
 }
 
 fn main() -> ExitCode {
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
     let mut scale = PanelScale::Default;
     let mut seed = 0xB0FFE2u64;
     let mut repeats = 1u32;
+    let mut jobs: Option<usize> = None;
     let mut gnuplot_dir: Option<String> = None;
     let mut metrics_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -59,6 +62,17 @@ fn main() -> ExitCode {
                 }
                 repeats = v;
             }
+            "--jobs" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if v == 0 {
+                    eprintln!("--jobs must be at least 1");
+                    return ExitCode::FAILURE;
+                }
+                jobs = Some(v);
+            }
             "--gnuplot-dir" => {
                 let Some(v) = args.next() else {
                     eprintln!("{}", usage());
@@ -94,13 +108,14 @@ fn main() -> ExitCode {
         None => Panel::all().collect(),
     };
     for p in panels {
-        let (series, _spread) = match smbm_bench::run_panel_averaged(p, scale, seed, repeats) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("panel {} failed: {e}", p.number());
-                return ExitCode::FAILURE;
-            }
-        };
+        let (series, _spread) =
+            match smbm_bench::run_panel_averaged_with_jobs(p, scale, seed, repeats, jobs) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("panel {} failed: {e}", p.number());
+                    return ExitCode::FAILURE;
+                }
+            };
         let csv = smbm_sim::series_to_csv(p.x_label(), &series);
         println!(
             "# Fig.5({}) {} [scale {:?}, seed {}, repeats {}]",

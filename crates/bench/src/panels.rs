@@ -16,8 +16,8 @@
 
 use smbm_obs::HistogramRecorder;
 use smbm_sim::{
-    series_from_sweep, series_to_csv, sweep, EngineConfig, ExperimentError, FlushPolicy, Series,
-    ValueExperiment, WorkExperiment,
+    series_from_sweep, series_to_csv, sweep_with_jobs, EngineConfig, ExperimentError, FlushPolicy,
+    Series, ValueExperiment, WorkExperiment,
 };
 use smbm_switch::{ValueSwitchConfig, WorkSwitchConfig};
 use smbm_traffic::{MmppParams, MmppScenario, PortMix, ValueMix};
@@ -187,15 +187,35 @@ pub fn run_panel(
     scale: PanelScale,
     seed: u64,
 ) -> Result<Vec<Series>, ExperimentError> {
+    run_panel_with_jobs(panel, scale, seed, None)
+}
+
+/// Like [`run_panel`], with an explicit cap on sweep worker threads
+/// (`None` uses the machine's available parallelism; see
+/// [`smbm_sim::sweep_with_jobs`]).
+///
+/// # Errors
+///
+/// See [`run_panel`].
+pub fn run_panel_with_jobs(
+    panel: Panel,
+    scale: PanelScale,
+    seed: u64,
+    jobs: Option<usize>,
+) -> Result<Vec<Series>, ExperimentError> {
     let xs = panel_xs(panel, scale);
-    let points = sweep(&xs, |x| match panel_point(panel, x) {
-        PanelPoint::Work { config, speedup } => run_work_point(config, speedup, scale, seed),
-        PanelPoint::Value {
-            config,
-            speedup,
-            mix,
-        } => run_value_point(config, speedup, &mix, scale, seed),
-    })?;
+    let points = sweep_with_jobs(
+        &xs,
+        |x| match panel_point(panel, x) {
+            PanelPoint::Work { config, speedup } => run_work_point(config, speedup, scale, seed),
+            PanelPoint::Value {
+                config,
+                speedup,
+                mix,
+            } => run_value_point(config, speedup, &mix, scale, seed),
+        },
+        jobs,
+    )?;
     Ok(series_from_sweep(&points))
 }
 
@@ -358,10 +378,31 @@ pub fn run_panel_averaged(
     seed: u64,
     repeats: u32,
 ) -> Result<(Vec<Series>, f64), ExperimentError> {
+    run_panel_averaged_with_jobs(panel, scale, seed, repeats, None)
+}
+
+/// Like [`run_panel_averaged`], with an explicit cap on sweep worker
+/// threads (`None` uses the machine's available parallelism).
+///
+/// # Errors
+///
+/// See [`run_panel`].
+pub fn run_panel_averaged_with_jobs(
+    panel: Panel,
+    scale: PanelScale,
+    seed: u64,
+    repeats: u32,
+    jobs: Option<usize>,
+) -> Result<(Vec<Series>, f64), ExperimentError> {
     assert!(repeats >= 1, "need at least one repeat");
     let mut runs: Vec<Vec<Series>> = Vec::with_capacity(repeats as usize);
     for r in 0..repeats {
-        runs.push(run_panel(panel, scale, seed.wrapping_add(u64::from(r)))?);
+        runs.push(run_panel_with_jobs(
+            panel,
+            scale,
+            seed.wrapping_add(u64::from(r)),
+            jobs,
+        )?);
     }
     let first = &runs[0];
     let mut spread_max = 0.0f64;
@@ -489,6 +530,18 @@ mod tests {
     fn value_panel_smoke_runs() {
         let series = run_panel(Panel::new(7).unwrap(), PanelScale::Smoke, 7).unwrap();
         assert_eq!(series.len(), smbm_core::VALUE_POLICY_NAMES.len());
+    }
+
+    #[test]
+    fn job_cap_does_not_change_results() {
+        let p = Panel::new(1).unwrap();
+        let default = run_panel(p, PanelScale::Smoke, 7).unwrap();
+        let single = run_panel_with_jobs(p, PanelScale::Smoke, 7, Some(1)).unwrap();
+        assert_eq!(default, single);
+        let (avg_default, _) = run_panel_averaged(p, PanelScale::Smoke, 7, 2).unwrap();
+        let (avg_single, _) =
+            run_panel_averaged_with_jobs(p, PanelScale::Smoke, 7, 2, Some(1)).unwrap();
+        assert_eq!(avg_default, avg_single);
     }
 
     #[test]

@@ -21,6 +21,7 @@ commands:
   value-run   run the heterogeneous-value roster on MMPP traffic
   bounds      replay theorem lower-bound constructions
   combined-run run the combined work+value roster (extension)
+  panel       regenerate a Fig. 5 panel as CSV (--panel 1..9, --jobs N)
   trace-gen   generate a work-model MMPP trace (text format) on stdout
   trace-stats summarize a work-model trace (--file PATH, or text via stdin)
   help        show this message
@@ -43,6 +44,7 @@ pub fn execute(args: &Args, stdin: &str) -> Result<String, String> {
         Some("value-run") => value_run(args),
         Some("combined-run") => combined_run(args),
         Some("bounds") => bounds(args),
+        Some("panel") => panel(args),
         Some("trace-gen") => trace_gen(args),
         Some("trace-stats") => trace_stats(args, stdin),
         Some("help") | None => Ok(HELP.to_string()),
@@ -379,6 +381,54 @@ fn bounds(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn panel(args: &Args) -> Result<String, String> {
+    use smbm_bench::{Panel, PanelScale};
+    args.expect_only(&["panel", "scale", "seed", "repeats", "jobs"])
+        .map_err(err)?;
+    let number: u8 = args.get_or("panel", 1).map_err(err)?;
+    let p = Panel::new(number).ok_or_else(|| format!("--panel must be 1..9, got {number}"))?;
+    let scale = match args.get("scale").unwrap_or("default") {
+        "smoke" => PanelScale::Smoke,
+        "default" => PanelScale::Default,
+        "paper" => PanelScale::Paper,
+        other => {
+            return Err(format!(
+                "unknown --scale {other:?}; use smoke|default|paper"
+            ))
+        }
+    };
+    let seed: u64 = args.get_or("seed", 0xB0FFE2u64).map_err(err)?;
+    let repeats: u32 = args.get_or("repeats", 1).map_err(err)?;
+    if repeats == 0 {
+        return Err("--repeats must be at least 1".into());
+    }
+    let jobs: Option<usize> = match args.get("jobs") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+            if n == 0 {
+                return Err("--jobs must be at least 1".into());
+            }
+            Some(n)
+        }
+        None => None,
+    };
+    let (series, spread) =
+        smbm_bench::run_panel_averaged_with_jobs(p, scale, seed, repeats, jobs).map_err(err)?;
+    let mut out = format!(
+        "# Fig.5({}) {} [scale {:?}, seed {}, repeats {}, max half-spread {:.4}]\n",
+        p.number(),
+        p.caption(),
+        scale,
+        seed,
+        repeats,
+        spread
+    );
+    out.push_str(&smbm_sim::series_to_csv(p.x_label(), &series));
+    Ok(out)
+}
+
 fn trace_gen(args: &Args) -> Result<String, String> {
     args.expect_only(&["k", "buffer", "slots", "sources", "seed"])
         .map_err(err)?;
@@ -595,6 +645,34 @@ mod tests {
         assert!(json.starts_with("{\"model\":\"combined\""));
         assert!(json.contains("\"WVD\":{"));
         let _ = std::fs::remove_file(metrics);
+    }
+
+    #[test]
+    fn panel_smoke_renders_csv() {
+        let out = run(&["panel", "--panel", "1", "--scale", "smoke", "--jobs", "2"]).unwrap();
+        assert!(out.starts_with("# Fig.5(1)"), "{out}");
+        assert!(out.contains("k,"), "{out}");
+        assert!(out.contains("LWD"), "{out}");
+    }
+
+    #[test]
+    fn panel_jobs_cap_is_deterministic() {
+        let a = run(&["panel", "--panel", "7", "--scale", "smoke", "--jobs", "1"]).unwrap();
+        let b = run(&["panel", "--panel", "7", "--scale", "smoke", "--jobs", "4"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panel_rejects_bad_arguments() {
+        assert!(run(&["panel", "--panel", "0"])
+            .unwrap_err()
+            .contains("1..9"));
+        assert!(run(&["panel", "--jobs", "0"])
+            .unwrap_err()
+            .contains("--jobs"));
+        assert!(run(&["panel", "--scale", "huge"])
+            .unwrap_err()
+            .contains("huge"));
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //! all works are 1 (`W_j = |Q_j|`), unifying the paper's two headline
 //! policies.
 
+use std::cmp::Reverse;
+
 use smbm_switch::{
     AdmitError, ArrivalOutcome, CombinedPacket, CombinedPhaseReport, CombinedSwitch, Counters,
-    DropReason, PortId, Transmitted, Value, WorkSwitchConfig,
+    DropReason, PortId, RatioKey, Transmitted, Value, WorkSwitchConfig,
 };
 
+use crate::index::{apply_queue_changes, ScoreIndex, SelectMode};
 use crate::Decision;
 
 /// An online buffer-management policy for the combined model. Push-out
@@ -29,6 +32,31 @@ pub trait CombinedPolicy: std::fmt::Debug + Send {
 
     /// Invoked on simulator flushouts.
     fn on_flush(&mut self) {}
+
+    /// Whether the runner should report queue-change events (see
+    /// [`CombinedPolicy::queues_changed`]) on a switch with `ports` ports.
+    /// Defaults to `false` so scan-based policies pay nothing.
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        let _ = ports;
+        false
+    }
+
+    /// Notifies the policy that `port`'s queue changed since the last
+    /// decision, so incremental indices (see [`crate::ScoreIndex`]) can
+    /// refresh that port's score. Only called when
+    /// [`CombinedPolicy::wants_queue_events`] returns `true`.
+    fn queue_changed(&mut self, switch: &CombinedSwitch, port: PortId) {
+        let _ = (switch, port);
+    }
+
+    /// Batch form of [`CombinedPolicy::queue_changed`]: one call per sync
+    /// with every port that changed since the last decision, letting indexed
+    /// policies rebuild in O(n) when most ports are dirty.
+    fn queues_changed(&mut self, switch: &CombinedSwitch, ports: &[PortId]) {
+        for &port in ports {
+            self.queue_changed(switch, port);
+        }
+    }
 }
 
 impl<P: CombinedPolicy + ?Sized> CombinedPolicy for Box<P> {
@@ -43,6 +71,18 @@ impl<P: CombinedPolicy + ?Sized> CombinedPolicy for Box<P> {
     fn on_flush(&mut self) {
         (**self).on_flush()
     }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        (**self).wants_queue_events(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &CombinedSwitch, port: PortId) {
+        (**self).queue_changed(switch, port)
+    }
+
+    fn queues_changed(&mut self, switch: &CombinedSwitch, ports: &[PortId]) {
+        (**self).queues_changed(switch, ports)
+    }
 }
 
 /// Binds a [`CombinedPolicy`] to a [`CombinedSwitch`] and a speedup.
@@ -51,6 +91,7 @@ pub struct CombinedRunner<P> {
     switch: CombinedSwitch,
     policy: P,
     speedup: u32,
+    dirty_scratch: Vec<PortId>,
 }
 
 impl<P: CombinedPolicy> CombinedRunner<P> {
@@ -60,6 +101,7 @@ impl<P: CombinedPolicy> CombinedRunner<P> {
             switch: CombinedSwitch::new(config),
             policy,
             speedup,
+            dirty_scratch: Vec::new(),
         }
     }
 
@@ -79,6 +121,13 @@ impl<P: CombinedPolicy> CombinedRunner<P> {
     ///
     /// Propagates [`AdmitError`] from inconsistent decisions.
     pub fn arrival(&mut self, pkt: CombinedPacket) -> Result<Decision, AdmitError> {
+        // Sync incremental indices only when victim selection can run (full
+        // buffer); see `WorkRunner::arrival`.
+        if self.switch.is_full() && self.policy.wants_queue_events(self.switch.ports()) {
+            self.switch.drain_dirty_into(&mut self.dirty_scratch);
+            self.policy
+                .queues_changed(&self.switch, &self.dirty_scratch);
+        }
         let decision = self.policy.decide(&self.switch, pkt);
         match decision {
             Decision::Accept => self.switch.admit(pkt)?,
@@ -247,15 +296,82 @@ impl CombinedPolicy for LwdCombined {
 /// virtual add), computed exactly by cross-multiplication.
 ///
 /// Degenerations (tested): unit values → LWD; unit works → MRD.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Victim selection is O(log n) by default, via a [`ScoreIndex`] over
+/// `(W_j·|Q_j|/S_j, Reverse(min_j))`; [`Wvd::scan`] keeps the original O(n)
+/// scan as the differential oracle.
+#[derive(Debug, Clone, Default)]
 pub struct Wvd {
-    _priv: (),
+    index: Option<ScoreIndex<(RatioKey, Reverse<u64>)>>,
+    mode: SelectMode,
 }
 
 impl Wvd {
-    /// Creates the policy.
+    /// Creates the policy. Victim selection picks index or scan automatically
+    /// by port count.
     pub fn new() -> Self {
-        Wvd { _priv: () }
+        Wvd {
+            index: None,
+            mode: SelectMode::Auto,
+        }
+    }
+
+    /// Creates WVD with victim selection by full scan instead of the
+    /// incremental index (differential-test oracle).
+    pub fn scan() -> Self {
+        Wvd {
+            index: None,
+            mode: SelectMode::Scan,
+        }
+    }
+
+    /// Creates WVD with the incremental index forced on regardless of port
+    /// count.
+    pub fn indexed() -> Self {
+        Wvd {
+            index: None,
+            mode: SelectMode::Indexed,
+        }
+    }
+
+    /// `port`'s resident key, `None` for an empty queue (which does not
+    /// participate in victim selection).
+    fn port_key(switch: &CombinedSwitch, port: PortId) -> Option<(RatioKey, Reverse<u64>)> {
+        let q = switch.queue(port);
+        let len = q.len() as u128;
+        if len == 0 {
+            return None;
+        }
+        let num = q.total_work() as u128 * len;
+        let sum = q.total_value() as u128;
+        let min = q.min_value().map_or(u64::MAX, Value::get);
+        Some((RatioKey::new(num, sum), Reverse(min)))
+    }
+
+    /// Indexed equivalent of [`Wvd::max_ratio_queue`].
+    fn indexed_max_ratio(&mut self, switch: &CombinedSwitch, pkt: CombinedPacket) -> PortId {
+        if self
+            .index
+            .as_ref()
+            .is_none_or(|i| i.ports() != switch.ports())
+        {
+            let mut idx = ScoreIndex::new(switch.ports());
+            idx.rebuild_with(|i| Self::port_key(switch, PortId::new(i)));
+            self.index = Some(idx);
+        }
+        let q = switch.queue(pkt.port());
+        let len = q.len() as u128 + 1;
+        let work = (q.total_work() + q.work().as_u64()) as u128;
+        let sum = q.total_value() as u128 + pkt.value().get() as u128;
+        let min = q
+            .min_value()
+            .map_or(u64::MAX, Value::get)
+            .min(pkt.value().get());
+        let virtual_key = (RatioKey::new(work * len, sum), Reverse(min));
+        self.index
+            .as_ref()
+            .expect("index built above")
+            .max_with(pkt.port(), virtual_key)
     }
 
     /// The queue maximizing `W_j / a_j = W_j * len_j / sum_j` once `pkt` is
@@ -306,7 +422,32 @@ impl CombinedPolicy for Wvd {
         if !switch.is_full() {
             return Decision::Accept;
         }
-        Decision::PushOut(Self::max_ratio_queue(switch, pkt))
+        let victim = if self.mode.use_index(switch.ports()) {
+            self.indexed_max_ratio(switch, pkt)
+        } else {
+            Self::max_ratio_queue(switch, pkt)
+        };
+        Decision::PushOut(victim)
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        self.mode.use_index(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &CombinedSwitch, port: PortId) {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                idx.set(port, Self::port_key(switch, port));
+            }
+        }
+    }
+
+    fn queues_changed(&mut self, switch: &CombinedSwitch, ports: &[PortId]) {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                apply_queue_changes(idx, ports, |i| Self::port_key(switch, PortId::new(i)));
+            }
+        }
     }
 }
 

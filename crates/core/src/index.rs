@@ -1,0 +1,352 @@
+//! Incremental argmax index over per-port policy scores.
+//!
+//! Every push-out policy in this crate selects a victim queue as the
+//! lexicographic maximum of `(score, tie, port)` over all ports — the scan
+//! loops all use `>=`-style updates, so the later port wins exact ties.
+//! [`ScoreIndex`] maintains that maximum incrementally: the switch reports
+//! which queues changed after each event (see `ValueSwitch::drain_dirty_into`
+//! and friends), the policy recomputes just those ports' keys, and victim
+//! selection becomes an O(log n) tournament-tree query instead of an O(n)
+//! scan.
+//!
+//! The structure is a flat complete binary tree (`2m` slots for `m =
+//! ports.next_power_of_two()`): leaves hold `Option<(key, port)>`, internal
+//! nodes the maximum of their children. `Option`'s derived ordering makes
+//! absent ports (`None`) lose to every present key, and including the port
+//! number in the tuple resolves ties toward the larger index for free —
+//! exactly the scans' semantics. Updates rewrite one root-to-leaf path
+//! (~log₂ n small array writes, no allocation); queries read the root or walk
+//! one sibling path, so even the per-slot storm of queue-change events after
+//! a transmission phase stays cheap.
+//!
+//! The scan loops are kept as `scan()` constructors on each adopting policy
+//! and serve as the differential-test oracle (`tests/slab_differential.rs`).
+
+use smbm_switch::PortId;
+
+/// Port count below which the scan beats the index: updating the tree on
+/// every queue-change event costs more than an 8- or 16-entry linear scan
+/// whose whole working set is two cache lines. Registry-default ("auto")
+/// policies only maintain an index at or above this size.
+pub(crate) const INDEX_MIN_PORTS: usize = 32;
+
+/// Victim-selection mode of a policy that supports both the incremental
+/// [`ScoreIndex`] and its original O(n) scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum SelectMode {
+    /// Index on switches with at least [`INDEX_MIN_PORTS`] ports, scan below
+    /// (the registry default).
+    #[default]
+    Auto,
+    /// Always maintain and use the index (differential tests, benches).
+    Indexed,
+    /// Always scan (the differential-test oracle).
+    Scan,
+}
+
+impl SelectMode {
+    /// Whether a switch with `ports` ports should use the index.
+    pub(crate) fn use_index(self, ports: usize) -> bool {
+        match self {
+            SelectMode::Auto => ports >= INDEX_MIN_PORTS,
+            SelectMode::Indexed => true,
+            SelectMode::Scan => false,
+        }
+    }
+}
+
+/// Applies a batch of queue-change events to `idx`: point updates for small
+/// batches, one bottom-up [`ScoreIndex::rebuild_with`] when at least half the
+/// ports changed (the post-transmission storm in a congested switch).
+pub(crate) fn apply_queue_changes<K: Ord + Copy>(
+    idx: &mut ScoreIndex<K>,
+    changed: &[PortId],
+    mut key: impl FnMut(usize) -> Option<K>,
+) {
+    if changed.len() * 2 >= idx.ports() {
+        idx.rebuild_with(key);
+    } else {
+        for &p in changed {
+            idx.set(p, key(p.index()));
+        }
+    }
+}
+
+/// An incrementally-maintained argmax over per-port keys.
+///
+/// `K` packs a policy's `(score, tie)` pair into one [`Ord`] value. The index
+/// stores at most one key per port; ports without a key (empty queues, for
+/// policies that skip them) are simply absent. [`max`](Self::max) and
+/// [`max_with`](Self::max_with) resolve ties toward the larger port index,
+/// mirroring the `>=` update rule of the replaced scan loops.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreIndex<K: Ord + Copy> {
+    /// 1-indexed tournament tree; `tree[1]` is the overall maximum and the
+    /// leaf for port `i` lives at `leaf_base + i`.
+    tree: Vec<Option<(K, u32)>>,
+    leaf_base: usize,
+    ports: usize,
+}
+
+impl<K: Ord + Copy> ScoreIndex<K> {
+    /// Creates an empty index for `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        let m = ports.next_power_of_two().max(1);
+        ScoreIndex {
+            tree: vec![None; 2 * m],
+            leaf_base: m,
+            ports,
+        }
+    }
+
+    /// Number of ports the index was built for.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Sets (or clears, with `None`) the key of `port`.
+    pub fn set(&mut self, port: PortId, key: Option<K>) {
+        let i = port.index();
+        let entry = key.map(|k| (k, i as u32));
+        let mut node = self.leaf_base + i;
+        if self.tree[node] == entry {
+            return;
+        }
+        self.tree[node] = entry;
+        while node > 1 {
+            node /= 2;
+            let merged = self.tree[2 * node].max(self.tree[2 * node + 1]);
+            if self.tree[node] == merged {
+                break;
+            }
+            self.tree[node] = merged;
+        }
+    }
+
+    /// The current key of `port`, if any.
+    pub fn key(&self, port: PortId) -> Option<K> {
+        self.tree[self.leaf_base + port.index()].map(|(k, _)| k)
+    }
+
+    /// The port with the lexicographically maximal `(key, port)` pair.
+    pub fn max(&self) -> Option<PortId> {
+        self.tree[1].map(|(_, p)| PortId::new(p as usize))
+    }
+
+    /// The argmax when `port`'s key is virtually replaced by `virtual_key`
+    /// (the "virtual add" of an arrival that has not been admitted yet).
+    ///
+    /// Equivalent to a scan in which `port` contributes `virtual_key` and
+    /// every other port contributes its stored key; ports with no stored key
+    /// do not participate. Ties go to the larger port index.
+    pub fn max_with(&self, port: PortId, virtual_key: K) -> PortId {
+        let own = port.index() as u32;
+        // Walk leaf→root, folding in each sibling subtree: together the
+        // siblings cover every port except `port`, whose contribution is the
+        // virtual entry we start from.
+        let mut best = Some((virtual_key, own));
+        let mut node = self.leaf_base + port.index();
+        while node > 1 {
+            best = best.max(self.tree[node ^ 1]);
+            node /= 2;
+        }
+        PortId::new(best.expect("virtual entry always present").1 as usize)
+    }
+
+    /// Rebuilds every leaf from `key` and recomputes the internal nodes
+    /// bottom-up in one O(n) pass.
+    ///
+    /// After a transmission phase in a congested switch *every* non-empty
+    /// queue has changed, so repairing the tree with `ports` root-to-leaf
+    /// [`set`](Self::set) walks costs O(n log n) comparisons; one batch
+    /// rebuild costs 2n. Policies use this from their batch
+    /// `queues_changed` hook when most ports are dirty.
+    pub fn rebuild_with<F: FnMut(usize) -> Option<K>>(&mut self, mut key: F) {
+        for i in 0..self.ports {
+            self.tree[self.leaf_base + i] = key(i).map(|k| (k, i as u32));
+        }
+        // Leaves past `ports` are never set and stay `None`.
+        for node in (1..self.leaf_base).rev() {
+            self.tree[node] = self.tree[2 * node].max(self.tree[2 * node + 1]);
+        }
+    }
+
+    /// Removes every key.
+    pub fn clear(&mut self) {
+        self.tree.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_index_has_no_max() {
+        let idx: ScoreIndex<u64> = ScoreIndex::new(4);
+        assert_eq!(idx.max(), None);
+        assert_eq!(idx.ports(), 4);
+    }
+
+    #[test]
+    fn max_prefers_larger_key_then_larger_port() {
+        let mut idx = ScoreIndex::new(4);
+        idx.set(PortId::new(0), Some(5u64));
+        idx.set(PortId::new(2), Some(7));
+        idx.set(PortId::new(1), Some(7));
+        assert_eq!(idx.max(), Some(PortId::new(2)));
+        idx.set(PortId::new(2), None);
+        assert_eq!(idx.max(), Some(PortId::new(1)));
+        idx.set(PortId::new(1), Some(4));
+        assert_eq!(idx.max(), Some(PortId::new(0)));
+    }
+
+    #[test]
+    fn set_replaces_previous_key() {
+        let mut idx = ScoreIndex::new(2);
+        idx.set(PortId::new(0), Some(3u64));
+        idx.set(PortId::new(0), Some(9));
+        assert_eq!(idx.key(PortId::new(0)), Some(9));
+        assert_eq!(idx.max(), Some(PortId::new(0)));
+        idx.set(PortId::new(0), Some(1));
+        assert_eq!(idx.max(), Some(PortId::new(0)));
+        assert_eq!(idx.key(PortId::new(0)), Some(1));
+    }
+
+    #[test]
+    fn max_with_virtual_self_entry() {
+        let mut idx = ScoreIndex::new(4);
+        idx.set(PortId::new(1), Some(5u64));
+        idx.set(PortId::new(3), Some(8));
+        // Virtual key loses to the resident maximum.
+        assert_eq!(idx.max_with(PortId::new(0), 7), PortId::new(3));
+        // Virtual key wins outright.
+        assert_eq!(idx.max_with(PortId::new(0), 9), PortId::new(0));
+        // Exact tie: the later port wins, in both directions.
+        assert_eq!(idx.max_with(PortId::new(0), 8), PortId::new(3));
+        assert_eq!(idx.max_with(PortId::new(3), 5), PortId::new(3));
+        // The own port's resident entry is ignored in favour of the virtual
+        // key, even when the resident entry is the global maximum.
+        idx.set(PortId::new(3), Some(100));
+        assert_eq!(idx.max_with(PortId::new(3), 1), PortId::new(1));
+    }
+
+    #[test]
+    fn max_with_on_otherwise_empty_index_returns_own_port() {
+        let idx: ScoreIndex<u64> = ScoreIndex::new(3);
+        assert_eq!(idx.max_with(PortId::new(2), 0), PortId::new(2));
+        let mut idx = ScoreIndex::new(3);
+        idx.set(PortId::new(2), Some(9u64));
+        assert_eq!(idx.max_with(PortId::new(2), 0), PortId::new(2));
+    }
+
+    #[test]
+    fn clear_empties_the_index() {
+        let mut idx = ScoreIndex::new(2);
+        idx.set(PortId::new(0), Some(1u64));
+        idx.set(PortId::new(1), Some(2));
+        idx.clear();
+        assert_eq!(idx.max(), None);
+        assert_eq!(idx.key(PortId::new(1)), None);
+    }
+
+    #[test]
+    fn non_power_of_two_port_counts() {
+        for ports in [1usize, 3, 5, 6, 7, 9] {
+            let mut idx = ScoreIndex::new(ports);
+            for p in 0..ports {
+                idx.set(PortId::new(p), Some(p as u64));
+            }
+            assert_eq!(idx.max(), Some(PortId::new(ports - 1)), "ports={ports}");
+            assert_eq!(
+                idx.max_with(PortId::new(0), ports as u64),
+                PortId::new(0),
+                "ports={ports}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_point_updates() {
+        for ports in [1usize, 3, 5, 8, 9, 64] {
+            let mut point = ScoreIndex::new(ports);
+            let mut batch = ScoreIndex::new(ports);
+            let key = |i: usize| (!i.is_multiple_of(3)).then_some(((i * 7) % 11) as u64);
+            for p in 0..ports {
+                point.set(PortId::new(p), key(p));
+            }
+            batch.rebuild_with(key);
+            assert_eq!(point.max(), batch.max(), "ports={ports}");
+            for p in 0..ports {
+                assert_eq!(
+                    point.max_with(PortId::new(p), 100),
+                    batch.max_with(PortId::new(p), 100),
+                    "ports={ports} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_queue_changes_rebuilds_large_batches() {
+        let ports = 8usize;
+        let keys: Vec<Option<u64>> = (0..ports).map(|i| Some(i as u64 * 3 % 7)).collect();
+        // Large batch (>= half the ports) takes the rebuild path.
+        let mut idx = ScoreIndex::new(ports);
+        let all: Vec<PortId> = (0..ports).map(PortId::new).collect();
+        apply_queue_changes(&mut idx, &all, |i| keys[i]);
+        // Small batch takes the point-update path.
+        let mut point = ScoreIndex::new(ports);
+        for (p, &key) in keys.iter().enumerate() {
+            point.set(PortId::new(p), key);
+        }
+        assert_eq!(idx.max(), point.max());
+        apply_queue_changes(&mut idx, &[PortId::new(2)], |_| Some(99));
+        point.set(PortId::new(2), Some(99));
+        assert_eq!(idx.max(), point.max());
+        assert_eq!(idx.max(), Some(PortId::new(2)));
+    }
+
+    #[test]
+    fn matches_a_scan_on_random_sequences() {
+        // Tiny deterministic LCG so the test needs no external RNG.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let ports = 6usize;
+        let mut idx = ScoreIndex::new(ports);
+        let mut keys: Vec<Option<u64>> = vec![None; ports];
+        for _ in 0..2000 {
+            let p = (rng() % ports as u64) as usize;
+            let op = rng() % 3;
+            let key = if op == 0 { None } else { Some(rng() % 8) };
+            idx.set(PortId::new(p), key);
+            keys[p] = key;
+            // Scan oracle: lexicographic max of (key, port).
+            let scan = keys
+                .iter()
+                .enumerate()
+                .filter_map(|(i, k)| k.map(|k| (k, i)))
+                .max()
+                .map(|(_, i)| PortId::new(i));
+            assert_eq!(idx.max(), scan);
+            // Virtual-add oracle.
+            let vp = (rng() % ports as u64) as usize;
+            let vkey = rng() % 8;
+            let vscan = keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| if i == vp { Some(vkey) } else { *k })
+                .enumerate()
+                .filter_map(|(i, k)| k.map(|k| (k, i)))
+                .max()
+                .map(|(_, i)| PortId::new(i))
+                .unwrap();
+            assert_eq!(idx.max_with(PortId::new(vp), vkey), vscan);
+        }
+    }
+}

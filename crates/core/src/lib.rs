@@ -57,6 +57,7 @@
 
 mod combined;
 mod decision;
+mod index;
 mod opt {
     pub mod exact;
     pub mod single_pq;
@@ -72,6 +73,7 @@ pub use combined::{
     GreedyCombined, LqdCombined, LwdCombined, Wvd, COMBINED_POLICY_NAMES,
 };
 pub use decision::Decision;
+pub use index::ScoreIndex;
 pub use opt::exact::{exact_value_opt, exact_work_opt, TooLargeError, MAX_EXACT_ARRIVALS};
 pub use opt::single_pq::{ValuePqOpt, WorkPqOpt};
 pub use ratio::CompetitiveRatio;

@@ -1,7 +1,10 @@
 //! Longest-Queue-Drop (LQD) in the heterogeneous-value model.
 
+use std::cmp::Reverse;
+
 use smbm_switch::{PortId, ValuePacket, ValueSwitch};
 
+use crate::index::{apply_queue_changes, ScoreIndex, SelectMode};
 use crate::Decision;
 
 /// **LQD** (value model) — on congestion, drop the *lowest-value* packet of
@@ -16,15 +19,69 @@ use crate::Decision;
 /// classic "drop" branch on homogeneous values.
 ///
 /// Theorem 9 shows LQD is at least `∛k`-competitive in this model.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Victim selection is O(log n) by default, via a [`ScoreIndex`] over
+/// `(|Q_j|, Reverse(min_j))`; [`LqdValue::scan`] keeps the original O(n)
+/// scan as the differential oracle.
+#[derive(Debug, Clone, Default)]
 pub struct LqdValue {
-    _priv: (),
+    index: Option<ScoreIndex<(usize, Reverse<u64>)>>,
+    mode: SelectMode,
 }
 
 impl LqdValue {
-    /// Creates the policy.
+    /// Creates the policy. Victim selection picks index or scan automatically
+    /// by port count.
     pub fn new() -> Self {
-        LqdValue { _priv: () }
+        LqdValue {
+            index: None,
+            mode: SelectMode::Auto,
+        }
+    }
+
+    /// Creates value-LQD with victim selection by full scan instead of the
+    /// incremental index (differential-test oracle).
+    pub fn scan() -> Self {
+        LqdValue {
+            index: None,
+            mode: SelectMode::Scan,
+        }
+    }
+
+    /// Creates value-LQD with the incremental index forced on regardless of
+    /// port count.
+    pub fn indexed() -> Self {
+        LqdValue {
+            index: None,
+            mode: SelectMode::Indexed,
+        }
+    }
+
+    fn port_key(switch: &ValueSwitch, port: PortId) -> (usize, Reverse<u64>) {
+        let q = switch.queue(port);
+        (
+            q.len(),
+            Reverse(q.min_value().map_or(u64::MAX, |v| v.get())),
+        )
+    }
+
+    /// Indexed equivalent of [`LqdValue::longest_queue`].
+    fn indexed_longest(&mut self, switch: &ValueSwitch, pkt: ValuePacket) -> PortId {
+        if self
+            .index
+            .as_ref()
+            .is_none_or(|i| i.ports() != switch.ports())
+        {
+            let mut idx = ScoreIndex::new(switch.ports());
+            idx.rebuild_with(|i| Some(Self::port_key(switch, PortId::new(i))));
+            self.index = Some(idx);
+        }
+        let (len, Reverse(min)) = Self::port_key(switch, pkt.port());
+        let virtual_key = (len + 1, Reverse(min.min(pkt.value().get())));
+        self.index
+            .as_ref()
+            .expect("index built above")
+            .max_with(pkt.port(), virtual_key)
     }
 
     /// The queue LQD considers fullest once `arriving` is virtually added.
@@ -71,7 +128,32 @@ impl super::ValuePolicy for LqdValue {
         if !switch.is_full() {
             return Decision::Accept;
         }
-        Decision::PushOut(Self::longest_queue(switch, pkt))
+        let longest = if self.mode.use_index(switch.ports()) {
+            self.indexed_longest(switch, pkt)
+        } else {
+            Self::longest_queue(switch, pkt)
+        };
+        Decision::PushOut(longest)
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        self.mode.use_index(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &ValueSwitch, port: PortId) {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                idx.set(port, Some(Self::port_key(switch, port)));
+            }
+        }
+    }
+
+    fn queues_changed(&mut self, switch: &ValueSwitch, ports: &[PortId]) {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                apply_queue_changes(idx, ports, |i| Some(Self::port_key(switch, PortId::new(i))));
+            }
+        }
     }
 }
 

@@ -39,6 +39,32 @@ pub trait ValuePolicy: std::fmt::Debug + Send {
 
     /// Invoked when the simulator flushes the buffer.
     fn on_flush(&mut self) {}
+
+    /// Whether the runner should report queue-change events (see
+    /// [`ValuePolicy::queues_changed`]) on a switch with `ports` ports.
+    /// Defaults to `false` so scan-based policies pay nothing.
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        let _ = ports;
+        false
+    }
+
+    /// Notifies the policy that `port`'s queue changed since the last
+    /// decision, so incremental indices (see [`crate::ScoreIndex`]) can
+    /// refresh that port's score. Only called when
+    /// [`ValuePolicy::wants_queue_events`] returns `true`.
+    fn queue_changed(&mut self, switch: &ValueSwitch, port: smbm_switch::PortId) {
+        let _ = (switch, port);
+    }
+
+    /// Batch form of [`ValuePolicy::queue_changed`]: one call per sync with
+    /// every port that changed since the last decision, letting indexed
+    /// policies rebuild in O(n) when most ports are dirty (the
+    /// post-transmission storm) instead of n point updates.
+    fn queues_changed(&mut self, switch: &ValueSwitch, ports: &[smbm_switch::PortId]) {
+        for &port in ports {
+            self.queue_changed(switch, port);
+        }
+    }
 }
 
 impl<P: ValuePolicy + ?Sized> ValuePolicy for Box<P> {
@@ -52,6 +78,18 @@ impl<P: ValuePolicy + ?Sized> ValuePolicy for Box<P> {
 
     fn on_flush(&mut self) {
         (**self).on_flush()
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        (**self).wants_queue_events(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &ValueSwitch, port: smbm_switch::PortId) {
+        (**self).queue_changed(switch, port)
+    }
+
+    fn queues_changed(&mut self, switch: &ValueSwitch, ports: &[smbm_switch::PortId]) {
+        (**self).queues_changed(switch, ports)
     }
 }
 
@@ -71,6 +109,7 @@ pub struct ValueRunner<P> {
     switch: ValueSwitch,
     policy: P,
     speedup: u32,
+    dirty_scratch: Vec<smbm_switch::PortId>,
 }
 
 impl<P: ValuePolicy> ValueRunner<P> {
@@ -80,6 +119,7 @@ impl<P: ValuePolicy> ValueRunner<P> {
             switch: ValueSwitch::new(config),
             policy,
             speedup,
+            dirty_scratch: Vec::new(),
         }
     }
 
@@ -105,6 +145,13 @@ impl<P: ValuePolicy> ValueRunner<P> {
     /// Propagates [`AdmitError`] if the decision was inconsistent with the
     /// switch state. The bundled policies never err.
     pub fn arrival(&mut self, pkt: ValuePacket) -> Result<Decision, AdmitError> {
+        // Sync incremental indices only when victim selection can run (full
+        // buffer); see `WorkRunner::arrival`.
+        if self.switch.is_full() && self.policy.wants_queue_events(self.switch.ports()) {
+            self.switch.drain_dirty_into(&mut self.dirty_scratch);
+            self.policy
+                .queues_changed(&self.switch, &self.dirty_scratch);
+        }
         let decision = self.policy.decide(&self.switch, pkt);
         match decision {
             Decision::Accept => self.switch.admit(pkt)?,

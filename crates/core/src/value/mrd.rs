@@ -1,7 +1,10 @@
 //! Maximal-Ratio-Drop (MRD) — the paper's proposed value-model policy.
 
-use smbm_switch::{PortId, ValuePacket, ValueSwitch};
+use std::cmp::Reverse;
 
+use smbm_switch::{PortId, RatioKey, ValuePacket, ValueSwitch};
+
+use crate::index::{apply_queue_changes, ScoreIndex, SelectMode};
 use crate::Decision;
 
 /// **MRD** — the policy the paper conjectures to be constant-competitive in
@@ -25,15 +28,75 @@ use crate::Decision;
 /// Ties on the ratio prefer the queue containing a smaller value (the paper's
 /// rule), then the larger index. Ratios are compared exactly via
 /// cross-multiplication ([`smbm_switch::RatioKey`]), not floating point.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Victim selection is O(log n) by default, via a [`ScoreIndex`] over
+/// `(|Q_j|²/S_j, Reverse(min_j))`; [`Mrd::scan`] keeps the original O(n)
+/// scan as the differential oracle.
+#[derive(Debug, Clone, Default)]
 pub struct Mrd {
-    _priv: (),
+    index: Option<ScoreIndex<(RatioKey, Reverse<u64>)>>,
+    mode: SelectMode,
 }
 
 impl Mrd {
     /// Creates the policy.
     pub fn new() -> Self {
-        Mrd { _priv: () }
+        Mrd {
+            index: None,
+            mode: SelectMode::Auto,
+        }
+    }
+
+    /// Creates MRD with victim selection by full scan instead of the
+    /// incremental index (differential-test oracle).
+    pub fn scan() -> Self {
+        Mrd {
+            index: None,
+            mode: SelectMode::Scan,
+        }
+    }
+
+    /// Creates MRD that always maintains the incremental index, regardless
+    /// of switch size (differential tests, benches).
+    pub fn indexed() -> Self {
+        Mrd {
+            index: None,
+            mode: SelectMode::Indexed,
+        }
+    }
+
+    /// `port`'s resident key, `None` for an empty queue (which does not
+    /// participate in victim selection).
+    fn port_key(switch: &ValueSwitch, port: PortId) -> Option<(RatioKey, Reverse<u64>)> {
+        let q = switch.queue(port);
+        let key = q.ratio_key()?;
+        let min = q.min_value().expect("non-empty queue has a minimum").get();
+        Some((key, Reverse(min)))
+    }
+
+    /// Indexed equivalent of [`Mrd::max_ratio_queue`].
+    fn indexed_max_ratio(&mut self, switch: &ValueSwitch, pkt: ValuePacket) -> PortId {
+        if self
+            .index
+            .as_ref()
+            .is_none_or(|i| i.ports() != switch.ports())
+        {
+            let mut idx = ScoreIndex::new(switch.ports());
+            idx.rebuild_with(|i| Self::port_key(switch, PortId::new(i)));
+            self.index = Some(idx);
+        }
+        let q = switch.queue(pkt.port());
+        let len = q.len() as u128 + 1;
+        let sum = q.total_value() as u128 + pkt.value().get() as u128;
+        let min = q
+            .min_value()
+            .map_or(u64::MAX, |v| v.get())
+            .min(pkt.value().get());
+        let virtual_key = (RatioKey::new(len * len, sum), Reverse(min));
+        self.index
+            .as_ref()
+            .expect("index built above")
+            .max_with(pkt.port(), virtual_key)
     }
 
     /// The queue with the maximal `|Q|/a` ratio once `pkt` is virtually added
@@ -85,7 +148,32 @@ impl super::ValuePolicy for Mrd {
         if !switch.is_full() {
             return Decision::Accept;
         }
-        Decision::PushOut(Self::max_ratio_queue(switch, pkt))
+        let victim = if self.mode.use_index(switch.ports()) {
+            self.indexed_max_ratio(switch, pkt)
+        } else {
+            Self::max_ratio_queue(switch, pkt)
+        };
+        Decision::PushOut(victim)
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        self.mode.use_index(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &ValueSwitch, port: PortId) {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                idx.set(port, Self::port_key(switch, port));
+            }
+        }
+    }
+
+    fn queues_changed(&mut self, switch: &ValueSwitch, ports: &[PortId]) {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                apply_queue_changes(idx, ports, |i| Self::port_key(switch, PortId::new(i)));
+            }
+        }
     }
 }
 

@@ -1,7 +1,10 @@
 //! Minimal-Value-Drop (MVD) and its singleton-sparing variant MVD1.
 
+use std::cmp::Reverse;
+
 use smbm_switch::{PortId, ValuePacket, ValueSwitch};
 
+use crate::index::{apply_queue_changes, ScoreIndex, SelectMode};
 use crate::Decision;
 
 /// **MVD** — push-out policy that greedily maximizes admitted value: on
@@ -14,9 +17,17 @@ use crate::Decision;
 /// starves all but one port. The simulation section adds **MVD1**
 /// ([`Mvd::sparing_singletons`]), which never evicts the last packet of a
 /// queue.
-#[derive(Debug, Clone, Copy)]
+///
+/// Victim selection is O(log n) by default, via a [`ScoreIndex`] over
+/// `(Reverse(min_j), |Q_j|)` — no virtual add is involved, so the resident
+/// maximum is the victim directly. [`Mvd::scan`] and
+/// [`Mvd::scan_sparing_singletons`] keep the original O(n) scan as the
+/// differential oracle.
+#[derive(Debug, Clone)]
 pub struct Mvd {
     spare_singletons: bool,
+    index: Option<ScoreIndex<(Reverse<u64>, usize)>>,
+    mode: SelectMode,
 }
 
 impl Default for Mvd {
@@ -26,10 +37,13 @@ impl Default for Mvd {
 }
 
 impl Mvd {
-    /// Creates plain MVD.
+    /// Creates plain MVD. Victim selection picks index or scan automatically
+    /// by port count.
     pub fn new() -> Self {
         Mvd {
             spare_singletons: false,
+            index: None,
+            mode: SelectMode::Auto,
         }
     }
 
@@ -38,12 +52,88 @@ impl Mvd {
     pub fn sparing_singletons() -> Self {
         Mvd {
             spare_singletons: true,
+            ..Self::new()
+        }
+    }
+
+    /// Creates MVD with victim selection by full scan instead of the
+    /// incremental index (differential-test oracle).
+    pub fn scan() -> Self {
+        Mvd {
+            mode: SelectMode::Scan,
+            ..Self::new()
+        }
+    }
+
+    /// Scan-based MVD1 (differential-test oracle).
+    pub fn scan_sparing_singletons() -> Self {
+        Mvd {
+            spare_singletons: true,
+            mode: SelectMode::Scan,
+            ..Self::new()
+        }
+    }
+
+    /// Creates MVD with the incremental index forced on regardless of port
+    /// count.
+    pub fn indexed() -> Self {
+        Mvd {
+            mode: SelectMode::Indexed,
+            ..Self::new()
+        }
+    }
+
+    /// Index-forced MVD1.
+    pub fn indexed_sparing_singletons() -> Self {
+        Mvd {
+            spare_singletons: true,
+            mode: SelectMode::Indexed,
+            ..Self::new()
         }
     }
 
     /// Whether this instance is the MVD1 variant.
     pub fn spares_singletons(&self) -> bool {
         self.spare_singletons
+    }
+
+    /// `port`'s resident key, `None` when the queue is ineligible (empty, or
+    /// a singleton under MVD1).
+    fn key_for(
+        spare_singletons: bool,
+        switch: &ValueSwitch,
+        port: PortId,
+    ) -> Option<(Reverse<u64>, usize)> {
+        let q = switch.queue(port);
+        let min_len = if spare_singletons { 2 } else { 1 };
+        if q.len() < min_len {
+            return None;
+        }
+        let v = q.min_value().expect("non-empty queue has a min").get();
+        Some((Reverse(v), q.len()))
+    }
+
+    fn port_key(&self, switch: &ValueSwitch, port: PortId) -> Option<(Reverse<u64>, usize)> {
+        Self::key_for(self.spare_singletons, switch, port)
+    }
+
+    /// Indexed equivalent of [`Mvd::victim`]. No virtual add: the resident
+    /// argmax is the victim.
+    fn indexed_victim(&mut self, switch: &ValueSwitch) -> Option<(PortId, u64)> {
+        if self
+            .index
+            .as_ref()
+            .is_none_or(|i| i.ports() != switch.ports())
+        {
+            let spare = self.spare_singletons;
+            let mut idx = ScoreIndex::new(switch.ports());
+            idx.rebuild_with(|i| Self::key_for(spare, switch, PortId::new(i)));
+            self.index = Some(idx);
+        }
+        let idx = self.index.as_ref().expect("index built above");
+        let port = idx.max()?;
+        let (Reverse(v), _) = idx.key(port).expect("max entry has a key");
+        Some((port, v))
     }
 
     /// The victim queue: holds the globally minimal value among eligible
@@ -81,9 +171,36 @@ impl super::ValuePolicy for Mvd {
         if !switch.is_full() {
             return Decision::Accept;
         }
-        match self.victim(switch) {
+        let victim = if self.mode.use_index(switch.ports()) {
+            self.indexed_victim(switch)
+        } else {
+            self.victim(switch)
+        };
+        match victim {
             Some((victim, min_value)) if min_value < pkt.value().get() => Decision::PushOut(victim),
             _ => Decision::Drop,
+        }
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        self.mode.use_index(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &ValueSwitch, port: PortId) {
+        let key = self.port_key(switch, port);
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                idx.set(port, key);
+            }
+        }
+    }
+
+    fn queues_changed(&mut self, switch: &ValueSwitch, ports: &[PortId]) {
+        let spare = self.spare_singletons;
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                apply_queue_changes(idx, ports, |i| Self::key_for(spare, switch, PortId::new(i)));
+            }
         }
     }
 }

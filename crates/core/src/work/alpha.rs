@@ -3,6 +3,7 @@
 
 use smbm_switch::{PortId, WorkPacket, WorkSwitch};
 
+use crate::index::{apply_queue_changes, ScoreIndex, SelectMode};
 use crate::Decision;
 
 /// **AWD(α)** — push out from the queue maximizing the geometric
@@ -16,9 +17,11 @@ use crate::Decision;
 /// *work* end of the spectrum is what buys LWD its constant
 /// competitiveness, supporting the paper's Section III-B argument that "a
 /// good policy has to account for the processing requirements explicitly".
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AlphaWd {
     alpha: f64,
+    index: Option<ScoreIndex<(u64, u64)>>,
+    mode: SelectMode,
 }
 
 impl AlphaWd {
@@ -32,7 +35,27 @@ impl AlphaWd {
             (0.0..=1.0).contains(&alpha),
             "alpha must lie in [0, 1], got {alpha}"
         );
-        AlphaWd { alpha }
+        AlphaWd {
+            alpha,
+            index: None,
+            mode: SelectMode::Auto,
+        }
+    }
+
+    /// Creates AWD(α) with victim selection by full scan instead of the
+    /// incremental index (differential-test oracle).
+    pub fn scan(alpha: f64) -> Self {
+        let mut p = Self::new(alpha);
+        p.mode = SelectMode::Scan;
+        p
+    }
+
+    /// Creates AWD(α) with the incremental index forced on regardless of
+    /// port count.
+    pub fn indexed(alpha: f64) -> Self {
+        let mut p = Self::new(alpha);
+        p.mode = SelectMode::Indexed;
+        p
     }
 
     /// The interpolation exponent.
@@ -40,11 +63,48 @@ impl AlphaWd {
         self.alpha
     }
 
-    fn score(&self, work: u64, len: usize) -> f64 {
+    fn score_with(alpha: f64, work: u64, len: usize) -> f64 {
         if work == 0 || len == 0 {
             return 0.0;
         }
-        (work as f64).powf(self.alpha) * (len as f64).powf(1.0 - self.alpha)
+        (work as f64).powf(alpha) * (len as f64).powf(1.0 - alpha)
+    }
+
+    fn score(&self, work: u64, len: usize) -> f64 {
+        Self::score_with(self.alpha, work, len)
+    }
+
+    /// Packs the resident `(score, tie)` pair of `port` into an ordered key.
+    /// Scores are non-negative finite floats, so `to_bits` orders them.
+    fn key_for(alpha: f64, switch: &WorkSwitch, port: PortId) -> (u64, u64) {
+        let q = switch.queue(port);
+        let score = Self::score_with(alpha, q.total_work(), q.len());
+        (score.to_bits(), q.work().as_u64())
+    }
+
+    fn port_key(&self, switch: &WorkSwitch, port: PortId) -> (u64, u64) {
+        Self::key_for(self.alpha, switch, port)
+    }
+
+    /// Indexed equivalent of [`AlphaWd::victim`].
+    fn indexed_victim(&mut self, switch: &WorkSwitch, arriving: PortId) -> PortId {
+        if self
+            .index
+            .as_ref()
+            .is_none_or(|i| i.ports() != switch.ports())
+        {
+            let alpha = self.alpha;
+            let mut idx = ScoreIndex::new(switch.ports());
+            idx.rebuild_with(|i| Some(Self::key_for(alpha, switch, PortId::new(i))));
+            self.index = Some(idx);
+        }
+        let q = switch.queue(arriving);
+        let score = self.score(q.total_work() + q.work().as_u64(), q.len() + 1);
+        let virtual_key = (score.to_bits(), q.work().as_u64());
+        self.index
+            .as_ref()
+            .expect("index built above")
+            .max_with(arriving, virtual_key)
     }
 
     /// The victim queue once `arriving` is virtually added; ties prefer the
@@ -80,11 +140,39 @@ impl super::WorkPolicy for AlphaWd {
         if !switch.is_full() {
             return Decision::Accept;
         }
-        let victim = self.victim(switch, pkt.port());
+        let victim = if self.mode.use_index(switch.ports()) {
+            self.indexed_victim(switch, pkt.port())
+        } else {
+            self.victim(switch, pkt.port())
+        };
         if victim != pkt.port() {
             Decision::PushOut(victim)
         } else {
             Decision::Drop
+        }
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        self.mode.use_index(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &WorkSwitch, port: PortId) {
+        let key = self.port_key(switch, port);
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                idx.set(port, Some(key));
+            }
+        }
+    }
+
+    fn queues_changed(&mut self, switch: &WorkSwitch, ports: &[PortId]) {
+        let alpha = self.alpha;
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                apply_queue_changes(idx, ports, |i| {
+                    Some(Self::key_for(alpha, switch, PortId::new(i)))
+                });
+            }
         }
     }
 }

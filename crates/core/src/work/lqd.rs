@@ -2,6 +2,7 @@
 
 use smbm_switch::{PortId, WorkPacket, WorkSwitch};
 
+use crate::index::{apply_queue_changes, ScoreIndex, SelectMode};
 use crate::Decision;
 
 /// **LQD** — the classic push-out policy of Aiello et al.: when the buffer is
@@ -19,15 +20,65 @@ use crate::Decision;
 ///
 /// LQD is 2-competitive with homogeneous processing, but Theorem 4 shows it
 /// is at least `sqrt(k)`-competitive in the heterogeneous model.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Victim selection is O(log n) by default, via a [`ScoreIndex`] over
+/// `(|Q_j|, w_j)`; [`Lqd::scan`] keeps the original O(n) scan as the
+/// differential oracle.
+#[derive(Debug, Clone, Default)]
 pub struct Lqd {
-    _priv: (),
+    index: Option<ScoreIndex<(usize, u32)>>,
+    mode: SelectMode,
 }
 
 impl Lqd {
-    /// Creates the policy.
+    /// Creates the policy. Victim selection picks index or scan automatically
+    /// by port count.
     pub fn new() -> Self {
-        Lqd { _priv: () }
+        Lqd {
+            index: None,
+            mode: SelectMode::Auto,
+        }
+    }
+
+    /// Creates LQD with victim selection by full scan instead of the
+    /// incremental index (differential-test oracle).
+    pub fn scan() -> Self {
+        Lqd {
+            index: None,
+            mode: SelectMode::Scan,
+        }
+    }
+
+    /// Creates LQD with the incremental index forced on regardless of port
+    /// count (differential tests exercise it at small `n`).
+    pub fn indexed() -> Self {
+        Lqd {
+            index: None,
+            mode: SelectMode::Indexed,
+        }
+    }
+
+    fn port_key(switch: &WorkSwitch, port: PortId) -> (usize, u32) {
+        let q = switch.queue(port);
+        (q.len(), q.work().cycles())
+    }
+
+    /// Indexed equivalent of [`Lqd::longest_queue`].
+    fn indexed_longest(&mut self, switch: &WorkSwitch, arriving: PortId) -> PortId {
+        if self
+            .index
+            .as_ref()
+            .is_none_or(|i| i.ports() != switch.ports())
+        {
+            let mut idx = ScoreIndex::new(switch.ports());
+            idx.rebuild_with(|i| Some(Self::port_key(switch, PortId::new(i))));
+            self.index = Some(idx);
+        }
+        let (len, cycles) = Self::port_key(switch, arriving);
+        self.index
+            .as_ref()
+            .expect("index built above")
+            .max_with(arriving, (len + 1, cycles))
     }
 
     /// The queue LQD considers fullest once `arriving` is virtually added:
@@ -57,11 +108,35 @@ impl super::WorkPolicy for Lqd {
         if !switch.is_full() {
             return Decision::Accept;
         }
-        let longest = Self::longest_queue(switch, pkt.port());
+        let longest = if self.mode.use_index(switch.ports()) {
+            self.indexed_longest(switch, pkt.port())
+        } else {
+            Self::longest_queue(switch, pkt.port())
+        };
         if longest != pkt.port() {
             Decision::PushOut(longest)
         } else {
             Decision::Drop
+        }
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        self.mode.use_index(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &WorkSwitch, port: PortId) {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                idx.set(port, Some(Self::port_key(switch, port)));
+            }
+        }
+    }
+
+    fn queues_changed(&mut self, switch: &WorkSwitch, ports: &[PortId]) {
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                apply_queue_changes(idx, ports, |i| Some(Self::port_key(switch, PortId::new(i))));
+            }
         }
     }
 }

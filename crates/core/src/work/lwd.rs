@@ -2,6 +2,7 @@
 
 use smbm_switch::{PortId, WorkPacket, WorkSwitch};
 
+use crate::index::{apply_queue_changes, ScoreIndex, SelectMode};
 use crate::Decision;
 
 /// Tie-breaking rule used by [`Lwd`] when several queues attain the maximal
@@ -34,27 +35,104 @@ pub enum LwdTieBreak {
 /// 3. otherwise drop.
 ///
 /// With homogeneous processing `W_j = w * |Q_j|`, so LWD degenerates to LQD.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Victim selection is O(log n) by default on large switches, via a
+/// [`ScoreIndex`] over `(W_j, tie_j)` maintained from the switch's
+/// queue-change events; [`Lwd::scan`] keeps the original O(n) scan as the
+/// differential oracle, and small switches scan regardless (the index only
+/// pays off once the scan outgrows a couple of cache lines).
+#[derive(Debug, Clone, Default)]
 pub struct Lwd {
     tie_break: LwdTieBreak,
+    index: Option<ScoreIndex<(u64, u64)>>,
+    mode: SelectMode,
 }
 
 impl Lwd {
     /// Creates LWD with the paper's tie-breaking (largest requirement).
     pub fn new() -> Self {
-        Lwd {
-            tie_break: LwdTieBreak::MaxWork,
-        }
+        Self::with_tie_break(LwdTieBreak::MaxWork)
     }
 
     /// Creates LWD with an explicit tie-breaking rule (ablation).
     pub fn with_tie_break(tie_break: LwdTieBreak) -> Self {
-        Lwd { tie_break }
+        Lwd {
+            tie_break,
+            index: None,
+            mode: SelectMode::Auto,
+        }
+    }
+
+    /// Creates LWD with victim selection by full scan instead of the
+    /// incremental index (differential-test oracle).
+    pub fn scan() -> Self {
+        Self::scan_with_tie_break(LwdTieBreak::MaxWork)
+    }
+
+    /// Scan-based LWD with an explicit tie-breaking rule.
+    pub fn scan_with_tie_break(tie_break: LwdTieBreak) -> Self {
+        Lwd {
+            tie_break,
+            index: None,
+            mode: SelectMode::Scan,
+        }
+    }
+
+    /// Creates LWD that always maintains the incremental index, regardless
+    /// of switch size (differential tests, benches).
+    pub fn indexed() -> Self {
+        Self::indexed_with_tie_break(LwdTieBreak::MaxWork)
+    }
+
+    /// Always-indexed LWD with an explicit tie-breaking rule.
+    pub fn indexed_with_tie_break(tie_break: LwdTieBreak) -> Self {
+        Lwd {
+            tie_break,
+            index: None,
+            mode: SelectMode::Indexed,
+        }
     }
 
     /// The configured tie-breaking rule.
     pub fn tie_break(&self) -> LwdTieBreak {
         self.tie_break
+    }
+
+    /// The `(score, tie)` key of `port`'s resident queue under `tie_break`.
+    fn key_for(switch: &WorkSwitch, port: PortId, tie_break: LwdTieBreak) -> (u64, u64) {
+        let q = switch.queue(port);
+        let tie = match tie_break {
+            LwdTieBreak::MaxWork => q.work().as_u64(),
+            LwdTieBreak::MaxLen => q.len() as u64,
+            LwdTieBreak::MinWork => u64::MAX - q.work().as_u64(),
+        };
+        (q.total_work(), tie)
+    }
+
+    /// The `(score, tie)` key of `port`'s resident queue.
+    fn port_key(&self, switch: &WorkSwitch, port: PortId) -> (u64, u64) {
+        Self::key_for(switch, port, self.tie_break)
+    }
+
+    /// Indexed equivalent of [`Lwd::heaviest_queue`], rebuilding the index
+    /// from scratch when absent or sized for a different switch.
+    fn indexed_heaviest(&mut self, switch: &WorkSwitch, arriving: PortId) -> PortId {
+        if self
+            .index
+            .as_ref()
+            .is_none_or(|i| i.ports() != switch.ports())
+        {
+            let tie_break = self.tie_break;
+            let mut idx = ScoreIndex::new(switch.ports());
+            idx.rebuild_with(|i| Some(Self::key_for(switch, PortId::new(i), tie_break)));
+            self.index = Some(idx);
+        }
+        let (w, tie) = self.port_key(switch, arriving);
+        let virtual_key = (w + switch.queue(arriving).work().as_u64(), tie);
+        self.index
+            .as_ref()
+            .expect("index built above")
+            .max_with(arriving, virtual_key)
     }
 
     /// The queue with maximal total work once `arriving` is virtually added.
@@ -101,11 +179,39 @@ impl super::WorkPolicy for Lwd {
         if !switch.is_full() {
             return Decision::Accept;
         }
-        let heaviest = self.heaviest_queue(switch, pkt.port());
+        let heaviest = if self.mode.use_index(switch.ports()) {
+            self.indexed_heaviest(switch, pkt.port())
+        } else {
+            self.heaviest_queue(switch, pkt.port())
+        };
         if heaviest != pkt.port() {
             Decision::PushOut(heaviest)
         } else {
             Decision::Drop
+        }
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        self.mode.use_index(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &WorkSwitch, port: PortId) {
+        let key = self.port_key(switch, port);
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                idx.set(port, Some(key));
+            }
+        }
+    }
+
+    fn queues_changed(&mut self, switch: &WorkSwitch, ports: &[PortId]) {
+        let tie_break = self.tie_break;
+        if let Some(idx) = self.index.as_mut() {
+            if idx.ports() == switch.ports() {
+                apply_queue_changes(idx, ports, |i| {
+                    Some(Self::key_for(switch, PortId::new(i), tie_break))
+                });
+            }
         }
     }
 }

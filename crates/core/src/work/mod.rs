@@ -42,6 +42,32 @@ pub trait WorkPolicy: std::fmt::Debug + Send {
     /// Invoked when the simulator flushes the buffer, for policies that keep
     /// internal state. The bundled policies are stateless.
     fn on_flush(&mut self) {}
+
+    /// Whether the runner should report queue-change events (see
+    /// [`WorkPolicy::queues_changed`]) on a switch with `ports` ports.
+    /// Defaults to `false` so scan-based policies pay nothing.
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        let _ = ports;
+        false
+    }
+
+    /// Notifies the policy that `port`'s queue changed since the last
+    /// decision, so incremental indices (see [`crate::ScoreIndex`]) can
+    /// refresh that port's score. Only called when
+    /// [`WorkPolicy::wants_queue_events`] returns `true`.
+    fn queue_changed(&mut self, switch: &WorkSwitch, port: smbm_switch::PortId) {
+        let _ = (switch, port);
+    }
+
+    /// Batch form of [`WorkPolicy::queue_changed`]: one call per sync with
+    /// every port that changed since the last decision, letting indexed
+    /// policies rebuild in O(n) when most ports are dirty (the
+    /// post-transmission storm) instead of n point updates.
+    fn queues_changed(&mut self, switch: &WorkSwitch, ports: &[smbm_switch::PortId]) {
+        for &port in ports {
+            self.queue_changed(switch, port);
+        }
+    }
 }
 
 impl<P: WorkPolicy + ?Sized> WorkPolicy for Box<P> {
@@ -55,6 +81,18 @@ impl<P: WorkPolicy + ?Sized> WorkPolicy for Box<P> {
 
     fn on_flush(&mut self) {
         (**self).on_flush()
+    }
+
+    fn wants_queue_events(&self, ports: usize) -> bool {
+        (**self).wants_queue_events(ports)
+    }
+
+    fn queue_changed(&mut self, switch: &WorkSwitch, port: smbm_switch::PortId) {
+        (**self).queue_changed(switch, port)
+    }
+
+    fn queues_changed(&mut self, switch: &WorkSwitch, ports: &[smbm_switch::PortId]) {
+        (**self).queues_changed(switch, ports)
     }
 }
 
@@ -77,6 +115,7 @@ pub struct WorkRunner<P> {
     switch: WorkSwitch,
     policy: P,
     speedup: u32,
+    dirty_scratch: Vec<smbm_switch::PortId>,
 }
 
 impl<P: WorkPolicy> WorkRunner<P> {
@@ -86,6 +125,7 @@ impl<P: WorkPolicy> WorkRunner<P> {
             switch: WorkSwitch::new(config),
             policy,
             speedup,
+            dirty_scratch: Vec::new(),
         }
     }
 
@@ -112,6 +152,15 @@ impl<P: WorkPolicy> WorkRunner<P> {
     /// with the switch state (accepting into a full buffer, pushing out from
     /// an empty queue, ...). The bundled policies never err.
     pub fn arrival(&mut self, pkt: WorkPacket) -> Result<Decision, AdmitError> {
+        // Queue-change events are only consumed by victim selection, which
+        // only runs on a full buffer — so let dirt accumulate (deduplicated,
+        // bounded by n) while there is free space and sync just before a
+        // decision that can push out.
+        if self.switch.is_full() && self.policy.wants_queue_events(self.switch.ports()) {
+            self.switch.drain_dirty_into(&mut self.dirty_scratch);
+            self.policy
+                .queues_changed(&self.switch, &self.dirty_scratch);
+        }
         let decision = self.policy.decide(&self.switch, pkt);
         match decision {
             Decision::Accept => self.switch.admit(pkt)?,

@@ -52,4 +52,4 @@ pub use experiment::{
 pub use fairness::{jain_index, max_port_share};
 pub use flush::{FlushMode, FlushPolicy};
 pub use metrics::{series_from_sweep, series_to_csv, series_to_gnuplot, Series};
-pub use sweep::{sweep, SweepPoint};
+pub use sweep::{sweep, sweep_with_jobs, SweepPoint};

@@ -38,9 +38,33 @@ pub fn sweep<F>(xs: &[f64], measure: F) -> Result<Vec<SweepPoint>, ExperimentErr
 where
     F: Fn(f64) -> Result<ExperimentReport, ExperimentError> + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    sweep_with_jobs(xs, measure, None)
+}
+
+/// Like [`sweep`], with an explicit worker-thread cap. `jobs = None` uses
+/// the machine's available parallelism; `Some(n)` caps the pool at `n`
+/// threads (`Some(1)` runs the sweep sequentially on one worker, useful for
+/// reproducible timing or constrained CI runners). The cap is clamped to at
+/// least one thread and at most one per sweep point.
+///
+/// # Errors
+///
+/// Returns the first [`ExperimentError`] any point produced.
+pub fn sweep_with_jobs<F>(
+    xs: &[f64],
+    measure: F,
+    jobs: Option<usize>,
+) -> Result<Vec<SweepPoint>, ExperimentError>
+where
+    F: Fn(f64) -> Result<ExperimentReport, ExperimentError> + Sync,
+{
+    let threads = jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
         .min(xs.len().max(1));
     let results: Mutex<Vec<Option<Result<ExperimentReport, ExperimentError>>>> =
         Mutex::new((0..xs.len()).map(|_| None).collect());
@@ -99,6 +123,23 @@ mod tests {
     fn empty_sweep_is_empty() {
         let points = sweep(&[], |x| Ok(fake_report(x))).unwrap();
         assert!(points.is_empty());
+    }
+
+    #[test]
+    fn explicit_job_counts_match_default() {
+        let xs: Vec<f64> = (1..=9).map(f64::from).collect();
+        let default = sweep(&xs, |x| Ok(fake_report(x))).unwrap();
+        for jobs in [1, 2, 64] {
+            let capped = sweep_with_jobs(&xs, |x| Ok(fake_report(x)), Some(jobs)).unwrap();
+            assert_eq!(capped.len(), default.len());
+            for (a, b) in capped.iter().zip(&default) {
+                assert_eq!(a.x, b.x);
+                assert_eq!(a.report.opt_score, b.report.opt_score);
+            }
+        }
+        // jobs = 0 is clamped to one worker rather than deadlocking.
+        let clamped = sweep_with_jobs(&xs, |x| Ok(fake_report(x)), Some(0)).unwrap();
+        assert_eq!(clamped.len(), xs.len());
     }
 
     #[test]

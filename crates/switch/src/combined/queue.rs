@@ -6,7 +6,14 @@
 //! preempted, matching the paper's run-for-completion motivation. New
 //! arrivals join a value-sorted backlog; when the serviced packet completes,
 //! the most valuable backlog packet enters service.
+//!
+//! Storage is a pair of [`SlotList`] views over the switch's shared
+//! [`BufferCore`] slab: the descending-value backlog, and a one-slot list
+//! pinning the in-service packet's buffer slot (so the switch's occupancy is
+//! exactly the slab's allocated count). The serviced packet's state is also
+//! cached inline as [`InService`] for the policy-facing read API.
 
+use crate::slab::{BufferCore, SlotList};
 use crate::{Slot, Value, Work};
 
 /// A packet in service: its value, remaining cycles, and arrival slot.
@@ -21,14 +28,18 @@ pub struct InService {
 }
 
 /// One output queue of a [`crate::CombinedSwitch`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CombinedQueue {
     work: Work,
     in_service: Option<InService>,
+    /// The buffer slot held by the in-service packet (len <= 1).
+    service_slot: SlotList,
     /// Backlog sorted by value, descending; ties keep arrival order.
-    backlog: Vec<(Value, Slot)>,
+    backlog: SlotList,
     /// Cached sum of all resident values (service + backlog).
     value_sum: u64,
+    /// Cached smallest backlog value (the backlog tail).
+    backlog_min: Option<Value>,
 }
 
 impl CombinedQueue {
@@ -37,8 +48,10 @@ impl CombinedQueue {
         CombinedQueue {
             work,
             in_service: None,
-            backlog: Vec::new(),
+            service_slot: SlotList::new(),
+            backlog: SlotList::new(),
             value_sum: 0,
+            backlog_min: None,
         }
     }
 
@@ -62,6 +75,17 @@ impl CombinedQueue {
         self.in_service.as_ref()
     }
 
+    /// True when the backlog holds no packets (the serviced packet, if any,
+    /// is not part of the backlog).
+    pub fn backlog_is_empty(&self) -> bool {
+        self.backlog.is_empty()
+    }
+
+    /// Smallest backlog value (the push-out victim among backlog packets).
+    pub fn backlog_min_value(&self) -> Option<Value> {
+        self.backlog_min
+    }
+
     /// Total outstanding work: the serviced packet's residual plus the full
     /// requirement of every backlog packet.
     pub fn total_work(&self) -> u64 {
@@ -82,17 +106,20 @@ impl CombinedQueue {
 
     /// Smallest resident value (the push-out victim's value).
     pub fn min_value(&self) -> Option<Value> {
-        let backlog_min = self.backlog.last().map(|&(v, _)| v);
         let service = self.in_service.map(|s| s.value);
-        match (backlog_min, service) {
+        match (self.backlog_min, service) {
             (Some(b), Some(s)) => Some(b.min(s)),
             (b, s) => b.or(s),
         }
     }
 
+    fn refresh_backlog_min(&mut self, core: &BufferCore) {
+        self.backlog_min = core.back(&self.backlog).map(|(v, _)| v);
+    }
+
     /// Inserts a packet of value `value` arriving at `slot`. If the queue
     /// was idle the packet enters service immediately.
-    pub fn insert(&mut self, value: Value, slot: Slot) {
+    pub fn insert(&mut self, core: &mut BufferCore, value: Value, slot: Slot) {
         self.value_sum += value.get();
         if self.in_service.is_none() && self.backlog.is_empty() {
             self.in_service = Some(InService {
@@ -100,21 +127,34 @@ impl CombinedQueue {
                 residual: self.work.cycles(),
                 arrived: slot,
             });
+            core.push_back(&mut self.service_slot, value, slot);
             return;
         }
-        let pos = self.backlog.partition_point(|&(v, _)| v >= value);
-        self.backlog.insert(pos, (value, slot));
+        core.insert_desc(&mut self.backlog, value, slot);
+        self.refresh_backlog_min(core);
+    }
+
+    /// Inserts a packet directly into the backlog, never entering service —
+    /// the re-admission half of the switch's push-out primitive, which in
+    /// the pre-slab insert-then-evict order always saw a non-empty queue.
+    pub fn insert_backlog(&mut self, core: &mut BufferCore, value: Value, slot: Slot) {
+        self.value_sum += value.get();
+        core.insert_desc(&mut self.backlog, value, slot);
+        self.refresh_backlog_min(core);
     }
 
     /// Evicts the lowest-value packet: the backlog minimum, or the serviced
     /// packet when the backlog is empty (its partial work is lost). Returns
     /// the evicted value.
-    pub fn evict_min(&mut self) -> Option<Value> {
-        if let Some((v, _)) = self.backlog.pop() {
+    pub fn evict_min(&mut self, core: &mut BufferCore) -> Option<Value> {
+        if let Some((v, _)) = core.pop_back(&mut self.backlog) {
             self.value_sum -= v.get();
+            self.refresh_backlog_min(core);
             return Some(v);
         }
         let s = self.in_service.take()?;
+        core.pop_back(&mut self.service_slot)
+            .expect("in-service packet holds a slot");
         self.value_sum -= s.value.get();
         Some(s.value)
     }
@@ -123,14 +163,21 @@ impl CombinedQueue {
     /// backlog as packets complete). Completed packets' `(value, latency
     /// source slot)` pairs are appended to `completions`. Returns cycles
     /// actually used.
-    pub fn process(&mut self, cycles: u32, completions: &mut Vec<(Value, Slot)>) -> u32 {
+    pub fn process(
+        &mut self,
+        core: &mut BufferCore,
+        cycles: u32,
+        completions: &mut Vec<(Value, Slot)>,
+    ) -> u32 {
         let mut budget = cycles;
         while budget > 0 {
             let Some(current) = self.in_service.as_mut() else {
                 // Promote the most valuable backlog packet.
-                let Some((value, arrived)) = take_first(&mut self.backlog) else {
+                let Some((value, arrived)) = core.pop_front(&mut self.backlog) else {
                     break;
                 };
+                self.refresh_backlog_min(core);
+                core.push_back(&mut self.service_slot, value, arrived);
                 self.in_service = Some(InService {
                     value,
                     residual: self.work.cycles(),
@@ -143,6 +190,8 @@ impl CombinedQueue {
             budget -= step;
             if current.residual == 0 {
                 let done = self.in_service.take().expect("current exists");
+                core.pop_back(&mut self.service_slot)
+                    .expect("in-service packet holds a slot");
                 self.value_sum -= done.value.get();
                 completions.push((done.value, done.arrived));
             }
@@ -151,31 +200,31 @@ impl CombinedQueue {
     }
 
     /// Removes every resident packet, returning how many were discarded.
-    pub fn clear(&mut self) -> u64 {
-        let n = self.len() as u64;
+    pub fn clear(&mut self, core: &mut BufferCore) -> u64 {
+        let n = core.clear(&mut self.backlog) + core.clear(&mut self.service_slot);
         self.in_service = None;
-        self.backlog.clear();
         self.value_sum = 0;
+        self.backlog_min = None;
         n
     }
 
-    /// Checks internal invariants: descending backlog and a correct sum.
-    pub fn invariants_hold(&self) -> bool {
-        let sorted = self.backlog.windows(2).all(|w| w[0].0 >= w[1].0);
-        let sum: u64 = self.backlog.iter().map(|&(v, _)| v.get()).sum::<u64>()
+    /// Checks internal invariants: descending backlog, a correct sum, the
+    /// service cache matching its pinned slot, and a fresh backlog-min cache.
+    pub fn invariants_hold(&self, core: &BufferCore) -> bool {
+        let sorted = core.is_sorted_desc(&self.backlog);
+        let sum: u64 = core.iter(&self.backlog).map(|(v, _)| v.get()).sum::<u64>()
             + self.in_service.map_or(0, |s| s.value.get());
-        let service_ok = self
-            .in_service
-            .is_none_or(|s| s.residual >= 1 && s.residual <= self.work.cycles());
-        sorted && sum == self.value_sum && service_ok
-    }
-}
-
-fn take_first(backlog: &mut Vec<(Value, Slot)>) -> Option<(Value, Slot)> {
-    if backlog.is_empty() {
-        None
-    } else {
-        Some(backlog.remove(0))
+        let service_ok = match self.in_service {
+            None => self.service_slot.is_empty(),
+            Some(s) => {
+                s.residual >= 1
+                    && s.residual <= self.work.cycles()
+                    && core.front(&self.service_slot) == Some((s.value, s.arrived))
+                    && self.service_slot.len() == 1
+            }
+        };
+        let min_ok = self.backlog_min == core.back(&self.backlog).map(|(v, _)| v);
+        sorted && sum == self.value_sum && service_ok && min_ok
     }
 }
 
@@ -183,60 +232,60 @@ fn take_first(backlog: &mut Vec<(Value, Slot)>) -> Option<(Value, Slot)> {
 mod tests {
     use super::*;
 
-    fn q(w: u32) -> CombinedQueue {
-        CombinedQueue::new(Work::new(w))
+    fn q(w: u32) -> (BufferCore, CombinedQueue) {
+        (BufferCore::new(16), CombinedQueue::new(Work::new(w)))
     }
 
     #[test]
     fn first_insert_enters_service() {
-        let mut q = q(3);
-        q.insert(Value::new(5), Slot::ZERO);
+        let (mut core, mut q) = q(3);
+        q.insert(&mut core, Value::new(5), Slot::ZERO);
         assert_eq!(q.len(), 1);
         assert_eq!(q.in_service().unwrap().residual, 3);
         assert_eq!(q.total_work(), 3);
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
     }
 
     #[test]
     fn backlog_sorted_desc_and_totals_track() {
-        let mut q = q(2);
+        let (mut core, mut q) = q(2);
         for v in [4, 9, 1] {
-            q.insert(Value::new(v), Slot::ZERO);
+            q.insert(&mut core, Value::new(v), Slot::ZERO);
         }
         // 4 is in service; backlog = [9, 1].
         assert_eq!(q.in_service().unwrap().value, Value::new(4));
         assert_eq!(q.total_value(), 14);
         assert_eq!(q.total_work(), 2 + 2 * 2);
         assert_eq!(q.min_value(), Some(Value::new(1)));
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
     }
 
     #[test]
     fn service_is_not_preempted_but_promotion_is_by_value() {
-        let mut q = q(2);
-        q.insert(Value::new(1), Slot::ZERO); // enters service
-        q.insert(Value::new(9), Slot::ZERO);
-        q.insert(Value::new(5), Slot::ZERO);
+        let (mut core, mut q) = q(2);
+        q.insert(&mut core, Value::new(1), Slot::ZERO); // enters service
+        q.insert(&mut core, Value::new(9), Slot::ZERO);
+        q.insert(&mut core, Value::new(5), Slot::ZERO);
         let mut done = Vec::new();
         // Two cycles: the 1 completes (run-to-completion, no preemption).
-        assert_eq!(q.process(2, &mut done), 2);
+        assert_eq!(q.process(&mut core, 2, &mut done), 2);
         assert_eq!(done, vec![(Value::new(1), Slot::ZERO)]);
         // The 9 is promoted at the next processing opportunity, not the 5.
-        assert_eq!(q.process(1, &mut done), 1);
+        assert_eq!(q.process(&mut core, 1, &mut done), 1);
         let s = q.in_service().unwrap();
         assert_eq!(s.value, Value::new(9));
         assert_eq!(s.residual, 1);
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
     }
 
     #[test]
     fn process_spans_multiple_packets_with_speedup() {
-        let mut q = q(1);
+        let (mut core, mut q) = q(1);
         for v in [3, 2, 1] {
-            q.insert(Value::new(v), Slot::ZERO);
+            q.insert(&mut core, Value::new(v), Slot::ZERO);
         }
         let mut done = Vec::new();
-        assert_eq!(q.process(2, &mut done), 2);
+        assert_eq!(q.process(&mut core, 2, &mut done), 2);
         let values: Vec<u64> = done.iter().map(|&(v, _)| v.get()).collect();
         assert_eq!(values, vec![3, 2]);
         assert_eq!(q.len(), 1);
@@ -244,52 +293,54 @@ mod tests {
 
     #[test]
     fn evict_prefers_backlog_minimum() {
-        let mut q = q(4);
-        q.insert(Value::new(2), Slot::ZERO); // in service
-        q.insert(Value::new(7), Slot::ZERO);
-        q.insert(Value::new(3), Slot::ZERO);
-        assert_eq!(q.evict_min(), Some(Value::new(3)));
+        let (mut core, mut q) = q(4);
+        q.insert(&mut core, Value::new(2), Slot::ZERO); // in service
+        q.insert(&mut core, Value::new(7), Slot::ZERO);
+        q.insert(&mut core, Value::new(3), Slot::ZERO);
+        assert_eq!(q.evict_min(&mut core), Some(Value::new(3)));
         assert_eq!(q.len(), 2);
         assert_eq!(q.in_service().unwrap().value, Value::new(2));
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
     }
 
     #[test]
     fn evict_falls_back_to_service() {
-        let mut q = q(4);
-        q.insert(Value::new(2), Slot::ZERO);
+        let (mut core, mut q) = q(4);
+        q.insert(&mut core, Value::new(2), Slot::ZERO);
         let mut done = Vec::new();
-        q.process(1, &mut done); // partial work
-        assert_eq!(q.evict_min(), Some(Value::new(2)));
+        q.process(&mut core, 1, &mut done); // partial work
+        assert_eq!(q.evict_min(&mut core), Some(Value::new(2)));
         assert!(q.is_empty());
         assert_eq!(q.total_value(), 0);
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
+        core.check_accounting().unwrap();
     }
 
     #[test]
     fn min_value_considers_service_packet() {
-        let mut q = q(2);
-        q.insert(Value::new(1), Slot::ZERO); // service
-        q.insert(Value::new(5), Slot::ZERO); // backlog
+        let (mut core, mut q) = q(2);
+        q.insert(&mut core, Value::new(1), Slot::ZERO); // service
+        q.insert(&mut core, Value::new(5), Slot::ZERO); // backlog
         assert_eq!(q.min_value(), Some(Value::new(1)));
     }
 
     #[test]
     fn clear_resets_everything() {
-        let mut q = q(2);
-        q.insert(Value::new(5), Slot::ZERO);
-        q.insert(Value::new(3), Slot::ZERO);
-        assert_eq!(q.clear(), 2);
+        let (mut core, mut q) = q(2);
+        q.insert(&mut core, Value::new(5), Slot::ZERO);
+        q.insert(&mut core, Value::new(3), Slot::ZERO);
+        assert_eq!(q.clear(&mut core), 2);
         assert!(q.is_empty());
         assert_eq!(q.total_work(), 0);
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
+        core.check_accounting().unwrap();
     }
 
     #[test]
     fn idle_queue_uses_no_cycles() {
-        let mut q = q(2);
+        let (mut core, mut q) = q(2);
         let mut done = Vec::new();
-        assert_eq!(q.process(5, &mut done), 0);
+        assert_eq!(q.process(&mut core, 5, &mut done), 0);
         assert!(done.is_empty());
     }
 }

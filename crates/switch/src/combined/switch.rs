@@ -2,9 +2,10 @@
 //! per-port work requirements plus per-packet values; the objective is
 //! total transmitted value.
 
+use crate::slab::BufferCore;
 use crate::{
-    AdmitError, CombinedQueue, ConservationError, Counters, PortId, Slot, Transmitted, Value, Work,
-    WorkSwitchConfig,
+    AdmitError, CombinedQueue, ConservationError, Counters, DirtyPorts, PortId, Slot, Transmitted,
+    Value, Work, WorkSwitchConfig,
 };
 
 /// A packet of the combined model: destination port, the port's work
@@ -62,7 +63,9 @@ pub struct CombinedPhaseReport {
 }
 
 /// The combined-model shared-memory switch: reuses [`WorkSwitchConfig`]
-/// (buffer `B`, per-port works) and carries per-packet values.
+/// (buffer `B`, per-port works) and carries per-packet values. Every resident
+/// packet — in service or backlogged — holds a slot of the shared
+/// [`BufferCore`] slab.
 ///
 /// ```
 /// use smbm_switch::{CombinedPacket, CombinedSwitch, PortId, Value, Work, WorkSwitchConfig};
@@ -77,11 +80,12 @@ pub struct CombinedPhaseReport {
 pub struct CombinedSwitch {
     config: WorkSwitchConfig,
     queues: Vec<CombinedQueue>,
-    occupancy: usize,
+    core: BufferCore,
     counters: Counters,
     now: Slot,
     scratch: Vec<(Value, Slot)>,
     transmitted_per_port: Vec<u64>,
+    dirty: DirtyPorts,
 }
 
 impl CombinedSwitch {
@@ -94,8 +98,9 @@ impl CombinedSwitch {
                 .map(|w| CombinedQueue::new(*w))
                 .collect(),
             transmitted_per_port: vec![0; config.ports()],
+            dirty: DirtyPorts::new(config.ports()),
+            core: BufferCore::new(config.buffer()),
             config,
-            occupancy: 0,
             counters: Counters::new(),
             now: Slot::ZERO,
             scratch: Vec::new(),
@@ -117,14 +122,19 @@ impl CombinedSwitch {
         self.config.buffer()
     }
 
+    /// The shared slab of packet slots backing every queue.
+    pub fn core(&self) -> &BufferCore {
+        &self.core
+    }
+
     /// Packets currently resident.
     pub fn occupancy(&self) -> usize {
-        self.occupancy
+        self.core.allocated()
     }
 
     /// True when the buffer holds `B` packets.
     pub fn is_full(&self) -> bool {
-        self.occupancy == self.config.buffer()
+        self.core.free_slots() == 0
     }
 
     /// The current slot.
@@ -152,6 +162,12 @@ impl CombinedSwitch {
     /// Lifetime accounting.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Moves the ports whose queues changed since the last drain into `out`
+    /// (cleared first); see [`crate::DirtyPorts`].
+    pub fn drain_dirty_into(&mut self, out: &mut Vec<PortId>) {
+        self.dirty.drain_into(out);
     }
 
     fn validate(&self, pkt: CombinedPacket) -> Result<(), AdmitError> {
@@ -185,8 +201,8 @@ impl CombinedSwitch {
         }
         self.counters.record_arrival(pkt.value().get());
         self.counters.record_admission(pkt.value().get());
-        self.queues[pkt.port().index()].insert(pkt.value(), self.now);
-        self.occupancy += 1;
+        self.queues[pkt.port().index()].insert(&mut self.core, pkt.value(), self.now);
+        self.dirty.mark(pkt.port().index());
         Ok(())
     }
 
@@ -205,6 +221,14 @@ impl CombinedSwitch {
     /// Evicts the minimal-value packet of `victim`'s queue and admits `pkt`.
     /// When `victim == pkt.port()` this is the virtual-add semantics (the
     /// eviction may remove the arrival itself).
+    ///
+    /// Eviction prefers the backlog and only takes the in-service packet when
+    /// the backlog is empty. As in [`crate::ValueSwitch`], the slab of
+    /// exactly `B` slots forces eviction *before* insertion; the self-evicting
+    /// configurations (`pkt` would join the victim's backlog at or below its
+    /// minimum — including an empty backlog, where the arrival itself would
+    /// be the sole backlog entry popped) short-circuit to a net drop with
+    /// identical outcome to the pre-slab insert-then-evict order.
     ///
     /// # Errors
     ///
@@ -227,11 +251,38 @@ impl CombinedSwitch {
         }
         self.counters.record_arrival(pkt.value().get());
         self.counters.record_admission(pkt.value().get());
-        self.queues[pkt.port().index()].insert(pkt.value(), self.now);
-        let evicted = self.queues[victim.index()]
-            .evict_min()
-            .expect("victim non-empty after insert");
+        let own = &self.queues[pkt.port().index()];
+        let evicted = if victim == pkt.port()
+            && (own.backlog_is_empty()
+                || own
+                    .backlog_min_value()
+                    .is_some_and(|min| pkt.value() <= min))
+        {
+            // The arrival would become the backlog's minimum and immediately
+            // be popped again: a net drop.
+            pkt.value()
+        } else {
+            let out = self.queues[victim.index()]
+                .evict_min(&mut self.core)
+                .expect("victim queue non-empty");
+            if victim == pkt.port() {
+                // The queue was non-empty before the (backlog) eviction, so
+                // under insert-then-evict the arrival always landed in the
+                // backlog — never in service — even if the eviction just
+                // emptied the backlog.
+                self.queues[pkt.port().index()].insert_backlog(
+                    &mut self.core,
+                    pkt.value(),
+                    self.now,
+                );
+            } else {
+                self.queues[pkt.port().index()].insert(&mut self.core, pkt.value(), self.now);
+            }
+            out
+        };
         self.counters.record_push_out(evicted.get());
+        self.dirty.mark(victim.index());
+        self.dirty.mark(pkt.port().index());
         Ok(evicted)
     }
 
@@ -249,7 +300,10 @@ impl CombinedSwitch {
                 continue;
             }
             self.scratch.clear();
-            let used = q.process(speedup, &mut self.scratch);
+            let used = q.process(&mut self.core, speedup, &mut self.scratch);
+            if used > 0 {
+                self.dirty.mark(i);
+            }
             report.cycles_used += u64::from(used);
             for &(value, arrived) in &self.scratch {
                 let t = Transmitted {
@@ -262,7 +316,6 @@ impl CombinedSwitch {
                 self.transmitted_per_port[i] += 1;
                 report.transmitted += 1;
                 report.value += value.get();
-                self.occupancy -= 1;
                 out.push(t);
             }
         }
@@ -291,9 +344,9 @@ impl CombinedSwitch {
         let flushed_value = self.total_value();
         let mut total = 0;
         for q in &mut self.queues {
-            total += q.clear();
+            total += q.clear(&mut self.core);
         }
-        self.occupancy = 0;
+        self.dirty.mark_all();
         self.counters.record_flush(total, flushed_value);
         total
     }
@@ -327,26 +380,28 @@ impl CombinedSwitch {
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         let sum: usize = self.queues.iter().map(CombinedQueue::len).sum();
-        if sum != self.occupancy {
+        if sum != self.core.allocated() {
             return Err(format!(
-                "occupancy {} != sum of queue lengths {}",
-                self.occupancy, sum
+                "slab allocation {} != sum of queue lengths {}",
+                self.core.allocated(),
+                sum
             ));
         }
-        if self.occupancy > self.config.buffer() {
+        if self.core.capacity() != self.config.buffer() {
             return Err(format!(
-                "occupancy {} exceeds buffer {}",
-                self.occupancy,
+                "slab capacity {} != configured buffer {}",
+                self.core.capacity(),
                 self.config.buffer()
             ));
         }
+        self.core.check_accounting()?;
         for (i, q) in self.queues.iter().enumerate() {
-            if !q.invariants_hold() {
+            if !q.invariants_hold(&self.core) {
                 return Err(format!("queue {i} invariant violated"));
             }
         }
         self.counters
-            .check_conservation(self.occupancy)
+            .check_conservation(self.occupancy())
             .map_err(|e: ConservationError| e.to_string())?;
         self.counters
             .check_value_conservation(self.total_value())
@@ -407,6 +462,37 @@ mod tests {
             sw.admit(bad),
             Err(AdmitError::WorkMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn self_push_out_with_service_only_queue_is_net_drop() {
+        // The destination queue holds only an in-service packet: under
+        // insert-then-evict the arrival joins the backlog and is popped right
+        // back out (eviction prefers the backlog). The service packet stays.
+        let mut sw = switch(1, 1);
+        sw.admit(pkt(&sw, 0, 9)).unwrap();
+        assert!(sw.is_full());
+        let evicted = sw
+            .push_out_and_admit(PortId::new(0), pkt(&sw, 0, 4))
+            .unwrap();
+        assert_eq!(evicted, Value::new(4));
+        assert_eq!(sw.queue(PortId::new(0)).len(), 1);
+        assert_eq!(sw.total_value(), 9);
+        sw.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn self_push_out_displaces_backlog_minimum() {
+        let mut sw = switch(1, 3);
+        sw.admit(pkt(&sw, 0, 9)).unwrap(); // enters service
+        sw.admit(pkt(&sw, 0, 2)).unwrap(); // backlog
+        sw.admit(pkt(&sw, 0, 5)).unwrap(); // backlog
+        let evicted = sw
+            .push_out_and_admit(PortId::new(0), pkt(&sw, 0, 7))
+            .unwrap();
+        assert_eq!(evicted, Value::new(2));
+        assert_eq!(sw.total_value(), 21);
+        sw.check_invariants().unwrap();
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! Admission *decisions* (LWD, LQD, MRD, ...) live in the `smbm-core` crate;
 //! traffic lives in `smbm-traffic`; the slot loop lives in `smbm-sim`.
 //!
+//! Storage-wise, every switch owns a [`BufferCore`]: one preallocated slab of
+//! exactly `B` packet slots that all queues share. Queues are intrusive
+//! doubly-linked lists threaded through the slab, so admission, push-out and
+//! transmission are O(1) pointer splices with no per-packet allocation, and
+//! buffer occupancy *is* the slab's allocation count. The pre-slab queue
+//! implementations survive verbatim in [`reference`] as differential-test
+//! oracles.
+//!
 //! ## Example
 //!
 //! ```
@@ -43,10 +51,13 @@ mod combined {
 }
 mod config;
 mod counters;
+mod dirty;
 mod error;
 mod ids;
 mod outcome;
 mod packet;
+pub mod reference;
+mod slab;
 mod work {
     pub mod queue;
     pub mod switch;
@@ -60,10 +71,12 @@ pub use combined::queue::{CombinedQueue, InService};
 pub use combined::switch::{CombinedPacket, CombinedPhaseReport, CombinedSwitch};
 pub use config::{ValueSwitchConfig, WorkSwitchConfig};
 pub use counters::{ConservationError, Counters};
+pub use dirty::DirtyPorts;
 pub use error::{AdmitError, ConfigError};
 pub use ids::{PortId, Slot, Value, Work};
 pub use outcome::{ArrivalOutcome, DropReason};
 pub use packet::{Transmitted, ValuePacket, WorkPacket};
+pub use slab::{BufferCore, SlotList};
 pub use value::queue::{RatioKey, ValueEntry, ValueQueue};
 pub use value::switch::{ValuePhaseReport, ValueSwitch};
 pub use work::queue::WorkQueue;

@@ -1,5 +1,6 @@
 //! A single priority output queue in the heterogeneous-value model.
 
+use crate::slab::{BufferCore, SlotList};
 use crate::{Slot, Value};
 
 /// One resident packet of a [`ValueQueue`].
@@ -14,15 +15,23 @@ pub struct ValueEntry {
 /// One output queue of a [`crate::ValueSwitch`].
 ///
 /// Section IV fixes the *most favourable* processing order per queue: a
-/// priority queue where the most valuable packets are transmitted first. We
-/// keep entries sorted by value, descending; the transmission phase pops from
-/// the front, push-out policies evict from the back (the minimal value).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// priority queue where the most valuable packets are transmitted first. The
+/// queue is a value-descending [`SlotList`] view over the switch's shared
+/// [`BufferCore`] slab: the transmission phase pops from the front in O(1)
+/// (previously an O(len) `Vec::remove(0)` memmove), push-out policies evict
+/// from the back (the minimal value) in O(1). The policy-facing read API
+/// (`len`, `total_value`, `min_value`, `max_value`, `ratio_key`) works off
+/// inline cached aggregates and needs no core access.
+#[derive(Debug, Clone, Default)]
 pub struct ValueQueue {
     /// Entries in non-increasing value order.
-    entries: Vec<ValueEntry>,
+    list: SlotList,
     /// Cached sum of resident values.
     sum: u64,
+    /// Cached largest resident value (front of the list).
+    max: Option<Value>,
+    /// Cached smallest resident value (back of the list).
+    min: Option<Value>,
 }
 
 impl ValueQueue {
@@ -33,12 +42,12 @@ impl ValueQueue {
 
     /// Number of resident packets `|Q_i|`.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.list.len()
     }
 
     /// True when no packets are resident.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.list.is_empty()
     }
 
     /// Sum of resident values.
@@ -49,10 +58,10 @@ impl ValueQueue {
     /// Average resident value `a_i`, the quantity in MRD's ratio
     /// `|Q_i| / a_i`. Returns `None` for an empty queue.
     pub fn average_value(&self) -> Option<f64> {
-        if self.entries.is_empty() {
+        if self.list.is_empty() {
             None
         } else {
-            Some(self.sum as f64 / self.entries.len() as f64)
+            Some(self.sum as f64 / self.list.len() as f64)
         }
     }
 
@@ -60,11 +69,11 @@ impl ValueQueue {
     /// intermediate division so ties compare exactly. Returns `None` for an
     /// empty queue.
     pub fn ratio_key(&self) -> Option<RatioKey> {
-        if self.entries.is_empty() {
+        if self.list.is_empty() {
             None
         } else {
             Some(RatioKey {
-                len_squared: (self.entries.len() as u128) * (self.entries.len() as u128),
+                len_squared: (self.list.len() as u128) * (self.list.len() as u128),
                 sum: self.sum as u128,
             })
         }
@@ -72,65 +81,72 @@ impl ValueQueue {
 
     /// Largest resident value (head of the priority queue).
     pub fn max_value(&self) -> Option<Value> {
-        self.entries.first().map(|e| e.value)
+        self.max
     }
 
     /// Smallest resident value (push-out victim position).
     pub fn min_value(&self) -> Option<Value> {
-        self.entries.last().map(|e| e.value)
+        self.min
     }
 
     /// Inserts a packet of value `value` that arrived during `slot`,
     /// maintaining descending order. Among equal values the newcomer goes
     /// last, so the earlier arrival transmits first.
-    pub fn insert(&mut self, value: Value, slot: Slot) {
-        // Find the first index whose value is strictly smaller: insert there.
-        let pos = self.entries.partition_point(|e| e.value >= value);
-        self.entries.insert(
-            pos,
-            ValueEntry {
-                value,
-                arrived: slot,
-            },
-        );
+    pub fn insert(&mut self, core: &mut BufferCore, value: Value, slot: Slot) {
+        core.insert_desc(&mut self.list, value, slot);
         self.sum += value.get();
+        // An insert can only widen the extremes — no slab reads needed.
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
     }
 
     /// Removes and returns the most valuable packet (transmission).
-    pub fn pop_max(&mut self) -> Option<ValueEntry> {
-        if self.entries.is_empty() {
-            return None;
+    pub fn pop_max(&mut self, core: &mut BufferCore) -> Option<ValueEntry> {
+        let (value, arrived) = core.pop_front(&mut self.list)?;
+        self.sum -= value.get();
+        // Popping the front only invalidates the max cache.
+        self.max = core.front(&self.list).map(|(v, _)| v);
+        if self.list.is_empty() {
+            self.min = None;
         }
-        let e = self.entries.remove(0);
-        self.sum -= e.value.get();
-        Some(e)
+        Some(ValueEntry { value, arrived })
     }
 
     /// Removes and returns the least valuable packet (push-out).
-    pub fn pop_min(&mut self) -> Option<ValueEntry> {
-        let e = self.entries.pop()?;
-        self.sum -= e.value.get();
-        Some(e)
+    pub fn pop_min(&mut self, core: &mut BufferCore) -> Option<ValueEntry> {
+        let (value, arrived) = core.pop_back(&mut self.list)?;
+        self.sum -= value.get();
+        // Popping the back only invalidates the min cache.
+        self.min = core.back(&self.list).map(|(v, _)| v);
+        if self.list.is_empty() {
+            self.max = None;
+        }
+        Some(ValueEntry { value, arrived })
     }
 
     /// Removes every resident packet, returning how many were discarded.
-    pub fn clear(&mut self) -> u64 {
-        let n = self.entries.len() as u64;
-        self.entries.clear();
+    pub fn clear(&mut self, core: &mut BufferCore) -> u64 {
+        let n = core.clear(&mut self.list);
         self.sum = 0;
+        self.max = None;
+        self.min = None;
         n
     }
 
     /// Resident entries in transmission (descending-value) order.
-    pub fn entries(&self) -> &[ValueEntry] {
-        &self.entries
+    pub fn entries<'a>(&self, core: &'a BufferCore) -> impl Iterator<Item = ValueEntry> + 'a {
+        core.iter(&self.list)
+            .map(|(value, arrived)| ValueEntry { value, arrived })
     }
 
-    /// Checks internal invariants: descending order and a correct cached sum.
-    pub fn invariants_hold(&self) -> bool {
-        let sorted = self.entries.windows(2).all(|w| w[0].value >= w[1].value);
-        let sum: u64 = self.entries.iter().map(|e| e.value.get()).sum();
-        sorted && sum == self.sum
+    /// Checks internal invariants: descending order, a correct cached sum,
+    /// and extreme caches matching the list ends.
+    pub fn invariants_hold(&self, core: &BufferCore) -> bool {
+        let sorted = core.is_sorted_desc(&self.list);
+        let sum: u64 = core.iter(&self.list).map(|(v, _)| v.get()).sum();
+        let extremes = self.max == core.front(&self.list).map(|(v, _)| v)
+            && self.min == core.back(&self.list).map(|(v, _)| v);
+        sorted && sum == self.sum && extremes
     }
 }
 
@@ -144,6 +160,12 @@ pub struct RatioKey {
 }
 
 impl RatioKey {
+    /// Builds the key from a raw numerator (`|Q|^2`) and denominator (value
+    /// sum), e.g. for the virtual-add key of a queue plus an arrival.
+    pub fn new(len_squared: u128, sum: u128) -> Self {
+        RatioKey { len_squared, sum }
+    }
+
     /// The ratio as a float, for reporting.
     pub fn as_f64(&self) -> f64 {
         self.len_squared as f64 / self.sum as f64
@@ -178,47 +200,51 @@ mod tests {
         Value::new(x)
     }
 
+    fn setup() -> (BufferCore, ValueQueue) {
+        (BufferCore::new(32), ValueQueue::new())
+    }
+
     #[test]
     fn insert_keeps_descending_order() {
-        let mut q = ValueQueue::new();
+        let (mut core, mut q) = setup();
         for x in [3, 1, 6, 2, 6] {
-            q.insert(v(x), Slot::ZERO);
+            q.insert(&mut core, v(x), Slot::ZERO);
         }
-        let values: Vec<u64> = q.entries().iter().map(|e| e.value.get()).collect();
+        let values: Vec<u64> = q.entries(&core).map(|e| e.value.get()).collect();
         assert_eq!(values, vec![6, 6, 3, 2, 1]);
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
     }
 
     #[test]
     fn equal_values_preserve_arrival_order() {
-        let mut q = ValueQueue::new();
-        q.insert(v(5), Slot::new(1));
-        q.insert(v(5), Slot::new(2));
-        let first = q.pop_max().unwrap();
+        let (mut core, mut q) = setup();
+        q.insert(&mut core, v(5), Slot::new(1));
+        q.insert(&mut core, v(5), Slot::new(2));
+        let first = q.pop_max(&mut core).unwrap();
         assert_eq!(first.arrived, Slot::new(1));
     }
 
     #[test]
     fn sum_and_average_track_contents() {
-        let mut q = ValueQueue::new();
+        let (mut core, mut q) = setup();
         assert_eq!(q.average_value(), None);
-        q.insert(v(2), Slot::ZERO);
-        q.insert(v(4), Slot::ZERO);
+        q.insert(&mut core, v(2), Slot::ZERO);
+        q.insert(&mut core, v(4), Slot::ZERO);
         assert_eq!(q.total_value(), 6);
         assert_eq!(q.average_value(), Some(3.0));
-        q.pop_min();
+        q.pop_min(&mut core);
         assert_eq!(q.total_value(), 4);
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
     }
 
     #[test]
     fn pop_max_and_min_are_extremes() {
-        let mut q = ValueQueue::new();
+        let (mut core, mut q) = setup();
         for x in [3, 9, 1] {
-            q.insert(v(x), Slot::ZERO);
+            q.insert(&mut core, v(x), Slot::ZERO);
         }
-        assert_eq!(q.pop_max().unwrap().value, v(9));
-        assert_eq!(q.pop_min().unwrap().value, v(1));
+        assert_eq!(q.pop_max(&mut core).unwrap().value, v(9));
+        assert_eq!(q.pop_min(&mut core).unwrap().value, v(1));
         assert_eq!(q.len(), 1);
         assert_eq!(q.max_value(), Some(v(3)));
         assert_eq!(q.min_value(), Some(v(3)));
@@ -226,28 +252,29 @@ mod tests {
 
     #[test]
     fn pops_on_empty_return_none() {
-        let mut q = ValueQueue::new();
-        assert_eq!(q.pop_max(), None);
-        assert_eq!(q.pop_min(), None);
+        let (mut core, mut q) = setup();
+        assert_eq!(q.pop_max(&mut core), None);
+        assert_eq!(q.pop_min(&mut core), None);
         assert_eq!(q.max_value(), None);
         assert_eq!(q.min_value(), None);
     }
 
     #[test]
     fn clear_resets_sum() {
-        let mut q = ValueQueue::new();
-        q.insert(v(7), Slot::ZERO);
-        q.insert(v(2), Slot::ZERO);
-        assert_eq!(q.clear(), 2);
+        let (mut core, mut q) = setup();
+        q.insert(&mut core, v(7), Slot::ZERO);
+        q.insert(&mut core, v(2), Slot::ZERO);
+        assert_eq!(q.clear(&mut core), 2);
         assert_eq!(q.total_value(), 0);
-        assert!(q.invariants_hold());
+        assert!(q.invariants_hold(&core));
+        core.check_accounting().unwrap();
     }
 
     #[test]
     fn ratio_key_matches_float_ratio() {
-        let mut q = ValueQueue::new();
-        q.insert(v(2), Slot::ZERO);
-        q.insert(v(4), Slot::ZERO);
+        let (mut core, mut q) = setup();
+        q.insert(&mut core, v(2), Slot::ZERO);
+        q.insert(&mut core, v(4), Slot::ZERO);
         let key = q.ratio_key().unwrap();
         // |Q| / a = 2 / 3 = |Q|^2 / sum = 4 / 6.
         assert!((key.as_f64() - 2.0 / 3.0).abs() < 1e-12);
@@ -255,18 +282,18 @@ mod tests {
 
     #[test]
     fn ratio_key_ordering_is_exact() {
-        let mut a = ValueQueue::new();
-        a.insert(v(1), Slot::ZERO);
-        a.insert(v(1), Slot::ZERO); // ratio 4/2 = 2
+        let (mut core, mut a) = setup();
+        a.insert(&mut core, v(1), Slot::ZERO);
+        a.insert(&mut core, v(1), Slot::ZERO); // ratio 4/2 = 2
         let mut b = ValueQueue::new();
-        b.insert(v(3), Slot::ZERO); // ratio 1/3
+        b.insert(&mut core, v(3), Slot::ZERO); // ratio 1/3
         assert!(a.ratio_key().unwrap() > b.ratio_key().unwrap());
 
         let mut c = ValueQueue::new();
-        c.insert(v(2), Slot::ZERO);
-        c.insert(v(6), Slot::ZERO); // ratio 4/8 = 1/2
+        c.insert(&mut core, v(2), Slot::ZERO);
+        c.insert(&mut core, v(6), Slot::ZERO); // ratio 4/8 = 1/2
         let mut d = ValueQueue::new();
-        d.insert(v(8), Slot::ZERO); // ratio 1/8
+        d.insert(&mut core, v(8), Slot::ZERO); // ratio 1/8
         assert!(c.ratio_key().unwrap() > d.ratio_key().unwrap());
         assert_eq!(c.ratio_key().unwrap(), c.ratio_key().unwrap());
     }

@@ -1,9 +1,10 @@
 //! The shared-memory switch state machine for the heterogeneous-value model
 //! (Section IV of the paper).
 
+use crate::slab::BufferCore;
 use crate::{
-    AdmitError, ConservationError, Counters, PortId, Slot, Transmitted, Value, ValuePacket,
-    ValueQueue, ValueSwitchConfig,
+    AdmitError, ConservationError, Counters, DirtyPorts, PortId, Slot, Transmitted, Value,
+    ValuePacket, ValueQueue, ValueSwitchConfig,
 };
 
 use super::queue::ValueEntry;
@@ -19,7 +20,8 @@ pub struct ValuePhaseReport {
 
 /// An `l × n` shared-memory switch with buffer capacity `B` whose unit-work
 /// packets carry heterogeneous values; each output queue is a priority queue
-/// transmitting its most valuable packet first.
+/// transmitting its most valuable packet first. The buffer is a
+/// [`BufferCore`] slab of exactly `B` slots shared by every queue.
 ///
 /// ```
 /// use smbm_switch::{PortId, Value, ValuePacket, ValueSwitch, ValueSwitchConfig};
@@ -35,10 +37,11 @@ pub struct ValuePhaseReport {
 pub struct ValueSwitch {
     config: ValueSwitchConfig,
     queues: Vec<ValueQueue>,
-    occupancy: usize,
+    core: BufferCore,
     counters: Counters,
     now: Slot,
     transmitted_per_port: Vec<u64>,
+    dirty: DirtyPorts,
 }
 
 impl ValueSwitch {
@@ -47,8 +50,9 @@ impl ValueSwitch {
         ValueSwitch {
             queues: (0..config.ports()).map(|_| ValueQueue::new()).collect(),
             transmitted_per_port: vec![0; config.ports()],
+            dirty: DirtyPorts::new(config.ports()),
+            core: BufferCore::new(config.buffer()),
             config,
-            occupancy: 0,
             counters: Counters::new(),
             now: Slot::ZERO,
         }
@@ -69,19 +73,24 @@ impl ValueSwitch {
         self.config.buffer()
     }
 
+    /// The shared slab of packet slots backing every queue.
+    pub fn core(&self) -> &BufferCore {
+        &self.core
+    }
+
     /// Packets currently resident across all queues.
     pub fn occupancy(&self) -> usize {
-        self.occupancy
+        self.core.allocated()
     }
 
     /// Free buffer slots.
     pub fn free_space(&self) -> usize {
-        self.config.buffer() - self.occupancy
+        self.core.free_slots()
     }
 
     /// True when the buffer holds `B` packets.
     pub fn is_full(&self) -> bool {
-        self.occupancy == self.config.buffer()
+        self.core.free_slots() == 0
     }
 
     /// The current time slot.
@@ -111,6 +120,12 @@ impl ValueSwitch {
         &self.counters
     }
 
+    /// Moves the ports whose queues changed since the last drain into `out`
+    /// (cleared first); see [`crate::DirtyPorts`].
+    pub fn drain_dirty_into(&mut self, out: &mut Vec<PortId>) {
+        self.dirty.drain_into(out);
+    }
+
     fn validate(&self, pkt: ValuePacket) -> Result<(), AdmitError> {
         if pkt.port().index() >= self.queues.len() {
             return Err(AdmitError::UnknownPort {
@@ -134,8 +149,8 @@ impl ValueSwitch {
         }
         self.counters.record_arrival(pkt.value().get());
         self.counters.record_admission(pkt.value().get());
-        self.queues[pkt.port().index()].insert(pkt.value(), self.now);
-        self.occupancy += 1;
+        self.queues[pkt.port().index()].insert(&mut self.core, pkt.value(), self.now);
+        self.dirty.mark(pkt.port().index());
         Ok(())
     }
 
@@ -156,7 +171,12 @@ impl ValueSwitch {
     ///
     /// When `victim == pkt.port()` this realises the uniform "virtual add"
     /// semantics documented in DESIGN.md: the arriving packet enters and the
-    /// queue's minimum leaves, which may be the arriving packet itself.
+    /// queue's minimum leaves, which may be the arriving packet itself. The
+    /// pre-slab implementation inserted first and then popped the minimum;
+    /// with a slab of exactly `B` slots the eviction happens first, with the
+    /// self-eviction case (`pkt.value() <= the queue's resident minimum`,
+    /// where the newcomer — placed after equal values — *is* the popped
+    /// minimum) short-circuited to a net drop. The outcomes are identical.
     ///
     /// # Errors
     ///
@@ -179,12 +199,24 @@ impl ValueSwitch {
         }
         self.counters.record_arrival(pkt.value().get());
         self.counters.record_admission(pkt.value().get());
-        self.queues[pkt.port().index()].insert(pkt.value(), self.now);
-        let evicted = self.queues[victim.index()]
-            .pop_min()
-            .expect("victim queue non-empty after insertion");
-        self.counters.record_push_out(evicted.value.get());
-        Ok(evicted.value)
+        let own = &self.queues[pkt.port().index()];
+        let evicted =
+            if victim == pkt.port() && own.min_value().is_none_or(|min| pkt.value() <= min) {
+                // The arrival would sort behind every resident packet of its own
+                // queue and immediately be popped as the minimum: a net drop.
+                pkt.value()
+            } else {
+                let out = self.queues[victim.index()]
+                    .pop_min(&mut self.core)
+                    .expect("victim queue non-empty")
+                    .value;
+                self.queues[pkt.port().index()].insert(&mut self.core, pkt.value(), self.now);
+                out
+            };
+        self.counters.record_push_out(evicted.get());
+        self.dirty.mark(victim.index());
+        self.dirty.mark(pkt.port().index());
+        Ok(evicted)
     }
 
     /// Runs the transmission phase: every non-empty queue transmits up to
@@ -194,10 +226,13 @@ impl ValueSwitch {
     pub fn transmit_into(&mut self, speedup: u32, out: &mut Vec<Transmitted>) -> ValuePhaseReport {
         let mut report = ValuePhaseReport::default();
         for (i, queue) in self.queues.iter_mut().enumerate() {
-            for _ in 0..speedup {
-                let Some(ValueEntry { value, arrived }) = queue.pop_max() else {
+            for c in 0..speedup {
+                let Some(ValueEntry { value, arrived }) = queue.pop_max(&mut self.core) else {
                     break;
                 };
+                if c == 0 {
+                    self.dirty.mark(i);
+                }
                 let t = Transmitted {
                     port: PortId::new(i),
                     value,
@@ -209,7 +244,6 @@ impl ValueSwitch {
                 self.transmitted_per_port[i] += 1;
                 report.transmitted += 1;
                 report.value += value.get();
-                self.occupancy -= 1;
                 out.push(t);
             }
         }
@@ -233,9 +267,9 @@ impl ValueSwitch {
         let flushed_value = self.total_value();
         let mut total = 0;
         for q in &mut self.queues {
-            total += q.clear();
+            total += q.clear(&mut self.core);
         }
-        self.occupancy = 0;
+        self.dirty.mark_all();
         self.counters.record_flush(total, flushed_value);
         total
     }
@@ -275,26 +309,28 @@ impl ValueSwitch {
     /// Returns a human-readable description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         let sum: usize = self.queues.iter().map(ValueQueue::len).sum();
-        if sum != self.occupancy {
+        if sum != self.core.allocated() {
             return Err(format!(
-                "occupancy {} != sum of queue lengths {}",
-                self.occupancy, sum
+                "slab allocation {} != sum of queue lengths {}",
+                self.core.allocated(),
+                sum
             ));
         }
-        if self.occupancy > self.config.buffer() {
+        if self.core.capacity() != self.config.buffer() {
             return Err(format!(
-                "occupancy {} exceeds buffer {}",
-                self.occupancy,
+                "slab capacity {} != configured buffer {}",
+                self.core.capacity(),
                 self.config.buffer()
             ));
         }
+        self.core.check_accounting()?;
         for (i, q) in self.queues.iter().enumerate() {
-            if !q.invariants_hold() {
+            if !q.invariants_hold(&self.core) {
                 return Err(format!("queue {} order/sum invariant violated", i));
             }
         }
         self.counters
-            .check_conservation(self.occupancy)
+            .check_conservation(self.occupancy())
             .map_err(|e: ConservationError| e.to_string())?;
         self.counters
             .check_value_conservation(self.total_value())
@@ -385,6 +421,30 @@ mod tests {
         let evicted = sw.push_out_and_admit(PortId::new(0), pkt(0, 1)).unwrap();
         assert_eq!(evicted, Value::new(1));
         assert_eq!(sw.total_value(), 9);
+        sw.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn virtual_add_equal_minimum_drops_the_arrival() {
+        // Equal values keep arrival order: the newcomer sorts behind the
+        // resident equal minimum, so it is the one evicted.
+        let mut sw = switch(2, 1);
+        sw.admit(pkt(0, 5)).unwrap();
+        sw.admit(pkt(0, 4)).unwrap();
+        let evicted = sw.push_out_and_admit(PortId::new(0), pkt(0, 4)).unwrap();
+        assert_eq!(evicted, Value::new(4));
+        assert_eq!(sw.total_value(), 9);
+        sw.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn virtual_add_displaces_resident_minimum() {
+        let mut sw = switch(2, 1);
+        sw.admit(pkt(0, 5)).unwrap();
+        sw.admit(pkt(0, 4)).unwrap();
+        let evicted = sw.push_out_and_admit(PortId::new(0), pkt(0, 6)).unwrap();
+        assert_eq!(evicted, Value::new(4));
+        assert_eq!(sw.total_value(), 11);
         sw.check_invariants().unwrap();
     }
 

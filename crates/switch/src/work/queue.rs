@@ -1,22 +1,24 @@
 //! A single FIFO output queue in the heterogeneous-processing model.
 
-use std::collections::VecDeque;
-
-use crate::{Slot, Work};
+use crate::slab::{BufferCore, SlotList};
+use crate::{Slot, Value, Work};
 
 /// One output queue of a [`crate::WorkSwitch`].
 ///
 /// Every packet in the queue requires the same processing `w` (the model
 /// constraint of Section III-A); only the head-of-line packet may be
-/// partially processed, tracked by `head_residual`. The queue remembers each
-/// resident packet's arrival slot for latency accounting.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// partially processed, tracked by `head_residual`. The queue is a
+/// [`SlotList`] view over the switch's shared [`BufferCore`] slab: packet
+/// storage (each resident packet's arrival slot) lives in the slab, so
+/// mutations take the core as an argument while the policy-facing read API
+/// (`len`, `total_work`, ...) works off inline cached aggregates.
+#[derive(Debug, Clone)]
 pub struct WorkQueue {
     work: Work,
     /// Residual cycles of the head packet; zero iff the queue is empty.
     head_residual: u32,
-    /// Arrival slots of resident packets, front = head-of-line.
-    arrivals: VecDeque<Slot>,
+    /// Resident packets, front = head-of-line.
+    list: SlotList,
 }
 
 impl WorkQueue {
@@ -25,7 +27,7 @@ impl WorkQueue {
         WorkQueue {
             work,
             head_residual: 0,
-            arrivals: VecDeque::new(),
+            list: SlotList::new(),
         }
     }
 
@@ -36,12 +38,12 @@ impl WorkQueue {
 
     /// Number of resident packets `|Q_i|`.
     pub fn len(&self) -> usize {
-        self.arrivals.len()
+        self.list.len()
     }
 
     /// True when no packets are resident.
     pub fn is_empty(&self) -> bool {
-        self.arrivals.is_empty()
+        self.list.is_empty()
     }
 
     /// Residual cycles of the head-of-line packet (zero when empty).
@@ -54,17 +56,18 @@ impl WorkQueue {
     /// policy maximizes over when choosing a push-out victim.
     ///
     /// ```
-    /// use smbm_switch::{Slot, Work, WorkQueue};
+    /// use smbm_switch::{BufferCore, Slot, Work, WorkQueue};
+    /// let mut core = BufferCore::new(4);
     /// let mut q = WorkQueue::new(Work::new(3));
-    /// q.push_back(Slot::ZERO);
-    /// q.push_back(Slot::ZERO);
+    /// q.push_back(&mut core, Slot::ZERO);
+    /// q.push_back(&mut core, Slot::ZERO);
     /// assert_eq!(q.total_work(), 6);
     /// ```
     pub fn total_work(&self) -> u64 {
-        if self.arrivals.is_empty() {
+        if self.list.is_empty() {
             0
         } else {
-            self.head_residual as u64 + (self.arrivals.len() as u64 - 1) * self.work.as_u64()
+            self.head_residual as u64 + (self.list.len() as u64 - 1) * self.work.as_u64()
         }
     }
 
@@ -76,11 +79,11 @@ impl WorkQueue {
     }
 
     /// Appends a packet that arrived during `slot`.
-    pub fn push_back(&mut self, slot: Slot) {
-        if self.arrivals.is_empty() {
+    pub fn push_back(&mut self, core: &mut BufferCore, slot: Slot) {
+        if self.list.is_empty() {
             self.head_residual = self.work.cycles();
         }
-        self.arrivals.push_back(slot);
+        core.push_back(&mut self.list, Value::ONE, slot);
     }
 
     /// Removes the tail packet (the push-out victim position used by every
@@ -88,9 +91,9 @@ impl WorkQueue {
     ///
     /// When the queue holds a single packet the tail *is* the partially
     /// processed head; its residual work is discarded with it.
-    pub fn pop_back(&mut self) -> Option<Slot> {
-        let popped = self.arrivals.pop_back();
-        if self.arrivals.is_empty() {
+    pub fn pop_back(&mut self, core: &mut BufferCore) -> Option<Slot> {
+        let popped = core.pop_back(&mut self.list).map(|(_, arrived)| arrived);
+        if self.list.is_empty() {
             self.head_residual = 0;
         }
         popped
@@ -99,22 +102,26 @@ impl WorkQueue {
     /// Applies up to `cycles` processing cycles to the head of the queue,
     /// transmitting packets whose residual work reaches zero, in FIFO order.
     ///
-    /// Returns `(completions, cycles_used)` where `completions` holds the
-    /// arrival slots of transmitted packets. `cycles_used` can be less than
-    /// `cycles` only if the queue empties (the port is work-conserving).
-    pub fn process(&mut self, cycles: u32, completions: &mut Vec<Slot>) -> u32 {
+    /// Returns the cycles used after appending the arrival slots of
+    /// transmitted packets to `completions`; this can be less than `cycles`
+    /// only if the queue empties (the port is work-conserving).
+    pub fn process(
+        &mut self,
+        core: &mut BufferCore,
+        cycles: u32,
+        completions: &mut Vec<Slot>,
+    ) -> u32 {
         let mut budget = cycles;
-        while budget > 0 && !self.arrivals.is_empty() {
+        while budget > 0 && !self.list.is_empty() {
             let step = budget.min(self.head_residual);
             self.head_residual -= step;
             budget -= step;
             if self.head_residual == 0 {
-                let arrived = self
-                    .arrivals
-                    .pop_front()
+                let (_, arrived) = core
+                    .pop_front(&mut self.list)
                     .expect("non-empty queue has a head");
                 completions.push(arrived);
-                if !self.arrivals.is_empty() {
+                if !self.list.is_empty() {
                     self.head_residual = self.work.cycles();
                 }
             }
@@ -123,23 +130,22 @@ impl WorkQueue {
     }
 
     /// Removes every resident packet, returning how many were discarded.
-    pub fn clear(&mut self) -> u64 {
-        let n = self.arrivals.len() as u64;
-        self.arrivals.clear();
+    pub fn clear(&mut self, core: &mut BufferCore) -> u64 {
+        let n = core.clear(&mut self.list);
         self.head_residual = 0;
         n
     }
 
     /// Arrival slots of resident packets in FIFO order (head first).
-    pub fn arrival_slots(&self) -> impl Iterator<Item = Slot> + '_ {
-        self.arrivals.iter().copied()
+    pub fn arrival_slots<'a>(&self, core: &'a BufferCore) -> impl Iterator<Item = Slot> + 'a {
+        core.iter(&self.list).map(|(_, arrived)| arrived)
     }
 
     /// Checks the internal invariants, used by tests and the switch's
     /// self-check: the head residual is in `1..=w` iff the queue is
     /// non-empty.
     pub fn invariants_hold(&self) -> bool {
-        if self.arrivals.is_empty() {
+        if self.list.is_empty() {
             self.head_residual == 0
         } else {
             self.head_residual >= 1 && self.head_residual <= self.work.cycles()
@@ -151,13 +157,13 @@ impl WorkQueue {
 mod tests {
     use super::*;
 
-    fn q(w: u32) -> WorkQueue {
-        WorkQueue::new(Work::new(w))
+    fn q(w: u32) -> (BufferCore, WorkQueue) {
+        (BufferCore::new(16), WorkQueue::new(Work::new(w)))
     }
 
     #[test]
     fn new_queue_is_empty() {
-        let q = q(3);
+        let (_core, q) = q(3);
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
         assert_eq!(q.total_work(), 0);
@@ -167,22 +173,22 @@ mod tests {
 
     #[test]
     fn push_sets_head_residual() {
-        let mut q = q(3);
-        q.push_back(Slot::ZERO);
+        let (mut core, mut q) = q(3);
+        q.push_back(&mut core, Slot::ZERO);
         assert_eq!(q.head_residual(), 3);
         assert_eq!(q.total_work(), 3);
-        q.push_back(Slot::ZERO);
+        q.push_back(&mut core, Slot::ZERO);
         assert_eq!(q.total_work(), 6);
         assert!(q.invariants_hold());
     }
 
     #[test]
     fn total_work_accounts_for_partial_head() {
-        let mut q = q(4);
-        q.push_back(Slot::ZERO);
-        q.push_back(Slot::ZERO);
+        let (mut core, mut q) = q(4);
+        q.push_back(&mut core, Slot::ZERO);
+        q.push_back(&mut core, Slot::ZERO);
         let mut done = Vec::new();
-        let used = q.process(1, &mut done);
+        let used = q.process(&mut core, 1, &mut done);
         assert_eq!(used, 1);
         assert!(done.is_empty());
         assert_eq!(q.head_residual(), 3);
@@ -191,49 +197,50 @@ mod tests {
 
     #[test]
     fn process_transmits_in_fifo_order() {
-        let mut q = q(2);
-        q.push_back(Slot::new(1));
-        q.push_back(Slot::new(2));
+        let (mut core, mut q) = q(2);
+        q.push_back(&mut core, Slot::new(1));
+        q.push_back(&mut core, Slot::new(2));
         let mut done = Vec::new();
         // 4 cycles complete both packets.
-        let used = q.process(4, &mut done);
+        let used = q.process(&mut core, 4, &mut done);
         assert_eq!(used, 4);
         assert_eq!(done, vec![Slot::new(1), Slot::new(2)]);
         assert!(q.is_empty());
         assert!(q.invariants_hold());
+        core.check_accounting().unwrap();
     }
 
     #[test]
     fn process_stops_when_queue_empties() {
-        let mut q = q(2);
-        q.push_back(Slot::ZERO);
+        let (mut core, mut q) = q(2);
+        q.push_back(&mut core, Slot::ZERO);
         let mut done = Vec::new();
-        let used = q.process(10, &mut done);
+        let used = q.process(&mut core, 10, &mut done);
         assert_eq!(used, 2);
         assert_eq!(done.len(), 1);
     }
 
     #[test]
     fn process_partial_packet_spans_slots() {
-        let mut q = q(3);
-        q.push_back(Slot::ZERO);
+        let (mut core, mut q) = q(3);
+        q.push_back(&mut core, Slot::ZERO);
         let mut done = Vec::new();
-        assert_eq!(q.process(1, &mut done), 1);
-        assert_eq!(q.process(1, &mut done), 1);
+        assert_eq!(q.process(&mut core, 1, &mut done), 1);
+        assert_eq!(q.process(&mut core, 1, &mut done), 1);
         assert!(done.is_empty());
-        assert_eq!(q.process(1, &mut done), 1);
+        assert_eq!(q.process(&mut core, 1, &mut done), 1);
         assert_eq!(done.len(), 1);
         assert!(q.is_empty());
     }
 
     #[test]
     fn pop_back_removes_tail_not_head() {
-        let mut q = q(3);
-        q.push_back(Slot::new(1));
-        q.push_back(Slot::new(2));
+        let (mut core, mut q) = q(3);
+        q.push_back(&mut core, Slot::new(1));
+        q.push_back(&mut core, Slot::new(2));
         let mut done = Vec::new();
-        q.process(1, &mut done); // head now has residual 2
-        assert_eq!(q.pop_back(), Some(Slot::new(2)));
+        q.process(&mut core, 1, &mut done); // head now has residual 2
+        assert_eq!(q.pop_back(&mut core), Some(Slot::new(2)));
         assert_eq!(q.len(), 1);
         assert_eq!(q.head_residual(), 2); // head untouched
         assert!(q.invariants_hold());
@@ -241,12 +248,12 @@ mod tests {
 
     #[test]
     fn pop_back_on_singleton_discards_partial_head() {
-        let mut q = q(3);
-        q.push_back(Slot::new(1));
+        let (mut core, mut q) = q(3);
+        q.push_back(&mut core, Slot::new(1));
         let mut done = Vec::new();
-        q.process(2, &mut done);
+        q.process(&mut core, 2, &mut done);
         assert_eq!(q.head_residual(), 1);
-        assert_eq!(q.pop_back(), Some(Slot::new(1)));
+        assert_eq!(q.pop_back(&mut core), Some(Slot::new(1)));
         assert!(q.is_empty());
         assert_eq!(q.head_residual(), 0);
         assert!(q.invariants_hold());
@@ -254,28 +261,29 @@ mod tests {
 
     #[test]
     fn pop_back_on_empty_returns_none() {
-        let mut q = q(1);
-        assert_eq!(q.pop_back(), None);
+        let (mut core, mut q) = q(1);
+        assert_eq!(q.pop_back(&mut core), None);
     }
 
     #[test]
     fn clear_reports_count() {
-        let mut q = q(2);
-        q.push_back(Slot::ZERO);
-        q.push_back(Slot::ZERO);
-        assert_eq!(q.clear(), 2);
+        let (mut core, mut q) = q(2);
+        q.push_back(&mut core, Slot::ZERO);
+        q.push_back(&mut core, Slot::ZERO);
+        assert_eq!(q.clear(&mut core), 2);
         assert!(q.is_empty());
         assert!(q.invariants_hold());
+        core.check_accounting().unwrap();
     }
 
     #[test]
     fn speedup_processes_multiple_packets_per_slot() {
-        let mut q = q(1);
+        let (mut core, mut q) = q(1);
         for i in 0..5 {
-            q.push_back(Slot::new(i));
+            q.push_back(&mut core, Slot::new(i));
         }
         let mut done = Vec::new();
-        let used = q.process(3, &mut done);
+        let used = q.process(&mut core, 3, &mut done);
         assert_eq!(used, 3);
         assert_eq!(done.len(), 3);
         assert_eq!(q.len(), 2);
@@ -283,10 +291,10 @@ mod tests {
 
     #[test]
     fn arrival_slots_iterates_fifo() {
-        let mut q = q(2);
-        q.push_back(Slot::new(4));
-        q.push_back(Slot::new(7));
-        let slots: Vec<_> = q.arrival_slots().collect();
+        let (mut core, mut q) = q(2);
+        q.push_back(&mut core, Slot::new(4));
+        q.push_back(&mut core, Slot::new(7));
+        let slots: Vec<_> = q.arrival_slots(&core).collect();
         assert_eq!(slots, vec![Slot::new(4), Slot::new(7)]);
     }
 }

@@ -1,9 +1,10 @@
 //! The shared-memory switch state machine for the heterogeneous-processing
 //! model (Section III of the paper).
 
+use crate::slab::BufferCore;
 use crate::{
-    AdmitError, ConservationError, Counters, PortId, Slot, Transmitted, Value, WorkPacket,
-    WorkQueue, WorkSwitchConfig,
+    AdmitError, ConservationError, Counters, DirtyPorts, PortId, Slot, Transmitted, Value,
+    WorkPacket, WorkQueue, WorkSwitchConfig,
 };
 
 /// Outcome summary of one transmission phase.
@@ -20,9 +21,11 @@ pub struct PhaseReport {
 /// An `l × n` shared-memory switch with buffer capacity `B` whose packets
 /// carry heterogeneous processing requirements.
 ///
-/// The switch owns the buffer state and *validates* every mutation; admission
-/// **decisions** live in the policies of the `smbm-core` crate. A typical
-/// slot looks like:
+/// The buffer is a [`BufferCore`] slab of exactly `B` slots; every queue is a
+/// linked-list view over it, so occupancy is the slab's allocated count and
+/// "buffer full" is exactly "free list empty". The switch owns the buffer
+/// state and *validates* every mutation; admission **decisions** live in the
+/// policies of the `smbm-core` crate. A typical slot looks like:
 ///
 /// ```
 /// use smbm_switch::{PortId, Work, WorkPacket, WorkSwitch, WorkSwitchConfig};
@@ -44,11 +47,12 @@ pub struct PhaseReport {
 pub struct WorkSwitch {
     config: WorkSwitchConfig,
     queues: Vec<WorkQueue>,
-    occupancy: usize,
+    core: BufferCore,
     counters: Counters,
     now: Slot,
     completions_scratch: Vec<Slot>,
     transmitted_per_port: Vec<u64>,
+    dirty: DirtyPorts,
 }
 
 impl WorkSwitch {
@@ -57,9 +61,10 @@ impl WorkSwitch {
         let queues = config.works().iter().map(|w| WorkQueue::new(*w)).collect();
         WorkSwitch {
             transmitted_per_port: vec![0; config.ports()],
+            dirty: DirtyPorts::new(config.ports()),
+            core: BufferCore::new(config.buffer()),
             config,
             queues,
-            occupancy: 0,
             counters: Counters::new(),
             now: Slot::ZERO,
             completions_scratch: Vec::new(),
@@ -81,19 +86,24 @@ impl WorkSwitch {
         self.config.buffer()
     }
 
+    /// The shared slab of packet slots backing every queue.
+    pub fn core(&self) -> &BufferCore {
+        &self.core
+    }
+
     /// Packets currently resident across all queues.
     pub fn occupancy(&self) -> usize {
-        self.occupancy
+        self.core.allocated()
     }
 
     /// Free buffer slots.
     pub fn free_space(&self) -> usize {
-        self.config.buffer() - self.occupancy
+        self.core.free_slots()
     }
 
     /// True when the buffer holds `B` packets.
     pub fn is_full(&self) -> bool {
-        self.occupancy == self.config.buffer()
+        self.core.free_slots() == 0
     }
 
     /// The current time slot.
@@ -122,6 +132,13 @@ impl WorkSwitch {
     /// Lifetime packet accounting.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Moves the ports whose queues changed since the last drain into `out`
+    /// (cleared first). Incremental policies use this to refresh only the
+    /// scores that can have moved instead of rescanning all `n` queues.
+    pub fn drain_dirty_into(&mut self, out: &mut Vec<PortId>) {
+        self.dirty.drain_into(out);
     }
 
     fn validate(&self, pkt: WorkPacket) -> Result<(), AdmitError> {
@@ -156,8 +173,8 @@ impl WorkSwitch {
         }
         self.counters.record_arrival(1);
         self.counters.record_admission(1);
-        self.queues[pkt.port().index()].push_back(self.now);
-        self.occupancy += 1;
+        self.queues[pkt.port().index()].push_back(&mut self.core, self.now);
+        self.dirty.mark(pkt.port().index());
         Ok(())
     }
 
@@ -198,12 +215,14 @@ impl WorkSwitch {
             return Err(AdmitError::EmptyQueue { port: victim });
         }
         self.queues[victim.index()]
-            .pop_back()
+            .pop_back(&mut self.core)
             .expect("checked non-empty");
         self.counters.record_push_out(1);
         self.counters.record_arrival(1);
         self.counters.record_admission(1);
-        self.queues[pkt.port().index()].push_back(self.now);
+        self.queues[pkt.port().index()].push_back(&mut self.core, self.now);
+        self.dirty.mark(victim.index());
+        self.dirty.mark(pkt.port().index());
         // occupancy unchanged: one out, one in.
         Ok(())
     }
@@ -220,7 +239,12 @@ impl WorkSwitch {
                 continue;
             }
             self.completions_scratch.clear();
-            let used = queue.process(speedup, &mut self.completions_scratch);
+            let used = queue.process(&mut self.core, speedup, &mut self.completions_scratch);
+            if used > 0 {
+                // Any processed cycle changes this queue's residual work
+                // W_i, so its policy score may have moved.
+                self.dirty.mark(i);
+            }
             report.cycles_used += used as u64;
             for &arrived in &self.completions_scratch {
                 let t = Transmitted {
@@ -233,7 +257,6 @@ impl WorkSwitch {
                 self.transmitted_per_port[i] += 1;
                 report.transmitted += 1;
                 report.value += 1;
-                self.occupancy -= 1;
                 out.push(t);
             }
         }
@@ -259,9 +282,9 @@ impl WorkSwitch {
     pub fn flush(&mut self) -> u64 {
         let mut total = 0;
         for q in &mut self.queues {
-            total += q.clear();
+            total += q.clear(&mut self.core);
         }
-        self.occupancy = 0;
+        self.dirty.mark_all();
         self.counters.record_flush(total, total);
         total
     }
@@ -273,30 +296,32 @@ impl WorkSwitch {
     /// Returns a human-readable description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         let sum: usize = self.queues.iter().map(WorkQueue::len).sum();
-        if sum != self.occupancy {
+        if sum != self.core.allocated() {
             return Err(format!(
-                "occupancy {} != sum of queue lengths {}",
-                self.occupancy, sum
+                "slab allocation {} != sum of queue lengths {}",
+                self.core.allocated(),
+                sum
             ));
         }
-        if self.occupancy > self.config.buffer() {
+        if self.core.capacity() != self.config.buffer() {
             return Err(format!(
-                "occupancy {} exceeds buffer {}",
-                self.occupancy,
+                "slab capacity {} != configured buffer {}",
+                self.core.capacity(),
                 self.config.buffer()
             ));
         }
+        self.core.check_accounting()?;
         for (i, q) in self.queues.iter().enumerate() {
             if !q.invariants_hold() {
                 return Err(format!("queue {} residual invariant violated", i));
             }
         }
         self.counters
-            .check_conservation(self.occupancy)
+            .check_conservation(self.occupancy())
             .map_err(|e: ConservationError| e.to_string())?;
         // Every work-model packet is worth 1, so resident value == occupancy.
         self.counters
-            .check_value_conservation(self.occupancy as u64)
+            .check_value_conservation(self.occupancy() as u64)
             .map_err(|e: ConservationError| e.to_string())
     }
 
@@ -505,5 +530,20 @@ mod tests {
         assert_eq!(c.admitted(), 6);
         assert_eq!(c.dropped(), 1);
         assert_eq!(c.pushed_out(), 1);
+    }
+
+    #[test]
+    fn dirty_ports_track_mutations() {
+        let mut sw = switch(2, 4);
+        let mut dirty = Vec::new();
+        sw.admit(pkt(&sw, 1)).unwrap();
+        sw.drain_dirty_into(&mut dirty);
+        assert_eq!(dirty, vec![PortId::new(1)]);
+        sw.transmit(1);
+        sw.drain_dirty_into(&mut dirty);
+        assert_eq!(dirty, vec![PortId::new(1)]);
+        // Nothing moved since: the set stays empty.
+        sw.drain_dirty_into(&mut dirty);
+        assert!(dirty.is_empty());
     }
 }

@@ -1,24 +1,33 @@
-//! Differential tests: the optimized queue structures against naive
-//! reference models, driven by random operation sequences.
+//! Differential tests for the slab-backed queue structures, driven by random
+//! operation sequences against two independent oracles:
+//!
+//! * the pre-slab queue implementations preserved verbatim in
+//!   [`smbm_switch::reference`], compared packet-for-packet;
+//! * naive in-test models (plain vectors of residuals / values), compared on
+//!   aggregates.
+//!
+//! Every single operation is followed by a [`BufferCore`] accounting check:
+//! `allocated + free == B`, the free list is cycle-free and correctly marked
+//! — i.e. no slot is ever leaked or double-freed.
 
 use proptest::prelude::*;
 
-use smbm_switch::{Slot, Value, ValueQueue, Work, WorkQueue};
+use smbm_switch::{reference, BufferCore, Slot, Value, ValueQueue, Work, WorkQueue};
 
 // ---------------------------------------------------------------------
-// WorkQueue vs a reference that stores explicit residuals per packet.
+// WorkQueue vs the pre-slab queue and a vector of explicit residuals.
 // ---------------------------------------------------------------------
 
-/// Reference model: a plain vector of per-packet residual cycles.
+/// Naive model: a plain vector of per-packet residual cycles.
 #[derive(Debug, Default)]
-struct RefWorkQueue {
+struct NaiveWorkQueue {
     work: u32,
     residuals: Vec<u32>,
 }
 
-impl RefWorkQueue {
+impl NaiveWorkQueue {
     fn new(work: u32) -> Self {
-        RefWorkQueue {
+        NaiveWorkQueue {
             work,
             residuals: Vec::new(),
         }
@@ -71,47 +80,67 @@ fn work_ops() -> impl Strategy<Value = Vec<WorkOp>> {
 proptest! {
     #[test]
     fn work_queue_matches_reference(work in 1u32..=5, ops in work_ops()) {
+        let mut core = BufferCore::new(64);
         let mut q = WorkQueue::new(Work::new(work));
-        let mut reference = RefWorkQueue::new(work);
+        let mut pre_slab = reference::WorkQueue::new(Work::new(work));
+        let mut naive = NaiveWorkQueue::new(work);
         let mut completions = Vec::new();
+        let mut ref_completions = Vec::new();
+        let mut seq = 0u64;
         for op in ops {
             match op {
                 WorkOp::Push => {
-                    q.push_back(Slot::ZERO);
-                    reference.push_back();
+                    let slot = Slot::new(seq);
+                    seq += 1;
+                    q.push_back(&mut core, slot);
+                    pre_slab.push_back(slot);
+                    naive.push_back();
                 }
                 WorkOp::PopBack => {
-                    let got = q.pop_back().is_some();
-                    let want = reference.pop_back();
-                    prop_assert_eq!(got, want);
+                    let got = q.pop_back(&mut core);
+                    prop_assert_eq!(got, pre_slab.pop_back());
+                    prop_assert_eq!(got.is_some(), naive.pop_back());
                 }
                 WorkOp::Process(c) => {
                     completions.clear();
-                    let used = q.process(c, &mut completions);
-                    let ref_before = reference.residuals.len();
-                    let ref_used = reference.process(c);
-                    let ref_done = ref_before - reference.residuals.len();
-                    prop_assert_eq!(used, ref_used, "cycles diverged");
-                    prop_assert_eq!(completions.len(), ref_done, "completions diverged");
+                    ref_completions.clear();
+                    let used = q.process(&mut core, c, &mut completions);
+                    let ref_used = pre_slab.process(c, &mut ref_completions);
+                    let naive_before = naive.residuals.len();
+                    let naive_used = naive.process(c);
+                    let naive_done = naive_before - naive.residuals.len();
+                    prop_assert_eq!(used, ref_used, "cycles diverged from pre-slab");
+                    prop_assert_eq!(used, naive_used, "cycles diverged from naive");
+                    prop_assert_eq!(&completions, &ref_completions, "completions diverged");
+                    prop_assert_eq!(completions.len(), naive_done);
                 }
             }
-            prop_assert_eq!(q.len(), reference.residuals.len());
-            prop_assert_eq!(q.total_work(), reference.total_work());
+            prop_assert_eq!(q.len(), pre_slab.len());
+            prop_assert_eq!(q.len(), naive.residuals.len());
+            prop_assert_eq!(q.total_work(), pre_slab.total_work());
+            prop_assert_eq!(q.total_work(), naive.total_work());
+            prop_assert_eq!(q.head_residual(), pre_slab.head_residual());
+            let slots: Vec<Slot> = q.arrival_slots(&core).collect();
+            let ref_slots: Vec<Slot> = pre_slab.arrival_slots().collect();
+            prop_assert_eq!(slots, ref_slots, "FIFO order diverged");
             prop_assert!(q.invariants_hold());
+            prop_assert!(pre_slab.invariants_hold());
+            prop_assert!(core.check_accounting().is_ok());
+            prop_assert_eq!(core.allocated(), q.len());
         }
     }
 }
 
 // ---------------------------------------------------------------------
-// ValueQueue vs a reference backed by an unsorted vector.
+// ValueQueue vs the pre-slab sorted queue and an unsorted vector.
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Default)]
-struct RefValueQueue {
+struct NaiveValueQueue {
     values: Vec<u64>,
 }
 
-impl RefValueQueue {
+impl NaiveValueQueue {
     fn insert(&mut self, v: u64) {
         self.values.push(v);
     }
@@ -152,45 +181,60 @@ fn value_ops() -> impl Strategy<Value = Vec<ValueOp>> {
 proptest! {
     #[test]
     fn value_queue_matches_reference(ops in value_ops()) {
+        let mut core = BufferCore::new(96);
         let mut q = ValueQueue::new();
-        let mut reference = RefValueQueue::default();
+        let mut pre_slab = reference::ValueQueue::new();
+        let mut naive = NaiveValueQueue::default();
+        let mut seq = 0u64;
         for op in ops {
             match op {
                 ValueOp::Insert(v) => {
-                    q.insert(Value::new(v), Slot::ZERO);
-                    reference.insert(v);
+                    let slot = Slot::new(seq);
+                    seq += 1;
+                    q.insert(&mut core, Value::new(v), slot);
+                    pre_slab.insert(Value::new(v), slot);
+                    naive.insert(v);
                 }
                 ValueOp::PopMax => {
-                    let got = q.pop_max().map(|e| e.value.get());
-                    let want = reference.pop_max();
-                    prop_assert_eq!(got, want);
+                    let got = q.pop_max(&mut core);
+                    prop_assert_eq!(got, pre_slab.pop_max(), "pop_max diverged");
+                    prop_assert_eq!(got.map(|e| e.value.get()), naive.pop_max());
                 }
                 ValueOp::PopMin => {
-                    let got = q.pop_min().map(|e| e.value.get());
-                    let want = reference.pop_min();
-                    prop_assert_eq!(got, want);
+                    let got = q.pop_min(&mut core);
+                    prop_assert_eq!(got, pre_slab.pop_min(), "pop_min diverged");
+                    prop_assert_eq!(got.map(|e| e.value.get()), naive.pop_min());
                 }
             }
-            prop_assert_eq!(q.len(), reference.values.len());
-            prop_assert_eq!(q.total_value(), reference.sum());
+            // The slab queue and the pre-slab queue must agree on the exact
+            // (value, arrival) sequence, including order among equal values.
+            let entries: Vec<_> = q.entries(&core).collect();
+            prop_assert_eq!(entries.as_slice(), pre_slab.entries());
+            prop_assert_eq!(q.len(), naive.values.len());
+            prop_assert_eq!(q.total_value(), naive.sum());
             prop_assert_eq!(
                 q.min_value().map(|v| v.get()),
-                reference.values.iter().min().copied()
+                naive.values.iter().min().copied()
             );
             prop_assert_eq!(
                 q.max_value().map(|v| v.get()),
-                reference.values.iter().max().copied()
+                naive.values.iter().max().copied()
             );
-            prop_assert!(q.invariants_hold());
+            prop_assert_eq!(q.ratio_key(), pre_slab.ratio_key());
+            prop_assert!(q.invariants_hold(&core));
+            prop_assert!(pre_slab.invariants_hold());
+            prop_assert!(core.check_accounting().is_ok());
+            prop_assert_eq!(core.allocated(), q.len());
         }
     }
 
     /// The cached ratio key always equals len^2 / sum computed from scratch.
     #[test]
     fn ratio_key_is_consistent(values in proptest::collection::vec(1u64..=9, 1..30)) {
+        let mut core = BufferCore::new(32);
         let mut q = ValueQueue::new();
         for &v in &values {
-            q.insert(Value::new(v), Slot::ZERO);
+            q.insert(&mut core, Value::new(v), Slot::ZERO);
         }
         let key = q.ratio_key().expect("non-empty");
         let expect = (values.len() as f64).powi(2) / values.iter().sum::<u64>() as f64;
@@ -199,20 +243,20 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
-// CombinedQueue vs a reference with explicit (value, residual) packets.
+// CombinedQueue vs the pre-slab queue and explicit (value, residual) packets.
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Default)]
-struct RefCombinedQueue {
+struct NaiveCombinedQueue {
     work: u32,
     /// In-service packet (value, residual), then backlog values (unsorted).
     service: Option<(u64, u32)>,
     backlog: Vec<u64>,
 }
 
-impl RefCombinedQueue {
+impl NaiveCombinedQueue {
     fn new(work: u32) -> Self {
-        RefCombinedQueue {
+        NaiveCombinedQueue {
             work,
             service: None,
             backlog: Vec::new(),
@@ -296,35 +340,121 @@ proptest! {
     #[test]
     fn combined_queue_matches_reference(work in 1u32..=4, ops in combined_ops()) {
         use smbm_switch::CombinedQueue;
+        let mut core = BufferCore::new(64);
         let mut q = CombinedQueue::new(Work::new(work));
-        let mut reference = RefCombinedQueue::new(work);
+        let mut pre_slab = reference::CombinedQueue::new(Work::new(work));
+        let mut naive = NaiveCombinedQueue::new(work);
         let mut done = Vec::new();
         let mut ref_done = Vec::new();
+        let mut naive_done = Vec::new();
+        let mut seq = 0u64;
         for op in ops {
             match op {
                 CombinedOp::Insert(v) => {
-                    q.insert(Value::new(v), Slot::ZERO);
-                    reference.insert(v);
+                    let slot = Slot::new(seq);
+                    seq += 1;
+                    q.insert(&mut core, Value::new(v), slot);
+                    pre_slab.insert(Value::new(v), slot);
+                    naive.insert(v);
                 }
                 CombinedOp::EvictMin => {
-                    let got = q.evict_min().map(|v| v.get());
-                    let want = reference.evict_min();
-                    prop_assert_eq!(got, want);
+                    let got = q.evict_min(&mut core);
+                    prop_assert_eq!(got, pre_slab.evict_min(), "evict_min diverged");
+                    prop_assert_eq!(got.map(|v| v.get()), naive.evict_min());
                 }
                 CombinedOp::Process(c) => {
                     done.clear();
                     ref_done.clear();
-                    let used = q.process(c, &mut done);
-                    let ref_used = reference.process(c, &mut ref_done);
-                    prop_assert_eq!(used, ref_used, "cycles diverged");
+                    naive_done.clear();
+                    let used = q.process(&mut core, c, &mut done);
+                    let ref_used = pre_slab.process(c, &mut ref_done);
+                    let naive_used = naive.process(c, &mut naive_done);
+                    prop_assert_eq!(used, ref_used, "cycles diverged from pre-slab");
+                    prop_assert_eq!(used, naive_used, "cycles diverged from naive");
+                    prop_assert_eq!(&done, &ref_done, "completions diverged");
                     let got: Vec<u64> = done.iter().map(|&(v, _)| v.get()).collect();
-                    prop_assert_eq!(&got, &ref_done, "completions diverged");
+                    prop_assert_eq!(&got, &naive_done);
                 }
             }
-            prop_assert_eq!(q.len(), reference.len());
-            prop_assert_eq!(q.total_value(), reference.total_value());
-            prop_assert_eq!(q.total_work(), reference.total_work());
-            prop_assert!(q.invariants_hold());
+            prop_assert_eq!(q.len(), pre_slab.len());
+            prop_assert_eq!(q.len(), naive.len());
+            prop_assert_eq!(q.in_service(), pre_slab.in_service());
+            prop_assert_eq!(q.total_value(), pre_slab.total_value());
+            prop_assert_eq!(q.total_value(), naive.total_value());
+            prop_assert_eq!(q.total_work(), pre_slab.total_work());
+            prop_assert_eq!(q.total_work(), naive.total_work());
+            prop_assert_eq!(q.min_value(), pre_slab.min_value());
+            prop_assert!(q.invariants_hold(&core));
+            prop_assert!(pre_slab.invariants_hold());
+            prop_assert!(core.check_accounting().is_ok());
+            prop_assert_eq!(core.allocated(), q.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slab free-list accounting with many queues sharing one arena.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SlabOp {
+    Insert { queue: usize, value: u64 },
+    PopMax { queue: usize },
+    PopMin { queue: usize },
+    Clear { queue: usize },
+}
+
+fn slab_ops() -> impl Strategy<Value = Vec<SlabOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0usize..4, 1u64..=9).prop_map(|(queue, value)| SlabOp::Insert { queue, value }),
+            2 => (0usize..4).prop_map(|queue| SlabOp::PopMax { queue }),
+            2 => (0usize..4).prop_map(|queue| SlabOp::PopMin { queue }),
+            1 => (0usize..4).prop_map(|queue| SlabOp::Clear { queue }),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    /// Interleaved operations on four queues sharing one slab never leak or
+    /// double-free a slot: after every operation `allocated + free == B`,
+    /// the free chain is intact, and allocation equals the sum of lengths.
+    #[test]
+    fn slab_accounting_never_leaks(ops in slab_ops()) {
+        const B: usize = 48;
+        let mut core = BufferCore::new(B);
+        let mut queues = [
+            ValueQueue::new(),
+            ValueQueue::new(),
+            ValueQueue::new(),
+            ValueQueue::new(),
+        ];
+        for op in ops {
+            match op {
+                SlabOp::Insert { queue, value } => {
+                    if core.free_slots() > 0 {
+                        queues[queue].insert(&mut core, Value::new(value), Slot::ZERO);
+                    }
+                }
+                SlabOp::PopMax { queue } => {
+                    queues[queue].pop_max(&mut core);
+                }
+                SlabOp::PopMin { queue } => {
+                    queues[queue].pop_min(&mut core);
+                }
+                SlabOp::Clear { queue } => {
+                    queues[queue].clear(&mut core);
+                }
+            }
+            prop_assert!(core.check_accounting().is_ok(), "{:?}", core.check_accounting());
+            prop_assert_eq!(core.capacity(), B);
+            let total: usize = queues.iter().map(ValueQueue::len).sum();
+            prop_assert_eq!(core.allocated(), total);
+            prop_assert_eq!(core.free_slots(), B - total);
+            for q in &queues {
+                prop_assert!(q.invariants_hold(&core));
+            }
         }
     }
 }

@@ -1,0 +1,334 @@
+//! Differential property tests for the incremental score indices.
+//!
+//! Every policy that adopted a [`smbm_core::ScoreIndex`] keeps its original
+//! full-scan victim selection behind a `scan()` constructor as an oracle.
+//! These tests drive the index-forced policy (`indexed()`, since the `new()`
+//! default auto-selects scan below 32 ports and would dodge the index at
+//! these port counts) and its scan twin through identical random traces —
+//! including
+//! interleaved transmissions and mid-trace flushes, which force index
+//! rebuild/repair paths — and require byte-identical decisions and final
+//! queue states. A divergence here means the index no longer reproduces the
+//! scan's exact max-and-tie-break semantics.
+
+use proptest::prelude::*;
+
+use smbm_core::{
+    AlphaWd, CombinedRunner, Lqd, LqdValue, Lwd, LwdTieBreak, Mrd, Mvd, ValueRunner, WorkRunner,
+    Wvd,
+};
+use smbm_sim::{run_combined, run_value, run_work, EngineConfig};
+use smbm_switch::{
+    CombinedPacket, PortId, Value, ValuePacket, ValueSwitchConfig, WorkSwitchConfig,
+};
+use smbm_traffic::{MmppScenario, PortMix, ValueMix};
+
+/// Arrival schedule interleaved with transmissions (`i % 3 == 2`) and a
+/// mid-trace flush (`i == flush_at`), over a heterogeneous contiguous
+/// work switch.
+fn work_pattern() -> impl Strategy<Value = (u32, usize, usize, Vec<usize>)> {
+    (2u32..=5).prop_flat_map(|ports| {
+        (
+            Just(ports),
+            (ports as usize)..=12usize,
+            0usize..80,
+            proptest::collection::vec(0usize..ports as usize, 1..80),
+        )
+    })
+}
+
+fn value_pattern() -> impl Strategy<Value = (usize, usize, usize, Vec<(usize, u64)>)> {
+    (2usize..=5).prop_flat_map(|ports| {
+        (
+            Just(ports),
+            ports..=12usize,
+            0usize..80,
+            proptest::collection::vec((0usize..ports, 1u64..=9), 1..80),
+        )
+    })
+}
+
+macro_rules! lockstep_work {
+    ($cfg:expr, $indexed:expr, $scan:expr, $flush_at:expr, $pattern:expr) => {{
+        let mut a = WorkRunner::new($cfg.clone(), $indexed, 1);
+        let mut b = WorkRunner::new($cfg.clone(), $scan, 1);
+        for (i, &p) in $pattern.iter().enumerate() {
+            let da = a.arrival_to(PortId::new(p)).unwrap();
+            let db = b.arrival_to(PortId::new(p)).unwrap();
+            prop_assert_eq!(da, db, "diverged at arrival {} (port {})", i, p);
+            if i == $flush_at {
+                a.flush();
+                b.flush();
+            } else if i % 3 == 2 {
+                a.transmission();
+                b.transmission();
+                a.end_slot();
+                b.end_slot();
+            }
+        }
+        for p in 0..a.switch().ports() {
+            prop_assert_eq!(
+                a.switch().queue(PortId::new(p)).len(),
+                b.switch().queue(PortId::new(p)).len(),
+                "queue {} lengths diverged",
+                p
+            );
+        }
+    }};
+}
+
+macro_rules! lockstep_value {
+    ($cfg:expr, $indexed:expr, $scan:expr, $flush_at:expr, $pattern:expr) => {{
+        let mut a = ValueRunner::new($cfg, $indexed, 1);
+        let mut b = ValueRunner::new($cfg, $scan, 1);
+        for (i, &(p, v)) in $pattern.iter().enumerate() {
+            let pkt = ValuePacket::new(PortId::new(p), Value::new(v));
+            let da = a.arrival(pkt).unwrap();
+            let db = b.arrival(pkt).unwrap();
+            prop_assert_eq!(
+                da,
+                db,
+                "diverged at arrival {} (port {}, value {})",
+                i,
+                p,
+                v
+            );
+            if i == $flush_at {
+                a.flush();
+                b.flush();
+            } else if i % 3 == 2 {
+                a.transmission();
+                b.transmission();
+                a.end_slot();
+                b.end_slot();
+            }
+        }
+        for p in 0..a.switch().ports() {
+            prop_assert_eq!(
+                a.switch().queue(PortId::new(p)).len(),
+                b.switch().queue(PortId::new(p)).len(),
+                "queue {} lengths diverged",
+                p
+            );
+        }
+        prop_assert_eq!(a.transmitted_value(), b.transmitted_value());
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn lwd_indexed_matches_scan((ports, buffer, flush_at, pattern) in work_pattern()) {
+        let cfg = WorkSwitchConfig::contiguous(ports, buffer).unwrap();
+        lockstep_work!(cfg, Lwd::indexed(), Lwd::scan(), flush_at, pattern);
+    }
+
+    #[test]
+    fn lwd_max_len_indexed_matches_scan((ports, buffer, flush_at, pattern) in work_pattern()) {
+        let cfg = WorkSwitchConfig::contiguous(ports, buffer).unwrap();
+        lockstep_work!(
+            cfg,
+            Lwd::indexed_with_tie_break(LwdTieBreak::MaxLen),
+            Lwd::scan_with_tie_break(LwdTieBreak::MaxLen),
+            flush_at,
+            pattern
+        );
+    }
+
+    #[test]
+    fn lwd_min_work_indexed_matches_scan((ports, buffer, flush_at, pattern) in work_pattern()) {
+        let cfg = WorkSwitchConfig::contiguous(ports, buffer).unwrap();
+        lockstep_work!(
+            cfg,
+            Lwd::indexed_with_tie_break(LwdTieBreak::MinWork),
+            Lwd::scan_with_tie_break(LwdTieBreak::MinWork),
+            flush_at,
+            pattern
+        );
+    }
+
+    #[test]
+    fn lqd_indexed_matches_scan((ports, buffer, flush_at, pattern) in work_pattern()) {
+        let cfg = WorkSwitchConfig::contiguous(ports, buffer).unwrap();
+        lockstep_work!(cfg, Lqd::indexed(), Lqd::scan(), flush_at, pattern);
+    }
+
+    #[test]
+    fn alpha_wd_indexed_matches_scan(
+        (ports, buffer, flush_at, pattern) in work_pattern(),
+        alpha_idx in 0usize..3,
+    ) {
+        let alpha = [0.25f64, 0.5, 0.75][alpha_idx];
+        let cfg = WorkSwitchConfig::contiguous(ports, buffer).unwrap();
+        lockstep_work!(cfg, AlphaWd::indexed(alpha), AlphaWd::scan(alpha), flush_at, pattern);
+    }
+
+    #[test]
+    fn lqd_value_indexed_matches_scan((ports, buffer, flush_at, pattern) in value_pattern()) {
+        let cfg = ValueSwitchConfig::new(buffer, ports).unwrap();
+        lockstep_value!(cfg, LqdValue::indexed(), LqdValue::scan(), flush_at, pattern);
+    }
+
+    #[test]
+    fn mrd_indexed_matches_scan((ports, buffer, flush_at, pattern) in value_pattern()) {
+        let cfg = ValueSwitchConfig::new(buffer, ports).unwrap();
+        lockstep_value!(cfg, Mrd::indexed(), Mrd::scan(), flush_at, pattern);
+    }
+
+    #[test]
+    fn mvd_indexed_matches_scan((ports, buffer, flush_at, pattern) in value_pattern()) {
+        let cfg = ValueSwitchConfig::new(buffer, ports).unwrap();
+        lockstep_value!(cfg, Mvd::indexed(), Mvd::scan(), flush_at, pattern);
+    }
+
+    #[test]
+    fn mvd1_indexed_matches_scan((ports, buffer, flush_at, pattern) in value_pattern()) {
+        let cfg = ValueSwitchConfig::new(buffer, ports).unwrap();
+        lockstep_value!(
+            cfg,
+            Mvd::indexed_sparing_singletons(),
+            Mvd::scan_sparing_singletons(),
+            flush_at,
+            pattern
+        );
+    }
+
+    #[test]
+    fn wvd_indexed_matches_scan((ports, buffer, flush_at, pattern) in value_pattern()) {
+        let cfg = WorkSwitchConfig::contiguous(ports as u32, buffer).unwrap();
+        let mut a = CombinedRunner::new(cfg.clone(), Wvd::indexed(), 1);
+        let mut b = CombinedRunner::new(cfg.clone(), Wvd::scan(), 1);
+        for (i, &(p, v)) in pattern.iter().enumerate() {
+            let port = PortId::new(p);
+            let pkt = CombinedPacket::new(port, cfg.work(port), Value::new(v));
+            let da = a.arrival(pkt).unwrap();
+            let db = b.arrival(pkt).unwrap();
+            prop_assert_eq!(da, db, "diverged at arrival {} (port {}, value {})", i, p, v);
+            if i == flush_at {
+                a.flush();
+                b.flush();
+            } else if i % 3 == 2 {
+                a.transmission();
+                b.transmission();
+                a.end_slot();
+                b.end_slot();
+            }
+        }
+        for p in 0..ports {
+            prop_assert_eq!(
+                a.switch().queue(PortId::new(p)).len(),
+                b.switch().queue(PortId::new(p)).len(),
+                "queue {} lengths diverged",
+                p
+            );
+        }
+        prop_assert_eq!(a.transmitted_value(), b.transmitted_value());
+    }
+}
+
+/// The slot-loop engine produces identical [`smbm_sim::RunSummary`] values
+/// (score, occupancy statistics, slot count) for the indexed and scan
+/// variants over a long MMPP trace — the end-to-end form of the lockstep
+/// tests above.
+#[test]
+fn mmpp_work_summaries_match_scan_oracle() {
+    let cfg = WorkSwitchConfig::contiguous(6, 32).unwrap();
+    let trace = MmppScenario {
+        sources: 10,
+        slots: 6_000,
+        seed: 97,
+        ..Default::default()
+    }
+    .work_trace(&cfg, &PortMix::Uniform)
+    .unwrap();
+    let engine = EngineConfig::draining();
+
+    type WorkPair = (
+        &'static str,
+        Box<dyn smbm_core::WorkPolicy>,
+        Box<dyn smbm_core::WorkPolicy>,
+    );
+    let pairs: Vec<WorkPair> = vec![
+        ("LWD", Box::new(Lwd::indexed()), Box::new(Lwd::scan())),
+        (
+            "LWD-len",
+            Box::new(Lwd::indexed_with_tie_break(LwdTieBreak::MaxLen)),
+            Box::new(Lwd::scan_with_tie_break(LwdTieBreak::MaxLen)),
+        ),
+        ("LQD", Box::new(Lqd::indexed()), Box::new(Lqd::scan())),
+        (
+            "AWD-0.5",
+            Box::new(AlphaWd::indexed(0.5)),
+            Box::new(AlphaWd::scan(0.5)),
+        ),
+    ];
+    for (name, indexed, scan) in pairs {
+        let mut a = WorkRunner::new(cfg.clone(), indexed, 1);
+        let mut b = WorkRunner::new(cfg.clone(), scan, 1);
+        let sa = run_work(&mut a, &trace, &engine).unwrap();
+        let sb = run_work(&mut b, &trace, &engine).unwrap();
+        assert_eq!(sa, sb, "{name}: indexed and scan summaries diverged");
+    }
+}
+
+#[test]
+fn mmpp_value_summaries_match_scan_oracle() {
+    let cfg = ValueSwitchConfig::new(32, 6).unwrap();
+    let trace = MmppScenario {
+        sources: 24,
+        slots: 6_000,
+        seed: 97,
+        ..Default::default()
+    }
+    .value_trace(6, &PortMix::Uniform, &ValueMix::Uniform { max: 12 })
+    .unwrap();
+    let engine = EngineConfig::draining();
+
+    type ValuePair = (
+        &'static str,
+        Box<dyn smbm_core::ValuePolicy>,
+        Box<dyn smbm_core::ValuePolicy>,
+    );
+    let pairs: Vec<ValuePair> = vec![
+        (
+            "LQD",
+            Box::new(LqdValue::indexed()),
+            Box::new(LqdValue::scan()),
+        ),
+        ("MRD", Box::new(Mrd::indexed()), Box::new(Mrd::scan())),
+        ("MVD", Box::new(Mvd::indexed()), Box::new(Mvd::scan())),
+        (
+            "MVD1",
+            Box::new(Mvd::indexed_sparing_singletons()),
+            Box::new(Mvd::scan_sparing_singletons()),
+        ),
+    ];
+    for (name, indexed, scan) in pairs {
+        let mut a = ValueRunner::new(cfg, indexed, 1);
+        let mut b = ValueRunner::new(cfg, scan, 1);
+        let sa = run_value(&mut a, &trace, &engine).unwrap();
+        let sb = run_value(&mut b, &trace, &engine).unwrap();
+        assert_eq!(sa, sb, "{name}: indexed and scan summaries diverged");
+    }
+}
+
+#[test]
+fn mmpp_combined_summaries_match_scan_oracle() {
+    let cfg = WorkSwitchConfig::contiguous(6, 24).unwrap();
+    let trace = MmppScenario {
+        sources: 16,
+        slots: 6_000,
+        seed: 97,
+        ..Default::default()
+    }
+    .combined_trace(&cfg, &PortMix::Uniform, &ValueMix::Uniform { max: 9 })
+    .unwrap();
+    let engine = EngineConfig::draining();
+
+    let mut a = CombinedRunner::new(cfg.clone(), Wvd::indexed(), 1);
+    let mut b = CombinedRunner::new(cfg.clone(), Wvd::scan(), 1);
+    let sa = run_combined(&mut a, &trace, &engine).unwrap();
+    let sb = run_combined(&mut b, &trace, &engine).unwrap();
+    assert_eq!(sa, sb, "WVD: indexed and scan summaries diverged");
+}
