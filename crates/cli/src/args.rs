@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Flags the `smbm` commands treat as presence-only switches (no value).
-pub const SWITCHES: &[&str] = &["profile"];
+pub const SWITCHES: &[&str] = &["profile", "lossy", "json"];
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -24,13 +24,21 @@ commands:
   panel       regenerate a Fig. 5 panel as CSV (--panel 1..9, --jobs N)
   trace-gen   generate a work-model MMPP trace (text format) on stdout
   trace-stats summarize a work-model trace (--file PATH, or text via stdin)
+  serve       replay a trace through the live datapath, lockstep with the
+              sim engine (--file PATH or text via stdin; --model work|value)
+  loadgen     drive the live sharded datapath with MMPP traffic and report
+              throughput, drop breakdown, and ingress latency percentiles
   help        show this message
 
 flags are `--name value`; see the crate README for the full list.
 observability (work-run, value-run, combined-run):
   --events-out PATH   write per-policy engine events as JSON Lines
   --metrics-out PATH  write per-policy histogram metrics as JSON
-  --profile           print per-phase wall-clock profiles";
+  --profile           print per-phase wall-clock profiles
+runtime (serve, loadgen):
+  --hz RATE           pace shard cycles at RATE per second (default unpaced)
+  --lossy             loadgen: full rings reject batches as backpressure
+  --json              loadgen: emit the report as one JSON object";
 
 /// Executes one command. `stdin` supplies the input text for commands that
 /// read a stream (currently `trace-stats` without `--file`).
@@ -47,6 +55,8 @@ pub fn execute(args: &Args, stdin: &str) -> Result<String, String> {
         Some("panel") => panel(args),
         Some("trace-gen") => trace_gen(args),
         Some("trace-stats") => trace_stats(args, stdin),
+        Some("serve") => serve(args, stdin),
+        Some("loadgen") => loadgen(args),
         Some("help") | None => Ok(HELP.to_string()),
         Some(other) => Err(format!("unknown command {other:?}; try `smbm help`")),
     }
@@ -441,6 +451,224 @@ fn trace_gen(args: &Args) -> Result<String, String> {
     Ok(trace.to_text())
 }
 
+/// Parses the optional `--hz` pacing rate shared by `serve` and `loadgen`.
+fn pace_from(args: &Args) -> Result<Option<f64>, String> {
+    match args.get("hz") {
+        None => Ok(None),
+        Some(v) => {
+            let hz: f64 = v
+                .parse()
+                .map_err(|_| format!("--hz expects a number, got {v:?}"))?;
+            if !(hz.is_finite() && hz > 0.0) {
+                return Err(format!("--hz must be positive, got {v}"));
+            }
+            Ok(Some(hz))
+        }
+    }
+}
+
+/// Runs one lockstep shard over per-slot bursts — the live replica of the
+/// offline engine's slot loop (empty slots included, so flush schedules and
+/// counters line up exactly).
+fn serve_trace<S: smbm_runtime::Service>(
+    slots: Vec<Vec<S::Packet>>,
+    hz: Option<f64>,
+    factory: impl FnOnce() -> S + Send + 'static,
+) -> smbm_runtime::RuntimeReport {
+    use smbm_runtime::{
+        AnyClock, RuntimeBuilder, RuntimeConfig, ShardConfig, VirtualClock, WallClock,
+    };
+    let mut builder = RuntimeBuilder::new(RuntimeConfig {
+        ring_capacity: 64,
+        shard: ShardConfig::lockstep(),
+        record_metrics: false,
+    });
+    let id = builder.add_shard(factory);
+    builder.add_producer(id, move |handle| {
+        for burst in slots {
+            if !handle.send(burst) {
+                break;
+            }
+        }
+    });
+    builder.run(move |_| match hz {
+        Some(hz) => AnyClock::Wall(WallClock::from_hz(hz)),
+        None => AnyClock::Virtual(VirtualClock::new()),
+    })
+}
+
+/// Formats a serve run: the shard's counters plus datapath throughput.
+fn render_serve(
+    header: String,
+    score_label: &str,
+    report: &smbm_runtime::RuntimeReport,
+) -> Result<String, String> {
+    let shard = report
+        .shards
+        .first()
+        .ok_or("the shard thread panicked without a report")?;
+    if let Some(e) = &shard.error {
+        return Err(format!("datapath rejected the trace: {e}"));
+    }
+    if shard.drain_stalled {
+        return Err("final drain stalled: packets left that never transmit".into());
+    }
+    let c = &shard.counters;
+    let mut out = header;
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "slots={} arrived={} admitted={} dropped={} pushed_out={} transmitted={}",
+        shard.slots,
+        c.arrived(),
+        c.admitted(),
+        c.dropped(),
+        c.pushed_out(),
+        c.transmitted()
+    );
+    let _ = writeln!(
+        out,
+        "score={} ({score_label}) mean_latency={:.2} occupancy mean={:.1} max={}",
+        shard.score,
+        c.mean_latency(),
+        shard.mean_occupancy,
+        shard.max_occupancy
+    );
+    let _ = writeln!(
+        out,
+        "throughput={:.0} packets/sec elapsed={:.3} ms",
+        report.processed_per_sec(),
+        report.elapsed.as_secs_f64() * 1e3
+    );
+    if report.lost_packets() > 0 {
+        let _ = writeln!(out, "# {} packets lost mid-send", report.lost_packets());
+    }
+    Ok(out)
+}
+
+fn serve(args: &Args, stdin: &str) -> Result<String, String> {
+    use smbm_runtime::{ValueService, WorkService};
+    args.expect_only(&[
+        "model", "file", "policy", "k", "ports", "buffer", "speedup", "hz",
+    ])
+    .map_err(err)?;
+    let text = match args.get("file") {
+        Some(path) => std::fs::read_to_string(path).map_err(err)?,
+        None => stdin.to_string(),
+    };
+    let buffer: usize = args.get_or("buffer", 64).map_err(err)?;
+    let speedup: u32 = args.get_or("speedup", 1).map_err(err)?;
+    if speedup == 0 {
+        return Err("--speedup must be at least 1".into());
+    }
+    let hz = pace_from(args)?;
+    let pacing = match hz {
+        Some(hz) => format!(" paced at {hz} Hz"),
+        None => String::new(),
+    };
+    match args.get("model").unwrap_or("work") {
+        "work" => {
+            let k: u32 = args.get_or("k", 8).map_err(err)?;
+            let trace: Trace<smbm_switch::WorkPacket> = Trace::from_text(&text).map_err(err)?;
+            let name = args.get("policy").unwrap_or("LWD");
+            let canonical = smbm_core::work_policy_by_name(name)
+                .ok_or_else(|| format!("unknown work policy {name:?}"))?
+                .name()
+                .to_owned();
+            let cfg = WorkSwitchConfig::contiguous(k, buffer).map_err(err)?;
+            let header = format!(
+                "# serve work model: policy {canonical} k={k} B={buffer} C={speedup}{pacing}"
+            );
+            let factory_name = canonical.clone();
+            let report = serve_trace(trace.as_slots().to_vec(), hz, move || {
+                let policy = smbm_core::work_policy_by_name(&factory_name).expect("validated");
+                WorkService::new(smbm_core::WorkRunner::new(cfg, policy, speedup))
+            });
+            render_serve(header, "packets", &report)
+        }
+        "value" => {
+            let ports: usize = args.get_or("ports", 8).map_err(err)?;
+            let trace: Trace<smbm_switch::ValuePacket> = Trace::from_text(&text).map_err(err)?;
+            let name = args.get("policy").unwrap_or("MRD");
+            let canonical = smbm_core::value_policy_by_name(name)
+                .ok_or_else(|| format!("unknown value policy {name:?}"))?
+                .name()
+                .to_owned();
+            let cfg = ValueSwitchConfig::new(buffer, ports).map_err(err)?;
+            let header = format!(
+                "# serve value model: policy {canonical} n={ports} B={buffer} C={speedup}{pacing}"
+            );
+            let factory_name = canonical.clone();
+            let report = serve_trace(trace.as_slots().to_vec(), hz, move || {
+                let policy = smbm_core::value_policy_by_name(&factory_name).expect("validated");
+                ValueService::new(smbm_core::ValueRunner::new(cfg, policy, speedup))
+            });
+            render_serve(header, "value", &report)
+        }
+        other => Err(format!("unknown --model {other:?}; use work|value")),
+    }
+}
+
+fn loadgen(args: &Args) -> Result<String, String> {
+    use smbm_runtime::{run_loadgen, LoadgenConfig, Model};
+    args.expect_only(&[
+        "model",
+        "policy",
+        "ports",
+        "buffer",
+        "speedup",
+        "shards",
+        "slots",
+        "sources",
+        "seed",
+        "batch",
+        "ring",
+        "hz",
+        "max-value",
+        "lossy",
+        "json",
+    ])
+    .map_err(err)?;
+    let model_name = args.get("model").unwrap_or("work");
+    let model = Model::parse(model_name)
+        .ok_or_else(|| format!("unknown --model {model_name:?}; use work|value|combined"))?;
+    let default_policy = match model {
+        Model::Work => "LWD",
+        Model::Value => "MRD",
+        Model::Combined => "WVD",
+    };
+    let defaults = LoadgenConfig::default();
+    let config = LoadgenConfig {
+        model,
+        policy: args.get("policy").unwrap_or(default_policy).to_owned(),
+        ports: args.get_or("ports", defaults.ports).map_err(err)?,
+        buffer: args.get_or("buffer", defaults.buffer).map_err(err)?,
+        speedup: args.get_or("speedup", defaults.speedup).map_err(err)?,
+        shards: args.get_or("shards", defaults.shards).map_err(err)?,
+        slots: args.get_or("slots", defaults.slots).map_err(err)?,
+        sources: args.get_or("sources", defaults.sources).map_err(err)?,
+        seed: args.get_or("seed", defaults.seed).map_err(err)?,
+        batch: args.get_or("batch", defaults.batch).map_err(err)?,
+        ring_capacity: args.get_or("ring", defaults.ring_capacity).map_err(err)?,
+        pace_hz: pace_from(args)?,
+        max_value: args.get_or("max-value", defaults.max_value).map_err(err)?,
+        flush: None,
+        lossy: args.has("lossy"),
+        record_metrics: false,
+    };
+    let report = run_loadgen(&config).map_err(err)?;
+    for shard in &report.runtime.shards {
+        if let Some(e) = &shard.error {
+            return Err(format!("shard {:?} failed: {e}", shard.label));
+        }
+    }
+    if args.has("json") {
+        Ok(report.to_json())
+    } else {
+        Ok(report.to_string())
+    }
+}
+
 fn trace_stats(args: &Args, stdin: &str) -> Result<String, String> {
     args.expect_only(&["file"]).map_err(err)?;
     let text = match args.get("file") {
@@ -688,5 +916,97 @@ mod tests {
     fn trace_stats_rejects_garbage() {
         let e = run_with_stdin(&["trace-stats"], "not a trace").unwrap_err();
         assert!(e.contains("line 1"));
+    }
+
+    #[test]
+    fn serve_replays_a_generated_trace() {
+        let text = run(&["trace-gen", "--slots", "200", "--seed", "7"]).unwrap();
+        let out = run_with_stdin(&["serve"], &text).unwrap();
+        assert!(
+            out.contains("# serve work model: policy LWD k=8 B=64 C=1"),
+            "{out}"
+        );
+        // The slot count includes the final drain, so it exceeds the trace.
+        assert!(out.contains("slots=2"), "{out}");
+        assert!(out.contains("score="), "{out}");
+        assert!(out.contains("packets/sec"), "{out}");
+    }
+
+    #[test]
+    fn serve_accepts_policy_and_rejects_unknowns() {
+        let text = run(&["trace-gen", "--slots", "50", "--seed", "3"]).unwrap();
+        let out = run_with_stdin(&["serve", "--policy", "lqd"], &text).unwrap();
+        assert!(out.contains("policy LQD"), "{out}");
+        let e = run_with_stdin(&["serve", "--policy", "zzz"], &text).unwrap_err();
+        assert!(e.contains("zzz"));
+        let e = run_with_stdin(&["serve", "--model", "sideways"], "").unwrap_err();
+        assert!(e.contains("sideways"));
+    }
+
+    #[test]
+    fn serve_value_model_round_trips() {
+        // One 2-slot value trace in the text format: one-based port:value.
+        let text = "1:5 2:9\n2:2\n";
+        let out = run_with_stdin(&["serve", "--model", "value", "--ports", "4"], text).unwrap();
+        assert!(out.contains("# serve value model: policy MRD n=4"), "{out}");
+        assert!(out.contains("arrived=3"), "{out}");
+        assert!(out.contains("score=16 (value)"), "{out}");
+    }
+
+    #[test]
+    fn loadgen_reports_throughput() {
+        let out = run(&[
+            "loadgen",
+            "--policy",
+            "lwd",
+            "--ports",
+            "4",
+            "--buffer",
+            "16",
+            "--slots",
+            "300",
+            "--sources",
+            "10",
+        ])
+        .unwrap();
+        assert!(out.contains("policy LWD"), "{out}");
+        assert!(out.contains("packets/sec"), "{out}");
+        assert!(out.contains("backpressure"), "{out}");
+    }
+
+    #[test]
+    fn loadgen_json_and_lossy_mode() {
+        let out = run(&[
+            "loadgen",
+            "--model",
+            "value",
+            "--ports",
+            "4",
+            "--buffer",
+            "16",
+            "--slots",
+            "200",
+            "--sources",
+            "8",
+            "--shards",
+            "2",
+            "--lossy",
+            "--json",
+        ])
+        .unwrap();
+        assert!(out.starts_with("{\"model\":\"value\""), "{out}");
+        assert!(out.contains("\"policy\":\"MRD\""), "{out}");
+        assert!(out.contains("\"shards\":2"), "{out}");
+        assert!(out.contains("\"packets_per_sec\""), "{out}");
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_arguments() {
+        let e = run(&["loadgen", "--policy", "zzz"]).unwrap_err();
+        assert!(e.contains("zzz"));
+        let e = run(&["loadgen", "--model", "bogus"]).unwrap_err();
+        assert!(e.contains("bogus"));
+        let e = run(&["loadgen", "--hz", "-3"]).unwrap_err();
+        assert!(e.contains("--hz"));
     }
 }

@@ -16,9 +16,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Only trace-stats without --file consumes stdin; read lazily.
-    let needs_stdin = args.positional().first().map(String::as_str) == Some("trace-stats")
-        && args.get("file").is_none();
+    // Only trace-stats and serve without --file consume stdin; read lazily.
+    let needs_stdin = matches!(
+        args.positional().first().map(String::as_str),
+        Some("trace-stats") | Some("serve")
+    ) && args.get("file").is_none();
     let stdin = if needs_stdin {
         let mut buf = String::new();
         if let Err(e) = std::io::stdin().read_to_string(&mut buf) {

@@ -120,6 +120,21 @@ impl LogHistogram {
         self.percentile(0.99)
     }
 
+    /// Adds every bucket and summary statistic of `other` into `self`, as if
+    /// both histograms had recorded into one. Used to aggregate per-shard
+    /// runtime histograms into a datapath-wide view.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Renders the summary statistics as one JSON object.
     pub fn to_json(&self) -> String {
         format!(
@@ -157,6 +172,7 @@ pub struct HistogramRecorder {
     admitted: u64,
     dropped_full: u64,
     dropped_policy: u64,
+    dropped_backpressure: u64,
     pushed_out: u64,
     transmitted: u64,
     transmitted_value: u64,
@@ -192,6 +208,7 @@ impl HistogramRecorder {
         match reason {
             DropReason::BufferFull => self.dropped_full,
             DropReason::Policy => self.dropped_policy,
+            DropReason::Backpressure => self.dropped_backpressure,
         }
     }
 
@@ -240,7 +257,7 @@ impl HistogramRecorder {
         format!(
             "{{\"arrived\":{},\"admitted\":{},\"pushed_out\":{},\"transmitted\":{},\
              \"transmitted_value\":{},\"flushed\":{},\
-             \"drops\":{{\"buffer_full\":{},\"policy\":{}}},\
+             \"drops\":{{\"buffer_full\":{},\"policy\":{},\"backpressure\":{}}},\
              \"latency\":{},\"occupancy\":{},\"queue_len\":{},\"burst\":{}}}",
             self.arrivals,
             self.admitted,
@@ -250,6 +267,7 @@ impl HistogramRecorder {
             self.flushed,
             self.dropped_full,
             self.dropped_policy,
+            self.dropped_backpressure,
             self.latency.to_json(),
             self.occupancy.to_json(),
             self.queue_len.to_json(),
@@ -279,7 +297,12 @@ impl Observer for HistogramRecorder {
         match reason {
             DropReason::BufferFull => self.dropped_full += 1,
             DropReason::Policy => self.dropped_policy += 1,
+            DropReason::Backpressure => self.dropped_backpressure += 1,
         }
+    }
+
+    fn backpressure(&mut self, _slot: u64, packets: u64) {
+        self.dropped_backpressure += packets;
     }
 
     fn pushed_out(&mut self, _slot: u64, victim: PortId) {
@@ -385,6 +408,25 @@ mod tests {
     }
 
     #[test]
+    fn merge_combines_histograms() {
+        let mut a = LogHistogram::new();
+        a.record(3);
+        a.record(9);
+        let mut b = LogHistogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 3);
+        assert_eq!(a.max(), 100);
+        assert!((a.mean() - (3.0 + 9.0 + 100.0) / 3.0).abs() < 1e-12);
+        // Merging an empty histogram changes nothing.
+        let before = a.clone();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.min(), before.min());
+    }
+
+    #[test]
     fn recorder_tracks_queue_lengths_and_bursts() {
         let p0 = PortId::new(0);
         let p1 = PortId::new(1);
@@ -403,6 +445,9 @@ mod tests {
         assert_eq!(r.burst().max(), 4);
         assert_eq!(r.drop_count(DropReason::Policy), 1);
         assert_eq!(r.drop_count(DropReason::BufferFull), 0);
+        r.backpressure(0, 5);
+        r.dropped(0, p1, DropReason::Backpressure);
+        assert_eq!(r.drop_count(DropReason::Backpressure), 6);
 
         // A drain slot (no arrivals) leaves the burst histogram untouched.
         r.slot_start(1);
@@ -433,6 +478,7 @@ mod tests {
             "\"drops\"",
             "\"buffer_full\":0",
             "\"policy\":0",
+            "\"backpressure\":0",
             "\"latency\"",
             "\"occupancy\"",
             "\"queue_len\"",

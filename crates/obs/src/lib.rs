@@ -54,6 +54,9 @@ pub use smbm_switch::{ArrivalOutcome, DropReason};
 /// four phase timings partition the profiled wall clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
+    /// Popping arrival batches from ingress rings (runtime datapath only;
+    /// the offline engine reads its trace for free).
+    Ingress,
     /// Offering the slot's burst to the admission policy.
     Arrival,
     /// The transmission phase of a regular (trace-driven) slot.
@@ -69,6 +72,7 @@ impl Phase {
     /// A stable lowercase label, used in profile reports.
     pub fn label(&self) -> &'static str {
         match self {
+            Phase::Ingress => "ingress",
             Phase::Arrival => "arrival",
             Phase::Transmission => "transmission",
             Phase::Flush => "flush",
@@ -76,19 +80,21 @@ impl Phase {
         }
     }
 
-    pub(crate) const COUNT: usize = 4;
+    pub(crate) const COUNT: usize = 5;
 
     pub(crate) fn index(self) -> usize {
         match self {
-            Phase::Arrival => 0,
-            Phase::Transmission => 1,
-            Phase::Flush => 2,
-            Phase::Drain => 3,
+            Phase::Ingress => 0,
+            Phase::Arrival => 1,
+            Phase::Transmission => 2,
+            Phase::Flush => 3,
+            Phase::Drain => 4,
         }
     }
 
     pub(crate) fn all() -> [Phase; Phase::COUNT] {
         [
+            Phase::Ingress,
             Phase::Arrival,
             Phase::Transmission,
             Phase::Flush,
@@ -121,6 +127,13 @@ pub trait Observer {
 
     /// The offered packet was rejected.
     fn dropped(&mut self, slot: u64, port: PortId, reason: DropReason) {}
+
+    /// A full ingress ring rejected `packets` packets destined into the
+    /// runtime before they reached admission control (runtime datapath
+    /// only). Distinct from [`Observer::dropped`] with
+    /// [`DropReason::Backpressure`], which reports per-packet attribution
+    /// when the caller has it.
+    fn backpressure(&mut self, slot: u64, packets: u64) {}
 
     /// A resident packet queued for `victim` was evicted to make room
     /// (always followed by [`Observer::admitted`] for the arrival).
@@ -166,6 +179,9 @@ impl<O: Observer> Observer for &mut O {
     }
     fn dropped(&mut self, slot: u64, port: PortId, reason: DropReason) {
         (**self).dropped(slot, port, reason);
+    }
+    fn backpressure(&mut self, slot: u64, packets: u64) {
+        (**self).backpressure(slot, packets);
     }
     fn pushed_out(&mut self, slot: u64, victim: PortId) {
         (**self).pushed_out(slot, victim);
@@ -214,6 +230,11 @@ impl<O: Observer> Observer for Option<O> {
     fn dropped(&mut self, slot: u64, port: PortId, reason: DropReason) {
         if let Some(o) = self {
             o.dropped(slot, port, reason);
+        }
+    }
+    fn backpressure(&mut self, slot: u64, packets: u64) {
+        if let Some(o) = self {
+            o.backpressure(slot, packets);
         }
     }
     fn pushed_out(&mut self, slot: u64, victim: PortId) {
@@ -275,6 +296,10 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn dropped(&mut self, slot: u64, port: PortId, reason: DropReason) {
         self.0.dropped(slot, port, reason);
         self.1.dropped(slot, port, reason);
+    }
+    fn backpressure(&mut self, slot: u64, packets: u64) {
+        self.0.backpressure(slot, packets);
+        self.1.backpressure(slot, packets);
     }
     fn pushed_out(&mut self, slot: u64, victim: PortId) {
         self.0.pushed_out(slot, victim);

@@ -25,6 +25,9 @@ pub struct PhaseProfiler {
 /// the live profiler so it can be rendered after the run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseReport {
+    /// Total time popping ingress rings (runtime datapath only; zero for
+    /// simulation runs).
+    pub ingress: Duration,
     /// Total time in the arrival phase.
     pub arrival: Duration,
     /// Total time in trace-slot transmission phases.
@@ -53,8 +56,9 @@ impl PhaseReport {
     /// Renders the report as one JSON object (times in nanoseconds).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"arrival_ns\":{},\"transmission_ns\":{},\"flush_ns\":{},\"drain_ns\":{},\
-             \"wall_ns\":{},\"slots\":{},\"slots_per_sec\":{:.1}}}",
+            "{{\"ingress_ns\":{},\"arrival_ns\":{},\"transmission_ns\":{},\"flush_ns\":{},\
+             \"drain_ns\":{},\"wall_ns\":{},\"slots\":{},\"slots_per_sec\":{:.1}}}",
+            self.ingress.as_nanos(),
             self.arrival.as_nanos(),
             self.transmission.as_nanos(),
             self.flush.as_nanos(),
@@ -70,7 +74,8 @@ impl std::fmt::Display for PhaseReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "arrival {:.3?}, transmission {:.3?}, flush {:.3?}, drain {:.3?} | {} slots in {:.3?} ({:.0} slots/s)",
+            "ingress {:.3?}, arrival {:.3?}, transmission {:.3?}, flush {:.3?}, drain {:.3?} | {} slots in {:.3?} ({:.0} slots/s)",
+            self.ingress,
             self.arrival,
             self.transmission,
             self.flush,
@@ -105,8 +110,10 @@ impl PhaseProfiler {
 
     /// Snapshots the profile.
     pub fn report(&self) -> PhaseReport {
-        let [arrival, transmission, flush, drain] = Phase::all().map(|p| self.totals[p.index()]);
+        let [ingress, arrival, transmission, flush, drain] =
+            Phase::all().map(|p| self.totals[p.index()]);
         PhaseReport {
+            ingress,
             arrival,
             transmission,
             flush,

@@ -1,0 +1,44 @@
+//! # smbm-runtime
+//!
+//! A live sharded datapath serving the buffer-management policies as a real
+//! packet service, instead of replaying traces offline.
+//!
+//! The moving parts, bottom to top:
+//!
+//! * [`ring`](fn@ring) — bounded SPSC ingress rings carrying packet batches
+//!   from producer threads into switch shards, with explicit backpressure
+//!   ([`PushError::Full`]) and drain-on-close shutdown;
+//! * [`Clock`] — pacing for the shard loop: [`VirtualClock`] runs cycles
+//!   back-to-back (deterministic tests, replay, throughput measurement),
+//!   [`WallClock`] paces at a fixed cycles-per-second;
+//! * [`Service`] — the model-erased bundle of switch operations a shard
+//!   drives, one implementation per packet model ([`WorkService`],
+//!   [`ValueService`], [`CombinedService`]);
+//! * [`run_shard`] — the slot loop itself: ingest, flush schedule, arrival
+//!   phase, transmission, drain — the same phase sequence as the offline
+//!   engine, which is what makes lockstep replay counter-exact;
+//! * [`RuntimeBuilder`] — spawns shard and producer threads, wires the
+//!   rings, joins everything (panic-tolerant), and merges the reports;
+//! * [`run_loadgen`] — feeds the datapath from pregenerated MMPP scenario
+//!   traffic and reports throughput, the drop breakdown, and ingress
+//!   latency percentiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod loadgen;
+mod ring;
+mod runtime;
+mod service;
+mod shard;
+
+pub use clock::{AnyClock, Clock, VirtualClock, WallClock};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenError, LoadgenReport, Model};
+pub use ring::{ring, Consumer, Producer, PushError, TryPop};
+pub use runtime::{
+    IngressHandle, ProducerReport, RuntimeBuilder, RuntimeConfig, RuntimeReport, SendOutcome,
+    ShardId,
+};
+pub use service::{CombinedService, Service, ValueService, WorkService};
+pub use shard::{run_shard, Batch, IngestMode, ShardConfig, ShardReport};

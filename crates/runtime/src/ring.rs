@@ -1,0 +1,287 @@
+//! Bounded SPSC ingress rings.
+//!
+//! One producer thread feeds one shard through each ring; items move at
+//! *batch* granularity, so the `Mutex`-and-`Condvar` implementation (kept
+//! safe — the workspace forbids `unsafe`) costs one lock round-trip per
+//! batch of packets, not per packet.
+//!
+//! Either endpoint closes the ring when dropped. A closed producer lets the
+//! consumer drain everything already queued before seeing end-of-stream —
+//! this is the shutdown path, and it also makes producer *panics* safe: the
+//! unwinding thread drops its [`Producer`], the shard drains the remaining
+//! batches, and joins normally.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    producer_closed: bool,
+    consumer_closed: bool,
+}
+
+struct Shared<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, tolerating poison: a panic elsewhere must not wedge
+    /// the shutdown path (counter state is plain data, always consistent).
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The sending half of a ring, held by exactly one producer thread.
+pub struct Producer<T>(Arc<Shared<T>>);
+
+/// The receiving half of a ring, held by exactly one shard thread.
+pub struct Consumer<T>(Arc<Shared<T>>);
+
+/// A push that did not enqueue, returning the item to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The ring is at capacity ([`Producer::try_push`] only).
+    Full(T),
+    /// The consumer is gone; the item can never be delivered.
+    Closed(T),
+}
+
+/// Outcome of a non-blocking pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPop<T> {
+    /// The oldest queued item.
+    Item(T),
+    /// Nothing queued right now, but the producer is still alive.
+    Empty,
+    /// Nothing queued and the producer is gone: end of stream.
+    Closed,
+}
+
+/// Creates a bounded ring holding at most `capacity` items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    let shared = Arc::new(Shared {
+        capacity,
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            producer_closed: false,
+            consumer_closed: false,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Producer(shared.clone()), Consumer(shared))
+}
+
+impl<T> Producer<T> {
+    /// Enqueues `item`, blocking while the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] (with the item) once the consumer is
+    /// gone; never returns [`PushError::Full`].
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.0.lock();
+        loop {
+            if st.consumer_closed {
+                return Err(PushError::Closed(item));
+            }
+            if st.queue.len() < self.0.capacity {
+                st.queue.push_back(item);
+                drop(st);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] when the ring is at capacity (this is the
+    /// backpressure signal) or [`PushError::Closed`] once the consumer is
+    /// gone, handing the item back either way.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.0.lock();
+        if st.consumer_closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.queue.len() >= self.0.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.queue.push_back(item);
+        drop(st);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Marks the stream finished. Queued items stay poppable; afterwards the
+    /// consumer sees end-of-stream. Also performed on drop.
+    pub fn close(&self) {
+        let mut st = self.0.lock();
+        st.producer_closed = true;
+        drop(st);
+        self.0.not_empty.notify_all();
+        self.0.not_full.notify_all();
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the oldest item, blocking while the ring is empty. Returns
+    /// `None` only when the ring is empty *and* the producer is gone.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.0.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Some(item);
+            }
+            if st.producer_closed {
+                return None;
+            }
+            st = self.0.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues the oldest item without blocking.
+    pub fn try_pop(&self) -> TryPop<T> {
+        let mut st = self.0.lock();
+        if let Some(item) = st.queue.pop_front() {
+            drop(st);
+            self.0.not_full.notify_one();
+            return TryPop::Item(item);
+        }
+        if st.producer_closed {
+            TryPop::Closed
+        } else {
+            TryPop::Empty
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.0.lock().queue.len()
+    }
+
+    /// True when nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Abandons the stream: subsequent pushes fail with
+    /// [`PushError::Closed`]. Also performed on drop.
+    pub fn close(&self) {
+        let mut st = self.0.lock();
+        st.consumer_closed = true;
+        drop(st);
+        self.0.not_empty.notify_all();
+        self.0.not_full.notify_all();
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = ring(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.try_pop(), TryPop::Item(2));
+        assert_eq!(rx.try_pop(), TryPop::Empty);
+    }
+
+    #[test]
+    fn try_push_reports_full() {
+        let (tx, rx) = ring(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(rx.pop(), Some(1));
+        tx.try_push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+    }
+
+    #[test]
+    fn closed_producer_drains_then_ends() {
+        let (tx, rx) = ring(4);
+        tx.push(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.try_pop(), TryPop::Closed);
+    }
+
+    #[test]
+    fn closed_consumer_rejects_pushes() {
+        let (tx, rx) = ring(4);
+        drop(rx);
+        assert_eq!(tx.push(1), Err(PushError::Closed(1)));
+        assert_eq!(tx.try_push(2), Err(PushError::Closed(2)));
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_pop() {
+        let (tx, rx) = ring(1);
+        tx.push(1).unwrap();
+        let h = thread::spawn(move || tx.push(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.pop(), Some(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_close() {
+        let (tx, rx) = ring::<u32>(1);
+        let h = thread::spawn(move || rx.pop());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn blocked_full_push_fails_when_consumer_drops() {
+        let (tx, rx) = ring(1);
+        tx.push(1).unwrap();
+        let h = thread::spawn(move || tx.push(2));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(h.join().unwrap(), Err(PushError::Closed(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ring::<u32>(0);
+    }
+}

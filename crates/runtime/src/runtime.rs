@@ -1,0 +1,491 @@
+//! Thread orchestration: builds shards and producers, wires them with
+//! ingress rings, runs them to completion, and folds everything into one
+//! [`RuntimeReport`].
+//!
+//! Services are constructed *inside* their shard thread from a `Send`
+//! factory, so nothing policy-shaped (trait objects holding interior state)
+//! ever crosses a thread boundary — only plain-data reports come back.
+//! Producer panics are contained by construction: an unwinding producer
+//! drops its ring handle, the shard drains what was already queued, and
+//! every thread still joins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use smbm_obs::{HistogramRecorder, NullObserver};
+use smbm_switch::{Counters, DropReason, PortId};
+
+use crate::clock::Clock;
+use crate::ring::{ring, Producer, PushError};
+use crate::service::Service;
+use crate::shard::{run_shard, Batch, ShardConfig, ShardReport};
+
+/// Datapath-wide knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Ingress ring depth, in batches, per producer.
+    pub ring_capacity: usize,
+    /// Per-shard datapath configuration.
+    pub shard: ShardConfig,
+    /// Attach a [`HistogramRecorder`] to every shard and return it in the
+    /// report.
+    pub record_metrics: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            ring_capacity: 64,
+            shard: ShardConfig::default(),
+            record_metrics: false,
+        }
+    }
+}
+
+/// Identifies a shard added to a [`RuntimeBuilder`], for attaching
+/// producers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardId(usize);
+
+/// Atomic tallies a producer updates as it feeds its ring; read after join
+/// even if the producer panicked mid-run, so partial counts survive.
+#[derive(Debug, Default)]
+struct ProducerStats {
+    offered_packets: AtomicU64,
+    sent_packets: AtomicU64,
+    backpressure_packets: AtomicU64,
+    backpressure_value: AtomicU64,
+    lost_packets: AtomicU64,
+}
+
+/// What one producer did, reported after the runtime joins it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerReport {
+    /// Shard this producer fed.
+    pub shard: usize,
+    /// Packets the producer attempted to send.
+    pub offered_packets: u64,
+    /// Packets that entered the ring.
+    pub sent_packets: u64,
+    /// Packets rejected because the ring was full ([`SendOutcome::Rejected`]
+    /// with [`DropReason::Backpressure`]) — counted separately from policy
+    /// drops at the switch.
+    pub backpressure_packets: u64,
+    /// Total value of backpressure-rejected packets.
+    pub backpressure_value: u64,
+    /// Packets lost because the shard disappeared mid-send.
+    pub lost_packets: u64,
+    /// The producer job panicked. Tallies reflect everything up to the
+    /// panic; the shard drained whatever was already queued.
+    pub panicked: bool,
+}
+
+/// Outcome of a non-blocking [`IngressHandle::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The batch entered the ring.
+    Sent,
+    /// The batch was rejected and discarded; the reason is always
+    /// [`DropReason::Backpressure`] today.
+    Rejected(DropReason),
+    /// The shard is gone; the batch was discarded and no further sends can
+    /// succeed.
+    Disconnected,
+}
+
+/// A producer job's handle to its ingress ring: lossless blocking sends for
+/// replay, lossy non-blocking sends (with explicit backpressure accounting)
+/// for load generation.
+pub struct IngressHandle<P: Copy> {
+    producer: Producer<Batch<P>>,
+    stats: Arc<ProducerStats>,
+    meta: fn(P) -> (PortId, u32, u64),
+}
+
+impl<P: Copy> IngressHandle<P> {
+    /// Sends a batch, blocking while the ring is full. Returns `false` when
+    /// the shard is gone (the batch is counted lost and the job should
+    /// stop).
+    pub fn send(&mut self, packets: Vec<P>) -> bool {
+        let n = packets.len() as u64;
+        self.stats.offered_packets.fetch_add(n, Ordering::Relaxed);
+        match self.producer.push(Batch::new(packets)) {
+            Ok(()) => {
+                self.stats.sent_packets.fetch_add(n, Ordering::Relaxed);
+                true
+            }
+            Err(PushError::Full(_)) => unreachable!("blocking push never reports full"),
+            Err(PushError::Closed(_)) => {
+                self.stats.lost_packets.fetch_add(n, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Sends a batch without blocking. A full ring rejects the whole batch:
+    /// its packets are discarded and tallied as backpressure (with their
+    /// value), which [`RuntimeReport::counters`] folds into the datapath
+    /// totals as [`DropReason::Backpressure`] drops.
+    pub fn try_send(&mut self, packets: Vec<P>) -> SendOutcome {
+        let n = packets.len() as u64;
+        self.stats.offered_packets.fetch_add(n, Ordering::Relaxed);
+        match self.producer.try_push(Batch::new(packets)) {
+            Ok(()) => {
+                self.stats.sent_packets.fetch_add(n, Ordering::Relaxed);
+                SendOutcome::Sent
+            }
+            Err(PushError::Full(batch)) => {
+                let value: u64 = batch.packets.iter().map(|&p| (self.meta)(p).2).sum();
+                self.stats
+                    .backpressure_packets
+                    .fetch_add(n, Ordering::Relaxed);
+                self.stats
+                    .backpressure_value
+                    .fetch_add(value, Ordering::Relaxed);
+                SendOutcome::Rejected(DropReason::Backpressure)
+            }
+            Err(PushError::Closed(_)) => {
+                self.stats.lost_packets.fetch_add(n, Ordering::Relaxed);
+                SendOutcome::Disconnected
+            }
+        }
+    }
+}
+
+type ServiceFactory<S> = Box<dyn FnOnce() -> S + Send>;
+type ProducerJob<P> = Box<dyn FnOnce(&mut IngressHandle<P>) + Send>;
+
+struct ShardSlot<S: Service> {
+    factory: ServiceFactory<S>,
+    producers: Vec<ProducerJob<S::Packet>>,
+}
+
+/// Assembles a datapath: shards (each owning one buffer core) and the
+/// producer jobs that feed them, then runs everything to completion.
+pub struct RuntimeBuilder<S: Service> {
+    config: RuntimeConfig,
+    shards: Vec<ShardSlot<S>>,
+}
+
+impl<S: Service> RuntimeBuilder<S> {
+    /// Starts an empty datapath with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        RuntimeBuilder {
+            config,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Adds a shard whose service is built by `factory` *inside* the shard
+    /// thread. Returns the id to attach producers to.
+    pub fn add_shard(&mut self, factory: impl FnOnce() -> S + Send + 'static) -> ShardId {
+        self.shards.push(ShardSlot {
+            factory: Box::new(factory),
+            producers: Vec::new(),
+        });
+        ShardId(self.shards.len() - 1)
+    }
+
+    /// Adds a producer job feeding `shard` through its own SPSC ring. The
+    /// job runs on a dedicated thread and owns its [`IngressHandle`]; when
+    /// it returns (or panics) the ring closes and the shard sees
+    /// end-of-stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` was not returned by this builder's
+    /// [`RuntimeBuilder::add_shard`].
+    pub fn add_producer(
+        &mut self,
+        shard: ShardId,
+        job: impl FnOnce(&mut IngressHandle<S::Packet>) + Send + 'static,
+    ) {
+        self.shards[shard.0].producers.push(Box::new(job));
+    }
+
+    /// Spawns every shard and producer thread, waits for the datapath to
+    /// finish (all producers done, all rings drained, buffers emptied when
+    /// configured), and collects the reports. `clock_factory` builds each
+    /// shard's pacing clock from its index.
+    pub fn run<C: Clock + Send + 'static>(
+        self,
+        mut clock_factory: impl FnMut(usize) -> C,
+    ) -> RuntimeReport {
+        let started = Instant::now();
+        let record_metrics = self.config.record_metrics;
+        let shard_config = self.config.shard.clone();
+        let mut shard_handles = Vec::new();
+        let mut producer_handles = Vec::new();
+
+        for (i, slot) in self.shards.into_iter().enumerate() {
+            let mut consumers = Vec::with_capacity(slot.producers.len());
+            for (j, job) in slot.producers.into_iter().enumerate() {
+                let (tx, rx) = ring(self.config.ring_capacity);
+                consumers.push(rx);
+                let stats = Arc::new(ProducerStats::default());
+                let mut handle = IngressHandle {
+                    producer: tx,
+                    stats: Arc::clone(&stats),
+                    meta: S::meta,
+                };
+                let join = thread::Builder::new()
+                    .name(format!("smbm-prod-{i}-{j}"))
+                    .spawn(move || job(&mut handle))
+                    .expect("spawn producer thread");
+                producer_handles.push((i, stats, join));
+            }
+
+            let factory = slot.factory;
+            let clock = clock_factory(i);
+            let config = shard_config.clone();
+            let join = thread::Builder::new()
+                .name(format!("smbm-shard-{i}"))
+                .spawn(move || {
+                    let service = factory();
+                    if record_metrics {
+                        let mut metrics = HistogramRecorder::new();
+                        let mut report =
+                            run_shard(service, consumers, clock, &config, &mut metrics);
+                        report.metrics = Some(metrics);
+                        report
+                    } else {
+                        run_shard(service, consumers, clock, &config, &mut NullObserver)
+                    }
+                })
+                .expect("spawn shard thread");
+            shard_handles.push(join);
+        }
+
+        // Producers finish first in the happy path; join them before the
+        // shards so a blocked producer (shard died) unblocks via its closed
+        // ring rather than deadlocking the join order.
+        let mut producers = Vec::with_capacity(producer_handles.len());
+        for (shard, stats, join) in producer_handles {
+            let panicked = join.join().is_err();
+            producers.push(ProducerReport {
+                shard,
+                offered_packets: stats.offered_packets.load(Ordering::Relaxed),
+                sent_packets: stats.sent_packets.load(Ordering::Relaxed),
+                backpressure_packets: stats.backpressure_packets.load(Ordering::Relaxed),
+                backpressure_value: stats.backpressure_value.load(Ordering::Relaxed),
+                lost_packets: stats.lost_packets.load(Ordering::Relaxed),
+                panicked,
+            });
+        }
+
+        let mut shards = Vec::with_capacity(shard_handles.len());
+        let mut shard_panics = 0;
+        for join in shard_handles {
+            match join.join() {
+                Ok(report) => shards.push(report),
+                Err(_) => shard_panics += 1,
+            }
+        }
+
+        RuntimeReport {
+            shards,
+            producers,
+            shard_panics,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// Everything the datapath did, shard by shard and producer by producer.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Per-shard reports, in shard order (panicked shards are absent).
+    pub shards: Vec<ShardReport>,
+    /// Per-producer reports, grouped by shard in spawn order.
+    pub producers: Vec<ProducerReport>,
+    /// Shard threads that panicked instead of reporting.
+    pub shard_panics: usize,
+    /// Wall-clock time from first spawn to last join.
+    pub elapsed: Duration,
+}
+
+impl RuntimeReport {
+    /// Datapath-wide counters: every shard's switch counters merged, plus
+    /// producer-side backpressure rejections folded in as arrivals dropped
+    /// with [`DropReason::Backpressure`] — so the conservation laws hold
+    /// over the whole datapath, not just inside each switch.
+    pub fn counters(&self) -> Counters {
+        let mut total = Counters::new();
+        for shard in &self.shards {
+            total.merge(&shard.counters);
+        }
+        let bp_packets: u64 = self.producers.iter().map(|p| p.backpressure_packets).sum();
+        let bp_value: u64 = self.producers.iter().map(|p| p.backpressure_value).sum();
+        total.record_backpressure_bulk(bp_packets, bp_value);
+        total
+    }
+
+    /// Sum of every shard's objective.
+    pub fn score(&self) -> u64 {
+        self.shards.iter().map(|s| s.score).sum()
+    }
+
+    /// Producer jobs that panicked.
+    pub fn producer_panics(&self) -> usize {
+        self.producers.iter().filter(|p| p.panicked).count()
+    }
+
+    /// Packets lost to mid-send shard disappearance, across all producers.
+    pub fn lost_packets(&self) -> u64 {
+        self.producers.iter().map(|p| p.lost_packets).sum()
+    }
+
+    /// Packets through admission control per second of datapath wall time.
+    pub fn processed_per_sec(&self) -> f64 {
+        let arrived: u64 = self.shards.iter().map(|s| s.counters.arrived()).sum();
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            arrived as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::service::WorkService;
+    use smbm_core::{Lwd, WorkRunner};
+    use smbm_switch::{PortId, Work, WorkPacket, WorkSwitchConfig};
+
+    fn builder(shards: usize) -> (RuntimeBuilder<WorkService<Lwd>>, Vec<ShardId>) {
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 4,
+            shard: ShardConfig::lockstep(),
+            record_metrics: false,
+        });
+        let ids = (0..shards)
+            .map(|_| {
+                b.add_shard(|| {
+                    let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
+                    WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+                })
+            })
+            .collect();
+        (b, ids)
+    }
+
+    fn wp(port: usize, w: u32) -> WorkPacket {
+        WorkPacket::new(PortId::new(port), Work::new(w))
+    }
+
+    #[test]
+    fn single_shard_single_producer_round_trip() {
+        let (mut b, ids) = builder(1);
+        b.add_producer(ids[0], |h| {
+            for _ in 0..10 {
+                assert!(h.send(vec![wp(0, 1), wp(1, 2)]));
+            }
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.shard_panics, 0);
+        assert_eq!(report.producer_panics(), 0);
+        assert_eq!(report.counters().arrived(), 20);
+        assert_eq!(report.counters().transmitted(), 20, "drain flushes all");
+        assert_eq!(report.producers[0].sent_packets, 20);
+        assert!(report.counters().check_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn two_shards_partition_the_load() {
+        let (mut b, ids) = builder(2);
+        for &id in &ids {
+            b.add_producer(id, |h| {
+                for _ in 0..5 {
+                    h.send(vec![wp(0, 1)]);
+                }
+            });
+        }
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.score(), 10);
+        for shard in &report.shards {
+            assert_eq!(shard.counters.transmitted(), 5);
+        }
+    }
+
+    #[test]
+    fn producer_panic_drains_and_joins() {
+        let (mut b, ids) = builder(1);
+        b.add_producer(ids[0], |h| {
+            h.send(vec![wp(0, 1), wp(0, 1)]);
+            panic!("producer died mid-run");
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.producer_panics(), 1);
+        assert!(report.producers[0].panicked);
+        assert_eq!(report.producers[0].sent_packets, 2);
+        assert_eq!(report.shard_panics, 0);
+        // The shard drained the in-flight batch before joining.
+        assert_eq!(report.counters().transmitted(), 2);
+        assert!(report.counters().check_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn metrics_recording_attaches_histograms() {
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 4,
+            shard: ShardConfig::lockstep(),
+            record_metrics: true,
+        });
+        let id = b.add_shard(|| {
+            let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
+            WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+        });
+        b.add_producer(id, |h| {
+            h.send(vec![wp(0, 1)]);
+        });
+        let report = b.run(|_| VirtualClock::new());
+        let metrics = report.shards[0].metrics.as_ref().expect("metrics recorded");
+        assert_eq!(metrics.arrivals(), 1);
+        assert_eq!(metrics.transmitted_packets(), 1);
+    }
+
+    #[test]
+    fn try_send_backpressure_is_counted_not_lost() {
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 1,
+            shard: ShardConfig::freerun(),
+            record_metrics: false,
+        });
+        let id = b.add_shard(|| {
+            let cfg = WorkSwitchConfig::contiguous(1, 2).unwrap();
+            WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+        });
+        // Stuff the ring faster than a 1-deep ring can possibly accept:
+        // with only one slot, at least one try_send must bounce.
+        b.add_producer(id, |h| {
+            let mut rejected = 0;
+            for _ in 0..5_000 {
+                match h.try_send(vec![wp(0, 1)]) {
+                    SendOutcome::Rejected(reason) => {
+                        assert_eq!(reason, DropReason::Backpressure);
+                        rejected += 1;
+                    }
+                    SendOutcome::Sent => {}
+                    SendOutcome::Disconnected => panic!("shard vanished"),
+                }
+            }
+            assert!(rejected > 0, "a 1-deep ring must bounce at least once");
+        });
+        let report = b.run(|_| VirtualClock::new());
+        let c = report.counters();
+        assert_eq!(c.arrived(), 5_000, "offered = through + backpressure");
+        assert!(c.dropped_backpressure() > 0);
+        assert_eq!(
+            c.dropped_backpressure(),
+            report.producers[0].backpressure_packets
+        );
+        assert!(c.check_conservation(0).is_ok());
+    }
+}

@@ -1,0 +1,489 @@
+//! The switch shard: one thread owning one buffer core, consuming arrival
+//! batches from its ingress rings and running the paper's two-phase slot
+//! loop live.
+//!
+//! In [`IngestMode::Lockstep`] the shard blocks for exactly one batch per
+//! open ring per cycle, so with a single producer sending one batch per
+//! trace slot the shard executes the *exact* admission/transmission/flush
+//! sequence of the offline simulation engine — the differential test pins
+//! counter-for-counter equality. In [`IngestMode::Freerun`] the shard never
+//! waits: it grabs whatever is queued and keeps transmitting, which is the
+//! high-throughput loadgen configuration where full rings push back on
+//! producers.
+
+use std::time::{Duration, Instant};
+
+use smbm_obs::{LogHistogram, Observer, Phase};
+use smbm_switch::{ArrivalOutcome, Counters, FlushMode, FlushPolicy, Transmitted};
+
+use crate::clock::Clock;
+use crate::ring::{Consumer, TryPop};
+use crate::service::Service;
+
+/// Hard cap on drain cycles. The offline engine panics here; a live shard
+/// must join, so it sets [`ShardReport::drain_stalled`] and exits instead.
+const MAX_DRAIN_CYCLES: u64 = 100_000_000;
+
+/// One unit of ingress: a burst of packets plus the instant it entered the
+/// ring, so the shard can histogram queueing delay.
+#[derive(Debug)]
+pub struct Batch<P> {
+    /// The packets, in arrival order.
+    pub packets: Vec<P>,
+    /// When the producer enqueued the batch.
+    pub enqueued: Instant,
+}
+
+impl<P> Batch<P> {
+    /// Creates a batch stamped with the current instant.
+    pub fn new(packets: Vec<P>) -> Self {
+        Batch {
+            packets,
+            enqueued: Instant::now(),
+        }
+    }
+}
+
+/// How the shard pulls from its ingress rings each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Block for one batch per open ring per cycle. Deterministic: the cycle
+    /// sequence is a function of what producers send, independent of thread
+    /// scheduling — this is the replay/differential configuration.
+    Lockstep,
+    /// Take whatever is queued without waiting. Throughput configuration:
+    /// ring-full producers see explicit backpressure, and the shard keeps
+    /// transmitting even through arrival gaps.
+    Freerun,
+}
+
+/// Per-shard datapath knobs.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Ingest discipline per cycle.
+    pub mode: IngestMode,
+    /// Periodic flushouts, keyed on the number of ingested bursts (the live
+    /// analogue of the engine's trace-slot index). `None` disables.
+    pub flush: Option<FlushPolicy>,
+    /// Whether to keep running arrival-free cycles after every ring closes
+    /// until the buffer empties, so every admitted packet is counted.
+    pub drain_at_end: bool,
+}
+
+impl ShardConfig {
+    /// Lockstep ingest, no flushouts, final drain: the replica of the
+    /// engine's `EngineConfig::draining()`.
+    pub fn lockstep() -> Self {
+        ShardConfig {
+            mode: IngestMode::Lockstep,
+            flush: None,
+            drain_at_end: true,
+        }
+    }
+
+    /// Freerun ingest, no flushouts, final drain: the loadgen default.
+    pub fn freerun() -> Self {
+        ShardConfig {
+            mode: IngestMode::Freerun,
+            flush: None,
+            drain_at_end: true,
+        }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self::freerun()
+    }
+}
+
+/// Everything a shard thread reports back when it joins: plain data only,
+/// so nothing policy-shaped ever crosses threads.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The service's label (policy name).
+    pub label: String,
+    /// Lifetime switch counters (admissions, drops by class, push-outs,
+    /// transmissions, latency). Backpressure rejections happen upstream in
+    /// producers and are *not* included here; [`crate::RuntimeReport`]
+    /// folds them in.
+    pub counters: Counters,
+    /// Final objective value (packets or value transmitted).
+    pub score: u64,
+    /// Slots executed, including drain slots (matches the engine's
+    /// `RunSummary::slots` semantics under lockstep replay).
+    pub slots: u64,
+    /// Clock cycles consumed, including idle freerun cycles that ran no
+    /// slot.
+    pub cycles: u64,
+    /// Arrival bursts ingested from the rings.
+    pub bursts: u64,
+    /// Mean buffer occupancy sampled at the end of every slot.
+    pub mean_occupancy: f64,
+    /// Peak buffer occupancy sampled at the end of any slot.
+    pub max_occupancy: usize,
+    /// Ring queueing delay of every ingested batch, in nanoseconds.
+    pub ingress_latency_ns: LogHistogram,
+    /// Wall-clock time from shard start to join.
+    pub elapsed: Duration,
+    /// The final drain hit [`MAX_DRAIN_CYCLES`] without emptying the buffer
+    /// (a non-work-conserving service); the shard gave up so it could join.
+    pub drain_stalled: bool,
+    /// An admission error that aborted the loop (an inconsistent policy
+    /// decision). Counters reflect everything up to the failure.
+    pub error: Option<String>,
+    /// Per-shard histogram metrics, when the runtime was asked to record
+    /// them.
+    pub metrics: Option<smbm_obs::HistogramRecorder>,
+}
+
+/// Runs one transmission phase, forwarding completions to the observer —
+/// the exact analogue of the engine's `transmission` helper.
+fn transmission<S: Service, O: Observer>(
+    service: &mut S,
+    slot: u64,
+    scratch: &mut Vec<Transmitted>,
+    obs: &mut O,
+) {
+    scratch.clear();
+    service.transmission_into(scratch);
+    for t in scratch.iter() {
+        obs.transmitted(slot, t.port, t.latency(), t.value.get());
+    }
+}
+
+/// Runs arrival-free slots until the buffer empties, mirroring the engine's
+/// drain loop. Returns `false` if the guard tripped.
+fn drain<S: Service, O: Observer>(
+    service: &mut S,
+    slots: &mut u64,
+    scratch: &mut Vec<Transmitted>,
+    obs: &mut O,
+    occ_sum: Option<&mut u64>,
+) -> bool {
+    if service.occupancy() == 0 {
+        return true;
+    }
+    obs.drain_start(*slots);
+    let mut sum_acc = 0u64;
+    let mut guard = 0u64;
+    while service.occupancy() > 0 {
+        let slot = *slots;
+        obs.slot_start(slot);
+        obs.phase_start(Phase::Drain);
+        transmission(service, slot, scratch, obs);
+        service.end_slot();
+        obs.phase_end(Phase::Drain);
+        *slots += 1;
+        sum_acc += service.occupancy() as u64;
+        obs.slot_end(slot, service.occupancy());
+        guard += 1;
+        if guard >= MAX_DRAIN_CYCLES {
+            obs.drain_end(*slots);
+            return false;
+        }
+    }
+    if let Some(occ_sum) = occ_sum {
+        *occ_sum += sum_acc;
+    }
+    obs.drain_end(*slots);
+    true
+}
+
+/// Drives `service` from `rings` until every ring closes (and, when
+/// configured, the buffer drains), reporting progress to `obs`.
+///
+/// The loop per cycle: tick the clock, ingest (per [`IngestMode`]), check
+/// the flush schedule against the burst counter, then run the engine's slot
+/// phases — arrival (when a burst was ingested), transmission, end-of-slot.
+/// Closed rings are pruned; the loop exits when none remain.
+pub fn run_shard<S: Service, C: Clock, O: Observer>(
+    mut service: S,
+    mut rings: Vec<Consumer<Batch<S::Packet>>>,
+    mut clock: C,
+    config: &ShardConfig,
+    obs: &mut O,
+) -> ShardReport {
+    let started = Instant::now();
+    let label = service.label();
+    let mut slots = 0u64;
+    let mut cycles = 0u64;
+    let mut bursts = 0u64;
+    let mut occ_sum = 0u64;
+    let mut occ_max = 0usize;
+    let mut ingress_latency_ns = LogHistogram::new();
+    let mut scratch: Vec<Transmitted> = Vec::new();
+    let mut burst: Vec<S::Packet> = Vec::new();
+    let mut outcomes: Vec<ArrivalOutcome> = Vec::new();
+    let mut drain_stalled = false;
+    let mut error: Option<String> = None;
+
+    'datapath: while !rings.is_empty() {
+        clock.tick();
+        cycles += 1;
+
+        // Ingress phase: pull batches. Iterate by index so closed rings can
+        // be pruned in place (order among survivors is preserved, keeping
+        // lockstep replay deterministic).
+        obs.phase_start(Phase::Ingress);
+        burst.clear();
+        let mut popped = false;
+        let mut i = 0;
+        while i < rings.len() {
+            let item = match config.mode {
+                IngestMode::Lockstep => match rings[i].pop() {
+                    Some(b) => Some(b),
+                    None => {
+                        rings.remove(i);
+                        continue;
+                    }
+                },
+                IngestMode::Freerun => match rings[i].try_pop() {
+                    TryPop::Item(b) => Some(b),
+                    TryPop::Empty => None,
+                    TryPop::Closed => {
+                        rings.remove(i);
+                        continue;
+                    }
+                },
+            };
+            if let Some(b) = item {
+                let waited = b.enqueued.elapsed();
+                ingress_latency_ns.record(waited.as_nanos().min(u64::MAX as u128) as u64);
+                burst.extend_from_slice(&b.packets);
+                popped = true;
+            }
+            i += 1;
+        }
+        obs.phase_end(Phase::Ingress);
+
+        if !popped {
+            if rings.is_empty() {
+                break;
+            }
+            // Freerun idle cycle: nothing arrived and nothing is buffered —
+            // yield so producers get the core (this box may have one).
+            if service.occupancy() == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+        }
+
+        // Flush schedule, checked before this burst's arrivals — exactly
+        // where the engine checks it, with the burst counter standing in
+        // for the trace-slot index.
+        if popped {
+            if let Some(flush) = &config.flush {
+                if flush.due(bursts) {
+                    match flush.mode {
+                        FlushMode::Drop => {
+                            obs.phase_start(Phase::Flush);
+                            let discarded = service.flush();
+                            obs.flush(slots, discarded);
+                            obs.phase_end(Phase::Flush);
+                        }
+                        FlushMode::Drain => {
+                            // Mid-stream drain slots are excluded from the
+                            // occupancy statistics, as in the engine.
+                            if !drain(&mut service, &mut slots, &mut scratch, obs, None) {
+                                drain_stalled = true;
+                                break 'datapath;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let slot = slots;
+        obs.slot_start(slot);
+        if popped {
+            obs.phase_start(Phase::Arrival);
+            outcomes.clear();
+            let result = service.offer_burst(&burst, &mut outcomes);
+            // Emit arrival events for every packet that got an outcome, in
+            // the engine's order: arrival, then its outcome.
+            for (&pkt, outcome) in burst.iter().zip(outcomes.iter()) {
+                let (port, work, value) = S::meta(pkt);
+                obs.arrival(slot, port, work, value);
+                match outcome {
+                    ArrivalOutcome::Admitted => obs.admitted(slot, port),
+                    ArrivalOutcome::PushedOut(victim) => {
+                        obs.pushed_out(slot, *victim);
+                        obs.admitted(slot, port);
+                    }
+                    ArrivalOutcome::Dropped(reason) => obs.dropped(slot, port, *reason),
+                }
+            }
+            obs.phase_end(Phase::Arrival);
+            bursts += 1;
+            if let Err(e) = result {
+                error = Some(e.to_string());
+                obs.slot_end(slot, service.occupancy());
+                break;
+            }
+        }
+        obs.phase_start(Phase::Transmission);
+        transmission(&mut service, slot, &mut scratch, obs);
+        obs.phase_end(Phase::Transmission);
+        service.end_slot();
+        slots += 1;
+        occ_sum += service.occupancy() as u64;
+        occ_max = occ_max.max(service.occupancy());
+        obs.slot_end(slot, service.occupancy());
+    }
+
+    if config.drain_at_end && error.is_none() && !drain_stalled {
+        // The final drain contributes to the occupancy mean but not the
+        // maximum (occupancy only falls while draining).
+        if !drain(
+            &mut service,
+            &mut slots,
+            &mut scratch,
+            obs,
+            Some(&mut occ_sum),
+        ) {
+            drain_stalled = true;
+        }
+    }
+
+    ShardReport {
+        label,
+        counters: service.counters(),
+        score: service.score(),
+        slots,
+        cycles,
+        bursts,
+        mean_occupancy: if slots == 0 {
+            0.0
+        } else {
+            occ_sum as f64 / slots as f64
+        },
+        max_occupancy: occ_max,
+        ingress_latency_ns,
+        elapsed: started.elapsed(),
+        drain_stalled,
+        error,
+        metrics: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::ring::ring;
+    use crate::service::WorkService;
+    use smbm_core::{Lwd, WorkRunner};
+    use smbm_obs::NullObserver;
+    use smbm_switch::{PortId, Work, WorkPacket, WorkSwitchConfig};
+
+    fn service(ports: u32, buffer: usize) -> WorkService<Lwd> {
+        let cfg = WorkSwitchConfig::contiguous(ports, buffer).unwrap();
+        WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+    }
+
+    fn wp(port: usize, w: u32) -> WorkPacket {
+        WorkPacket::new(PortId::new(port), Work::new(w))
+    }
+
+    #[test]
+    fn lockstep_processes_queued_batches_then_drains() {
+        let (tx, rx) = ring(8);
+        tx.push(Batch::new(vec![wp(0, 1), wp(1, 2)])).unwrap();
+        tx.push(Batch::new(vec![])).unwrap();
+        drop(tx);
+        let report = run_shard(
+            service(2, 4),
+            vec![rx],
+            VirtualClock::new(),
+            &ShardConfig::lockstep(),
+            &mut NullObserver,
+        );
+        assert_eq!(report.bursts, 2);
+        assert_eq!(report.score, 2, "both packets transmit after draining");
+        assert_eq!(report.counters.transmitted(), 2);
+        assert!(report.error.is_none());
+        assert!(!report.drain_stalled);
+        assert_eq!(report.ingress_latency_ns.count(), 2);
+        assert_eq!(report.label, "LWD");
+    }
+
+    #[test]
+    fn freerun_survives_empty_polls() {
+        let (tx, rx) = ring(8);
+        tx.push(Batch::new(vec![wp(0, 1)])).unwrap();
+        drop(tx);
+        let report = run_shard(
+            service(1, 2),
+            vec![rx],
+            VirtualClock::new(),
+            &ShardConfig::freerun(),
+            &mut NullObserver,
+        );
+        assert_eq!(report.score, 1);
+        assert!(report.cycles >= report.slots);
+    }
+
+    #[test]
+    fn flush_drop_discards_between_bursts() {
+        let (tx, rx) = ring(8);
+        // Burst 0 fills the buffer; the flush fires before burst 2's
+        // arrivals (period 2), discarding what remains.
+        tx.push(Batch::new(vec![wp(0, 1); 6])).unwrap();
+        tx.push(Batch::new(vec![])).unwrap();
+        tx.push(Batch::new(vec![wp(0, 1)])).unwrap();
+        drop(tx);
+        let config = ShardConfig {
+            mode: IngestMode::Lockstep,
+            flush: Some(FlushPolicy::every(2).dropping()),
+            drain_at_end: false,
+        };
+        let report = run_shard(
+            service(1, 8),
+            vec![rx],
+            VirtualClock::new(),
+            &config,
+            &mut NullObserver,
+        );
+        // Slots 0-1 transmit 2 of the 6; flush drops the other 4; the last
+        // arrival transmits in slot 2.
+        assert_eq!(report.score, 3);
+        assert_eq!(report.counters.pushed_out(), 4, "flush counts as push-out");
+    }
+
+    #[test]
+    fn multiple_rings_merge_in_ring_order() {
+        let (tx_a, rx_a) = ring(4);
+        let (tx_b, rx_b) = ring(4);
+        tx_a.push(Batch::new(vec![wp(0, 1)])).unwrap();
+        tx_b.push(Batch::new(vec![wp(1, 2)])).unwrap();
+        drop(tx_a);
+        drop(tx_b);
+        let report = run_shard(
+            service(2, 4),
+            vec![rx_a, rx_b],
+            VirtualClock::new(),
+            &ShardConfig::lockstep(),
+            &mut NullObserver,
+        );
+        assert_eq!(report.counters.admitted(), 2);
+        assert_eq!(report.score, 2);
+    }
+
+    #[test]
+    fn empty_rings_produce_empty_report() {
+        let (tx, rx) = ring::<Batch<WorkPacket>>(4);
+        drop(tx);
+        let report = run_shard(
+            service(1, 2),
+            vec![rx],
+            VirtualClock::new(),
+            &ShardConfig::lockstep(),
+            &mut NullObserver,
+        );
+        assert_eq!(report.slots, 0);
+        assert_eq!(report.score, 0);
+        assert_eq!(report.counters.arrived(), 0);
+    }
+}

@@ -33,6 +33,8 @@ pub struct Counters {
     admitted_value: u64,
     dropped: u64,
     dropped_value: u64,
+    dropped_backpressure: u64,
+    dropped_backpressure_value: u64,
     pushed_out: u64,
     pushed_out_value: u64,
     transmitted: u64,
@@ -65,6 +67,54 @@ impl Counters {
     pub fn record_drop(&mut self, value: u64) {
         self.dropped += 1;
         self.dropped_value += value;
+    }
+
+    /// Records a packet worth `value` rejected *upstream* of admission
+    /// control by a full ingress ring (runtime backpressure). The packet
+    /// counts toward [`Counters::dropped`] — so the conservation law
+    /// `arrived == admitted + dropped` still holds when the caller also
+    /// records the arrival — but is attributed to backpressure, never to a
+    /// policy decision.
+    pub fn record_backpressure(&mut self, value: u64) {
+        self.dropped += 1;
+        self.dropped_value += value;
+        self.dropped_backpressure += 1;
+        self.dropped_backpressure_value += value;
+    }
+
+    /// Bulk form of [`Counters::record_arrival`] followed by
+    /// [`Counters::record_backpressure`]: `packets` packets of total worth
+    /// `value` arrived and were all rejected by a full ingress ring. Used
+    /// when merging producer-side backpressure tallies into a switch-side
+    /// counter set, so the conservation laws hold over the whole datapath.
+    pub fn record_backpressure_bulk(&mut self, packets: u64, value: u64) {
+        self.arrived += packets;
+        self.arrived_value += value;
+        self.dropped += packets;
+        self.dropped_value += value;
+        self.dropped_backpressure += packets;
+        self.dropped_backpressure_value += value;
+    }
+
+    /// Adds every count from `other` into `self` (latency maxima take the
+    /// max). Merging per-shard counters yields datapath-wide totals for
+    /// which the conservation laws still hold, since each law is linear.
+    pub fn merge(&mut self, other: &Counters) {
+        self.arrived += other.arrived;
+        self.arrived_value += other.arrived_value;
+        self.admitted += other.admitted;
+        self.admitted_value += other.admitted_value;
+        self.dropped += other.dropped;
+        self.dropped_value += other.dropped_value;
+        self.dropped_backpressure += other.dropped_backpressure;
+        self.dropped_backpressure_value += other.dropped_backpressure_value;
+        self.pushed_out += other.pushed_out;
+        self.pushed_out_value += other.pushed_out_value;
+        self.transmitted += other.transmitted;
+        self.transmitted_value += other.transmitted_value;
+        self.cycles_consumed += other.cycles_consumed;
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
     }
 
     /// Records an admitted packet worth `value` evicted to make room for
@@ -123,6 +173,24 @@ impl Counters {
     /// Total value rejected on arrival.
     pub fn dropped_value(&self) -> u64 {
         self.dropped_value
+    }
+
+    /// Packets rejected by ingress backpressure (a subset of
+    /// [`Counters::dropped`]).
+    pub fn dropped_backpressure(&self) -> u64 {
+        self.dropped_backpressure
+    }
+
+    /// Value rejected by ingress backpressure (a subset of
+    /// [`Counters::dropped_value`]).
+    pub fn dropped_backpressure_value(&self) -> u64 {
+        self.dropped_backpressure_value
+    }
+
+    /// Packets rejected by admission control itself (policy or full-buffer
+    /// drops, excluding upstream backpressure).
+    pub fn dropped_at_switch(&self) -> u64 {
+        self.dropped - self.dropped_backpressure
     }
 
     /// Total admitted packets later evicted (including flushed packets).
@@ -234,11 +302,12 @@ impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "arrived={} admitted={} dropped={} pushed_out={} transmitted={} \
+            "arrived={} admitted={} dropped={} backpressure={} pushed_out={} transmitted={} \
              value={} admitted_value={} dropped_value={} pushed_out_value={}",
             self.arrived,
             self.admitted,
             self.dropped,
+            self.dropped_backpressure,
             self.pushed_out,
             self.transmitted,
             self.transmitted_value,
@@ -412,6 +481,51 @@ mod tests {
         assert!(matches!(err, ConservationError::AdmissionValue { .. }));
         assert!(err.to_string().contains("admission value conservation"));
         assert!(c.check_value_conservation(2).is_ok());
+    }
+
+    #[test]
+    fn backpressure_counts_as_a_separate_drop_class() {
+        let mut c = Counters::new();
+        for _ in 0..4 {
+            c.record_arrival(2);
+        }
+        c.record_admission(2);
+        c.record_drop(2); // policy/full drop at the switch
+        c.record_backpressure(2);
+        c.record_backpressure(2);
+        assert!(c.check_conservation(1).is_ok());
+        assert_eq!(c.dropped(), 3);
+        assert_eq!(c.dropped_backpressure(), 2);
+        assert_eq!(c.dropped_backpressure_value(), 4);
+        assert_eq!(c.dropped_at_switch(), 1);
+        assert!(c.to_string().contains("backpressure=2"));
+    }
+
+    #[test]
+    fn merge_and_bulk_backpressure_preserve_conservation() {
+        let mut a = Counters::new();
+        a.record_arrival(3);
+        a.record_admission(3);
+        a.record_transmission(3, 5);
+        let mut b = Counters::new();
+        b.record_arrival(1);
+        b.record_drop(1);
+        b.record_arrival(2);
+        b.record_admission(2);
+        b.record_transmission(2, 9);
+        a.merge(&b);
+        assert_eq!(a.arrived(), 3);
+        assert_eq!(a.transmitted(), 2);
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.max_latency(), 9);
+        assert!(a.check_conservation(0).is_ok());
+
+        a.record_backpressure_bulk(10, 25);
+        assert_eq!(a.arrived(), 13);
+        assert_eq!(a.dropped_backpressure(), 10);
+        assert_eq!(a.dropped_backpressure_value(), 25);
+        assert_eq!(a.dropped_at_switch(), 1);
+        assert!(a.check_conservation(0).is_ok());
     }
 
     #[test]

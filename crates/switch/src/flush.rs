@@ -1,0 +1,85 @@
+//! Periodic buffer flushouts (Section V-A: "periodic flushouts").
+//!
+//! Shared by the offline simulation engine (`smbm-sim`) and the live
+//! runtime (`smbm-runtime`), so a flush schedule configured for one applies
+//! identically to the other.
+
+/// What a flushout does to the buffered packets.
+///
+/// The paper does not specify; both readings are implemented and compared by
+/// the `ablations` bench (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushMode {
+    /// Pause arrivals and keep transmitting until the buffer empties: every
+    /// admitted packet still counts. The default (fairer to both sides).
+    #[default]
+    Drain,
+    /// Instantly discard the buffer contents.
+    Drop,
+}
+
+/// When and how to flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush before the arrival phase of every slot divisible by `period`
+    /// (slot 0 excluded).
+    pub period: u64,
+    /// What the flush does.
+    pub mode: FlushMode,
+}
+
+impl FlushPolicy {
+    /// Creates a draining flush policy with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn every(period: u64) -> Self {
+        assert!(period > 0, "flush period must be positive");
+        FlushPolicy {
+            period,
+            mode: FlushMode::Drain,
+        }
+    }
+
+    /// Same period, dropping instead of draining.
+    #[must_use]
+    pub fn dropping(mut self) -> Self {
+        self.mode = FlushMode::Drop;
+        self
+    }
+
+    /// Whether a flush is due at the start of `slot`.
+    pub fn due(&self, slot: u64) -> bool {
+        slot > 0 && slot.is_multiple_of(self.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_skips_slot_zero() {
+        let f = FlushPolicy::every(4);
+        assert!(!f.due(0));
+        assert!(!f.due(3));
+        assert!(f.due(4));
+        assert!(f.due(8));
+    }
+
+    #[test]
+    fn builders() {
+        let f = FlushPolicy::every(10);
+        assert_eq!(f.mode, FlushMode::Drain);
+        let f = f.dropping();
+        assert_eq!(f.mode, FlushMode::Drop);
+        assert_eq!(f.period, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush period must be positive")]
+    fn zero_period_panics() {
+        let _ = FlushPolicy::every(0);
+    }
+}

@@ -53,6 +53,7 @@ mod config;
 mod counters;
 mod dirty;
 mod error;
+mod flush;
 mod ids;
 mod outcome;
 mod packet;
@@ -73,6 +74,7 @@ pub use config::{ValueSwitchConfig, WorkSwitchConfig};
 pub use counters::{ConservationError, Counters};
 pub use dirty::DirtyPorts;
 pub use error::{AdmitError, ConfigError};
+pub use flush::{FlushMode, FlushPolicy};
 pub use ids::{PortId, Slot, Value, Work};
 pub use outcome::{ArrivalOutcome, DropReason};
 pub use packet::{Transmitted, ValuePacket, WorkPacket};

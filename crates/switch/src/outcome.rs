@@ -17,6 +17,11 @@ pub enum DropReason {
     /// The policy rejected the packet even though buffer space remained
     /// (e.g. a harmonic/exponential static threshold said no).
     Policy,
+    /// The packet never reached admission control: a full ingress ring
+    /// rejected it upstream of the switch (runtime backpressure). Counted
+    /// separately so ring-full rejections are never misattributed to the
+    /// buffer-management policy.
+    Backpressure,
 }
 
 impl DropReason {
@@ -25,6 +30,7 @@ impl DropReason {
         match self {
             DropReason::BufferFull => "buffer_full",
             DropReason::Policy => "policy",
+            DropReason::Backpressure => "backpressure",
         }
     }
 }
@@ -57,6 +63,7 @@ mod tests {
     fn drop_reason_labels_are_stable() {
         assert_eq!(DropReason::BufferFull.label(), "buffer_full");
         assert_eq!(DropReason::Policy.label(), "policy");
+        assert_eq!(DropReason::Backpressure.label(), "backpressure");
     }
 
     #[test]

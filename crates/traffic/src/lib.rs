@@ -49,4 +49,4 @@ pub use dist::zipf::Zipf;
 pub use mmpp::{MmppBank, MmppParams, MmppSource};
 pub use scenario::{MmppScenario, PortMix, ValueMix};
 pub use stats::{Summarize, TraceStats};
-pub use trace::{ParseTraceError, Trace, TracePacket};
+pub use trace::{Batches, ParseTraceError, Trace, TracePacket};

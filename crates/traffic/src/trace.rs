@@ -90,6 +90,26 @@ impl<P> Trace<P> {
         &self.slots
     }
 
+    /// Flattens the trace into arrival-ordered packet batches of at most
+    /// `max_packets` each, coalescing small bursts and splitting large ones
+    /// (empty slots contribute nothing). Slot boundaries are *not*
+    /// preserved: this feeds the live runtime's free-running ingress rings,
+    /// where batching amortizes per-transfer cost. Lockstep (slot-exact)
+    /// consumers should iterate [`Trace::iter`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_packets` is zero.
+    pub fn batches(&self, max_packets: usize) -> Batches<'_, P> {
+        assert!(max_packets > 0, "batch size must be positive");
+        Batches {
+            slots: &self.slots,
+            slot: 0,
+            offset: 0,
+            max_packets,
+        }
+    }
+
     /// Consumes the trace, returning the per-slot bursts.
     pub fn into_slots(self) -> Vec<Vec<P>> {
         self.slots
@@ -146,6 +166,41 @@ impl<P> Trace<P> {
             })
             .collect();
         Trace { slots }
+    }
+}
+
+/// Iterator over coalesced packet batches, created by [`Trace::batches`].
+#[derive(Debug, Clone)]
+pub struct Batches<'a, P> {
+    slots: &'a [Vec<P>],
+    slot: usize,
+    offset: usize,
+    max_packets: usize,
+}
+
+impl<P: Clone> Iterator for Batches<'_, P> {
+    type Item = Vec<P>;
+
+    fn next(&mut self) -> Option<Vec<P>> {
+        let mut batch = Vec::new();
+        while self.slot < self.slots.len() {
+            let burst = &self.slots[self.slot];
+            let take = (self.max_packets - batch.len()).min(burst.len() - self.offset);
+            batch.extend_from_slice(&burst[self.offset..self.offset + take]);
+            self.offset += take;
+            if self.offset == burst.len() {
+                self.slot += 1;
+                self.offset = 0;
+            }
+            if batch.len() == self.max_packets {
+                return Some(batch);
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
     }
 }
 
@@ -347,6 +402,38 @@ mod tests {
         assert_eq!(thinned.arrivals(), 1000);
         assert!(thinned.burst(1).is_empty());
         assert_eq!(thinned.burst(0).len(), 10);
+    }
+
+    #[test]
+    fn batches_coalesce_and_split_preserving_order() {
+        let mut t = Trace::new();
+        t.push_slot(vec![wp(0, 1), wp(1, 2)]);
+        t.push_silence(2);
+        t.push_slot(vec![wp(2, 3)]);
+        t.push_slot(vec![wp(3, 4); 5]);
+        let batches: Vec<Vec<WorkPacket>> = t.batches(4).collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], vec![wp(0, 1), wp(1, 2), wp(2, 3), wp(3, 4)]);
+        assert_eq!(batches[1], vec![wp(3, 4); 4]);
+        let flat: Vec<WorkPacket> = t.batches(4).flatten().collect();
+        let expected: Vec<WorkPacket> = t.iter().flatten().copied().collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn batches_of_empty_trace_are_empty() {
+        let t: Trace<WorkPacket> = Trace::new();
+        assert_eq!(t.batches(8).count(), 0);
+        let mut silent: Trace<WorkPacket> = Trace::new();
+        silent.push_silence(10);
+        assert_eq!(silent.batches(8).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let t: Trace<WorkPacket> = Trace::new();
+        let _ = t.batches(0);
     }
 
     #[test]
