@@ -41,12 +41,13 @@ fn runtime_throughput(c: &mut Criterion) {
                 let mut builder = RuntimeBuilder::new(RuntimeConfig {
                     ring_capacity: 64,
                     shard: ShardConfig::freerun(),
-                    record_metrics: false,
+                    ..RuntimeConfig::default()
                 });
                 for feed in feeds.clone() {
                     let cfg = cfg.clone();
-                    let id = builder
-                        .add_shard(move || WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1)));
+                    let id = builder.add_shard(move || {
+                        WorkService::new(WorkRunner::new(cfg.clone(), Lwd::new(), 1))
+                    });
                     builder.add_producer(id, move |handle| {
                         for batch in feed {
                             if !handle.send(batch) {

@@ -115,6 +115,35 @@ impl Args {
         }
     }
 
+    /// Parses `flag` as a rate: a finite, strictly positive `f64`. Returns
+    /// `Ok(None)` when the flag is absent.
+    ///
+    /// Commands use this for `--hz`-style flags so that a zero, negative or
+    /// non-finite rate is rejected here as a CLI error instead of reaching
+    /// library constructors (e.g. `WallClock::from_hz`) whose panics are
+    /// reserved for internal misuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparsable, not
+    /// finite, or not strictly positive.
+    pub fn get_positive_f64(&self, flag: &str) -> Result<Option<f64>, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(None),
+            Some(v) => {
+                let bad = || ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: v.clone(),
+                };
+                let parsed: f64 = v.parse().map_err(|_| bad())?;
+                if !(parsed.is_finite() && parsed > 0.0) {
+                    return Err(bad());
+                }
+                Ok(Some(parsed))
+            }
+        }
+    }
+
     /// Ensures every supplied flag is in `allowed`.
     ///
     /// # Errors
@@ -186,6 +215,30 @@ mod tests {
     fn default_parse_knows_the_standard_switches() {
         let a = parse(&["work-run", "--profile"]).unwrap();
         assert!(a.has("profile"));
+    }
+
+    #[test]
+    fn positive_f64_accepts_rates_and_rejects_the_rest() {
+        assert_eq!(
+            parse(&["--hz", "1000"]).unwrap().get_positive_f64("hz"),
+            Ok(Some(1000.0))
+        );
+        assert_eq!(
+            parse(&["--hz", "0.5"]).unwrap().get_positive_f64("hz"),
+            Ok(Some(0.5))
+        );
+        assert_eq!(parse(&[]).unwrap().get_positive_f64("hz"), Ok(None));
+        for bad in ["0", "-3", "nan", "inf", "-inf", "fast"] {
+            let err = parse(&["--hz", bad])
+                .unwrap()
+                .get_positive_f64("hz")
+                .unwrap_err();
+            assert!(
+                matches!(&err, ArgError::BadValue { flag, value }
+                    if flag == "hz" && value == bad),
+                "{bad:?} -> {err}"
+            );
+        }
     }
 
     #[test]

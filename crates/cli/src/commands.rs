@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use smbm_obs::{HistogramRecorder, PhaseProfiler, RingEventLog};
+use smbm_runtime::FaultPlan;
 use smbm_sim::{
     measure_value_construction, measure_work_construction, ValueExperiment, WorkExperiment,
 };
@@ -38,7 +39,12 @@ observability (work-run, value-run, combined-run):
 runtime (serve, loadgen):
   --hz RATE           pace shard cycles at RATE per second (default unpaced)
   --lossy             loadgen: full rings reject batches as backpressure
-  --json              loadgen: emit the report as one JSON object";
+  --json              loadgen: emit the report as one JSON object
+  --faults SPEC       inject faults: comma-separated KIND@SLOT[*PARAM][#SHARD]
+                      with KIND one of panic, stall, sat, skew — or
+                      random:SEED for one generated fault per shard
+  --restarts N        shard restart budget before the supervisor gives up
+                      (default 3)";
 
 /// Executes one command. `stdin` supplies the input text for commands that
 /// read a stream (currently `trace-stats` without `--file`).
@@ -451,19 +457,33 @@ fn trace_gen(args: &Args) -> Result<String, String> {
     Ok(trace.to_text())
 }
 
-/// Parses the optional `--hz` pacing rate shared by `serve` and `loadgen`.
+/// Parses the optional `--hz` pacing rate shared by `serve` and `loadgen`,
+/// rejecting zero/negative/non-finite rates here so they surface as CLI
+/// errors rather than `WallClock::from_hz` panics.
 fn pace_from(args: &Args) -> Result<Option<f64>, String> {
-    match args.get("hz") {
-        None => Ok(None),
-        Some(v) => {
-            let hz: f64 = v
-                .parse()
-                .map_err(|_| format!("--hz expects a number, got {v:?}"))?;
-            if !(hz.is_finite() && hz > 0.0) {
-                return Err(format!("--hz must be positive, got {v}"));
+    args.get_positive_f64("hz").map_err(|_| {
+        format!(
+            "--hz must be a positive rate, got {:?}",
+            args.get("hz").unwrap_or_default()
+        )
+    })
+}
+
+/// Parses `--faults` for `serve` and `loadgen`: the scripted grammar
+/// (`panic@100,stall@50*200#1`) or `random:SEED`, which generates one
+/// deterministic fault per shard within the first `horizon` slots.
+fn faults_from(args: &Args, shards: usize, horizon: u64) -> Result<FaultPlan, String> {
+    match args.get("faults") {
+        None => Ok(FaultPlan::none()),
+        Some(spec) => match spec.strip_prefix("random:") {
+            Some(seed) => {
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| format!("--faults random:SEED expects a number, got {seed:?}"))?;
+                Ok(FaultPlan::random(seed, shards, horizon))
             }
-            Ok(Some(hz))
-        }
+            None => FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}")),
+        },
     }
 }
 
@@ -473,15 +493,23 @@ fn pace_from(args: &Args) -> Result<Option<f64>, String> {
 fn serve_trace<S: smbm_runtime::Service>(
     slots: Vec<Vec<S::Packet>>,
     hz: Option<f64>,
-    factory: impl FnOnce() -> S + Send + 'static,
+    faults: FaultPlan,
+    restart_budget: u32,
+    factory: impl Fn() -> S + Send + 'static,
 ) -> smbm_runtime::RuntimeReport {
     use smbm_runtime::{
-        AnyClock, RuntimeBuilder, RuntimeConfig, ShardConfig, VirtualClock, WallClock,
+        AnyClock, RuntimeBuilder, RuntimeConfig, ShardConfig, SupervisionConfig, VirtualClock,
+        WallClock,
     };
     let mut builder = RuntimeBuilder::new(RuntimeConfig {
         ring_capacity: 64,
         shard: ShardConfig::lockstep(),
-        record_metrics: false,
+        faults,
+        supervision: SupervisionConfig {
+            restart_budget,
+            ..SupervisionConfig::default()
+        },
+        ..RuntimeConfig::default()
     });
     let id = builder.add_shard(factory);
     builder.add_producer(id, move |handle| {
@@ -540,6 +568,18 @@ fn render_serve(
         report.processed_per_sec(),
         report.elapsed.as_secs_f64() * 1e3
     );
+    if shard.restarts > 0 || shard.gave_up {
+        let _ = writeln!(
+            out,
+            "# supervision: shard {} panicked; {} restart(s), {} orphaned packet(s), \
+             {} shard-failure drop(s){}",
+            shard.shard,
+            shard.restarts,
+            shard.orphaned_packets,
+            c.dropped_shard_failure(),
+            if shard.gave_up { "; gave up" } else { "" }
+        );
+    }
     if report.lost_packets() > 0 {
         let _ = writeln!(out, "# {} packets lost mid-send", report.lost_packets());
     }
@@ -549,7 +589,7 @@ fn render_serve(
 fn serve(args: &Args, stdin: &str) -> Result<String, String> {
     use smbm_runtime::{ValueService, WorkService};
     args.expect_only(&[
-        "model", "file", "policy", "k", "ports", "buffer", "speedup", "hz",
+        "model", "file", "policy", "k", "ports", "buffer", "speedup", "hz", "faults", "restarts",
     ])
     .map_err(err)?;
     let text = match args.get("file") {
@@ -562,6 +602,7 @@ fn serve(args: &Args, stdin: &str) -> Result<String, String> {
         return Err("--speedup must be at least 1".into());
     }
     let hz = pace_from(args)?;
+    let restart_budget: u32 = args.get_or("restarts", 3).map_err(err)?;
     let pacing = match hz {
         Some(hz) => format!(" paced at {hz} Hz"),
         None => String::new(),
@@ -579,11 +620,18 @@ fn serve(args: &Args, stdin: &str) -> Result<String, String> {
             let header = format!(
                 "# serve work model: policy {canonical} k={k} B={buffer} C={speedup}{pacing}"
             );
+            let faults = faults_from(args, 1, trace.as_slots().len() as u64)?;
             let factory_name = canonical.clone();
-            let report = serve_trace(trace.as_slots().to_vec(), hz, move || {
-                let policy = smbm_core::work_policy_by_name(&factory_name).expect("validated");
-                WorkService::new(smbm_core::WorkRunner::new(cfg, policy, speedup))
-            });
+            let report = serve_trace(
+                trace.as_slots().to_vec(),
+                hz,
+                faults,
+                restart_budget,
+                move || {
+                    let policy = smbm_core::work_policy_by_name(&factory_name).expect("validated");
+                    WorkService::new(smbm_core::WorkRunner::new(cfg.clone(), policy, speedup))
+                },
+            );
             render_serve(header, "packets", &report)
         }
         "value" => {
@@ -598,11 +646,18 @@ fn serve(args: &Args, stdin: &str) -> Result<String, String> {
             let header = format!(
                 "# serve value model: policy {canonical} n={ports} B={buffer} C={speedup}{pacing}"
             );
+            let faults = faults_from(args, 1, trace.as_slots().len() as u64)?;
             let factory_name = canonical.clone();
-            let report = serve_trace(trace.as_slots().to_vec(), hz, move || {
-                let policy = smbm_core::value_policy_by_name(&factory_name).expect("validated");
-                ValueService::new(smbm_core::ValueRunner::new(cfg, policy, speedup))
-            });
+            let report = serve_trace(
+                trace.as_slots().to_vec(),
+                hz,
+                faults,
+                restart_budget,
+                move || {
+                    let policy = smbm_core::value_policy_by_name(&factory_name).expect("validated");
+                    ValueService::new(smbm_core::ValueRunner::new(cfg, policy, speedup))
+                },
+            );
             render_serve(header, "value", &report)
         }
         other => Err(format!("unknown --model {other:?}; use work|value")),
@@ -627,6 +682,8 @@ fn loadgen(args: &Args) -> Result<String, String> {
         "max-value",
         "lossy",
         "json",
+        "faults",
+        "restarts",
     ])
     .map_err(err)?;
     let model_name = args.get("model").unwrap_or("work");
@@ -638,14 +695,16 @@ fn loadgen(args: &Args) -> Result<String, String> {
         Model::Combined => "WVD",
     };
     let defaults = LoadgenConfig::default();
+    let shards: usize = args.get_or("shards", defaults.shards).map_err(err)?;
+    let slots: usize = args.get_or("slots", defaults.slots).map_err(err)?;
     let config = LoadgenConfig {
         model,
         policy: args.get("policy").unwrap_or(default_policy).to_owned(),
         ports: args.get_or("ports", defaults.ports).map_err(err)?,
         buffer: args.get_or("buffer", defaults.buffer).map_err(err)?,
         speedup: args.get_or("speedup", defaults.speedup).map_err(err)?,
-        shards: args.get_or("shards", defaults.shards).map_err(err)?,
-        slots: args.get_or("slots", defaults.slots).map_err(err)?,
+        shards,
+        slots,
         sources: args.get_or("sources", defaults.sources).map_err(err)?,
         seed: args.get_or("seed", defaults.seed).map_err(err)?,
         batch: args.get_or("batch", defaults.batch).map_err(err)?,
@@ -655,6 +714,10 @@ fn loadgen(args: &Args) -> Result<String, String> {
         flush: None,
         lossy: args.has("lossy"),
         record_metrics: false,
+        faults: faults_from(args, shards, slots as u64)?,
+        restart_budget: args
+            .get_or("restarts", defaults.restart_budget)
+            .map_err(err)?,
     };
     let report = run_loadgen(&config).map_err(err)?;
     for shard in &report.runtime.shards {

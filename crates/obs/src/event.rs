@@ -86,6 +86,27 @@ pub enum Event {
         /// Buffer occupancy after the transmission phase.
         occupancy: u64,
     },
+    /// A supervised shard incarnation died (runtime datapath only).
+    ShardPanic {
+        /// Shard slot counter at the time of death.
+        slot: u64,
+        /// Packets still queued in the shard's ingress rings.
+        orphans: u64,
+    },
+    /// The supervisor restarted the dead shard.
+    ShardRestart {
+        /// Shard slot counter at the time of death.
+        slot: u64,
+        /// 1-based restart attempt against the budget.
+        attempt: u64,
+    },
+    /// The supervisor exhausted its restart budget and abandoned the shard.
+    ShardFailed {
+        /// Shard slot counter at the time of the final death.
+        slot: u64,
+        /// Ring packets dropped as shard-failure losses.
+        orphans: u64,
+    },
 }
 
 impl Event {
@@ -142,6 +163,15 @@ impl Event {
             }
             Event::SlotEnd { slot, occupancy } => out.push_str(&format!(
                 "\"type\":\"slot_end\",\"slot\":{slot},\"occupancy\":{occupancy}"
+            )),
+            Event::ShardPanic { slot, orphans } => out.push_str(&format!(
+                "\"type\":\"shard_panic\",\"slot\":{slot},\"orphans\":{orphans}"
+            )),
+            Event::ShardRestart { slot, attempt } => out.push_str(&format!(
+                "\"type\":\"shard_restart\",\"slot\":{slot},\"attempt\":{attempt}"
+            )),
+            Event::ShardFailed { slot, orphans } => out.push_str(&format!(
+                "\"type\":\"shard_failed\",\"slot\":{slot},\"orphans\":{orphans}"
             )),
         }
         out.push('}');
@@ -284,6 +314,18 @@ impl Observer for RingEventLog {
             occupancy: occupancy as u64,
         });
     }
+
+    fn shard_panicked(&mut self, slot: u64, orphans: u64) {
+        self.push(Event::ShardPanic { slot, orphans });
+    }
+
+    fn shard_restarted(&mut self, slot: u64, attempt: u64) {
+        self.push(Event::ShardRestart { slot, attempt });
+    }
+
+    fn shard_failed(&mut self, slot: u64, orphans: u64) {
+        self.push(Event::ShardFailed { slot, orphans });
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +406,32 @@ mod tests {
         assert_eq!(
             lines[1],
             "{\"type\":\"dropped\",\"slot\":12,\"port\":0,\"reason\":\"backpressure\"}"
+        );
+    }
+
+    #[test]
+    fn supervision_events_serialize() {
+        let mut log = RingEventLog::new(8);
+        log.shard_panicked(41, 6);
+        log.shard_restarted(41, 1);
+        log.shard_failed(90, 12);
+        log.dropped(90, PortId::new(1), DropReason::ShardFailure);
+        let lines: Vec<String> = log.to_jsonl().lines().map(str::to_string).collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"shard_panic\",\"slot\":41,\"orphans\":6}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"shard_restart\",\"slot\":41,\"attempt\":1}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"shard_failed\",\"slot\":90,\"orphans\":12}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"type\":\"dropped\",\"slot\":90,\"port\":1,\"reason\":\"shard_failure\"}"
         );
     }
 

@@ -173,10 +173,12 @@ pub struct HistogramRecorder {
     dropped_full: u64,
     dropped_policy: u64,
     dropped_backpressure: u64,
+    dropped_shard_failure: u64,
     pushed_out: u64,
     transmitted: u64,
     transmitted_value: u64,
     flushed: u64,
+    shard_restarts: u64,
 }
 
 impl HistogramRecorder {
@@ -209,7 +211,13 @@ impl HistogramRecorder {
             DropReason::BufferFull => self.dropped_full,
             DropReason::Policy => self.dropped_policy,
             DropReason::Backpressure => self.dropped_backpressure,
+            DropReason::ShardFailure => self.dropped_shard_failure,
         }
+    }
+
+    /// Supervised shard restarts observed.
+    pub fn shard_restarts(&self) -> u64 {
+        self.shard_restarts
     }
 
     /// Packets evicted after admission (excluding flushes).
@@ -257,7 +265,8 @@ impl HistogramRecorder {
         format!(
             "{{\"arrived\":{},\"admitted\":{},\"pushed_out\":{},\"transmitted\":{},\
              \"transmitted_value\":{},\"flushed\":{},\
-             \"drops\":{{\"buffer_full\":{},\"policy\":{},\"backpressure\":{}}},\
+             \"drops\":{{\"buffer_full\":{},\"policy\":{},\"backpressure\":{},\"shard_failure\":{}}},\
+             \"shard_restarts\":{},\
              \"latency\":{},\"occupancy\":{},\"queue_len\":{},\"burst\":{}}}",
             self.arrivals,
             self.admitted,
@@ -268,6 +277,8 @@ impl HistogramRecorder {
             self.dropped_full,
             self.dropped_policy,
             self.dropped_backpressure,
+            self.dropped_shard_failure,
+            self.shard_restarts,
             self.latency.to_json(),
             self.occupancy.to_json(),
             self.queue_len.to_json(),
@@ -298,6 +309,7 @@ impl Observer for HistogramRecorder {
             DropReason::BufferFull => self.dropped_full += 1,
             DropReason::Policy => self.dropped_policy += 1,
             DropReason::Backpressure => self.dropped_backpressure += 1,
+            DropReason::ShardFailure => self.dropped_shard_failure += 1,
         }
     }
 
@@ -333,6 +345,14 @@ impl Observer for HistogramRecorder {
         if self.slot_had_arrival_phase {
             self.burst.record(self.arrivals_this_slot);
         }
+    }
+
+    fn shard_restarted(&mut self, _slot: u64, _attempt: u64) {
+        self.shard_restarts += 1;
+    }
+
+    fn shard_failed(&mut self, _slot: u64, orphans: u64) {
+        self.dropped_shard_failure += orphans;
     }
 }
 
@@ -427,6 +447,73 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_empty_receiver_adopts_other_extrema() {
+        // The empty receiver's min is the u64::MAX sentinel; a merge must
+        // replace it with the donor's real min, not keep the sentinel or
+        // report 0.
+        let mut empty = LogHistogram::new();
+        let mut donor = LogHistogram::new();
+        donor.record(12);
+        donor.record(700);
+        empty.merge(&donor);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.min(), 12);
+        assert_eq!(empty.max(), 700);
+        assert_eq!(empty.percentile(1.0), 700);
+        assert!((empty.mean() - 356.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_of_empty_donor_keeps_receiver_extrema() {
+        let mut a = LogHistogram::new();
+        a.record(5);
+        a.merge(&LogHistogram::new());
+        // An empty donor carries the u64::MAX min sentinel and max 0;
+        // neither may leak into the receiver.
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 5);
+        assert_eq!(a.p50(), 5);
+    }
+
+    #[test]
+    fn merge_propagates_lower_min_and_higher_max() {
+        let mut a = LogHistogram::new();
+        a.record(50);
+        a.record(60);
+        let mut below = LogHistogram::new();
+        below.record(2);
+        a.merge(&below);
+        assert_eq!(a.min(), 2, "merged-in min below the receiver's");
+        assert_eq!(a.max(), 60);
+        let mut above = LogHistogram::new();
+        above.record(9_000);
+        a.merge(&above);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 9_000, "merged-in max above the receiver's");
+        // Percentile clamping relies on the merged extrema: every quantile
+        // must stay inside [min, max].
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let p = a.percentile(q);
+            assert!((2..=9_000).contains(&p), "percentile({q}) = {p} escaped");
+        }
+    }
+
+    #[test]
+    fn merge_with_overlapping_range_keeps_tighter_receiver_extrema() {
+        let mut a = LogHistogram::new();
+        a.record(1);
+        a.record(1_000_000);
+        let mut inner = LogHistogram::new();
+        inner.record(500);
+        a.merge(&inner);
+        // The donor's range nests inside the receiver's: extrema unchanged.
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
     fn recorder_tracks_queue_lengths_and_bursts() {
         let p0 = PortId::new(0);
         let p1 = PortId::new(1);
@@ -479,6 +566,8 @@ mod tests {
             "\"buffer_full\":0",
             "\"policy\":0",
             "\"backpressure\":0",
+            "\"shard_failure\":0",
+            "\"shard_restarts\":0",
             "\"latency\"",
             "\"occupancy\"",
             "\"queue_len\"",
@@ -487,5 +576,18 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn recorder_tracks_supervision_events() {
+        let mut r = HistogramRecorder::new();
+        r.shard_panicked(10, 4);
+        r.shard_restarted(10, 1);
+        r.shard_restarted(25, 2);
+        r.shard_failed(40, 7);
+        r.dropped(40, PortId::new(0), DropReason::ShardFailure);
+        assert_eq!(r.shard_restarts(), 2);
+        assert_eq!(r.drop_count(DropReason::ShardFailure), 8);
+        assert!(r.to_json().contains("\"shard_restarts\":2"));
     }
 }

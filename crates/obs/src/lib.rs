@@ -66,6 +66,10 @@ pub enum Phase {
     /// Extra slots run with no arrivals to empty the buffer (periodic
     /// drain-mode flush or the final drain).
     Drain,
+    /// Supervised shard recovery: accounting a dead incarnation, draining
+    /// or re-homing its orphaned ring backlog, and restarting the shard
+    /// (runtime datapath only).
+    Recovery,
 }
 
 impl Phase {
@@ -77,10 +81,11 @@ impl Phase {
             Phase::Transmission => "transmission",
             Phase::Flush => "flush",
             Phase::Drain => "drain",
+            Phase::Recovery => "recovery",
         }
     }
 
-    pub(crate) const COUNT: usize = 5;
+    pub(crate) const COUNT: usize = 6;
 
     pub(crate) fn index(self) -> usize {
         match self {
@@ -89,6 +94,7 @@ impl Phase {
             Phase::Transmission => 2,
             Phase::Flush => 3,
             Phase::Drain => 4,
+            Phase::Recovery => 5,
         }
     }
 
@@ -99,6 +105,7 @@ impl Phase {
             Phase::Transmission,
             Phase::Flush,
             Phase::Drain,
+            Phase::Recovery,
         ]
     }
 }
@@ -159,6 +166,18 @@ pub trait Observer {
 
     /// The phase ends.
     fn phase_end(&mut self, phase: Phase) {}
+
+    /// A supervised shard incarnation died at `slot` with `orphans` packets
+    /// still queued in its ingress rings (runtime datapath only).
+    fn shard_panicked(&mut self, slot: u64, orphans: u64) {}
+
+    /// The supervisor rebuilt the dead shard from its service config;
+    /// `attempt` is the 1-based restart count against the budget.
+    fn shard_restarted(&mut self, slot: u64, attempt: u64) {}
+
+    /// The supervisor exhausted its restart budget and abandoned the shard,
+    /// dropping `orphans` ring packets as shard-failure losses.
+    fn shard_failed(&mut self, slot: u64, orphans: u64) {}
 }
 
 /// The zero-cost default observer: every hook is a no-op.
@@ -206,6 +225,15 @@ impl<O: Observer> Observer for &mut O {
     }
     fn phase_end(&mut self, phase: Phase) {
         (**self).phase_end(phase);
+    }
+    fn shard_panicked(&mut self, slot: u64, orphans: u64) {
+        (**self).shard_panicked(slot, orphans);
+    }
+    fn shard_restarted(&mut self, slot: u64, attempt: u64) {
+        (**self).shard_restarted(slot, attempt);
+    }
+    fn shard_failed(&mut self, slot: u64, orphans: u64) {
+        (**self).shard_failed(slot, orphans);
     }
 }
 
@@ -277,6 +305,21 @@ impl<O: Observer> Observer for Option<O> {
             o.phase_end(phase);
         }
     }
+    fn shard_panicked(&mut self, slot: u64, orphans: u64) {
+        if let Some(o) = self {
+            o.shard_panicked(slot, orphans);
+        }
+    }
+    fn shard_restarted(&mut self, slot: u64, attempt: u64) {
+        if let Some(o) = self {
+            o.shard_restarted(slot, attempt);
+        }
+    }
+    fn shard_failed(&mut self, slot: u64, orphans: u64) {
+        if let Some(o) = self {
+            o.shard_failed(slot, orphans);
+        }
+    }
 }
 
 /// Pairs fan every hook out to both members; nest pairs for wider fan-out.
@@ -333,6 +376,18 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
         self.0.phase_end(phase);
         self.1.phase_end(phase);
     }
+    fn shard_panicked(&mut self, slot: u64, orphans: u64) {
+        self.0.shard_panicked(slot, orphans);
+        self.1.shard_panicked(slot, orphans);
+    }
+    fn shard_restarted(&mut self, slot: u64, attempt: u64) {
+        self.0.shard_restarted(slot, attempt);
+        self.1.shard_restarted(slot, attempt);
+    }
+    fn shard_failed(&mut self, slot: u64, orphans: u64) {
+        self.0.shard_failed(slot, orphans);
+        self.1.shard_failed(slot, orphans);
+    }
 }
 
 /// Minimal JSON string escaping for labels embedded in event/metric output
@@ -379,6 +434,14 @@ mod tests {
     fn phase_labels_are_stable() {
         assert_eq!(Phase::Arrival.label(), "arrival");
         assert_eq!(Phase::Drain.label(), "drain");
+        assert_eq!(Phase::Recovery.label(), "recovery");
+    }
+
+    #[test]
+    fn phase_index_matches_all() {
+        for (i, p) in Phase::all().into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub struct PhaseReport {
     pub flush: Duration,
     /// Total time in drain slots.
     pub drain: Duration,
+    /// Total time in supervised shard recovery (runtime datapath only).
+    pub recovery: Duration,
     /// Wall-clock span from the first slot start to the last slot end.
     pub wall: Duration,
     /// Slots executed (trace and drain).
@@ -57,12 +59,13 @@ impl PhaseReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"ingress_ns\":{},\"arrival_ns\":{},\"transmission_ns\":{},\"flush_ns\":{},\
-             \"drain_ns\":{},\"wall_ns\":{},\"slots\":{},\"slots_per_sec\":{:.1}}}",
+             \"drain_ns\":{},\"recovery_ns\":{},\"wall_ns\":{},\"slots\":{},\"slots_per_sec\":{:.1}}}",
             self.ingress.as_nanos(),
             self.arrival.as_nanos(),
             self.transmission.as_nanos(),
             self.flush.as_nanos(),
             self.drain.as_nanos(),
+            self.recovery.as_nanos(),
             self.wall.as_nanos(),
             self.slots,
             self.slots_per_sec()
@@ -74,12 +77,13 @@ impl std::fmt::Display for PhaseReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ingress {:.3?}, arrival {:.3?}, transmission {:.3?}, flush {:.3?}, drain {:.3?} | {} slots in {:.3?} ({:.0} slots/s)",
+            "ingress {:.3?}, arrival {:.3?}, transmission {:.3?}, flush {:.3?}, drain {:.3?}, recovery {:.3?} | {} slots in {:.3?} ({:.0} slots/s)",
             self.ingress,
             self.arrival,
             self.transmission,
             self.flush,
             self.drain,
+            self.recovery,
             self.slots,
             self.wall,
             self.slots_per_sec()
@@ -110,7 +114,7 @@ impl PhaseProfiler {
 
     /// Snapshots the profile.
     pub fn report(&self) -> PhaseReport {
-        let [ingress, arrival, transmission, flush, drain] =
+        let [ingress, arrival, transmission, flush, drain, recovery] =
             Phase::all().map(|p| self.totals[p.index()]);
         PhaseReport {
             ingress,
@@ -118,6 +122,7 @@ impl PhaseProfiler {
             transmission,
             flush,
             drain,
+            recovery,
             wall: self.run_elapsed,
             slots: self.slots,
         }

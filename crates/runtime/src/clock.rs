@@ -13,6 +13,13 @@ pub trait Clock {
     /// Blocks until the next cycle may start; returns that cycle's index
     /// (starting at 0).
     fn tick(&mut self) -> u64;
+
+    /// Shifts the next pacing deadline by `nanos` (negative = earlier).
+    /// Pacing-free clocks ignore it; the fault-injection harness uses it to
+    /// skew a [`WallClock`] deadline and exercise catch-up behaviour.
+    fn skew(&mut self, nanos: i64) {
+        let _ = nanos;
+    }
 }
 
 /// A clock that never waits: every cycle starts immediately. Deterministic
@@ -80,6 +87,19 @@ impl Clock for WallClock {
         self.cycle += 1;
         c
     }
+
+    fn skew(&mut self, nanos: i64) {
+        if let Some(deadline) = self.next_deadline {
+            let shift = Duration::from_nanos(nanos.unsigned_abs());
+            self.next_deadline = Some(if nanos >= 0 {
+                deadline + shift
+            } else {
+                // Deadlines before "now" are fine: tick() just returns
+                // immediately until the fixed schedule catches back up.
+                deadline.checked_sub(shift).unwrap_or(deadline)
+            });
+        }
+    }
 }
 
 /// A runtime-selected clock, for callers (the CLI) that choose pacing from
@@ -97,6 +117,13 @@ impl Clock for AnyClock {
         match self {
             AnyClock::Virtual(c) => c.tick(),
             AnyClock::Wall(c) => c.tick(),
+        }
+    }
+
+    fn skew(&mut self, nanos: i64) {
+        match self {
+            AnyClock::Virtual(c) => c.skew(nanos),
+            AnyClock::Wall(c) => c.skew(nanos),
         }
     }
 }
@@ -132,6 +159,47 @@ mod tests {
         let mut w = AnyClock::Wall(WallClock::from_hz(1_000_000.0));
         assert_eq!(w.tick(), 0);
         assert_eq!(w.tick(), 1);
+    }
+
+    #[test]
+    fn skew_is_a_noop_on_virtual_clocks() {
+        let mut c = VirtualClock::new();
+        c.skew(1_000_000_000);
+        c.skew(-1_000_000_000);
+        assert_eq!(c.tick(), 0);
+        assert_eq!(c.tick(), 1);
+    }
+
+    #[test]
+    fn negative_skew_pulls_the_deadline_earlier() {
+        // 10 Hz: the second tick would normally wait ~100 ms; pulling the
+        // deadline back by a full second makes it (and the fixed schedule
+        // behind it) immediately due.
+        let mut c = WallClock::from_hz(10.0);
+        c.tick(); // arms the deadline
+        c.skew(-1_000_000_000);
+        let start = Instant::now();
+        c.tick();
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn positive_skew_pushes_the_deadline_later() {
+        let mut c = WallClock::from_hz(1_000_000.0);
+        c.tick();
+        c.skew(40_000_000); // +40 ms
+        let start = Instant::now();
+        c.tick();
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn skew_before_first_tick_is_ignored() {
+        let mut c = WallClock::from_hz(1_000_000.0);
+        c.skew(5_000_000_000); // no deadline armed yet
+        let start = Instant::now();
+        c.tick();
+        assert!(start.elapsed() < Duration::from_millis(50));
     }
 
     #[test]

@@ -1,0 +1,444 @@
+//! Deterministic fault injection for the runtime datapath.
+//!
+//! A [`FaultPlan`] scripts failures against specific shards at specific
+//! slots: panic the shard thread, stall its whole loop, saturate its
+//! ingress (stop popping while transmission continues, so bounded rings
+//! fill and push back on producers), or skew a paced clock's deadline.
+//! Plans are either scripted explicitly ([`FaultPlan::parse`] accepts the
+//! CLI `--faults` grammar) or generated from a seed
+//! ([`FaultPlan::random`]) — both are fully deterministic, so a chaos run
+//! under a `VirtualClock` is exactly repeatable.
+//!
+//! Each fault fires at most once per *run*: the per-shard state
+//! ([`ShardFaults`]) lives with the supervisor, outside the shard
+//! incarnation, so a panic fault does not re-fire in the replacement shard
+//! (whose slot counter restarts at zero).
+
+use std::fmt;
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the shard thread at the top of the trigger slot, before
+    /// ingest — exercises supervised restart with exact accounting.
+    Panic,
+    /// Stall the whole shard loop for `cycles` clock cycles: nothing is
+    /// ingested or transmitted while the stall burns.
+    Stall {
+        /// Cycles to burn.
+        cycles: u64,
+    },
+    /// Pause ingest for `cycles` cycles while transmission continues, so
+    /// bounded ingress rings fill up and reject producer pushes.
+    SaturateIngress {
+        /// Cycles during which no ring is popped.
+        cycles: u64,
+    },
+    /// Shift the pacing clock's next deadline by `nanos`
+    /// (negative = earlier). A no-op under a `VirtualClock`.
+    ClockSkew {
+        /// Nanoseconds of skew.
+        nanos: i64,
+    },
+}
+
+/// One scripted fault: a [`FaultKind`] aimed at a shard and a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Index of the shard the fault targets (spawn order).
+    pub shard: usize,
+    /// Trigger: the fault fires at the first slot whose index reaches this
+    /// value (so it still fires if the slot counter jumps past it).
+    pub at_slot: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults across every shard of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults ever fire.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan running exactly the given scripted faults.
+    pub fn scripted(faults: Vec<Fault>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// Adds one fault to the plan.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// True when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// All scripted faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Generates one pseudo-random fault per shard from `seed`, triggered
+    /// somewhere in the first `horizon` slots. Uses a self-contained
+    /// xorshift generator, so the same seed always yields the same plan.
+    pub fn random(seed: u64, shards: usize, horizon: u64) -> Self {
+        let mut state = seed | 1; // xorshift must not start at zero
+        let mut next = move || -> u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let horizon = horizon.max(1);
+        let faults = (0..shards)
+            .map(|shard| {
+                let at_slot = next() % horizon;
+                let kind = match next() % 4 {
+                    0 => FaultKind::Panic,
+                    1 => FaultKind::Stall {
+                        cycles: 1 + next() % 1_000,
+                    },
+                    2 => FaultKind::SaturateIngress {
+                        cycles: 1 + next() % 1_000,
+                    },
+                    _ => {
+                        let magnitude = (next() % 1_000_000) as i64;
+                        let nanos = if next() % 2 == 0 {
+                            magnitude
+                        } else {
+                            -magnitude
+                        };
+                        FaultKind::ClockSkew { nanos }
+                    }
+                };
+                Fault {
+                    shard,
+                    at_slot,
+                    kind,
+                }
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Parses the CLI fault grammar: comma-separated entries of the form
+    /// `KIND@SLOT[*PARAM][#SHARD]`, where `KIND` is one of `panic`,
+    /// `stall` (PARAM = cycles), `sat` (PARAM = cycles) or `skew`
+    /// (PARAM = signed nanoseconds). `#SHARD` defaults to shard 0.
+    ///
+    /// ```
+    /// use smbm_runtime::{Fault, FaultKind, FaultPlan};
+    /// let plan = FaultPlan::parse("panic@100,stall@50*200#1").unwrap();
+    /// assert_eq!(
+    ///     plan.faults()[0],
+    ///     Fault { shard: 0, at_slot: 100, kind: FaultKind::Panic }
+    /// );
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the malformed entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            faults.push(Self::parse_entry(entry)?);
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    fn parse_entry(entry: &str) -> Result<Fault, String> {
+        let (spec, shard) = match entry.split_once('#') {
+            Some((spec, shard)) => {
+                let shard: usize = shard
+                    .parse()
+                    .map_err(|_| format!("fault `{entry}`: bad shard index `{shard}`"))?;
+                (spec, shard)
+            }
+            None => (entry, 0),
+        };
+        let (kind, trigger) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("fault `{entry}`: expected KIND@SLOT"))?;
+        let (slot, param) = match trigger.split_once('*') {
+            Some((slot, param)) => (slot, Some(param)),
+            None => (trigger, None),
+        };
+        let at_slot: u64 = slot
+            .parse()
+            .map_err(|_| format!("fault `{entry}`: bad slot `{slot}`"))?;
+        let cycles = |what: &str| -> Result<u64, String> {
+            param
+                .ok_or_else(|| format!("fault `{entry}`: `{kind}` needs *{what}"))?
+                .parse()
+                .map_err(|_| format!("fault `{entry}`: bad {what}"))
+        };
+        let kind = match kind {
+            "panic" => {
+                if param.is_some() {
+                    return Err(format!("fault `{entry}`: `panic` takes no parameter"));
+                }
+                FaultKind::Panic
+            }
+            "stall" => FaultKind::Stall {
+                cycles: cycles("CYCLES")?,
+            },
+            "sat" => FaultKind::SaturateIngress {
+                cycles: cycles("CYCLES")?,
+            },
+            "skew" => {
+                let nanos: i64 = param
+                    .ok_or_else(|| format!("fault `{entry}`: `skew` needs *NANOS"))?
+                    .parse()
+                    .map_err(|_| format!("fault `{entry}`: bad NANOS"))?;
+                FaultKind::ClockSkew { nanos }
+            }
+            other => {
+                return Err(format!(
+                    "fault `{entry}`: unknown kind `{other}` (expected panic, stall, sat or skew)"
+                ))
+            }
+        };
+        Ok(Fault {
+            shard,
+            at_slot,
+            kind,
+        })
+    }
+
+    /// Extracts the fire-once state for one shard's faults. The supervisor
+    /// owns the result across incarnations, so fired faults stay fired
+    /// after a restart.
+    pub fn for_shard(&self, shard: usize) -> ShardFaults {
+        let armed: Vec<Fault> = self
+            .faults
+            .iter()
+            .copied()
+            .filter(|f| f.shard == shard)
+            .collect();
+        let unfired = armed.len();
+        ShardFaults {
+            fired: vec![false; armed.len()],
+            armed,
+            unfired,
+            ingest_pause: 0,
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            match fault.kind {
+                FaultKind::Panic => write!(f, "panic@{}", fault.at_slot)?,
+                FaultKind::Stall { cycles } => write!(f, "stall@{}*{}", fault.at_slot, cycles)?,
+                FaultKind::SaturateIngress { cycles } => {
+                    write!(f, "sat@{}*{}", fault.at_slot, cycles)?
+                }
+                FaultKind::ClockSkew { nanos } => write!(f, "skew@{}*{}", fault.at_slot, nanos)?,
+            }
+            if fault.shard != 0 {
+                write!(f, "#{}", fault.shard)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One shard's live fault state: which faults have fired plus the
+/// remaining ingest-pause budget. Owned by the supervisor so it survives
+/// shard restarts.
+#[derive(Debug, Clone, Default)]
+pub struct ShardFaults {
+    armed: Vec<Fault>,
+    fired: Vec<bool>,
+    unfired: usize,
+    ingest_pause: u64,
+}
+
+impl ShardFaults {
+    /// Fault state with nothing armed: every poll is a cheap no-op.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Faults due at `slot` that have not fired yet, marking them fired.
+    /// Returned in plan order.
+    pub fn due(&mut self, slot: u64) -> Vec<FaultKind> {
+        if self.unfired == 0 {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        for (fault, fired) in self.armed.iter().zip(self.fired.iter_mut()) {
+            if !*fired && slot >= fault.at_slot {
+                *fired = true;
+                self.unfired -= 1;
+                due.push(fault.kind);
+            }
+        }
+        due
+    }
+
+    /// Extends the ingest pause to at least `cycles` more cycles.
+    pub(crate) fn pause_ingest(&mut self, cycles: u64) {
+        self.ingest_pause = self.ingest_pause.max(cycles);
+    }
+
+    /// Burns one cycle of the ingest pause; true while ingest must skip
+    /// popping the rings.
+    pub(crate) fn ingest_paused(&mut self) -> bool {
+        if self.ingest_pause > 0 {
+            self.ingest_pause -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Faults that have not fired yet.
+    pub fn unfired(&self) -> usize {
+        self.unfired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan = FaultPlan::parse("panic@100, stall@50*200#1, sat@0*32, skew@7*-2500#3").unwrap();
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault {
+                    shard: 0,
+                    at_slot: 100,
+                    kind: FaultKind::Panic
+                },
+                Fault {
+                    shard: 1,
+                    at_slot: 50,
+                    kind: FaultKind::Stall { cycles: 200 }
+                },
+                Fault {
+                    shard: 0,
+                    at_slot: 0,
+                    kind: FaultKind::SaturateIngress { cycles: 32 }
+                },
+                Fault {
+                    shard: 3,
+                    at_slot: 7,
+                    kind: FaultKind::ClockSkew { nanos: -2500 }
+                },
+            ]
+        );
+        // Display round-trips through parse.
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        for bad in [
+            "panic",
+            "panic@x",
+            "panic@5*3",
+            "stall@5",
+            "sat@5*x",
+            "skew@5",
+            "boom@5",
+            "panic@5#x",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.contains(bad), "error `{err}` should name `{bad}`");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_an_empty_plan() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ").unwrap().is_empty());
+        assert_eq!(FaultPlan::none().len(), 0);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_in_range() {
+        let a = FaultPlan::random(0xB0FFE2, 4, 500);
+        let b = FaultPlan::random(0xB0FFE2, 4, 500);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        for (shard, fault) in a.faults().iter().enumerate() {
+            assert_eq!(fault.shard, shard);
+            assert!(fault.at_slot < 500);
+        }
+        // A different seed yields a different plan (overwhelmingly likely).
+        assert_ne!(a, FaultPlan::random(0xDEAD, 4, 500));
+        // Seed 0 must not wedge the xorshift state.
+        assert_eq!(FaultPlan::random(0, 2, 10).len(), 2);
+    }
+
+    #[test]
+    fn faults_fire_once_even_across_restarts() {
+        let plan = FaultPlan::parse("panic@5,stall@8*10").unwrap();
+        let mut sf = plan.for_shard(0);
+        assert_eq!(sf.unfired(), 2);
+        assert!(sf.due(4).is_empty());
+        assert_eq!(sf.due(5), vec![FaultKind::Panic]);
+        // The replacement incarnation restarts its slot counter at 0; the
+        // panic fault must not re-fire, but the stall (slot >= 8) must.
+        assert!(sf.due(0).is_empty());
+        assert_eq!(sf.due(9), vec![FaultKind::Stall { cycles: 10 }]);
+        assert_eq!(sf.unfired(), 0);
+        assert!(sf.due(100).is_empty());
+    }
+
+    #[test]
+    fn late_trigger_fires_on_first_slot_past_it() {
+        let plan = FaultPlan::parse("sat@10*3").unwrap();
+        let mut sf = plan.for_shard(0);
+        assert_eq!(sf.due(25), vec![FaultKind::SaturateIngress { cycles: 3 }]);
+    }
+
+    #[test]
+    fn for_shard_filters_by_target() {
+        let plan = FaultPlan::parse("panic@1#0,panic@2#1,stall@3*4#1").unwrap();
+        assert_eq!(plan.for_shard(0).unfired(), 1);
+        assert_eq!(plan.for_shard(1).unfired(), 2);
+        assert_eq!(plan.for_shard(2).unfired(), 0);
+    }
+
+    #[test]
+    fn ingest_pause_burns_down() {
+        let mut sf = ShardFaults::none();
+        sf.pause_ingest(2);
+        assert!(sf.ingest_paused());
+        assert!(sf.ingest_paused());
+        assert!(!sf.ingest_paused());
+        // A longer pause extends, a shorter one never shortens.
+        sf.pause_ingest(3);
+        sf.pause_ingest(1);
+        assert!(sf.ingest_paused());
+        assert!(sf.ingest_paused());
+        assert!(sf.ingest_paused());
+        assert!(!sf.ingest_paused());
+    }
+}

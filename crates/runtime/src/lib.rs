@@ -17,8 +17,16 @@
 //! * [`run_shard`] — the slot loop itself: ingest, flush schedule, arrival
 //!   phase, transmission, drain — the same phase sequence as the offline
 //!   engine, which is what makes lockstep replay counter-exact;
+//! * [`FaultPlan`] — deterministic, seedable fault injection: panic a
+//!   shard at a slot, stall its loop, saturate its ingress, skew a paced
+//!   clock — the chaos harness behind `--faults`;
 //! * [`RuntimeBuilder`] — spawns shard and producer threads, wires the
-//!   rings, joins everything (panic-tolerant), and merges the reports;
+//!   rings, joins everything (panic-tolerant), and merges the reports.
+//!   Every shard runs under a supervisor that catches panics, restarts the
+//!   shard from its service factory within a [`SupervisionConfig`] budget
+//!   (bounded exponential backoff), hands the orphaned ring backlog to the
+//!   replacement, and accounts every packet so conservation holds across
+//!   restarts;
 //! * [`run_loadgen`] — feeds the datapath from pregenerated MMPP scenario
 //!   traffic and reports throughput, the drop breakdown, and ingress
 //!   latency percentiles.
@@ -27,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod faults;
 mod loadgen;
 mod ring;
 mod runtime;
@@ -34,11 +43,12 @@ mod service;
 mod shard;
 
 pub use clock::{AnyClock, Clock, VirtualClock, WallClock};
+pub use faults::{Fault, FaultKind, FaultPlan, ShardFaults};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenError, LoadgenReport, Model};
 pub use ring::{ring, Consumer, Producer, PushError, TryPop};
 pub use runtime::{
     IngressHandle, ProducerReport, RuntimeBuilder, RuntimeConfig, RuntimeReport, SendOutcome,
-    ShardId,
+    ShardId, SupervisionConfig,
 };
 pub use service::{CombinedService, Service, ValueService, WorkService};
 pub use shard::{run_shard, Batch, IngestMode, ShardConfig, ShardReport};

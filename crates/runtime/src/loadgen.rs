@@ -13,7 +13,8 @@ use smbm_switch::{FlushPolicy, ValueSwitchConfig, WorkSwitchConfig};
 use smbm_traffic::{MmppScenario, PortMix, ValueMix};
 
 use crate::clock::{AnyClock, VirtualClock, WallClock};
-use crate::runtime::{RuntimeBuilder, RuntimeConfig, RuntimeReport};
+use crate::faults::FaultPlan;
+use crate::runtime::{RuntimeBuilder, RuntimeConfig, RuntimeReport, SupervisionConfig};
 use crate::service::{CombinedService, Service, ValueService, WorkService};
 use crate::shard::{IngestMode, ShardConfig};
 
@@ -94,6 +95,10 @@ pub struct LoadgenConfig {
     pub lossy: bool,
     /// Attach per-shard histogram metrics to the report.
     pub record_metrics: bool,
+    /// Faults to inject during the run (chaos mode); empty injects nothing.
+    pub faults: FaultPlan,
+    /// Restarts allowed per shard before its supervisor gives up.
+    pub restart_budget: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -115,6 +120,8 @@ impl Default for LoadgenConfig {
             flush: None,
             lossy: false,
             record_metrics: false,
+            faults: FaultPlan::none(),
+            restart_budget: 3,
         }
     }
 }
@@ -192,8 +199,9 @@ impl LoadgenReport {
         format!(
             "{{\"model\":\"{}\",\"policy\":\"{}\",\"shards\":{},\"generated\":{},\
              \"arrived\":{},\"admitted\":{},\"transmitted\":{},\"score\":{},\
-             \"drops\":{{\"switch\":{},\"backpressure\":{}}},\
-             \"lost\":{},\"elapsed_ms\":{:.3},\"packets_per_sec\":{:.0},\
+             \"drops\":{{\"switch\":{},\"backpressure\":{},\"shard_failure\":{}}},\
+             \"lost\":{},\"restarts\":{},\"orphans\":{},\"gave_up\":{},\
+             \"elapsed_ms\":{:.3},\"packets_per_sec\":{:.0},\
              \"ingress_latency_ns\":{}}}",
             self.model,
             self.policy,
@@ -205,7 +213,11 @@ impl LoadgenReport {
             self.score(),
             c.dropped_at_switch(),
             c.dropped_backpressure(),
+            c.dropped_shard_failure(),
             self.runtime.lost_packets(),
+            self.runtime.restarts(),
+            self.runtime.orphaned_packets(),
+            self.runtime.shards_gave_up(),
             self.runtime.elapsed.as_secs_f64() * 1e3,
             self.processed_per_sec(),
             lat.to_json(),
@@ -236,6 +248,33 @@ impl fmt::Display for LoadgenReport {
             c.dropped_backpressure(),
             self.score(),
         )?;
+        if self.runtime.shard_panics > 0 {
+            writeln!(
+                f,
+                "  supervision: {} panic(s), {} restart(s), {} orphaned packet(s), \
+                 {} shard-failure drop(s), {} shard(s) abandoned",
+                self.runtime.shard_panics,
+                self.runtime.restarts(),
+                self.runtime.orphaned_packets(),
+                c.dropped_shard_failure(),
+                self.runtime.shards_gave_up(),
+            )?;
+            for shard in self
+                .runtime
+                .shards
+                .iter()
+                .filter(|s| s.restarts > 0 || s.gave_up)
+            {
+                writeln!(
+                    f,
+                    "    shard {}: {} restart(s), {} orphaned packet(s){}",
+                    shard.shard,
+                    shard.restarts,
+                    shard.orphaned_packets,
+                    if shard.gave_up { ", gave up" } else { "" },
+                )?;
+            }
+        }
         write!(
             f,
             "  ingress latency p50 {} ns, p99 {} ns, max {} ns",
@@ -293,7 +332,7 @@ fn scenario_for(config: &LoadgenConfig, shard: usize) -> MmppScenario {
 fn drive<S: Service>(
     config: &LoadgenConfig,
     policy: String,
-    factories: Vec<Box<dyn FnOnce() -> S + Send>>,
+    factories: Vec<Box<dyn Fn() -> S + Send>>,
     feeds: Vec<Vec<Vec<S::Packet>>>,
 ) -> LoadgenReport {
     let generated_packets: u64 = feeds.iter().flatten().map(|batch| batch.len() as u64).sum();
@@ -305,6 +344,11 @@ fn drive<S: Service>(
             drain_at_end: true,
         },
         record_metrics: config.record_metrics,
+        faults: config.faults.clone(),
+        supervision: SupervisionConfig {
+            restart_budget: config.restart_budget,
+            ..SupervisionConfig::default()
+        },
     });
     let lossy = config.lossy;
     for (factory, batches) in factories.into_iter().zip(feeds) {
@@ -353,7 +397,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError
                 .to_owned();
             let switch_cfg = WorkSwitchConfig::contiguous(config.ports as u32, config.buffer)
                 .map_err(|e| invalid(&e))?;
-            let mut factories: Vec<Box<dyn FnOnce() -> _ + Send>> = Vec::new();
+            let mut factories: Vec<Box<dyn Fn() -> _ + Send>> = Vec::new();
             let mut feeds = Vec::new();
             for shard in 0..config.shards {
                 let trace = scenario_for(config, shard)
@@ -365,7 +409,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError
                 let speedup = config.speedup;
                 factories.push(Box::new(move || {
                     let policy = work_policy_by_name(&name).expect("validated above");
-                    WorkService::new(smbm_core::WorkRunner::new(cfg, policy, speedup))
+                    WorkService::new(smbm_core::WorkRunner::new(cfg.clone(), policy, speedup))
                 }));
             }
             Ok(drive(config, canonical, factories, feeds))
@@ -383,7 +427,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError
             let value_mix = ValueMix::Uniform {
                 max: config.max_value,
             };
-            let mut factories: Vec<Box<dyn FnOnce() -> _ + Send>> = Vec::new();
+            let mut factories: Vec<Box<dyn Fn() -> _ + Send>> = Vec::new();
             let mut feeds = Vec::new();
             for shard in 0..config.shards {
                 let trace = scenario_for(config, shard)
@@ -412,7 +456,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError
             let value_mix = ValueMix::Uniform {
                 max: config.max_value,
             };
-            let mut factories: Vec<Box<dyn FnOnce() -> _ + Send>> = Vec::new();
+            let mut factories: Vec<Box<dyn Fn() -> _ + Send>> = Vec::new();
             let mut feeds = Vec::new();
             for shard in 0..config.shards {
                 let trace = scenario_for(config, shard)
@@ -424,7 +468,11 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError
                 let speedup = config.speedup;
                 factories.push(Box::new(move || {
                     let policy = combined_policy_by_name(&name).expect("validated above");
-                    CombinedService::new(smbm_core::CombinedRunner::new(cfg, policy, speedup))
+                    CombinedService::new(smbm_core::CombinedRunner::new(
+                        cfg.clone(),
+                        policy,
+                        speedup,
+                    ))
                 }));
             }
             Ok(drive(config, canonical, factories, feeds))

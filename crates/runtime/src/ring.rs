@@ -39,7 +39,16 @@ impl<T> Shared<T> {
 pub struct Producer<T>(Arc<Shared<T>>);
 
 /// The receiving half of a ring, held by exactly one shard thread.
-pub struct Consumer<T>(Arc<Shared<T>>);
+///
+/// By default dropping the consumer closes the ring (legacy shutdown
+/// semantics). A supervised shard instead holds *persistent* consumers
+/// ([`Consumer::persistent`]) whose drop leaves the ring open, so the
+/// backlog survives the incarnation's panic and a replacement shard — fed
+/// a [`Consumer::shadow`] of the same ring — can drain it.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    close_on_drop: bool,
+}
 
 /// A push that did not enqueue, returning the item to the caller.
 #[derive(Debug, PartialEq, Eq)]
@@ -78,7 +87,13 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (Producer(shared.clone()), Consumer(shared))
+    (
+        Producer(shared.clone()),
+        Consumer {
+            shared,
+            close_on_drop: true,
+        },
+    )
 }
 
 impl<T> Producer<T> {
@@ -146,26 +161,30 @@ impl<T> Consumer<T> {
     /// Dequeues the oldest item, blocking while the ring is empty. Returns
     /// `None` only when the ring is empty *and* the producer is gone.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.0.lock();
+        let mut st = self.shared.lock();
         loop {
             if let Some(item) = st.queue.pop_front() {
                 drop(st);
-                self.0.not_full.notify_one();
+                self.shared.not_full.notify_one();
                 return Some(item);
             }
             if st.producer_closed {
                 return None;
             }
-            st = self.0.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Dequeues the oldest item without blocking.
     pub fn try_pop(&self) -> TryPop<T> {
-        let mut st = self.0.lock();
+        let mut st = self.shared.lock();
         if let Some(item) = st.queue.pop_front() {
             drop(st);
-            self.0.not_full.notify_one();
+            self.shared.not_full.notify_one();
             return TryPop::Item(item);
         }
         if st.producer_closed {
@@ -177,7 +196,7 @@ impl<T> Consumer<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.0.lock().queue.len()
+        self.shared.lock().queue.len()
     }
 
     /// True when nothing is queued right now.
@@ -185,20 +204,51 @@ impl<T> Consumer<T> {
         self.len() == 0
     }
 
+    /// Converts this handle into one whose drop does *not* close the ring.
+    /// Supervised shards use this so an incarnation's panic (which drops
+    /// its consumers mid-unwind) leaves the backlog intact for the
+    /// replacement; the supervisor closes the ring explicitly when done.
+    pub(crate) fn persistent(mut self) -> Self {
+        self.close_on_drop = false;
+        self
+    }
+
+    /// A second non-closing view of the same ring. The SPSC discipline
+    /// still applies: at most one handle may pop at a time (the supervisor
+    /// only shadows rings of a shard incarnation that is already dead).
+    pub(crate) fn shadow(&self) -> Self {
+        Consumer {
+            shared: self.shared.clone(),
+            close_on_drop: false,
+        }
+    }
+
+    /// Visits every queued item without dequeuing, oldest first. Used by
+    /// the supervisor to count a dead shard's orphaned backlog.
+    pub(crate) fn peek<F: FnMut(&T)>(&self, mut f: F) {
+        let st = self.shared.lock();
+        for item in st.queue.iter() {
+            f(item);
+        }
+    }
+
     /// Abandons the stream: subsequent pushes fail with
-    /// [`PushError::Closed`]. Also performed on drop.
+    /// [`PushError::Closed`]. Also performed on drop (unless the handle was
+    /// made [`Consumer::persistent`]).
     pub fn close(&self) {
-        let mut st = self.0.lock();
+        let mut st = self.shared.lock();
         st.consumer_closed = true;
         drop(st);
-        self.0.not_empty.notify_all();
-        self.0.not_full.notify_all();
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
     }
 }
 
 impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
-        self.close();
+        if self.close_on_drop {
+            self.close();
+        }
     }
 }
 
@@ -277,6 +327,44 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         drop(rx);
         assert_eq!(h.join().unwrap(), Err(PushError::Closed(2)));
+    }
+
+    #[test]
+    fn closed_wins_over_full() {
+        // A full ring whose consumer is gone must report `Closed`, never
+        // `Full`: shutdown rejections are not load-induced backpressure and
+        // must not be tallied as such.
+        let (tx, rx) = ring(1);
+        tx.try_push(1).unwrap();
+        assert_eq!(tx.try_push(2), Err(PushError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_push(3), Err(PushError::Closed(3)));
+    }
+
+    #[test]
+    fn persistent_consumer_drop_keeps_ring_open() {
+        let (tx, rx) = ring(4);
+        tx.push(1).unwrap();
+        let shadow = rx.shadow();
+        drop(rx.persistent());
+        // The backlog survived and the ring still accepts pushes.
+        tx.push(2).unwrap();
+        assert_eq!(shadow.pop(), Some(1));
+        assert_eq!(shadow.pop(), Some(2));
+        // An explicit close still works from a shadow handle.
+        shadow.close();
+        assert_eq!(tx.try_push(3), Err(PushError::Closed(3)));
+    }
+
+    #[test]
+    fn peek_counts_without_dequeuing() {
+        let (tx, rx) = ring(4);
+        tx.push(10).unwrap();
+        tx.push(20).unwrap();
+        let mut seen = Vec::new();
+        rx.peek(|&v| seen.push(v));
+        assert_eq!(seen, vec![10, 20]);
+        assert_eq!(rx.len(), 2);
     }
 
     #[test]

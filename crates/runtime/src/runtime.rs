@@ -8,19 +8,32 @@
 //! Producer panics are contained by construction: an unwinding producer
 //! drops its ring handle, the shard drains what was already queued, and
 //! every thread still joins.
+//!
+//! Shard panics are contained by *supervision*: every shard thread runs a
+//! supervisor loop that catches the incarnation's unwind, counts the
+//! orphaned ring backlog, rebuilds the service from the same factory, and
+//! restarts within a [`SupervisionConfig`] budget (bounded exponential
+//! backoff). The orphaned backlog survives in the rings — consumers held by
+//! a supervised incarnation never close on drop — so the replacement drains
+//! it; when the budget is exhausted the supervisor closes the rings itself
+//! and accounts every remaining packet as a
+//! [`DropReason::ShardFailure`] loss, keeping packet conservation exact
+//! across restarts and give-ups alike.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use smbm_obs::{HistogramRecorder, NullObserver};
+use smbm_obs::{HistogramRecorder, NullObserver, Observer, Phase};
 use smbm_switch::{Counters, DropReason, PortId};
 
 use crate::clock::Clock;
-use crate::ring::{ring, Producer, PushError};
+use crate::faults::{FaultPlan, ShardFaults};
+use crate::ring::{ring, Consumer, Producer, PushError, TryPop};
 use crate::service::Service;
-use crate::shard::{run_shard, Batch, ShardConfig, ShardReport};
+use crate::shard::{run_shard_core, Batch, ShardConfig, ShardProgress, ShardReport};
 
 /// Datapath-wide knobs.
 #[derive(Debug, Clone)]
@@ -32,6 +45,11 @@ pub struct RuntimeConfig {
     /// Attach a [`HistogramRecorder`] to every shard and return it in the
     /// report.
     pub record_metrics: bool,
+    /// Scripted fault injection; [`FaultPlan::none`] (the default) injects
+    /// nothing.
+    pub faults: FaultPlan,
+    /// How shard panics are retried and when the supervisor gives up.
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -40,7 +58,51 @@ impl Default for RuntimeConfig {
             ring_capacity: 64,
             shard: ShardConfig::default(),
             record_metrics: false,
+            faults: FaultPlan::none(),
+            supervision: SupervisionConfig::default(),
         }
+    }
+}
+
+/// Restart policy for supervised shards.
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Restarts allowed per shard before the supervisor gives up and drops
+    /// the remaining ring backlog as [`DropReason::ShardFailure`] losses.
+    pub restart_budget: u32,
+    /// Backoff before the first restart; doubles on each further restart.
+    /// A zero base skips sleeping entirely (deterministic tests).
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            restart_budget: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(250),
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// A policy with `budget` restarts and no backoff sleeps, for
+    /// deterministic tests.
+    pub fn immediate(budget: u32) -> Self {
+        SupervisionConfig {
+            restart_budget: budget,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before restart `attempt` (1-based):
+    /// `backoff_base * 2^(attempt-1)`, capped at `backoff_cap`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(20);
+        (self.backoff_base * factor).min(self.backoff_cap)
     }
 }
 
@@ -58,6 +120,7 @@ struct ProducerStats {
     backpressure_packets: AtomicU64,
     backpressure_value: AtomicU64,
     lost_packets: AtomicU64,
+    lost_value: AtomicU64,
 }
 
 /// What one producer did, reported after the runtime joins it.
@@ -76,7 +139,11 @@ pub struct ProducerReport {
     /// Total value of backpressure-rejected packets.
     pub backpressure_value: u64,
     /// Packets lost because the shard disappeared mid-send.
+    /// [`RuntimeReport::counters`] folds them in as
+    /// [`DropReason::ShardFailure`] drops.
     pub lost_packets: u64,
+    /// Total value of the lost packets.
+    pub lost_value: u64,
     /// The producer job panicked. Tallies reflect everything up to the
     /// panic; the shard drained whatever was already queued.
     pub panicked: bool,
@@ -117,8 +184,10 @@ impl<P: Copy> IngressHandle<P> {
                 true
             }
             Err(PushError::Full(_)) => unreachable!("blocking push never reports full"),
-            Err(PushError::Closed(_)) => {
+            Err(PushError::Closed(batch)) => {
+                let value: u64 = batch.packets.iter().map(|&p| (self.meta)(p).2).sum();
                 self.stats.lost_packets.fetch_add(n, Ordering::Relaxed);
+                self.stats.lost_value.fetch_add(value, Ordering::Relaxed);
                 false
             }
         }
@@ -146,15 +215,17 @@ impl<P: Copy> IngressHandle<P> {
                     .fetch_add(value, Ordering::Relaxed);
                 SendOutcome::Rejected(DropReason::Backpressure)
             }
-            Err(PushError::Closed(_)) => {
+            Err(PushError::Closed(batch)) => {
+                let value: u64 = batch.packets.iter().map(|&p| (self.meta)(p).2).sum();
                 self.stats.lost_packets.fetch_add(n, Ordering::Relaxed);
+                self.stats.lost_value.fetch_add(value, Ordering::Relaxed);
                 SendOutcome::Disconnected
             }
         }
     }
 }
 
-type ServiceFactory<S> = Box<dyn FnOnce() -> S + Send>;
+type ServiceFactory<S> = Box<dyn Fn() -> S + Send>;
 type ProducerJob<P> = Box<dyn FnOnce(&mut IngressHandle<P>) + Send>;
 
 struct ShardSlot<S: Service> {
@@ -180,7 +251,11 @@ impl<S: Service> RuntimeBuilder<S> {
 
     /// Adds a shard whose service is built by `factory` *inside* the shard
     /// thread. Returns the id to attach producers to.
-    pub fn add_shard(&mut self, factory: impl FnOnce() -> S + Send + 'static) -> ShardId {
+    ///
+    /// The factory must be reusable (`Fn`, not `FnOnce`): the supervisor
+    /// calls it again to rebuild the service when the shard panics and is
+    /// restarted.
+    pub fn add_shard(&mut self, factory: impl Fn() -> S + Send + 'static) -> ShardId {
         self.shards.push(ShardSlot {
             factory: Box::new(factory),
             producers: Vec::new(),
@@ -208,14 +283,17 @@ impl<S: Service> RuntimeBuilder<S> {
     /// Spawns every shard and producer thread, waits for the datapath to
     /// finish (all producers done, all rings drained, buffers emptied when
     /// configured), and collects the reports. `clock_factory` builds each
-    /// shard's pacing clock from its index.
-    pub fn run<C: Clock + Send + 'static>(
+    /// shard's pacing clock from its index; the clock must be `Clone`
+    /// because each restarted incarnation gets a fresh copy (a paced
+    /// [`crate::WallClock`] re-arms its deadline from scratch).
+    pub fn run<C: Clock + Clone + Send + 'static>(
         self,
         mut clock_factory: impl FnMut(usize) -> C,
     ) -> RuntimeReport {
         let started = Instant::now();
         let record_metrics = self.config.record_metrics;
         let shard_config = self.config.shard.clone();
+        let supervision = self.config.supervision.clone();
         let mut shard_handles = Vec::new();
         let mut producer_handles = Vec::new();
 
@@ -240,18 +318,36 @@ impl<S: Service> RuntimeBuilder<S> {
             let factory = slot.factory;
             let clock = clock_factory(i);
             let config = shard_config.clone();
+            let supervision = supervision.clone();
+            let faults = self.config.faults.for_shard(i);
             let join = thread::Builder::new()
                 .name(format!("smbm-shard-{i}"))
                 .spawn(move || {
-                    let service = factory();
                     if record_metrics {
                         let mut metrics = HistogramRecorder::new();
-                        let mut report =
-                            run_shard(service, consumers, clock, &config, &mut metrics);
+                        let mut report = supervise_shard(
+                            i,
+                            &factory,
+                            consumers,
+                            clock,
+                            &config,
+                            &supervision,
+                            faults,
+                            &mut metrics,
+                        );
                         report.metrics = Some(metrics);
                         report
                     } else {
-                        run_shard(service, consumers, clock, &config, &mut NullObserver)
+                        supervise_shard(
+                            i,
+                            &factory,
+                            consumers,
+                            clock,
+                            &config,
+                            &supervision,
+                            faults,
+                            &mut NullObserver,
+                        )
                     }
                 })
                 .expect("spawn shard thread");
@@ -271,6 +367,7 @@ impl<S: Service> RuntimeBuilder<S> {
                 backpressure_packets: stats.backpressure_packets.load(Ordering::Relaxed),
                 backpressure_value: stats.backpressure_value.load(Ordering::Relaxed),
                 lost_packets: stats.lost_packets.load(Ordering::Relaxed),
+                lost_value: stats.lost_value.load(Ordering::Relaxed),
                 panicked,
             });
         }
@@ -279,7 +376,14 @@ impl<S: Service> RuntimeBuilder<S> {
         let mut shard_panics = 0;
         for join in shard_handles {
             match join.join() {
-                Ok(report) => shards.push(report),
+                // Every incarnation that died counts: the restarts plus the
+                // final unrecovered death when the supervisor gave up.
+                Ok(report) => {
+                    shard_panics += report.restarts as usize + usize::from(report.gave_up);
+                    shards.push(report);
+                }
+                // The supervisor itself should never unwind; if it does,
+                // count the thread as one panic and carry on.
                 Err(_) => shard_panics += 1,
             }
         }
@@ -293,14 +397,163 @@ impl<S: Service> RuntimeBuilder<S> {
     }
 }
 
+/// Runs one shard under supervision: incarnations are built from `factory`
+/// and driven by [`run_shard_core`]; a panicking incarnation is accounted
+/// exactly and replaced (with backoff) until `supervision`'s restart budget
+/// runs out.
+///
+/// Accounting at each panic, so conservation holds datapath-wide:
+///
+/// * counters up to the last completed slot come from the incarnation's
+///   [`ShardProgress`] snapshot;
+/// * packets popped from the rings but not yet reflected in that snapshot
+///   (a mid-slot death) become [`DropReason::ShardFailure`] drops;
+/// * packets resident in the dead buffer become push-outs — their exact
+///   value is recovered from the snapshot's value law
+///   (`admitted - transmitted - pushed_out`);
+/// * the ring backlog is left in place for the replacement (or drained as
+///   shard-failure drops on give-up).
+#[allow(clippy::too_many_arguments)]
+fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
+    shard_id: usize,
+    factory: &ServiceFactory<S>,
+    consumers: Vec<Consumer<Batch<S::Packet>>>,
+    clock: C,
+    config: &ShardConfig,
+    supervision: &SupervisionConfig,
+    mut faults: ShardFaults,
+    obs: &mut O,
+) -> ShardReport {
+    let started = Instant::now();
+    // Non-closing views of every ring: the backlog must survive an
+    // incarnation's unwind (which drops that incarnation's consumers), and
+    // the supervisor itself peeks, drains, and finally closes through them.
+    let standbys: Vec<Consumer<Batch<S::Packet>>> = consumers.iter().map(|c| c.shadow()).collect();
+    let mut live: Vec<Consumer<Batch<S::Packet>>> =
+        consumers.into_iter().map(|c| c.persistent()).collect();
+
+    let mut acc = ShardProgress::new();
+    let mut restarts: u32 = 0;
+    let mut orphaned: u64 = 0;
+    let mut gave_up = false;
+
+    loop {
+        let mut progress = ShardProgress::new();
+        let incarnation_rings = std::mem::take(&mut live);
+        let incarnation_clock = clock.clone();
+        // AssertUnwindSafe: everything the closure can leave half-updated
+        // is plain data (tallies in `progress`, fire-once flags in
+        // `faults`, histogram buckets in `obs`), read afterwards only in
+        // ways that tolerate a torn last write — the snapshot fields are
+        // whole-struct copies taken at slot boundaries.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // Built inside the guarded scope: a panicking factory counts as
+            // an incarnation failure like any other.
+            let service = factory();
+            run_shard_core(
+                service,
+                incarnation_rings,
+                incarnation_clock,
+                config,
+                &mut faults,
+                &mut progress,
+                obs,
+            );
+        }));
+
+        match result {
+            Ok(()) => {
+                acc.absorb(&progress);
+                break;
+            }
+            Err(_) => {
+                obs.phase_start(Phase::Recovery);
+                let mut backlog = 0u64;
+                for s in &standbys {
+                    s.peek(|b| backlog += b.packets.len() as u64);
+                }
+                orphaned += backlog;
+                obs.shard_panicked(progress.slots, backlog);
+
+                // Packets the dead incarnation popped but never accounted
+                // (it died mid-slot) are shard-failure drops; packets still
+                // resident in its buffer died with it and are recorded as
+                // push-outs, with their value recovered from the snapshot's
+                // value law. After this the incarnation's books balance.
+                let gap_p = progress
+                    .ingested_packets
+                    .saturating_sub(progress.counters.arrived());
+                let gap_v = progress
+                    .ingested_value
+                    .saturating_sub(progress.counters.arrived_value());
+                progress.counters.record_shard_failure_bulk(gap_p, gap_v);
+                let resident_v = progress
+                    .counters
+                    .admitted_value()
+                    .saturating_sub(progress.counters.transmitted_value())
+                    .saturating_sub(progress.counters.pushed_out_value());
+                progress
+                    .counters
+                    .record_flush(progress.occupancy as u64, resident_v);
+                progress.occupancy = 0;
+                acc.absorb(&progress);
+
+                if restarts >= supervision.restart_budget {
+                    gave_up = true;
+                    obs.shard_failed(progress.slots, backlog);
+                    obs.phase_end(Phase::Recovery);
+                    break;
+                }
+                restarts += 1;
+                let backoff = supervision.backoff(restarts);
+                if !backoff.is_zero() {
+                    thread::sleep(backoff);
+                }
+                live = standbys.iter().map(|s| s.shadow()).collect();
+                obs.shard_restarted(progress.slots, restarts as u64);
+                obs.phase_end(Phase::Recovery);
+            }
+        }
+    }
+
+    // Close the rings explicitly (persistent handles never close on drop):
+    // blocked producers unblock with `Closed`, and whatever is still queued
+    // — the give-up backlog, or leftovers after an admission-error abort —
+    // is drained and accounted as shard-failure drops. A normal completion
+    // leaves the rings empty, so this is a no-op there.
+    for s in &standbys {
+        s.close();
+    }
+    let mut drained_p = 0u64;
+    let mut drained_v = 0u64;
+    for s in &standbys {
+        while let TryPop::Item(b) = s.try_pop() {
+            drained_p += b.packets.len() as u64;
+            drained_v += b.packets.iter().map(|&p| S::meta(p).2).sum::<u64>();
+        }
+    }
+    if drained_p > 0 {
+        acc.counters.record_shard_failure_bulk(drained_p, drained_v);
+    }
+
+    let mut report = acc.into_report(shard_id, started.elapsed());
+    report.restarts = restarts;
+    report.orphaned_packets = orphaned;
+    report.gave_up = gave_up;
+    report
+}
+
 /// Everything the datapath did, shard by shard and producer by producer.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
-    /// Per-shard reports, in shard order (panicked shards are absent).
+    /// Per-shard reports, in shard order. Supervision means every shard
+    /// reports, even one whose incarnations all panicked: the supervisor
+    /// synthesizes the report from the accounting it recovered
+    /// ([`ShardReport::gave_up`] marks an abandoned shard).
     pub shards: Vec<ShardReport>,
     /// Per-producer reports, grouped by shard in spawn order.
     pub producers: Vec<ProducerReport>,
-    /// Shard threads that panicked instead of reporting.
+    /// Shard incarnations that panicked, whether restarted or not.
     pub shard_panics: usize,
     /// Wall-clock time from first spawn to last join.
     pub elapsed: Duration,
@@ -308,9 +561,11 @@ pub struct RuntimeReport {
 
 impl RuntimeReport {
     /// Datapath-wide counters: every shard's switch counters merged, plus
-    /// producer-side backpressure rejections folded in as arrivals dropped
-    /// with [`DropReason::Backpressure`] — so the conservation laws hold
-    /// over the whole datapath, not just inside each switch.
+    /// producer-side backpressure rejections folded in as
+    /// [`DropReason::Backpressure`] drops and producer-side losses (sends
+    /// into a dead shard's closed ring) as [`DropReason::ShardFailure`]
+    /// drops — so the conservation laws hold over the whole datapath, not
+    /// just inside each switch, even across shard panics and restarts.
     pub fn counters(&self) -> Counters {
         let mut total = Counters::new();
         for shard in &self.shards {
@@ -319,6 +574,7 @@ impl RuntimeReport {
         let bp_packets: u64 = self.producers.iter().map(|p| p.backpressure_packets).sum();
         let bp_value: u64 = self.producers.iter().map(|p| p.backpressure_value).sum();
         total.record_backpressure_bulk(bp_packets, bp_value);
+        total.record_shard_failure_bulk(self.lost_packets(), self.lost_value());
         total
     }
 
@@ -335,6 +591,27 @@ impl RuntimeReport {
     /// Packets lost to mid-send shard disappearance, across all producers.
     pub fn lost_packets(&self) -> u64 {
         self.producers.iter().map(|p| p.lost_packets).sum()
+    }
+
+    /// Total value of the packets in [`RuntimeReport::lost_packets`].
+    pub fn lost_value(&self) -> u64 {
+        self.producers.iter().map(|p| p.lost_value).sum()
+    }
+
+    /// Supervised restarts across all shards.
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| u64::from(s.restarts)).sum()
+    }
+
+    /// Packets found orphaned in dead incarnations' rings, across all
+    /// shards and panics.
+    pub fn orphaned_packets(&self) -> u64 {
+        self.shards.iter().map(|s| s.orphaned_packets).sum()
+    }
+
+    /// Shards the supervisor abandoned after exhausting the restart budget.
+    pub fn shards_gave_up(&self) -> usize {
+        self.shards.iter().filter(|s| s.gave_up).count()
     }
 
     /// Packets through admission control per second of datapath wall time.
@@ -361,7 +638,7 @@ mod tests {
         let mut b = RuntimeBuilder::new(RuntimeConfig {
             ring_capacity: 4,
             shard: ShardConfig::lockstep(),
-            record_metrics: false,
+            ..RuntimeConfig::default()
         });
         let ids = (0..shards)
             .map(|_| {
@@ -437,6 +714,7 @@ mod tests {
             ring_capacity: 4,
             shard: ShardConfig::lockstep(),
             record_metrics: true,
+            ..RuntimeConfig::default()
         });
         let id = b.add_shard(|| {
             let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
@@ -452,11 +730,75 @@ mod tests {
     }
 
     #[test]
+    fn panic_fault_restarts_and_conserves_packets() {
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 4,
+            shard: ShardConfig::lockstep(),
+            faults: FaultPlan::parse("panic@2").unwrap(),
+            supervision: SupervisionConfig::immediate(3),
+            ..RuntimeConfig::default()
+        });
+        let id = b.add_shard(|| {
+            let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
+            WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+        });
+        b.add_producer(id, |h| {
+            for _ in 0..10 {
+                assert!(h.send(vec![wp(0, 1), wp(1, 2)]), "ring reopens on restart");
+            }
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.shard_panics, 1);
+        assert_eq!(report.restarts(), 1);
+        assert_eq!(report.shards[0].shard, 0);
+        assert!(!report.shards[0].gave_up);
+        assert_eq!(report.lost_packets(), 0, "no send hit a closed ring");
+        let c = report.counters();
+        assert_eq!(c.arrived(), 20, "every offered packet is accounted");
+        assert!(c.check_conservation(0).is_ok());
+        assert!(c.check_value_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn exhausted_budget_gives_up_and_accounts_the_backlog() {
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 4,
+            shard: ShardConfig::lockstep(),
+            faults: FaultPlan::parse("panic@0").unwrap(),
+            supervision: SupervisionConfig::immediate(0),
+            ..RuntimeConfig::default()
+        });
+        let id = b.add_shard(|| {
+            let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
+            WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+        });
+        b.add_producer(id, |h| {
+            for _ in 0..10 {
+                // Sends start failing once the supervisor closes the ring;
+                // both outcomes are legitimate and must be accounted.
+                h.send(vec![wp(0, 1), wp(1, 2)]);
+            }
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.shard_panics, 1);
+        assert_eq!(report.restarts(), 0);
+        assert_eq!(report.shards_gave_up(), 1);
+        assert!(report.shards[0].gave_up);
+        assert!(report.shards[0].error.is_none(), "give-up is not an error");
+        let c = report.counters();
+        assert_eq!(c.transmitted(), 0, "the shard died before its first slot");
+        assert_eq!(c.arrived(), 20, "backlog + lost sends are all accounted");
+        assert_eq!(c.dropped_shard_failure(), 20);
+        assert!(c.check_conservation(0).is_ok());
+        assert!(c.check_value_conservation(0).is_ok());
+    }
+
+    #[test]
     fn try_send_backpressure_is_counted_not_lost() {
         let mut b = RuntimeBuilder::new(RuntimeConfig {
             ring_capacity: 1,
             shard: ShardConfig::freerun(),
-            record_metrics: false,
+            ..RuntimeConfig::default()
         });
         let id = b.add_shard(|| {
             let cfg = WorkSwitchConfig::contiguous(1, 2).unwrap();

@@ -5,7 +5,10 @@
 //! This mirrors the simulation engine's internal `EngineSystem` adapter, but
 //! lives in public API space because shard threads construct their service
 //! from a caller-supplied factory (the service itself never crosses threads;
-//! only its plain-data [`Counters`] snapshot comes back).
+//! only its plain-data [`Counters`] snapshot comes back). Factories are
+//! `Fn`, not `FnOnce`: the supervisor reinvokes the same factory to rebuild
+//! a shard's service after a panic, so a factory must yield a fresh,
+//! equivalently-configured service every time it is called.
 
 use smbm_core::{
     CombinedPolicy, CombinedRunner, CombinedSystem, ValuePolicy, ValueRunner, ValueSystem,

@@ -17,6 +17,7 @@ use smbm_obs::{LogHistogram, Observer, Phase};
 use smbm_switch::{ArrivalOutcome, Counters, FlushMode, FlushPolicy, Transmitted};
 
 use crate::clock::Clock;
+use crate::faults::{FaultKind, ShardFaults};
 use crate::ring::{Consumer, TryPop};
 use crate::service::Service;
 
@@ -101,6 +102,9 @@ impl Default for ShardConfig {
 /// so nothing policy-shaped ever crosses threads.
 #[derive(Debug, Clone)]
 pub struct ShardReport {
+    /// Index of the shard in spawn order, so failure reports name the
+    /// shard that died rather than a bare aggregate count.
+    pub shard: usize,
     /// The service's label (policy name).
     pub label: String,
     /// Lifetime switch counters (admissions, drops by class, push-outs,
@@ -135,6 +139,121 @@ pub struct ShardReport {
     /// Per-shard histogram metrics, when the runtime was asked to record
     /// them.
     pub metrics: Option<smbm_obs::HistogramRecorder>,
+    /// Supervised restarts after panics (0 = the shard never died).
+    pub restarts: u32,
+    /// Packets found queued in the shard's ingress rings at panic instants:
+    /// drained into the replacement incarnation, or dropped as
+    /// shard-failure losses when the supervisor gave up.
+    pub orphaned_packets: u64,
+    /// The supervisor exhausted its restart budget and abandoned the
+    /// shard; its remaining ring backlog was dropped as shard-failure.
+    pub gave_up: bool,
+}
+
+/// Live accounting for one shard incarnation, written through as the loop
+/// runs (not at exit) so that a panicking incarnation leaves an exact
+/// record behind: the supervisor reads the last completed slot's counter
+/// snapshot plus the ingest tallies to account every packet the dead shard
+/// ever held.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardProgress {
+    pub(crate) label: String,
+    pub(crate) slots: u64,
+    pub(crate) cycles: u64,
+    pub(crate) bursts: u64,
+    pub(crate) occ_sum: u64,
+    pub(crate) occ_max: usize,
+    pub(crate) ingress_latency_ns: LogHistogram,
+    /// Packets popped from the rings, including any not yet reflected in
+    /// the counter snapshot (a mid-slot death leaves a gap).
+    pub(crate) ingested_packets: u64,
+    /// Total intrinsic value of the ingested packets.
+    pub(crate) ingested_value: u64,
+    /// Switch counters at the last completed slot boundary.
+    pub(crate) counters: Counters,
+    /// Objective at the last completed slot boundary.
+    pub(crate) score: u64,
+    /// Buffer occupancy at the last completed slot boundary.
+    pub(crate) occupancy: usize,
+    pub(crate) drain_stalled: bool,
+    pub(crate) error: Option<String>,
+}
+
+impl ShardProgress {
+    pub(crate) fn new() -> Self {
+        ShardProgress {
+            label: String::new(),
+            slots: 0,
+            cycles: 0,
+            bursts: 0,
+            occ_sum: 0,
+            occ_max: 0,
+            ingress_latency_ns: LogHistogram::new(),
+            ingested_packets: 0,
+            ingested_value: 0,
+            counters: Counters::new(),
+            score: 0,
+            occupancy: 0,
+            drain_stalled: false,
+            error: None,
+        }
+    }
+
+    fn snapshot<S: Service>(&mut self, service: &S) {
+        self.counters = service.counters();
+        self.score = service.score();
+        self.occupancy = service.occupancy();
+    }
+
+    /// Folds another incarnation's progress into this accumulator: additive
+    /// tallies sum, extrema take the max, and last-writer fields (label,
+    /// occupancy, error) take `other`'s when present.
+    pub(crate) fn absorb(&mut self, other: &ShardProgress) {
+        if !other.label.is_empty() {
+            self.label = other.label.clone();
+        }
+        self.slots += other.slots;
+        self.cycles += other.cycles;
+        self.bursts += other.bursts;
+        self.occ_sum += other.occ_sum;
+        self.occ_max = self.occ_max.max(other.occ_max);
+        self.ingress_latency_ns.merge(&other.ingress_latency_ns);
+        self.ingested_packets += other.ingested_packets;
+        self.ingested_value += other.ingested_value;
+        self.counters.merge(&other.counters);
+        self.score += other.score;
+        self.occupancy = other.occupancy;
+        self.drain_stalled |= other.drain_stalled;
+        if other.error.is_some() {
+            self.error = other.error.clone();
+        }
+    }
+
+    pub(crate) fn into_report(self, shard: usize, elapsed: Duration) -> ShardReport {
+        ShardReport {
+            shard,
+            label: self.label,
+            counters: self.counters,
+            score: self.score,
+            slots: self.slots,
+            cycles: self.cycles,
+            bursts: self.bursts,
+            mean_occupancy: if self.slots == 0 {
+                0.0
+            } else {
+                self.occ_sum as f64 / self.slots as f64
+            },
+            max_occupancy: self.occ_max,
+            ingress_latency_ns: self.ingress_latency_ns,
+            elapsed,
+            drain_stalled: self.drain_stalled,
+            error: self.error,
+            metrics: None,
+            restarts: 0,
+            orphaned_packets: 0,
+            gave_up: false,
+        }
+    }
 }
 
 /// Runs one transmission phase, forwarding completions to the observer —
@@ -156,37 +275,38 @@ fn transmission<S: Service, O: Observer>(
 /// drain loop. Returns `false` if the guard tripped.
 fn drain<S: Service, O: Observer>(
     service: &mut S,
-    slots: &mut u64,
+    progress: &mut ShardProgress,
     scratch: &mut Vec<Transmitted>,
     obs: &mut O,
-    occ_sum: Option<&mut u64>,
+    count_occupancy: bool,
 ) -> bool {
     if service.occupancy() == 0 {
         return true;
     }
-    obs.drain_start(*slots);
+    obs.drain_start(progress.slots);
     let mut sum_acc = 0u64;
     let mut guard = 0u64;
     while service.occupancy() > 0 {
-        let slot = *slots;
+        let slot = progress.slots;
         obs.slot_start(slot);
         obs.phase_start(Phase::Drain);
         transmission(service, slot, scratch, obs);
         service.end_slot();
         obs.phase_end(Phase::Drain);
-        *slots += 1;
+        progress.slots += 1;
         sum_acc += service.occupancy() as u64;
         obs.slot_end(slot, service.occupancy());
+        progress.snapshot(service);
         guard += 1;
         if guard >= MAX_DRAIN_CYCLES {
-            obs.drain_end(*slots);
+            obs.drain_end(progress.slots);
             return false;
         }
     }
-    if let Some(occ_sum) = occ_sum {
-        *occ_sum += sum_acc;
+    if count_occupancy {
+        progress.occ_sum += sum_acc;
     }
-    obs.drain_end(*slots);
+    obs.drain_end(progress.slots);
     true
 }
 
@@ -198,62 +318,108 @@ fn drain<S: Service, O: Observer>(
 /// phases — arrival (when a burst was ingested), transmission, end-of-slot.
 /// Closed rings are pruned; the loop exits when none remain.
 pub fn run_shard<S: Service, C: Clock, O: Observer>(
-    mut service: S,
-    mut rings: Vec<Consumer<Batch<S::Packet>>>,
-    mut clock: C,
+    service: S,
+    rings: Vec<Consumer<Batch<S::Packet>>>,
+    clock: C,
     config: &ShardConfig,
     obs: &mut O,
 ) -> ShardReport {
     let started = Instant::now();
-    let label = service.label();
-    let mut slots = 0u64;
-    let mut cycles = 0u64;
-    let mut bursts = 0u64;
-    let mut occ_sum = 0u64;
-    let mut occ_max = 0usize;
-    let mut ingress_latency_ns = LogHistogram::new();
+    let mut progress = ShardProgress::new();
+    run_shard_core(
+        service,
+        rings,
+        clock,
+        config,
+        &mut ShardFaults::none(),
+        &mut progress,
+        obs,
+    );
+    progress.into_report(0, started.elapsed())
+}
+
+/// The shard loop proper, writing all accounting through `progress` so the
+/// supervisor can recover an exact record when an incarnation panics.
+/// `faults` is polled at the top of every cycle (before ingest, so an
+/// injected panic leaves a zero mid-slot gap and deterministic counters).
+pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
+    mut service: S,
+    mut rings: Vec<Consumer<Batch<S::Packet>>>,
+    mut clock: C,
+    config: &ShardConfig,
+    faults: &mut ShardFaults,
+    progress: &mut ShardProgress,
+    obs: &mut O,
+) {
+    progress.label = service.label();
     let mut scratch: Vec<Transmitted> = Vec::new();
     let mut burst: Vec<S::Packet> = Vec::new();
     let mut outcomes: Vec<ArrivalOutcome> = Vec::new();
-    let mut drain_stalled = false;
-    let mut error: Option<String> = None;
 
     'datapath: while !rings.is_empty() {
         clock.tick();
-        cycles += 1;
+        progress.cycles += 1;
+
+        for kind in faults.due(progress.slots) {
+            match kind {
+                FaultKind::Panic => {
+                    panic!("injected fault: shard panic at slot {}", progress.slots)
+                }
+                FaultKind::Stall { cycles } => {
+                    // The whole loop stops: burn the cycles without
+                    // ingesting or transmitting anything.
+                    for _ in 0..cycles {
+                        clock.tick();
+                        progress.cycles += 1;
+                    }
+                }
+                FaultKind::SaturateIngress { cycles } => faults.pause_ingest(cycles),
+                FaultKind::ClockSkew { nanos } => clock.skew(nanos),
+            }
+        }
 
         // Ingress phase: pull batches. Iterate by index so closed rings can
         // be pruned in place (order among survivors is preserved, keeping
-        // lockstep replay deterministic).
+        // lockstep replay deterministic). A saturate-ingress fault skips
+        // the pulls entirely while transmission keeps running, so bounded
+        // rings fill and push back on producers.
         obs.phase_start(Phase::Ingress);
         burst.clear();
         let mut popped = false;
-        let mut i = 0;
-        while i < rings.len() {
-            let item = match config.mode {
-                IngestMode::Lockstep => match rings[i].pop() {
-                    Some(b) => Some(b),
-                    None => {
-                        rings.remove(i);
-                        continue;
+        if !faults.ingest_paused() {
+            let mut i = 0;
+            while i < rings.len() {
+                let item = match config.mode {
+                    IngestMode::Lockstep => match rings[i].pop() {
+                        Some(b) => Some(b),
+                        None => {
+                            rings.remove(i);
+                            continue;
+                        }
+                    },
+                    IngestMode::Freerun => match rings[i].try_pop() {
+                        TryPop::Item(b) => Some(b),
+                        TryPop::Empty => None,
+                        TryPop::Closed => {
+                            rings.remove(i);
+                            continue;
+                        }
+                    },
+                };
+                if let Some(b) = item {
+                    let waited = b.enqueued.elapsed();
+                    progress
+                        .ingress_latency_ns
+                        .record(waited.as_nanos().min(u64::MAX as u128) as u64);
+                    progress.ingested_packets += b.packets.len() as u64;
+                    for &pkt in &b.packets {
+                        progress.ingested_value += S::meta(pkt).2;
                     }
-                },
-                IngestMode::Freerun => match rings[i].try_pop() {
-                    TryPop::Item(b) => Some(b),
-                    TryPop::Empty => None,
-                    TryPop::Closed => {
-                        rings.remove(i);
-                        continue;
-                    }
-                },
-            };
-            if let Some(b) = item {
-                let waited = b.enqueued.elapsed();
-                ingress_latency_ns.record(waited.as_nanos().min(u64::MAX as u128) as u64);
-                burst.extend_from_slice(&b.packets);
-                popped = true;
+                    burst.extend_from_slice(&b.packets);
+                    popped = true;
+                }
+                i += 1;
             }
-            i += 1;
         }
         obs.phase_end(Phase::Ingress);
 
@@ -274,19 +440,19 @@ pub fn run_shard<S: Service, C: Clock, O: Observer>(
         // for the trace-slot index.
         if popped {
             if let Some(flush) = &config.flush {
-                if flush.due(bursts) {
+                if flush.due(progress.bursts) {
                     match flush.mode {
                         FlushMode::Drop => {
                             obs.phase_start(Phase::Flush);
                             let discarded = service.flush();
-                            obs.flush(slots, discarded);
+                            obs.flush(progress.slots, discarded);
                             obs.phase_end(Phase::Flush);
                         }
                         FlushMode::Drain => {
                             // Mid-stream drain slots are excluded from the
                             // occupancy statistics, as in the engine.
-                            if !drain(&mut service, &mut slots, &mut scratch, obs, None) {
-                                drain_stalled = true;
+                            if !drain(&mut service, progress, &mut scratch, obs, false) {
+                                progress.drain_stalled = true;
                                 break 'datapath;
                             }
                         }
@@ -295,7 +461,7 @@ pub fn run_shard<S: Service, C: Clock, O: Observer>(
             }
         }
 
-        let slot = slots;
+        let slot = progress.slots;
         obs.slot_start(slot);
         if popped {
             obs.phase_start(Phase::Arrival);
@@ -316,10 +482,11 @@ pub fn run_shard<S: Service, C: Clock, O: Observer>(
                 }
             }
             obs.phase_end(Phase::Arrival);
-            bursts += 1;
+            progress.bursts += 1;
             if let Err(e) = result {
-                error = Some(e.to_string());
+                progress.error = Some(e.to_string());
                 obs.slot_end(slot, service.occupancy());
+                progress.snapshot(&service);
                 break;
             }
         }
@@ -327,45 +494,22 @@ pub fn run_shard<S: Service, C: Clock, O: Observer>(
         transmission(&mut service, slot, &mut scratch, obs);
         obs.phase_end(Phase::Transmission);
         service.end_slot();
-        slots += 1;
-        occ_sum += service.occupancy() as u64;
-        occ_max = occ_max.max(service.occupancy());
+        progress.slots += 1;
+        progress.occ_sum += service.occupancy() as u64;
+        progress.occ_max = progress.occ_max.max(service.occupancy());
         obs.slot_end(slot, service.occupancy());
+        progress.snapshot(&service);
     }
 
-    if config.drain_at_end && error.is_none() && !drain_stalled {
+    if config.drain_at_end && progress.error.is_none() && !progress.drain_stalled {
         // The final drain contributes to the occupancy mean but not the
         // maximum (occupancy only falls while draining).
-        if !drain(
-            &mut service,
-            &mut slots,
-            &mut scratch,
-            obs,
-            Some(&mut occ_sum),
-        ) {
-            drain_stalled = true;
+        if !drain(&mut service, progress, &mut scratch, obs, true) {
+            progress.drain_stalled = true;
         }
     }
 
-    ShardReport {
-        label,
-        counters: service.counters(),
-        score: service.score(),
-        slots,
-        cycles,
-        bursts,
-        mean_occupancy: if slots == 0 {
-            0.0
-        } else {
-            occ_sum as f64 / slots as f64
-        },
-        max_occupancy: occ_max,
-        ingress_latency_ns,
-        elapsed: started.elapsed(),
-        drain_stalled,
-        error,
-        metrics: None,
-    }
+    progress.snapshot(&service);
 }
 
 #[cfg(test)]
@@ -469,6 +613,55 @@ mod tests {
         );
         assert_eq!(report.counters.admitted(), 2);
         assert_eq!(report.score, 2);
+    }
+
+    #[test]
+    fn stall_fault_burns_cycles_without_losing_packets() {
+        use crate::faults::FaultPlan;
+        let (tx, rx) = ring(8);
+        tx.push(Batch::new(vec![wp(0, 1)])).unwrap();
+        drop(tx);
+        let mut faults = FaultPlan::parse("stall@0*50").unwrap().for_shard(0);
+        let mut progress = ShardProgress::new();
+        run_shard_core(
+            service(1, 2),
+            vec![rx],
+            VirtualClock::new(),
+            &ShardConfig::lockstep(),
+            &mut faults,
+            &mut progress,
+            &mut NullObserver,
+        );
+        assert!(
+            progress.cycles >= 51,
+            "stall burned {} cycles",
+            progress.cycles
+        );
+        assert_eq!(progress.counters.transmitted(), 1);
+        assert_eq!(faults.unfired(), 0);
+    }
+
+    #[test]
+    fn saturate_ingress_defers_popping_without_losing_packets() {
+        use crate::faults::FaultPlan;
+        let (tx, rx) = ring(8);
+        tx.push(Batch::new(vec![wp(0, 1), wp(0, 1)])).unwrap();
+        drop(tx);
+        let mut faults = FaultPlan::parse("sat@0*4").unwrap().for_shard(0);
+        let mut progress = ShardProgress::new();
+        run_shard_core(
+            service(1, 4),
+            vec![rx],
+            VirtualClock::new(),
+            &ShardConfig::lockstep(),
+            &mut faults,
+            &mut progress,
+            &mut NullObserver,
+        );
+        assert!(progress.cycles >= 5, "pause cycles burn before the pop");
+        assert_eq!(progress.ingested_packets, 2);
+        assert_eq!(progress.counters.arrived(), 2);
+        assert_eq!(progress.counters.transmitted(), 2);
     }
 
     #[test]

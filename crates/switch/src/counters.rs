@@ -35,6 +35,8 @@ pub struct Counters {
     dropped_value: u64,
     dropped_backpressure: u64,
     dropped_backpressure_value: u64,
+    dropped_shard_failure: u64,
+    dropped_shard_failure_value: u64,
     pushed_out: u64,
     pushed_out_value: u64,
     transmitted: u64,
@@ -96,6 +98,23 @@ impl Counters {
         self.dropped_backpressure_value += value;
     }
 
+    /// Records `packets` packets of total worth `value` lost to a shard
+    /// failure: they arrived at the datapath but their shard died before
+    /// serving them (orphaned ring backlog dropped when the supervisor's
+    /// restart budget ran out, or packets destroyed mid-slot inside a dying
+    /// shard). Like backpressure this is a bulk arrival-plus-drop, so the
+    /// conservation law `arrived == admitted + dropped` keeps holding over
+    /// the whole datapath across restarts; the drops are attributed to
+    /// [`crate::DropReason::ShardFailure`], never to a policy decision.
+    pub fn record_shard_failure_bulk(&mut self, packets: u64, value: u64) {
+        self.arrived += packets;
+        self.arrived_value += value;
+        self.dropped += packets;
+        self.dropped_value += value;
+        self.dropped_shard_failure += packets;
+        self.dropped_shard_failure_value += value;
+    }
+
     /// Adds every count from `other` into `self` (latency maxima take the
     /// max). Merging per-shard counters yields datapath-wide totals for
     /// which the conservation laws still hold, since each law is linear.
@@ -108,6 +127,8 @@ impl Counters {
         self.dropped_value += other.dropped_value;
         self.dropped_backpressure += other.dropped_backpressure;
         self.dropped_backpressure_value += other.dropped_backpressure_value;
+        self.dropped_shard_failure += other.dropped_shard_failure;
+        self.dropped_shard_failure_value += other.dropped_shard_failure_value;
         self.pushed_out += other.pushed_out;
         self.pushed_out_value += other.pushed_out_value;
         self.transmitted += other.transmitted;
@@ -187,10 +208,21 @@ impl Counters {
         self.dropped_backpressure_value
     }
 
+    /// Packets lost to shard failures (a subset of [`Counters::dropped`]).
+    pub fn dropped_shard_failure(&self) -> u64 {
+        self.dropped_shard_failure
+    }
+
+    /// Value lost to shard failures (a subset of
+    /// [`Counters::dropped_value`]).
+    pub fn dropped_shard_failure_value(&self) -> u64 {
+        self.dropped_shard_failure_value
+    }
+
     /// Packets rejected by admission control itself (policy or full-buffer
-    /// drops, excluding upstream backpressure).
+    /// drops, excluding upstream backpressure and shard-failure losses).
     pub fn dropped_at_switch(&self) -> u64 {
-        self.dropped - self.dropped_backpressure
+        self.dropped - self.dropped_backpressure - self.dropped_shard_failure
     }
 
     /// Total admitted packets later evicted (including flushed packets).
@@ -302,12 +334,13 @@ impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "arrived={} admitted={} dropped={} backpressure={} pushed_out={} transmitted={} \
-             value={} admitted_value={} dropped_value={} pushed_out_value={}",
+            "arrived={} admitted={} dropped={} backpressure={} shard_failure={} pushed_out={} \
+             transmitted={} value={} admitted_value={} dropped_value={} pushed_out_value={}",
             self.arrived,
             self.admitted,
             self.dropped,
             self.dropped_backpressure,
+            self.dropped_shard_failure,
             self.pushed_out,
             self.transmitted,
             self.transmitted_value,
@@ -526,6 +559,29 @@ mod tests {
         assert_eq!(a.dropped_backpressure_value(), 25);
         assert_eq!(a.dropped_at_switch(), 1);
         assert!(a.check_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn shard_failure_is_a_separate_drop_class() {
+        let mut c = Counters::new();
+        c.record_arrival(2);
+        c.record_admission(2);
+        c.record_transmission(2, 1);
+        c.record_backpressure_bulk(3, 6);
+        c.record_shard_failure_bulk(5, 10);
+        assert!(c.check_conservation(0).is_ok());
+        assert_eq!(c.dropped(), 8);
+        assert_eq!(c.dropped_backpressure(), 3);
+        assert_eq!(c.dropped_shard_failure(), 5);
+        assert_eq!(c.dropped_shard_failure_value(), 10);
+        assert_eq!(c.dropped_at_switch(), 0);
+        assert!(c.to_string().contains("shard_failure=5"));
+
+        let mut merged = Counters::new();
+        merged.merge(&c);
+        assert_eq!(merged.dropped_shard_failure(), 5);
+        assert_eq!(merged.dropped_shard_failure_value(), 10);
+        assert!(merged.check_conservation(0).is_ok());
     }
 
     #[test]

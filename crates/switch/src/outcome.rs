@@ -22,6 +22,12 @@ pub enum DropReason {
     /// separately so ring-full rejections are never misattributed to the
     /// buffer-management policy.
     Backpressure,
+    /// The packet was lost to a shard failure: its shard died and the
+    /// supervisor exhausted the restart budget (or the packet vanished
+    /// mid-slot inside the dying shard), so it was never served. Counted
+    /// separately from both policy drops and backpressure so packet
+    /// conservation holds across shard restarts.
+    ShardFailure,
 }
 
 impl DropReason {
@@ -31,6 +37,7 @@ impl DropReason {
             DropReason::BufferFull => "buffer_full",
             DropReason::Policy => "policy",
             DropReason::Backpressure => "backpressure",
+            DropReason::ShardFailure => "shard_failure",
         }
     }
 }
@@ -64,6 +71,7 @@ mod tests {
         assert_eq!(DropReason::BufferFull.label(), "buffer_full");
         assert_eq!(DropReason::Policy.label(), "policy");
         assert_eq!(DropReason::Backpressure.label(), "backpressure");
+        assert_eq!(DropReason::ShardFailure.label(), "shard_failure");
     }
 
     #[test]

@@ -12,8 +12,8 @@ use smbm_core::{
     ValueRunner, WorkRunner,
 };
 use smbm_runtime::{
-    CombinedService, IngestMode, RuntimeBuilder, RuntimeConfig, Service, ShardConfig, ValueService,
-    VirtualClock, WorkService,
+    CombinedService, Fault, FaultKind, FaultPlan, IngestMode, RuntimeBuilder, RuntimeConfig,
+    Service, ShardConfig, SupervisionConfig, ValueService, VirtualClock, WorkService,
 };
 use smbm_sim::{run_combined, run_value, run_work, EngineConfig, FlushPolicy};
 use smbm_switch::{Counters, ValueSwitchConfig, WorkSwitchConfig};
@@ -22,7 +22,7 @@ use smbm_traffic::{MmppScenario, PortMix, ValueMix};
 /// Runs one lockstep shard over per-slot bursts and returns what the switch
 /// counted, plus the shard's objective and slot count.
 fn lockstep<S: Service>(
-    factory: impl FnOnce() -> S + Send + 'static,
+    factory: impl Fn() -> S + Send + 'static,
     slots: Vec<Vec<S::Packet>>,
     flush: Option<FlushPolicy>,
 ) -> (Counters, u64, u64) {
@@ -34,6 +34,7 @@ fn lockstep<S: Service>(
             drain_at_end: true,
         },
         record_metrics: false,
+        ..RuntimeConfig::default()
     });
     let id = b.add_shard(factory);
     b.add_producer(id, move |handle| {
@@ -79,7 +80,7 @@ fn work_runtime_matches_engine_for_every_policy() {
         let (counters, score, slots) = lockstep(
             move || {
                 let policy = work_policy_by_name(&shard_name).unwrap();
-                WorkService::new(WorkRunner::new(shard_cfg, policy, 2))
+                WorkService::new(WorkRunner::new(shard_cfg.clone(), policy, 2))
             },
             trace.as_slots().to_vec(),
             None,
@@ -142,7 +143,7 @@ fn combined_runtime_matches_engine_for_every_policy() {
         let (counters, score, slots) = lockstep(
             move || {
                 let policy = combined_policy_by_name(&shard_name).unwrap();
-                CombinedService::new(CombinedRunner::new(shard_cfg, policy, 1))
+                CombinedService::new(CombinedRunner::new(shard_cfg.clone(), policy, 1))
             },
             trace.as_slots().to_vec(),
             None,
@@ -154,6 +155,73 @@ fn combined_runtime_matches_engine_for_every_policy() {
             "slot count diverged for policy {name}"
         );
     }
+}
+
+/// Rejections by a *closed* ring must surface as producer-side lost packets,
+/// never as backpressure: backpressure counts packets the datapath saw and
+/// deferred, while a closed ring means the shard is gone and the packets
+/// never entered the datapath. A shard that gives up immediately closes its
+/// rings, so everything the producer still holds is lost — and the
+/// backpressure tally stays exactly zero.
+#[test]
+fn closed_ring_rejections_are_lost_not_backpressure() {
+    use smbm_switch::{PortId, Work, WorkPacket};
+
+    let cfg = WorkSwitchConfig::contiguous(6, 48).unwrap();
+    // Every burst is non-empty, so whichever send the closed ring bounces
+    // first is guaranteed to register as lost packets.
+    let slots: Vec<Vec<WorkPacket>> = (0..50)
+        .map(|_| {
+            (0..4)
+                .map(|_| WorkPacket::new(PortId::new(0), Work::new(1)))
+                .collect()
+        })
+        .collect();
+
+    let mut b = RuntimeBuilder::new(RuntimeConfig {
+        ring_capacity: 4,
+        shard: ShardConfig {
+            mode: IngestMode::Lockstep,
+            flush: None,
+            drain_at_end: true,
+        },
+        record_metrics: false,
+        faults: FaultPlan::scripted(vec![Fault {
+            shard: 0,
+            at_slot: 0,
+            kind: FaultKind::Panic,
+        }]),
+        supervision: SupervisionConfig::immediate(0),
+    });
+    let shard_cfg = cfg.clone();
+    let id = b.add_shard(move || {
+        let policy = work_policy_by_name("LWD").unwrap();
+        WorkService::new(WorkRunner::new(shard_cfg.clone(), policy, 2))
+    });
+    b.add_producer(id, move |handle| {
+        for burst in slots {
+            if !handle.send(burst) {
+                break;
+            }
+        }
+    });
+    let report = b.run(|_| VirtualClock::new());
+
+    let shard = &report.shards[0];
+    assert!(shard.gave_up);
+    assert!(shard.error.is_none());
+    assert!(
+        report.lost_packets() > 0,
+        "producer must observe the closed ring as lost packets"
+    );
+    // Nothing the closed ring bounced may masquerade as backpressure.
+    let totals = report.counters();
+    assert_eq!(totals.dropped_backpressure(), 0);
+    // Everything accounted is a shard-failure drop — drained orphans plus
+    // producer-side losses — and packet conservation still closes.
+    assert_eq!(totals.transmitted(), 0);
+    assert_eq!(totals.arrived(), totals.dropped_shard_failure());
+    totals.check_conservation(0).unwrap();
 }
 
 /// Flushouts are keyed on ingested bursts in the runtime and on trace slots
@@ -179,7 +247,7 @@ fn flush_schedules_match_in_both_modes() {
         let (counters, score, _) = lockstep(
             move || {
                 let policy = work_policy_by_name("LWD").unwrap();
-                WorkService::new(WorkRunner::new(shard_cfg, policy, 1))
+                WorkService::new(WorkRunner::new(shard_cfg.clone(), policy, 1))
             },
             trace.as_slots().to_vec(),
             Some(flush),

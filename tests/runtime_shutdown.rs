@@ -19,6 +19,7 @@ fn producer_panic_mid_run_drains_and_joins() {
         ring_capacity: 4,
         shard: ShardConfig::freerun(),
         record_metrics: false,
+        ..RuntimeConfig::default()
     });
     let id = b.add_shard(|| {
         let cfg = WorkSwitchConfig::contiguous(4, 32).unwrap();
