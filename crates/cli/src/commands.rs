@@ -2,9 +2,11 @@
 //! out.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
 
-use smbm_obs::{HistogramRecorder, PhaseProfiler, RingEventLog};
-use smbm_runtime::FaultPlan;
+use smbm_obs::{HistogramRecorder, PhaseProfiler, RingEventLog, TelemetryConfig};
+use smbm_runtime::{FaultPlan, FlightConfig};
 use smbm_sim::{
     measure_value_construction, measure_work_construction, ValueExperiment, WorkExperiment,
 };
@@ -44,7 +46,16 @@ runtime (serve, loadgen):
                       with KIND one of panic, stall, sat, skew — or
                       random:SEED for one generated fault per shard
   --restarts N        shard restart budget before the supervisor gives up
-                      (default 3)";
+                      (default 3)
+telemetry (serve, loadgen):
+  --stats-out PATH    append one telemetry snapshot per sample as JSON Lines
+  --stats-interval S  sampling cadence in seconds (default 0.25)
+  --prom-out PATH     rewrite PATH with a Prometheus text-format dump each
+                      sample (atomic rename; point a scraper at the file)
+  --stats-ring N      in-memory samples retained in the report (default 1024)
+  --flight-out PATH   write flight-recorder post-mortem dumps (JSONL) on
+                      every shard death
+  --flight-cap N      events retained per shard's flight ring (default 256)";
 
 /// Executes one command. `stdin` supplies the input text for commands that
 /// read a stream (currently `trace-stats` without `--file`).
@@ -469,6 +480,87 @@ fn pace_from(args: &Args) -> Result<Option<f64>, String> {
     })
 }
 
+/// Parses the telemetry-plane flags shared by `serve` and `loadgen`. The
+/// plane is enabled when any of them is supplied; numeric values are
+/// validated here so `--stats-interval 0` is a CLI error, not a clamped
+/// surprise or a library panic.
+fn telemetry_from(args: &Args) -> Result<Option<TelemetryConfig>, String> {
+    let stats_out = args.get("stats-out").map(PathBuf::from);
+    let prom_out = args.get("prom-out").map(PathBuf::from);
+    let interval = args.get_positive_f64("stats-interval").map_err(|_| {
+        format!(
+            "--stats-interval must be a positive number of seconds, got {:?}",
+            args.get("stats-interval").unwrap_or_default()
+        )
+    })?;
+    let ring: Option<usize> = match args.get("stats-ring") {
+        None => None,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--stats-ring expects a number, got {v:?}"))?;
+            if n == 0 {
+                return Err("--stats-ring must be at least 1".into());
+            }
+            Some(n)
+        }
+    };
+    if stats_out.is_none() && prom_out.is_none() && interval.is_none() && ring.is_none() {
+        return Ok(None);
+    }
+    let mut cfg = TelemetryConfig {
+        stats_out,
+        prom_out,
+        ..TelemetryConfig::default()
+    };
+    if let Some(secs) = interval {
+        cfg.interval = Duration::from_secs_f64(secs);
+    }
+    if let Some(capacity) = ring {
+        cfg.ring_capacity = capacity;
+    }
+    Ok(Some(cfg))
+}
+
+/// Parses the flight-recorder flags shared by `serve` and `loadgen`.
+fn flight_from(args: &Args) -> Result<Option<FlightConfig>, String> {
+    let Some(path) = args.get("flight-out") else {
+        if args.get("flight-cap").is_some() {
+            return Err("--flight-cap requires --flight-out".into());
+        }
+        return Ok(None);
+    };
+    let mut cfg = FlightConfig::new(path);
+    if let Some(v) = args.get("flight-cap") {
+        let capacity: usize = v
+            .parse()
+            .map_err(|_| format!("--flight-cap expects a number, got {v:?}"))?;
+        if capacity == 0 {
+            return Err("--flight-cap must be at least 1".into());
+        }
+        cfg.capacity = capacity;
+    }
+    Ok(Some(cfg))
+}
+
+/// The sink-location summary lines appended to human-readable runtime
+/// reports, so users see where their telemetry artifacts landed.
+fn sink_summary(telemetry: &Option<TelemetryConfig>, flight: &Option<FlightConfig>) -> String {
+    let mut out = String::new();
+    if let Some(t) = telemetry {
+        if let Some(p) = &t.stats_out {
+            let _ = writeln!(out, "# live stats (JSONL) -> {}", p.display());
+        }
+        if let Some(p) = &t.prom_out {
+            let _ = writeln!(out, "# prometheus dump -> {}", p.display());
+        }
+    }
+    if let Some(f) = flight {
+        let _ = writeln!(out, "# flight post-mortem -> {}", f.path.display());
+    }
+    out
+}
+
 /// Parses `--faults` for `serve` and `loadgen`: the scripted grammar
 /// (`panic@100,stall@50*200#1`) or `random:SEED`, which generates one
 /// deterministic fault per shard within the first `horizon` slots.
@@ -495,6 +587,8 @@ fn serve_trace<S: smbm_runtime::Service>(
     hz: Option<f64>,
     faults: FaultPlan,
     restart_budget: u32,
+    telemetry: Option<TelemetryConfig>,
+    flight: Option<FlightConfig>,
     factory: impl Fn() -> S + Send + 'static,
 ) -> smbm_runtime::RuntimeReport {
     use smbm_runtime::{
@@ -509,6 +603,8 @@ fn serve_trace<S: smbm_runtime::Service>(
             restart_budget,
             ..SupervisionConfig::default()
         },
+        telemetry,
+        flight,
         ..RuntimeConfig::default()
     });
     let id = builder.add_shard(factory);
@@ -583,13 +679,46 @@ fn render_serve(
     if report.lost_packets() > 0 {
         let _ = writeln!(out, "# {} packets lost mid-send", report.lost_packets());
     }
+    if let Some(t) = &report.telemetry {
+        let _ = writeln!(
+            out,
+            "# telemetry: {} sample(s) retained over {} tick(s)",
+            t.samples.len(),
+            t.ticks
+        );
+    }
+    if report.flight_dumps() > 0 {
+        let _ = writeln!(
+            out,
+            "# flight recorder: {} post-mortem dump(s)",
+            report.flight_dumps()
+        );
+    }
+    for e in &report.obs_errors {
+        let _ = writeln!(out, "# observability error: {e}");
+    }
     Ok(out)
 }
 
 fn serve(args: &Args, stdin: &str) -> Result<String, String> {
     use smbm_runtime::{ValueService, WorkService};
     args.expect_only(&[
-        "model", "file", "policy", "k", "ports", "buffer", "speedup", "hz", "faults", "restarts",
+        "model",
+        "file",
+        "policy",
+        "k",
+        "ports",
+        "buffer",
+        "speedup",
+        "hz",
+        "faults",
+        "restarts",
+        "stats-out",
+        "stats-interval",
+        "prom-out",
+        "stats-ring",
+        "flight-out",
+        "flight-cap",
     ])
     .map_err(err)?;
     let text = match args.get("file") {
@@ -603,6 +732,9 @@ fn serve(args: &Args, stdin: &str) -> Result<String, String> {
     }
     let hz = pace_from(args)?;
     let restart_budget: u32 = args.get_or("restarts", 3).map_err(err)?;
+    let telemetry = telemetry_from(args)?;
+    let flight = flight_from(args)?;
+    let sinks = sink_summary(&telemetry, &flight);
     let pacing = match hz {
         Some(hz) => format!(" paced at {hz} Hz"),
         None => String::new(),
@@ -627,12 +759,14 @@ fn serve(args: &Args, stdin: &str) -> Result<String, String> {
                 hz,
                 faults,
                 restart_budget,
+                telemetry,
+                flight,
                 move || {
                     let policy = smbm_core::work_policy_by_name(&factory_name).expect("validated");
                     WorkService::new(smbm_core::WorkRunner::new(cfg.clone(), policy, speedup))
                 },
             );
-            render_serve(header, "packets", &report)
+            render_serve(header, "packets", &report).map(|out| out + &sinks)
         }
         "value" => {
             let ports: usize = args.get_or("ports", 8).map_err(err)?;
@@ -653,12 +787,14 @@ fn serve(args: &Args, stdin: &str) -> Result<String, String> {
                 hz,
                 faults,
                 restart_budget,
+                telemetry,
+                flight,
                 move || {
                     let policy = smbm_core::value_policy_by_name(&factory_name).expect("validated");
                     ValueService::new(smbm_core::ValueRunner::new(cfg, policy, speedup))
                 },
             );
-            render_serve(header, "value", &report)
+            render_serve(header, "value", &report).map(|out| out + &sinks)
         }
         other => Err(format!("unknown --model {other:?}; use work|value")),
     }
@@ -684,6 +820,12 @@ fn loadgen(args: &Args) -> Result<String, String> {
         "json",
         "faults",
         "restarts",
+        "stats-out",
+        "stats-interval",
+        "prom-out",
+        "stats-ring",
+        "flight-out",
+        "flight-cap",
     ])
     .map_err(err)?;
     let model_name = args.get("model").unwrap_or("work");
@@ -718,6 +860,8 @@ fn loadgen(args: &Args) -> Result<String, String> {
         restart_budget: args
             .get_or("restarts", defaults.restart_budget)
             .map_err(err)?,
+        telemetry: telemetry_from(args)?,
+        flight: flight_from(args)?,
     };
     let report = run_loadgen(&config).map_err(err)?;
     for shard in &report.runtime.shards {
@@ -728,7 +872,13 @@ fn loadgen(args: &Args) -> Result<String, String> {
     if args.has("json") {
         Ok(report.to_json())
     } else {
-        Ok(report.to_string())
+        let mut out = report.to_string();
+        let sinks = sink_summary(&config.telemetry, &config.flight);
+        if !sinks.is_empty() {
+            out.push('\n');
+            out.push_str(sinks.trim_end());
+        }
+        Ok(out)
     }
 }
 
@@ -1071,5 +1221,96 @@ mod tests {
         assert!(e.contains("bogus"));
         let e = run(&["loadgen", "--hz", "-3"]).unwrap_err();
         assert!(e.contains("--hz"));
+    }
+
+    #[test]
+    fn telemetry_flags_reject_zero_and_garbage_values() {
+        // Mirrors the --hz 0 fix: bad durations/sizes are CLI errors, never
+        // clamps or library panics. All of these fail before anything runs.
+        for bad in ["0", "-0.5", "nan", "soon"] {
+            let e = run(&["loadgen", "--stats-interval", bad]).unwrap_err();
+            assert!(e.contains("--stats-interval"), "{bad:?} -> {e}");
+            let e = run_with_stdin(&["serve", "--stats-interval", bad], "").unwrap_err();
+            assert!(e.contains("--stats-interval"), "{bad:?} -> {e}");
+        }
+        let e = run(&["loadgen", "--stats-ring", "0"]).unwrap_err();
+        assert!(e.contains("--stats-ring"));
+        let e = run(&["loadgen", "--stats-ring", "many"]).unwrap_err();
+        assert!(e.contains("many"));
+        let e = run(&["loadgen", "--flight-out", "/tmp/x", "--flight-cap", "0"]).unwrap_err();
+        assert!(e.contains("--flight-cap"));
+        let e = run(&["loadgen", "--flight-cap", "8"]).unwrap_err();
+        assert!(e.contains("requires --flight-out"));
+    }
+
+    #[test]
+    fn loadgen_telemetry_flags_write_both_sinks() {
+        let dir = std::env::temp_dir();
+        let stats = dir.join("smbm_cli_test_stats.jsonl");
+        let prom = dir.join("smbm_cli_test_prom.txt");
+        let out = run(&[
+            "loadgen",
+            "--ports",
+            "4",
+            "--buffer",
+            "16",
+            "--slots",
+            "300",
+            "--sources",
+            "10",
+            "--stats-interval",
+            "0.01",
+            "--stats-out",
+            stats.to_str().unwrap(),
+            "--prom-out",
+            prom.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("telemetry:"), "{out}");
+        assert!(out.contains("# live stats (JSONL) ->"), "{out}");
+        assert!(out.contains("# prometheus dump ->"), "{out}");
+
+        let jsonl = std::fs::read_to_string(&stats).unwrap();
+        assert!(jsonl.lines().count() >= 2, "initial + final sample");
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"type\":\"telemetry\""), "{line}");
+        }
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE smbm_packets_total counter"), "{text}");
+        assert!(text.contains("smbm_latency_slots{"), "{text}");
+        let _ = std::fs::remove_file(stats);
+        let _ = std::fs::remove_file(prom);
+    }
+
+    #[test]
+    fn serve_flight_out_dumps_on_injected_panic() {
+        let dir = std::env::temp_dir();
+        let flight = dir.join("smbm_cli_test_flight.jsonl");
+        let text = run(&["trace-gen", "--slots", "50", "--seed", "3"]).unwrap();
+        let out = run_with_stdin(
+            &[
+                "serve",
+                "--faults",
+                "panic@5",
+                "--restarts",
+                "1",
+                "--flight-out",
+                flight.to_str().unwrap(),
+                "--flight-cap",
+                "32",
+            ],
+            &text,
+        )
+        .unwrap();
+        assert!(
+            out.contains("# flight recorder: 1 post-mortem dump(s)"),
+            "{out}"
+        );
+        assert!(out.contains("# flight post-mortem ->"), "{out}");
+        let dump = std::fs::read_to_string(&flight).unwrap();
+        let _ = std::fs::remove_file(flight);
+        assert!(dump.starts_with("{\"type\":\"flight_dump\""), "{dump}");
+        assert!(dump.contains("\"shard\":0"), "{dump}");
+        assert!(dump.contains("\"reason\":\"panic\""), "{dump}");
     }
 }

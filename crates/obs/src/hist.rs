@@ -4,7 +4,7 @@ use crate::{DropReason, Observer};
 use smbm_switch::PortId;
 
 /// Number of buckets: one for zero plus one per power of two of `u64`.
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A histogram over `u64` samples with logarithmic (power-of-two) buckets:
 /// bucket 0 holds zeros, bucket `i >= 1` holds samples in
@@ -39,8 +39,27 @@ impl LogHistogram {
         }
     }
 
+    /// Reassembles a histogram from raw parts (the telemetry plane's
+    /// seqlock-snapshotted atomic cells). `min` uses the `u64::MAX` empty
+    /// sentinel, exactly like a live histogram.
+    pub(crate) fn from_raw(
+        counts: [u64; BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        LogHistogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// The bucket index a sample falls into.
-    fn bucket(sample: u64) -> usize {
+    pub(crate) fn bucket(sample: u64) -> usize {
         if sample == 0 {
             0
         } else {
@@ -60,6 +79,18 @@ impl LogHistogram {
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The raw per-bucket counts: index 0 holds zeros, index `i >= 1` the
+    /// samples in `[2^(i-1), 2^i)`. Exposed for exposition sinks and for
+    /// consistency checks (`count()` always equals the bucket sum).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
     }
 
     /// Smallest sample, 0 when empty.
@@ -113,6 +144,11 @@ impl LogHistogram {
     /// 90th percentile.
     pub fn p90(&self) -> u64 {
         self.percentile(0.90)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
     }
 
     /// 99th percentile.
@@ -575,6 +611,88 @@ mod tests {
             "\"p99\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    /// Exact quantile of a sample set, matching the histogram's convention:
+    /// the smallest element whose rank reaches `ceil(q * n)`.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        assert!(!sorted.is_empty());
+        let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[target.min(sorted.len()) - 1]
+    }
+
+    /// Asserts the histogram's p50/p95/p99 are within the documented factor
+    /// of two of the exact sorted-sample quantiles and inside the observed
+    /// range.
+    fn assert_quantiles_accurate(samples: &[u64], label: &str) {
+        let mut h = LogHistogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for (q, got) in [(0.50, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+            let exact = exact_quantile(&sorted, q);
+            assert!(
+                got >= exact / 2 && (exact == 0 || got <= exact.saturating_mul(2)),
+                "{label}: p{:.0} = {got} not within 2x of exact {exact}",
+                q * 100.0
+            );
+            assert!(
+                (h.min()..=h.max()).contains(&got),
+                "{label}: p{:.0} = {got} escaped [{}, {}]",
+                q * 100.0,
+                h.min(),
+                h.max()
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_accurate_on_uniform_distribution() {
+        // Deterministic LCG over [1, 1000].
+        let mut x = 12345u64;
+        let samples: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % 1000 + 1
+            })
+            .collect();
+        assert_quantiles_accurate(&samples, "uniform");
+    }
+
+    #[test]
+    fn quantiles_accurate_on_bimodal_distribution() {
+        // Half fast-path at 3 slots, half slow-path at 900 slots: the exact
+        // p50 sits on the mode boundary, p95/p99 deep in the slow mode.
+        let mut samples = vec![3u64; 5_000];
+        samples.extend(std::iter::repeat_n(900u64, 5_000));
+        assert_quantiles_accurate(&samples, "bimodal");
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        // The upper mode is the max, so tail quantiles are exact.
+        assert_eq!(h.p95(), 900);
+        assert_eq!(h.p99(), 900);
+    }
+
+    #[test]
+    fn quantiles_accurate_on_single_bucket_distribution() {
+        // All samples inside one power-of-two bucket [32, 64): every
+        // quantile answers from the same bucket, clamped to the extrema.
+        let samples: Vec<u64> = (0..1_000).map(|i| 40 + i % 8).collect();
+        assert_quantiles_accurate(&samples, "single-bucket");
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.50, 0.95, 0.99] {
+            let p = h.percentile(q);
+            assert!((40..=47).contains(&p), "percentile({q}) = {p}");
         }
     }
 

@@ -11,7 +11,12 @@
 //! * [`HistogramRecorder`] — log-bucketed histograms of latency, buffer
 //!   occupancy, queue length and burst size, plus drop-reason counts;
 //! * [`PhaseProfiler`] — wall-clock timing of the arrival, transmission,
-//!   flush and drain phases and end-to-end slot throughput.
+//!   flush and drain phases and end-to-end slot throughput;
+//! * the live telemetry plane — per-shard [`StatCell`]s written lock-free
+//!   from the hot loop, a [`TelemetrySampler`] background thread turning
+//!   them into a bounded time-series with JSONL and Prometheus exposition;
+//! * [`FlightRecorder`] — a bounded per-shard ring of recent events the
+//!   runtime supervisor dumps post-mortem when a shard dies.
 //!
 //! Observers are passive: they never influence admission decisions or the
 //! slot loop, so an instrumented run produces bit-identical results to an
@@ -37,12 +42,21 @@
 #![warn(missing_docs)]
 
 mod event;
+mod flight;
 mod hist;
 mod profile;
+mod sink;
+mod telemetry;
 
 pub use event::{Event, RingEventLog};
+pub use flight::FlightRecorder;
 pub use hist::{HistogramRecorder, LogHistogram};
 pub use profile::{PhaseProfiler, PhaseReport};
+pub use sink::JsonlWriter;
+pub use telemetry::{
+    SampleRates, StatCell, StatSnapshot, TelemetryConfig, TelemetryObserver, TelemetryReport,
+    TelemetrySample, TelemetrySampler,
+};
 
 use smbm_switch::PortId;
 pub use smbm_switch::{ArrivalOutcome, DropReason};
@@ -161,6 +175,16 @@ pub trait Observer {
     /// The slot ended with `occupancy` packets resident.
     fn slot_end(&mut self, slot: u64, occupancy: usize) {}
 
+    /// The deepest per-port queue held `depth` packets at the end of the
+    /// slot (runtime datapath only; feeds the telemetry plane's queue-depth
+    /// gauge and high-watermark).
+    fn queue_depth(&mut self, slot: u64, depth: u64) {}
+
+    /// A shard (re)started serving a switch with the given shared buffer
+    /// limit and port count (runtime datapath only; feeds the telemetry
+    /// plane's configuration gauges).
+    fn shard_started(&mut self, buffer_limit: usize, ports: usize) {}
+
     /// A phase of the slot loop begins.
     fn phase_start(&mut self, phase: Phase) {}
 
@@ -219,6 +243,12 @@ impl<O: Observer> Observer for &mut O {
     }
     fn slot_end(&mut self, slot: u64, occupancy: usize) {
         (**self).slot_end(slot, occupancy);
+    }
+    fn queue_depth(&mut self, slot: u64, depth: u64) {
+        (**self).queue_depth(slot, depth);
+    }
+    fn shard_started(&mut self, buffer_limit: usize, ports: usize) {
+        (**self).shard_started(buffer_limit, ports);
     }
     fn phase_start(&mut self, phase: Phase) {
         (**self).phase_start(phase);
@@ -295,6 +325,16 @@ impl<O: Observer> Observer for Option<O> {
             o.slot_end(slot, occupancy);
         }
     }
+    fn queue_depth(&mut self, slot: u64, depth: u64) {
+        if let Some(o) = self {
+            o.queue_depth(slot, depth);
+        }
+    }
+    fn shard_started(&mut self, buffer_limit: usize, ports: usize) {
+        if let Some(o) = self {
+            o.shard_started(buffer_limit, ports);
+        }
+    }
     fn phase_start(&mut self, phase: Phase) {
         if let Some(o) = self {
             o.phase_start(phase);
@@ -367,6 +407,14 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn slot_end(&mut self, slot: u64, occupancy: usize) {
         self.0.slot_end(slot, occupancy);
         self.1.slot_end(slot, occupancy);
+    }
+    fn queue_depth(&mut self, slot: u64, depth: u64) {
+        self.0.queue_depth(slot, depth);
+        self.1.queue_depth(slot, depth);
+    }
+    fn shard_started(&mut self, buffer_limit: usize, ports: usize) {
+        self.0.shard_started(buffer_limit, ports);
+        self.1.shard_started(buffer_limit, ports);
     }
     fn phase_start(&mut self, phase: Phase) {
         self.0.phase_start(phase);

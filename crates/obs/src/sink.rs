@@ -1,0 +1,148 @@
+//! Durable JSONL output: a buffered line writer that flushes on `Drop`.
+//!
+//! Every file sink in the observability layer (periodic telemetry
+//! snapshots, flight-recorder dumps, exported event logs) funnels through
+//! [`JsonlWriter`] so an early exit — a panic unwinding through the caller,
+//! a Ctrl-C path that drops the runtime, a supervisor giving up on a shard —
+//! never loses the buffered tail of the stream.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A buffered JSON-Lines file writer that flushes itself when dropped.
+///
+/// Lines are buffered through a [`BufWriter`]; callers that need durability
+/// at a specific point (e.g. after a post-mortem dump) call
+/// [`JsonlWriter::flush`] explicitly, but even without that the `Drop`
+/// implementation flushes best-effort, so unwinding cannot strand buffered
+/// lines.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    lines: u64,
+}
+
+impl JsonlWriter {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`File::create`] failure.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(JsonlWriter {
+            path,
+            out: BufWriter::new(file),
+            lines: 0,
+        })
+    }
+
+    /// Writes one line (a newline is appended; `line` itself should be a
+    /// complete JSON object without one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Writes a pre-rendered multi-line chunk (e.g. a whole flight dump)
+    /// verbatim. The chunk is expected to end with a newline; line
+    /// accounting counts the newlines it contains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    pub fn write_chunk(&mut self, chunk: &str) -> io::Result<()> {
+        self.out.write_all(chunk.as_bytes())?;
+        self.lines += chunk.matches('\n').count() as u64;
+        Ok(())
+    }
+
+    /// Flushes buffered lines to the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying flush failure.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Lines written so far (buffered or flushed).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for JsonlWriter {
+    /// Best-effort flush: losing the tail of a diagnostic stream is worse
+    /// than ignoring a flush error during teardown.
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("smbm-obs-sink-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn writes_lines_and_counts() {
+        let path = temp_path("basic.jsonl");
+        let mut w = JsonlWriter::create(&path).unwrap();
+        w.write_line("{\"a\":1}").unwrap();
+        w.write_chunk("{\"b\":2}\n{\"c\":3}\n").unwrap();
+        assert_eq!(w.lines(), 3);
+        assert_eq!(w.path(), path.as_path());
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn drop_flushes_buffered_tail() {
+        let path = temp_path("drop.jsonl");
+        {
+            let mut w = JsonlWriter::create(&path).unwrap();
+            // Small enough to sit in the BufWriter; only Drop gets it out.
+            w.write_line("{\"tail\":true}").unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"tail\":true}\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn panic_unwind_still_flushes() {
+        let path = temp_path("panic.jsonl");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut w = JsonlWriter::create(&path).unwrap();
+            w.write_line("{\"written\":\"before-panic\"}").unwrap();
+            panic!("simulated early exit");
+        }));
+        assert!(result.is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"written\":\"before-panic\"}\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

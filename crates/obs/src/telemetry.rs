@@ -1,0 +1,1205 @@
+//! The live telemetry plane: lock-free per-shard stat cells, a background
+//! sampler turning them into a bounded time-series, and two std-only
+//! exposition sinks (periodic JSONL snapshots and Prometheus text format).
+//!
+//! ## Design
+//!
+//! Each shard owns one [`StatCell`]: a cache-line-padded block of atomic
+//! counters and gauges plus a mergeable latency histogram guarded by a
+//! seqlock-style epoch. The shard hot loop never takes a lock and never
+//! issues a stronger-than-release atomic: the [`TelemetryObserver`]
+//! accumulates per-packet tallies in plain (non-atomic) locals and folds
+//! them into the cell once per slot with relaxed read-modify-writes, so the
+//! per-packet cost of telemetry is an ordinary register increment.
+//!
+//! The [`TelemetrySampler`] thread snapshots every cell at a configurable
+//! interval. Counter loads are relaxed: each field is individually monotone
+//! (per-location modification order), but a mid-run sample may observe
+//! fields of the *same* cell at slightly different instants — e.g.
+//! `admitted` momentarily ahead of `arrived`. The final sample is taken
+//! after the runtime joins its shard threads, so thread-join's
+//! happens-before edge makes it exact. The latency histogram needs
+//! multi-word consistency even mid-run (its `count` must equal the bucket
+//! sum for quantiles to make sense), so it sits behind a seqlock epoch:
+//! writers bump the epoch to odd, merge, bump back to even; readers retry
+//! while the epoch is odd or changed underneath them.
+
+use std::collections::VecDeque;
+use std::ffi::OsString;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::hist::BUCKETS;
+use crate::sink::JsonlWriter;
+use crate::{DropReason, LogHistogram, Observer};
+use smbm_switch::PortId;
+
+/// Consecutive failed snapshot attempts before the reader yields its
+/// timeslice (the writer may be descheduled mid-write-section; spinning
+/// against it would just burn the core the writer needs).
+const SEQLOCK_SPINS_BEFORE_YIELD: u32 = 64;
+
+/// A [`LogHistogram`] shared between one writer (the shard thread) and any
+/// number of snapshotting readers, guarded by a seqlock-style epoch.
+///
+/// All storage is atomic, so even a lost seqlock race yields a merely stale
+/// or torn histogram — never undefined behavior (`smbm-obs` forbids
+/// `unsafe`). The epoch protocol is the classic one: the writer bumps the
+/// epoch to odd, applies relaxed updates, then bumps it back to even with
+/// release ordering; readers pair an acquire load with an acquire fence and
+/// retry on an odd or moved epoch.
+#[derive(Debug)]
+pub(crate) struct AtomicLogHistogram {
+    epoch: AtomicU64,
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicLogHistogram {
+    pub(crate) fn new() -> Self {
+        AtomicLogHistogram {
+            epoch: AtomicU64::new(0),
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds a plain single-threaded delta histogram into the shared cells
+    /// under one seqlock write section. Single-writer: only the owning
+    /// shard thread calls this.
+    pub(crate) fn merge_delta(&self, delta: &LogHistogram) {
+        if delta.count() == 0 {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (i, &c) in delta.bucket_counts().iter().enumerate() {
+            if c != 0 {
+                self.counts[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(delta.count(), Ordering::Relaxed);
+        self.sum.fetch_add(delta.sum(), Ordering::Relaxed);
+        self.min.fetch_min(delta.min(), Ordering::Relaxed);
+        self.max.fetch_max(delta.max(), Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    fn read_relaxed(&self) -> LogHistogram {
+        let mut counts = [0u64; BUCKETS];
+        for (dst, src) in counts.iter_mut().zip(self.counts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        LogHistogram::from_raw(
+            counts,
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A consistent snapshot. Retries until a read completes without the
+    /// epoch moving; termination is guaranteed because write sections are
+    /// short and bounded (one merge per slot), so the reader always finds a
+    /// gap between them.
+    pub(crate) fn snapshot(&self) -> LogHistogram {
+        let mut attempts: u32 = 0;
+        loop {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before & 1 == 0 {
+                let hist = self.read_relaxed();
+                fence(Ordering::Acquire);
+                if self.epoch.load(Ordering::Relaxed) == before {
+                    return hist;
+                }
+            }
+            attempts += 1;
+            if attempts.is_multiple_of(SEQLOCK_SPINS_BEFORE_YIELD) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// One shard's live statistics: atomic counters and gauges written by the
+/// shard thread with relaxed ordering and read by the [`TelemetrySampler`].
+///
+/// Padded to two 64-byte cache lines' alignment so neighbouring shards'
+/// cells never false-share, which is what keeps the hot-loop writes cheap.
+#[derive(Debug)]
+#[repr(align(128))]
+pub struct StatCell {
+    // Counters (monotone).
+    arrived: AtomicU64,
+    arrived_value: AtomicU64,
+    admitted: AtomicU64,
+    dropped_buffer_full: AtomicU64,
+    dropped_policy: AtomicU64,
+    dropped_backpressure: AtomicU64,
+    dropped_shard_failure: AtomicU64,
+    pushed_out: AtomicU64,
+    transmitted: AtomicU64,
+    transmitted_value: AtomicU64,
+    flushed: AtomicU64,
+    slots: AtomicU64,
+    restarts: AtomicU64,
+    panics: AtomicU64,
+    failures: AtomicU64,
+    // Gauges (latest value; queue_hwm is monotone max).
+    occupancy: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_hwm: AtomicU64,
+    buffer_limit: AtomicU64,
+    ports: AtomicU64,
+    latency: AtomicLogHistogram,
+}
+
+impl Default for StatCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatCell {
+    /// Creates a zeroed cell.
+    pub fn new() -> Self {
+        StatCell {
+            arrived: AtomicU64::new(0),
+            arrived_value: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            dropped_buffer_full: AtomicU64::new(0),
+            dropped_policy: AtomicU64::new(0),
+            dropped_backpressure: AtomicU64::new(0),
+            dropped_shard_failure: AtomicU64::new(0),
+            pushed_out: AtomicU64::new(0),
+            transmitted: AtomicU64::new(0),
+            transmitted_value: AtomicU64::new(0),
+            flushed: AtomicU64::new(0),
+            slots: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            occupancy: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            buffer_limit: AtomicU64::new(0),
+            ports: AtomicU64::new(0),
+            latency: AtomicLogHistogram::new(),
+        }
+    }
+
+    /// Reads every field with relaxed loads (see the module docs for the
+    /// consistency contract) and the latency histogram through its seqlock.
+    pub fn snapshot(&self) -> StatSnapshot {
+        let r = Ordering::Relaxed;
+        StatSnapshot {
+            arrived: self.arrived.load(r),
+            arrived_value: self.arrived_value.load(r),
+            admitted: self.admitted.load(r),
+            dropped_buffer_full: self.dropped_buffer_full.load(r),
+            dropped_policy: self.dropped_policy.load(r),
+            dropped_backpressure: self.dropped_backpressure.load(r),
+            dropped_shard_failure: self.dropped_shard_failure.load(r),
+            pushed_out: self.pushed_out.load(r),
+            transmitted: self.transmitted.load(r),
+            transmitted_value: self.transmitted_value.load(r),
+            flushed: self.flushed.load(r),
+            slots: self.slots.load(r),
+            restarts: self.restarts.load(r),
+            panics: self.panics.load(r),
+            failures: self.failures.load(r),
+            occupancy: self.occupancy.load(r),
+            queue_depth: self.queue_depth.load(r),
+            queue_hwm: self.queue_hwm.load(r),
+            buffer_limit: self.buffer_limit.load(r),
+            ports: self.ports.load(r),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of one [`StatCell`] (or, via
+/// [`StatSnapshot::merge`], of several).
+#[derive(Debug, Clone, Default)]
+pub struct StatSnapshot {
+    /// Packets offered to admission control.
+    pub arrived: u64,
+    /// Total intrinsic value offered.
+    pub arrived_value: u64,
+    /// Packets admitted to the buffer.
+    pub admitted: u64,
+    /// Packets rejected because the shared buffer was full.
+    pub dropped_buffer_full: u64,
+    /// Packets rejected by policy decision.
+    pub dropped_policy: u64,
+    /// Packets rejected upstream by full ingress rings.
+    pub dropped_backpressure: u64,
+    /// Packets lost to abandoned (given-up) shards.
+    pub dropped_shard_failure: u64,
+    /// Resident packets evicted to make room.
+    pub pushed_out: u64,
+    /// Packets transmitted.
+    pub transmitted: u64,
+    /// Total value transmitted.
+    pub transmitted_value: u64,
+    /// Packets discarded by periodic flushes.
+    pub flushed: u64,
+    /// Slots completed (including drain slots).
+    pub slots: u64,
+    /// Supervised shard restarts.
+    pub restarts: u64,
+    /// Shard incarnation deaths.
+    pub panics: u64,
+    /// Shards abandoned after exhausting the restart budget.
+    pub failures: u64,
+    /// Buffer occupancy at the last completed slot (gauge; summed across
+    /// shards by [`StatSnapshot::merge`]).
+    pub occupancy: u64,
+    /// Deepest per-port queue at the last completed slot (gauge; max across
+    /// shards).
+    pub queue_depth: u64,
+    /// High-watermark of [`StatSnapshot::queue_depth`] over the run.
+    pub queue_hwm: u64,
+    /// Configured shared buffer limit B (gauge; summed across shards).
+    pub buffer_limit: u64,
+    /// Configured port count n (gauge; summed across shards).
+    pub ports: u64,
+    /// Buffer sojourn of transmitted packets, in slots.
+    pub latency: LogHistogram,
+}
+
+impl StatSnapshot {
+    /// Packets dropped for any reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_buffer_full
+            + self.dropped_policy
+            + self.dropped_backpressure
+            + self.dropped_shard_failure
+    }
+
+    /// Accumulates `other` into `self`: counters add, capacity gauges add
+    /// (aggregate buffer/ports across shards), depth gauges take the max,
+    /// histograms merge.
+    pub fn merge(&mut self, other: &StatSnapshot) {
+        self.arrived += other.arrived;
+        self.arrived_value += other.arrived_value;
+        self.admitted += other.admitted;
+        self.dropped_buffer_full += other.dropped_buffer_full;
+        self.dropped_policy += other.dropped_policy;
+        self.dropped_backpressure += other.dropped_backpressure;
+        self.dropped_shard_failure += other.dropped_shard_failure;
+        self.pushed_out += other.pushed_out;
+        self.transmitted += other.transmitted;
+        self.transmitted_value += other.transmitted_value;
+        self.flushed += other.flushed;
+        self.slots += other.slots;
+        self.restarts += other.restarts;
+        self.panics += other.panics;
+        self.failures += other.failures;
+        self.occupancy += other.occupancy;
+        self.queue_depth = self.queue_depth.max(other.queue_depth);
+        self.queue_hwm = self.queue_hwm.max(other.queue_hwm);
+        self.buffer_limit += other.buffer_limit;
+        self.ports += other.ports;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Renders the snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"arrived\":{},\"arrived_value\":{},\"admitted\":{},\
+             \"dropped\":{{\"buffer_full\":{},\"policy\":{},\"backpressure\":{},\"shard_failure\":{}}},\
+             \"pushed_out\":{},\"transmitted\":{},\"transmitted_value\":{},\"flushed\":{},\
+             \"slots\":{},\"restarts\":{},\"panics\":{},\"failures\":{},\
+             \"occupancy\":{},\"queue_depth\":{},\"queue_hwm\":{},\"buffer_limit\":{},\"ports\":{},\
+             \"latency\":{}}}",
+            self.arrived,
+            self.arrived_value,
+            self.admitted,
+            self.dropped_buffer_full,
+            self.dropped_policy,
+            self.dropped_backpressure,
+            self.dropped_shard_failure,
+            self.pushed_out,
+            self.transmitted,
+            self.transmitted_value,
+            self.flushed,
+            self.slots,
+            self.restarts,
+            self.panics,
+            self.failures,
+            self.occupancy,
+            self.queue_depth,
+            self.queue_hwm,
+            self.buffer_limit,
+            self.ports,
+            self.latency.to_json(),
+        )
+    }
+}
+
+/// Per-slot tallies the observer accumulates in plain locals before folding
+/// them into the shared cell at slot end.
+#[derive(Debug, Default)]
+struct Pending {
+    arrived: u64,
+    arrived_value: u64,
+    admitted: u64,
+    dropped_buffer_full: u64,
+    dropped_policy: u64,
+    dropped_backpressure: u64,
+    dropped_shard_failure: u64,
+    pushed_out: u64,
+    transmitted: u64,
+    transmitted_value: u64,
+    flushed: u64,
+}
+
+/// The [`Observer`] feeding a shard's [`StatCell`].
+///
+/// Per-packet hooks touch only plain locals; the cell's atomics are written
+/// once per slot (and on supervision events, so a dying shard's partial
+/// slot is not lost). Dropping the observer flushes any remaining tallies.
+#[derive(Debug)]
+pub struct TelemetryObserver {
+    cell: Arc<StatCell>,
+    pending: Pending,
+    latency: LogHistogram,
+}
+
+impl TelemetryObserver {
+    /// Creates an observer writing into `cell`.
+    pub fn new(cell: Arc<StatCell>) -> Self {
+        TelemetryObserver {
+            cell,
+            pending: Pending::default(),
+            latency: LogHistogram::new(),
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        let r = Ordering::Relaxed;
+        let p = std::mem::take(&mut self.pending);
+        let c = &*self.cell;
+        if p.arrived != 0 {
+            c.arrived.fetch_add(p.arrived, r);
+        }
+        if p.arrived_value != 0 {
+            c.arrived_value.fetch_add(p.arrived_value, r);
+        }
+        if p.admitted != 0 {
+            c.admitted.fetch_add(p.admitted, r);
+        }
+        if p.dropped_buffer_full != 0 {
+            c.dropped_buffer_full.fetch_add(p.dropped_buffer_full, r);
+        }
+        if p.dropped_policy != 0 {
+            c.dropped_policy.fetch_add(p.dropped_policy, r);
+        }
+        if p.dropped_backpressure != 0 {
+            c.dropped_backpressure.fetch_add(p.dropped_backpressure, r);
+        }
+        if p.dropped_shard_failure != 0 {
+            c.dropped_shard_failure
+                .fetch_add(p.dropped_shard_failure, r);
+        }
+        if p.pushed_out != 0 {
+            c.pushed_out.fetch_add(p.pushed_out, r);
+        }
+        if p.transmitted != 0 {
+            c.transmitted.fetch_add(p.transmitted, r);
+        }
+        if p.transmitted_value != 0 {
+            c.transmitted_value.fetch_add(p.transmitted_value, r);
+        }
+        if p.flushed != 0 {
+            c.flushed.fetch_add(p.flushed, r);
+        }
+        if self.latency.count() > 0 {
+            c.latency.merge_delta(&self.latency);
+            self.latency = LogHistogram::new();
+        }
+    }
+}
+
+impl Observer for TelemetryObserver {
+    fn arrival(&mut self, _slot: u64, _port: PortId, _work: u32, value: u64) {
+        self.pending.arrived += 1;
+        self.pending.arrived_value += value;
+    }
+
+    fn admitted(&mut self, _slot: u64, _port: PortId) {
+        self.pending.admitted += 1;
+    }
+
+    fn dropped(&mut self, _slot: u64, _port: PortId, reason: DropReason) {
+        match reason {
+            DropReason::BufferFull => self.pending.dropped_buffer_full += 1,
+            DropReason::Policy => self.pending.dropped_policy += 1,
+            DropReason::Backpressure => self.pending.dropped_backpressure += 1,
+            DropReason::ShardFailure => self.pending.dropped_shard_failure += 1,
+        }
+    }
+
+    fn backpressure(&mut self, _slot: u64, packets: u64) {
+        self.pending.dropped_backpressure += packets;
+    }
+
+    fn pushed_out(&mut self, _slot: u64, _victim: PortId) {
+        self.pending.pushed_out += 1;
+    }
+
+    fn transmitted(&mut self, _slot: u64, _port: PortId, latency: u64, value: u64) {
+        self.pending.transmitted += 1;
+        self.pending.transmitted_value += value;
+        self.latency.record(latency);
+    }
+
+    fn flush(&mut self, _slot: u64, discarded: u64) {
+        self.pending.flushed += discarded;
+    }
+
+    fn slot_end(&mut self, _slot: u64, occupancy: usize) {
+        self.flush_pending();
+        self.cell
+            .occupancy
+            .store(occupancy as u64, Ordering::Relaxed);
+        self.cell.slots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn queue_depth(&mut self, _slot: u64, depth: u64) {
+        self.cell.queue_depth.store(depth, Ordering::Relaxed);
+        self.cell.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn shard_started(&mut self, buffer_limit: usize, ports: usize) {
+        self.cell
+            .buffer_limit
+            .store(buffer_limit as u64, Ordering::Relaxed);
+        self.cell.ports.store(ports as u64, Ordering::Relaxed);
+    }
+
+    fn shard_panicked(&mut self, _slot: u64, _orphans: u64) {
+        // The dying slot never reached slot_end; publish its partial tallies.
+        self.flush_pending();
+        self.cell.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard_restarted(&mut self, _slot: u64, _attempt: u64) {
+        self.cell.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard_failed(&mut self, _slot: u64, orphans: u64) {
+        self.pending.dropped_shard_failure += orphans;
+        self.flush_pending();
+        self.cell.failures.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for TelemetryObserver {
+    fn drop(&mut self) {
+        self.flush_pending();
+    }
+}
+
+/// Configuration of the telemetry plane.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Sampling cadence (clamped to at least 1 ms).
+    pub interval: Duration,
+    /// Samples kept in the in-memory time-series ring (oldest evicted).
+    pub ring_capacity: usize,
+    /// Append one JSONL line per sample to this file.
+    pub stats_out: Option<PathBuf>,
+    /// Rewrite this file with a Prometheus text-format dump each sample
+    /// (write-to-temp + rename, so scrapers never see a torn file).
+    pub prom_out: Option<PathBuf>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            interval: Duration::from_millis(250),
+            ring_capacity: 1024,
+            stats_out: None,
+            prom_out: None,
+        }
+    }
+}
+
+/// Instantaneous rates between consecutive samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleRates {
+    /// Packets offered per second since the previous sample.
+    pub arrived_per_sec: f64,
+    /// Packets transmitted per second since the previous sample.
+    pub transmitted_per_sec: f64,
+    /// Packets dropped (any reason) per second since the previous sample.
+    pub dropped_per_sec: f64,
+}
+
+/// One entry of the sampler's time-series: cumulative per-shard snapshots,
+/// their aggregate, and rates against the previous sample.
+#[derive(Debug, Clone)]
+pub struct TelemetrySample {
+    /// 0-based sample counter.
+    pub seq: u64,
+    /// Time since the sampler started.
+    pub elapsed: Duration,
+    /// Aggregate of all shards (see [`StatSnapshot::merge`]).
+    pub total: StatSnapshot,
+    /// Per-shard snapshots, indexed by shard id.
+    pub shards: Vec<StatSnapshot>,
+    /// Deltas against the previous sample, per second.
+    pub rates: SampleRates,
+}
+
+impl TelemetrySample {
+    /// Renders the sample as one JSONL line.
+    pub fn to_json(&self) -> String {
+        let mut shards = String::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                shards.push(',');
+            }
+            shards.push_str(&s.to_json());
+        }
+        format!(
+            "{{\"type\":\"telemetry\",\"seq\":{},\"elapsed_ms\":{:.3},\
+             \"rates\":{{\"arrived_per_sec\":{:.1},\"transmitted_per_sec\":{:.1},\"dropped_per_sec\":{:.1}}},\
+             \"total\":{},\"shards\":[{}]}}",
+            self.seq,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.rates.arrived_per_sec,
+            self.rates.transmitted_per_sec,
+            self.rates.dropped_per_sec,
+            self.total.to_json(),
+            shards,
+        )
+    }
+
+    /// Renders the sample in the Prometheus text exposition format
+    /// (per-shard series only; aggregation is the scraper's job).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048 + 512 * self.shards.len());
+        out.push_str("# HELP smbm_packets_total Packets by lifecycle stage.\n");
+        out.push_str("# TYPE smbm_packets_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            for (stage, v) in [
+                ("arrived", s.arrived),
+                ("admitted", s.admitted),
+                ("pushed_out", s.pushed_out),
+                ("transmitted", s.transmitted),
+                ("flushed", s.flushed),
+            ] {
+                out.push_str(&format!(
+                    "smbm_packets_total{{shard=\"{i}\",stage=\"{stage}\"}} {v}\n"
+                ));
+            }
+        }
+        out.push_str("# HELP smbm_drops_total Dropped packets by reason.\n");
+        out.push_str("# TYPE smbm_drops_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            for (reason, v) in [
+                ("buffer_full", s.dropped_buffer_full),
+                ("policy", s.dropped_policy),
+                ("backpressure", s.dropped_backpressure),
+                ("shard_failure", s.dropped_shard_failure),
+            ] {
+                out.push_str(&format!(
+                    "smbm_drops_total{{shard=\"{i}\",reason=\"{reason}\"}} {v}\n"
+                ));
+            }
+        }
+        out.push_str("# HELP smbm_value_total Intrinsic value by lifecycle stage.\n");
+        out.push_str("# TYPE smbm_value_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "smbm_value_total{{shard=\"{i}\",stage=\"arrived\"}} {}\n",
+                s.arrived_value
+            ));
+            out.push_str(&format!(
+                "smbm_value_total{{shard=\"{i}\",stage=\"transmitted\"}} {}\n",
+                s.transmitted_value
+            ));
+        }
+        out.push_str("# HELP smbm_slots_total Slots completed (including drain slots).\n");
+        out.push_str("# TYPE smbm_slots_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!("smbm_slots_total{{shard=\"{i}\"}} {}\n", s.slots));
+        }
+        out.push_str("# HELP smbm_shard_events_total Supervision events per shard.\n");
+        out.push_str("# TYPE smbm_shard_events_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            for (event, v) in [
+                ("panic", s.panics),
+                ("restart", s.restarts),
+                ("gave_up", s.failures),
+            ] {
+                out.push_str(&format!(
+                    "smbm_shard_events_total{{shard=\"{i}\",event=\"{event}\"}} {v}\n"
+                ));
+            }
+        }
+        for (name, help, get) in [
+            (
+                "smbm_buffer_occupancy",
+                "Packets resident in the shared buffer.",
+                (|s: &StatSnapshot| s.occupancy) as fn(&StatSnapshot) -> u64,
+            ),
+            (
+                "smbm_buffer_limit",
+                "Configured shared buffer limit B.",
+                |s: &StatSnapshot| s.buffer_limit,
+            ),
+            (
+                "smbm_queue_depth",
+                "Deepest per-port queue at the last slot end.",
+                |s: &StatSnapshot| s.queue_depth,
+            ),
+            (
+                "smbm_queue_depth_hwm",
+                "High-watermark of the deepest per-port queue.",
+                |s: &StatSnapshot| s.queue_hwm,
+            ),
+            (
+                "smbm_ports",
+                "Configured output port count n.",
+                |s: &StatSnapshot| s.ports,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for (i, s) in self.shards.iter().enumerate() {
+                out.push_str(&format!("{name}{{shard=\"{i}\"}} {}\n", get(s)));
+            }
+        }
+        out.push_str(
+            "# HELP smbm_latency_slots Buffer sojourn of transmitted packets, in slots.\n",
+        );
+        out.push_str("# TYPE smbm_latency_slots summary\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            let h = &s.latency;
+            for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+                out.push_str(&format!(
+                    "smbm_latency_slots{{shard=\"{i}\",quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "smbm_latency_slots_sum{{shard=\"{i}\"}} {}\n",
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "smbm_latency_slots_count{{shard=\"{i}\"}} {}\n",
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+/// What the sampler hands back when stopped: the retained time-series tail
+/// plus bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Retained samples, oldest first (at most the configured ring
+    /// capacity; earlier samples were evicted but still reached the sinks).
+    pub samples: Vec<TelemetrySample>,
+    /// Samples ever taken (>= `samples.len()`).
+    pub ticks: u64,
+    /// Sink I/O errors encountered (deduplicated to the first few).
+    pub errors: Vec<String>,
+}
+
+impl TelemetryReport {
+    /// The final (exact, post-join) sample.
+    pub fn last(&self) -> Option<&TelemetrySample> {
+        self.samples.last()
+    }
+}
+
+/// The background sampling thread. Spawn it with the shards' cells before
+/// the run, stop it after the shard threads are joined: the final sample is
+/// then exact thanks to join's happens-before edge.
+#[derive(Debug)]
+pub struct TelemetrySampler {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: JoinHandle<TelemetryReport>,
+}
+
+impl TelemetrySampler {
+    /// Opens the configured sinks (failing fast on bad paths) and spawns
+    /// the sampler thread. An immediate first sample is taken, one per
+    /// interval after that, and a final one at [`TelemetrySampler::stop`] —
+    /// so every run yields at least two samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink-creation or thread-spawn failures.
+    pub fn spawn(cells: Vec<Arc<StatCell>>, config: TelemetryConfig) -> io::Result<Self> {
+        let stats = config
+            .stats_out
+            .as_ref()
+            .map(JsonlWriter::create)
+            .transpose()?;
+        if let Some(p) = &config.prom_out {
+            // Fail fast on an unwritable path instead of erroring per tick.
+            File::create(p)?;
+        }
+        let prom_out = config.prom_out.clone();
+        let interval = config.interval.max(Duration::from_millis(1));
+        let capacity = config.ring_capacity.max(1);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("smbm-telemetry".into())
+            .spawn(move || sampler_loop(cells, interval, capacity, stats, prom_out, thread_stop))?;
+        Ok(TelemetrySampler { stop, handle })
+    }
+
+    /// Signals the thread, waits for its final sample, and returns the
+    /// collected time-series.
+    pub fn stop(self) -> TelemetryReport {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("telemetry stop flag poisoned") = true;
+        cvar.notify_all();
+        self.handle.join().unwrap_or_else(|_| TelemetryReport {
+            errors: vec!["telemetry sampler thread panicked".to_string()],
+            ..TelemetryReport::default()
+        })
+    }
+}
+
+struct SamplerState {
+    ring: VecDeque<TelemetrySample>,
+    capacity: usize,
+    seq: u64,
+    prev: Option<(Duration, StatSnapshot)>,
+    stats: Option<JsonlWriter>,
+    prom_out: Option<PathBuf>,
+    errors: Vec<String>,
+}
+
+impl SamplerState {
+    fn record_error(&mut self, what: &str, e: &io::Error) {
+        if self.errors.len() < 8 {
+            self.errors.push(format!("{what}: {e}"));
+        }
+    }
+
+    fn tick(&mut self, cells: &[Arc<StatCell>], elapsed: Duration) {
+        let shards: Vec<StatSnapshot> = cells.iter().map(|c| c.snapshot()).collect();
+        let mut total = StatSnapshot::default();
+        for s in &shards {
+            total.merge(s);
+        }
+        let rates = match &self.prev {
+            Some((t0, prev)) => {
+                let dt = elapsed.saturating_sub(*t0).as_secs_f64();
+                if dt > 0.0 {
+                    SampleRates {
+                        arrived_per_sec: total.arrived.saturating_sub(prev.arrived) as f64 / dt,
+                        transmitted_per_sec: total.transmitted.saturating_sub(prev.transmitted)
+                            as f64
+                            / dt,
+                        dropped_per_sec: total.dropped_total().saturating_sub(prev.dropped_total())
+                            as f64
+                            / dt,
+                    }
+                } else {
+                    SampleRates::default()
+                }
+            }
+            None => SampleRates::default(),
+        };
+        let sample = TelemetrySample {
+            seq: self.seq,
+            elapsed,
+            total: total.clone(),
+            shards,
+            rates,
+        };
+        self.seq += 1;
+        if let Some(w) = &mut self.stats {
+            if let Err(e) = w.write_line(&sample.to_json()) {
+                self.record_error("stats sink", &e);
+            }
+        }
+        if let Some(p) = &self.prom_out {
+            if let Err(e) = write_atomic(p, &sample.to_prometheus()) {
+                self.record_error("prometheus sink", &e);
+            }
+        }
+        self.prev = Some((elapsed, total));
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(sample);
+    }
+
+    fn finish(mut self) -> TelemetryReport {
+        if let Some(w) = &mut self.stats {
+            if let Err(e) = w.flush() {
+                self.record_error("stats sink flush", &e);
+            }
+        }
+        TelemetryReport {
+            samples: self.ring.into_iter().collect(),
+            ticks: self.seq,
+            errors: self.errors,
+        }
+    }
+}
+
+fn sampler_loop(
+    cells: Vec<Arc<StatCell>>,
+    interval: Duration,
+    capacity: usize,
+    stats: Option<JsonlWriter>,
+    prom_out: Option<PathBuf>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+) -> TelemetryReport {
+    let started = Instant::now();
+    let mut state = SamplerState {
+        ring: VecDeque::with_capacity(capacity.min(1 << 12)),
+        capacity,
+        seq: 0,
+        prev: None,
+        stats,
+        prom_out,
+        errors: Vec::new(),
+    };
+    state.tick(&cells, started.elapsed());
+    loop {
+        let (lock, cvar) = &*stop;
+        let mut stopped = lock.lock().expect("telemetry stop flag poisoned");
+        let mut timed_out = false;
+        while !*stopped && !timed_out {
+            let (guard, timeout) = cvar
+                .wait_timeout(stopped, interval)
+                .expect("telemetry stop flag poisoned");
+            stopped = guard;
+            timed_out = timeout.timed_out();
+        }
+        let done = *stopped;
+        drop(stopped);
+        if done {
+            break;
+        }
+        state.tick(&cells, started.elapsed());
+    }
+    // Final sample: the runtime stops the sampler only after joining the
+    // shard threads, so this one observes every counter's final value.
+    state.tick(&cells, started.elapsed());
+    state.finish()
+}
+
+/// Writes `text` to a sibling temp file, then renames it over `path`, so a
+/// concurrent reader never observes a partially-written dump.
+fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let mut tmp_name = OsString::from(path.as_os_str());
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "smbm-obs-telemetry-{}-{}",
+            std::process::id(),
+            name
+        ));
+        p
+    }
+
+    #[test]
+    fn observer_folds_into_cell_per_slot() {
+        let cell = Arc::new(StatCell::new());
+        let mut obs = TelemetryObserver::new(Arc::clone(&cell));
+        obs.shard_started(64, 8);
+        obs.arrival(0, PortId::new(1), 2, 5);
+        obs.admitted(0, PortId::new(1));
+        obs.arrival(0, PortId::new(2), 1, 3);
+        obs.dropped(0, PortId::new(2), DropReason::BufferFull);
+        obs.transmitted(0, PortId::new(1), 4, 5);
+        // Nothing published until the slot ends.
+        assert_eq!(cell.snapshot().arrived, 0);
+        obs.slot_end(0, 0);
+        obs.queue_depth(0, 3);
+        let s = cell.snapshot();
+        assert_eq!(s.arrived, 2);
+        assert_eq!(s.arrived_value, 8);
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.dropped_buffer_full, 1);
+        assert_eq!(s.transmitted, 1);
+        assert_eq!(s.transmitted_value, 5);
+        assert_eq!(s.slots, 1);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.queue_hwm, 3);
+        assert_eq!(s.buffer_limit, 64);
+        assert_eq!(s.ports, 8);
+        assert_eq!(s.latency.count(), 1);
+        assert_eq!(s.latency.max(), 4);
+        // The high-watermark survives a lower gauge value.
+        obs.queue_depth(1, 1);
+        let s = cell.snapshot();
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.queue_hwm, 3);
+    }
+
+    #[test]
+    fn drop_flushes_partial_slot() {
+        let cell = Arc::new(StatCell::new());
+        {
+            let mut obs = TelemetryObserver::new(Arc::clone(&cell));
+            obs.arrival(0, PortId::new(0), 1, 1);
+            obs.admitted(0, PortId::new(0));
+        }
+        let s = cell.snapshot();
+        assert_eq!(s.arrived, 1);
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.slots, 0);
+    }
+
+    #[test]
+    fn supervision_hooks_flush_and_count() {
+        let cell = Arc::new(StatCell::new());
+        let mut obs = TelemetryObserver::new(Arc::clone(&cell));
+        obs.arrival(9, PortId::new(0), 1, 1);
+        obs.shard_panicked(9, 4);
+        obs.shard_restarted(9, 1);
+        obs.shard_failed(20, 7);
+        let s = cell.snapshot();
+        assert_eq!(s.arrived, 1, "partial slot published by the panic hook");
+        assert_eq!(s.panics, 1);
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.dropped_shard_failure, 7);
+    }
+
+    #[test]
+    fn snapshot_merge_aggregates() {
+        let mut a = StatSnapshot {
+            arrived: 10,
+            occupancy: 3,
+            queue_hwm: 5,
+            buffer_limit: 64,
+            ports: 8,
+            ..StatSnapshot::default()
+        };
+        let b = StatSnapshot {
+            arrived: 7,
+            occupancy: 2,
+            queue_hwm: 9,
+            buffer_limit: 64,
+            ports: 8,
+            ..StatSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.arrived, 17);
+        assert_eq!(a.occupancy, 5, "occupancy gauge sums across shards");
+        assert_eq!(a.queue_hwm, 9, "watermark takes the max");
+        assert_eq!(a.buffer_limit, 128, "aggregate capacity sums");
+        assert_eq!(a.ports, 16);
+    }
+
+    #[test]
+    fn seqlock_snapshot_is_internally_consistent_under_writes() {
+        let cell = Arc::new(StatCell::new());
+        let writer_cell = Arc::clone(&cell);
+        let writer = std::thread::spawn(move || {
+            let mut obs = TelemetryObserver::new(writer_cell);
+            for slot in 0..4_000u64 {
+                for k in 0..16u64 {
+                    let port = PortId::new((k % 4) as usize);
+                    obs.arrival(slot, port, 1, 1);
+                    obs.admitted(slot, port);
+                    obs.transmitted(slot, port, (slot * 7 + k) % 257, 1);
+                }
+                obs.slot_end(slot, 0);
+            }
+        });
+        let mut last_count = 0u64;
+        let mut snapshots = 0u64;
+        while !writer.is_finished() {
+            let s = cell.snapshot();
+            let bucket_sum: u64 = s.latency.bucket_counts().iter().sum();
+            assert_eq!(
+                s.latency.count(),
+                bucket_sum,
+                "seqlock snapshot tore: count != bucket sum"
+            );
+            assert!(
+                s.latency.count() >= last_count,
+                "histogram count went backwards"
+            );
+            last_count = s.latency.count();
+            snapshots += 1;
+        }
+        writer.join().unwrap();
+        assert!(snapshots > 0);
+        let s = cell.snapshot();
+        assert_eq!(s.latency.count(), 4_000 * 16);
+        assert_eq!(s.arrived, 4_000 * 16);
+        assert_eq!(s.slots, 4_000);
+    }
+
+    #[test]
+    fn sampler_collects_at_least_first_and_final_samples() {
+        let cells: Vec<Arc<StatCell>> = (0..2).map(|_| Arc::new(StatCell::new())).collect();
+        let sampler = TelemetrySampler::spawn(
+            cells.clone(),
+            TelemetryConfig {
+                interval: Duration::from_secs(3600),
+                ..TelemetryConfig::default()
+            },
+        )
+        .unwrap();
+        {
+            let mut obs = TelemetryObserver::new(Arc::clone(&cells[1]));
+            obs.arrival(0, PortId::new(0), 1, 2);
+            obs.admitted(0, PortId::new(0));
+            obs.slot_end(0, 1);
+        }
+        let report = sampler.stop();
+        assert!(report.ticks >= 2, "initial + final samples guaranteed");
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        let last = report.last().unwrap();
+        assert_eq!(last.shards.len(), 2);
+        assert_eq!(last.total.arrived, 1);
+        assert_eq!(last.total.arrived_value, 2);
+        assert_eq!(last.shards[1].occupancy, 1);
+        assert_eq!(last.shards[0].arrived, 0);
+    }
+
+    #[test]
+    fn sampler_ring_is_bounded() {
+        let cells = vec![Arc::new(StatCell::new())];
+        let sampler = TelemetrySampler::spawn(
+            cells,
+            TelemetryConfig {
+                interval: Duration::from_millis(1),
+                ring_capacity: 3,
+                ..TelemetryConfig::default()
+            },
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let report = sampler.stop();
+        assert!(report.ticks > 3);
+        assert_eq!(report.samples.len(), 3);
+        // The ring keeps the newest tail, ending with the final sample.
+        assert_eq!(report.samples.last().unwrap().seq, report.ticks - 1);
+        let seqs: Vec<u64> = report.samples.iter().map(|s| s.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn sampler_writes_jsonl_and_prometheus_sinks() {
+        let stats_path = temp_path("stats.jsonl");
+        let prom_path = temp_path("metrics.prom");
+        let cells = vec![Arc::new(StatCell::new())];
+        let sampler = TelemetrySampler::spawn(
+            cells.clone(),
+            TelemetryConfig {
+                interval: Duration::from_secs(3600),
+                stats_out: Some(stats_path.clone()),
+                prom_out: Some(prom_path.clone()),
+                ..TelemetryConfig::default()
+            },
+        )
+        .unwrap();
+        {
+            let mut obs = TelemetryObserver::new(Arc::clone(&cells[0]));
+            obs.shard_started(32, 4);
+            obs.arrival(0, PortId::new(0), 1, 1);
+            obs.admitted(0, PortId::new(0));
+            obs.transmitted(0, PortId::new(0), 2, 1);
+            obs.slot_end(0, 0);
+        }
+        let report = sampler.stop();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+        let stats = std::fs::read_to_string(&stats_path).unwrap();
+        let lines: Vec<&str> = stats.lines().collect();
+        assert!(lines.len() >= 2, "expected >=2 snapshots, got {lines:?}");
+        for line in &lines {
+            assert!(line.starts_with("{\"type\":\"telemetry\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(lines.last().unwrap().contains("\"arrived\":1"));
+
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        for needle in [
+            "# TYPE smbm_packets_total counter",
+            "smbm_packets_total{shard=\"0\",stage=\"arrived\"} 1",
+            "smbm_packets_total{shard=\"0\",stage=\"transmitted\"} 1",
+            "# TYPE smbm_buffer_occupancy gauge",
+            "smbm_buffer_limit{shard=\"0\"} 32",
+            "smbm_ports{shard=\"0\"} 4",
+            "# TYPE smbm_latency_slots summary",
+            "smbm_latency_slots_count{shard=\"0\"} 1",
+        ] {
+            assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+        }
+        std::fs::remove_file(&stats_path).unwrap();
+        std::fs::remove_file(&prom_path).unwrap();
+    }
+
+    #[test]
+    fn spawn_fails_fast_on_unwritable_sink() {
+        let mut bad = std::env::temp_dir();
+        bad.push(format!("smbm-obs-no-such-dir-{}", std::process::id()));
+        bad.push("stats.jsonl");
+        let err = TelemetrySampler::spawn(
+            vec![Arc::new(StatCell::new())],
+            TelemetryConfig {
+                stats_out: Some(bad),
+                ..TelemetryConfig::default()
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sample_json_shape() {
+        let sample = TelemetrySample {
+            seq: 4,
+            elapsed: Duration::from_millis(1500),
+            total: StatSnapshot {
+                arrived: 3,
+                ..StatSnapshot::default()
+            },
+            shards: vec![StatSnapshot::default(), StatSnapshot::default()],
+            rates: SampleRates {
+                arrived_per_sec: 10.0,
+                transmitted_per_sec: 8.0,
+                dropped_per_sec: 0.5,
+            },
+        };
+        let json = sample.to_json();
+        assert!(json.starts_with("{\"type\":\"telemetry\",\"seq\":4,\"elapsed_ms\":1500.000"));
+        assert!(json.contains("\"arrived_per_sec\":10.0"));
+        assert!(json.contains("\"total\":{\"arrived\":3"));
+        assert!(json.contains("\"shards\":[{"));
+    }
+}

@@ -27,6 +27,11 @@
 //!   (bounded exponential backoff), hands the orphaned ring backlog to the
 //!   replacement, and accounts every packet so conservation holds across
 //!   restarts;
+//! * the telemetry plane — [`RuntimeConfig::telemetry`] attaches a
+//!   lock-free stat cell + observer to every shard and runs a background
+//!   sampler (JSONL / Prometheus sinks); [`RuntimeConfig::flight`] attaches
+//!   a crash flight recorder whose event tail the supervisor dumps to a
+//!   post-mortem file on every shard death;
 //! * [`run_loadgen`] — feeds the datapath from pregenerated MMPP scenario
 //!   traffic and reports throughput, the drop breakdown, and ingress
 //!   latency percentiles.
@@ -47,8 +52,8 @@ pub use faults::{Fault, FaultKind, FaultPlan, ShardFaults};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenError, LoadgenReport, Model};
 pub use ring::{ring, Consumer, Producer, PushError, TryPop};
 pub use runtime::{
-    IngressHandle, ProducerReport, RuntimeBuilder, RuntimeConfig, RuntimeReport, SendOutcome,
-    ShardId, SupervisionConfig,
+    FlightConfig, IngressHandle, ProducerReport, RuntimeBuilder, RuntimeConfig, RuntimeReport,
+    SendOutcome, ShardId, SupervisionConfig,
 };
 pub use service::{CombinedService, Service, ValueService, WorkService};
 pub use shard::{run_shard, Batch, IngestMode, ShardConfig, ShardReport};

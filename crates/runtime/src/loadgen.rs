@@ -8,13 +8,15 @@
 use std::fmt;
 
 use smbm_core::{combined_policy_by_name, value_policy_by_name, work_policy_by_name};
-use smbm_obs::LogHistogram;
+use smbm_obs::{LogHistogram, TelemetryConfig};
 use smbm_switch::{FlushPolicy, ValueSwitchConfig, WorkSwitchConfig};
 use smbm_traffic::{MmppScenario, PortMix, ValueMix};
 
 use crate::clock::{AnyClock, VirtualClock, WallClock};
 use crate::faults::FaultPlan;
-use crate::runtime::{RuntimeBuilder, RuntimeConfig, RuntimeReport, SupervisionConfig};
+use crate::runtime::{
+    FlightConfig, RuntimeBuilder, RuntimeConfig, RuntimeReport, SupervisionConfig,
+};
 use crate::service::{CombinedService, Service, ValueService, WorkService};
 use crate::shard::{IngestMode, ShardConfig};
 
@@ -99,6 +101,12 @@ pub struct LoadgenConfig {
     pub faults: FaultPlan,
     /// Restarts allowed per shard before its supervisor gives up.
     pub restart_budget: u32,
+    /// Run the live telemetry plane (per-shard stat cells + background
+    /// sampler with optional JSONL/Prometheus sinks) alongside the datapath.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Attach crash flight recorders and write post-mortem dumps here on
+    /// shard deaths.
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for LoadgenConfig {
@@ -122,6 +130,8 @@ impl Default for LoadgenConfig {
             record_metrics: false,
             faults: FaultPlan::none(),
             restart_budget: 3,
+            telemetry: None,
+            flight: None,
         }
     }
 }
@@ -196,11 +206,17 @@ impl LoadgenReport {
     pub fn to_json(&self) -> String {
         let c = self.counters();
         let lat = self.ingress_latency_ns();
+        let telemetry_samples = self
+            .runtime
+            .telemetry
+            .as_ref()
+            .map_or(0, |t| t.samples.len());
         format!(
             "{{\"model\":\"{}\",\"policy\":\"{}\",\"shards\":{},\"generated\":{},\
              \"arrived\":{},\"admitted\":{},\"transmitted\":{},\"score\":{},\
              \"drops\":{{\"switch\":{},\"backpressure\":{},\"shard_failure\":{}}},\
              \"lost\":{},\"restarts\":{},\"orphans\":{},\"gave_up\":{},\
+             \"telemetry_samples\":{},\"flight_dumps\":{},\
              \"elapsed_ms\":{:.3},\"packets_per_sec\":{:.0},\
              \"ingress_latency_ns\":{}}}",
             self.model,
@@ -218,6 +234,8 @@ impl LoadgenReport {
             self.runtime.restarts(),
             self.runtime.orphaned_packets(),
             self.runtime.shards_gave_up(),
+            telemetry_samples,
+            self.runtime.flight_dumps(),
             self.runtime.elapsed.as_secs_f64() * 1e3,
             self.processed_per_sec(),
             lat.to_json(),
@@ -274,6 +292,24 @@ impl fmt::Display for LoadgenReport {
                     if shard.gave_up { ", gave up" } else { "" },
                 )?;
             }
+        }
+        if let Some(t) = &self.runtime.telemetry {
+            writeln!(
+                f,
+                "  telemetry: {} sample(s) retained over {} tick(s)",
+                t.samples.len(),
+                t.ticks,
+            )?;
+        }
+        if self.runtime.flight_dumps() > 0 {
+            writeln!(
+                f,
+                "  flight recorder: {} post-mortem dump(s)",
+                self.runtime.flight_dumps(),
+            )?;
+        }
+        for err in &self.runtime.obs_errors {
+            writeln!(f, "  observability error: {err}")?;
         }
         write!(
             f,
@@ -349,6 +385,8 @@ fn drive<S: Service>(
             restart_budget: config.restart_budget,
             ..SupervisionConfig::default()
         },
+        telemetry: config.telemetry.clone(),
+        flight: config.flight.clone(),
     });
     let lossy = config.lossy;
     for (factory, batches) in factories.into_iter().zip(feeds) {
@@ -553,6 +591,24 @@ mod tests {
             run_loadgen(&cfg),
             Err(LoadgenError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn loadgen_passes_telemetry_through_to_the_runtime() {
+        let mut cfg = small(Model::Work, "lwd");
+        cfg.telemetry = Some(TelemetryConfig {
+            interval: std::time::Duration::from_secs(3600),
+            ..TelemetryConfig::default()
+        });
+        let report = run_loadgen(&cfg).unwrap();
+        assert!(report.runtime.obs_errors.is_empty());
+        let t = report.runtime.telemetry.as_ref().expect("telemetry ran");
+        let last = t.last().expect("final sample");
+        assert_eq!(last.total.arrived, report.counters().arrived());
+        let json = report.to_json();
+        assert!(json.contains("\"telemetry_samples\":"), "{json}");
+        assert!(json.contains("\"flight_dumps\":0"), "{json}");
+        assert!(report.to_string().contains("telemetry:"));
     }
 
     #[test]

@@ -20,13 +20,19 @@
 //! [`DropReason::ShardFailure`] loss, keeping packet conservation exact
 //! across restarts and give-ups alike.
 
+use std::fs::File;
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use smbm_obs::{HistogramRecorder, NullObserver, Observer, Phase};
+use smbm_obs::{
+    FlightRecorder, HistogramRecorder, Observer, Phase, StatCell, TelemetryConfig,
+    TelemetryObserver, TelemetryReport, TelemetrySampler,
+};
 use smbm_switch::{Counters, DropReason, PortId};
 
 use crate::clock::Clock;
@@ -50,6 +56,15 @@ pub struct RuntimeConfig {
     pub faults: FaultPlan,
     /// How shard panics are retried and when the supervisor gives up.
     pub supervision: SupervisionConfig,
+    /// Attach a [`StatCell`] + [`TelemetryObserver`] to every shard, run a
+    /// [`TelemetrySampler`] alongside the datapath, and return its
+    /// [`TelemetryReport`]. `None` (the default) runs with the telemetry
+    /// plane entirely absent.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Attach a [`FlightRecorder`] to every shard and have the supervisor
+    /// append a post-mortem dump to [`FlightConfig::path`] on each shard
+    /// death. `None` (the default) records nothing.
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -60,6 +75,29 @@ impl Default for RuntimeConfig {
             record_metrics: false,
             faults: FaultPlan::none(),
             supervision: SupervisionConfig::default(),
+            telemetry: None,
+            flight: None,
+        }
+    }
+}
+
+/// Where and how much the per-shard crash flight recorders capture.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Post-mortem JSONL file; every shard death appends one dump (header
+    /// line plus the retained tail of events).
+    pub path: PathBuf,
+    /// Events retained per shard (newest win). Must be non-zero.
+    pub capacity: usize,
+}
+
+impl FlightConfig {
+    /// A flight-recorder config writing to `path` with the default
+    /// 256-event ring per shard.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FlightConfig {
+            path: path.into(),
+            capacity: 256,
         }
     }
 }
@@ -296,6 +334,37 @@ impl<S: Service> RuntimeBuilder<S> {
         let supervision = self.config.supervision.clone();
         let mut shard_handles = Vec::new();
         let mut producer_handles = Vec::new();
+        let mut obs_errors: Vec<String> = Vec::new();
+
+        // One stat cell per shard, shared between that shard's observer and
+        // the sampler thread. Sink-open failures degrade to "telemetry off"
+        // rather than failing the datapath; they surface in `obs_errors`.
+        let cells: Option<Vec<Arc<StatCell>>> = self.config.telemetry.as_ref().map(|_| {
+            (0..self.shards.len())
+                .map(|_| Arc::new(StatCell::new()))
+                .collect()
+        });
+        let sampler = match (&cells, self.config.telemetry.clone()) {
+            (Some(cells), Some(cfg)) => match TelemetrySampler::spawn(cells.clone(), cfg) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    obs_errors.push(format!("telemetry sampler: {e}"));
+                    None
+                }
+            },
+            _ => None,
+        };
+        let flight_cfg = self.config.flight.clone();
+        let flight_sink: Option<Arc<Mutex<File>>> = match &flight_cfg {
+            Some(cfg) => match File::create(&cfg.path) {
+                Ok(f) => Some(Arc::new(Mutex::new(f))),
+                Err(e) => {
+                    obs_errors.push(format!("flight sink {}: {e}", cfg.path.display()));
+                    None
+                }
+            },
+            None => None,
+        };
 
         for (i, slot) in self.shards.into_iter().enumerate() {
             let mut consumers = Vec::with_capacity(slot.producers.len());
@@ -320,35 +389,36 @@ impl<S: Service> RuntimeBuilder<S> {
             let config = shard_config.clone();
             let supervision = supervision.clone();
             let faults = self.config.faults.for_shard(i);
+            let cell = cells.as_ref().map(|c| Arc::clone(&c[i]));
+            let flight = flight_sink
+                .as_ref()
+                .and(flight_cfg.as_ref())
+                .map(|cfg| FlightRecorder::new(i, cfg.capacity));
+            let sink = flight_sink.clone();
             let join = thread::Builder::new()
                 .name(format!("smbm-shard-{i}"))
                 .spawn(move || {
-                    if record_metrics {
-                        let mut metrics = HistogramRecorder::new();
-                        let mut report = supervise_shard(
-                            i,
-                            &factory,
-                            consumers,
-                            clock,
-                            &config,
-                            &supervision,
-                            faults,
-                            &mut metrics,
-                        );
-                        report.metrics = Some(metrics);
-                        report
-                    } else {
-                        supervise_shard(
-                            i,
-                            &factory,
-                            consumers,
-                            clock,
-                            &config,
-                            &supervision,
-                            faults,
-                            &mut NullObserver,
-                        )
-                    }
+                    // Absent layers are `None`, which the Observer blanket
+                    // impls erase to no-ops — one code path for every
+                    // combination of telemetry/metrics/flight.
+                    let mut obs = (
+                        cell.map(TelemetryObserver::new),
+                        record_metrics.then(HistogramRecorder::new),
+                    );
+                    let mut report = supervise_shard(
+                        i,
+                        &factory,
+                        consumers,
+                        clock,
+                        &config,
+                        &supervision,
+                        faults,
+                        &mut obs,
+                        flight,
+                        sink.as_deref(),
+                    );
+                    report.metrics = obs.1.take();
+                    report
                 })
                 .expect("spawn shard thread");
             shard_handles.push(join);
@@ -388,11 +458,28 @@ impl<S: Service> RuntimeBuilder<S> {
             }
         }
 
+        // Stop the sampler only after every shard thread has joined: the
+        // joins give the final tick a happens-before edge over all relaxed
+        // stat-cell stores, so the last sample's totals are exact.
+        let mut telemetry = sampler.map(|s| s.stop());
+        if let Some(report) = &mut telemetry {
+            obs_errors.extend(report.errors.iter().cloned());
+        }
+        if let Some(sink) = &flight_sink {
+            if let Ok(mut file) = sink.lock() {
+                if let Err(e) = file.flush() {
+                    obs_errors.push(format!("flight sink flush: {e}"));
+                }
+            }
+        }
+
         RuntimeReport {
             shards,
             producers,
             shard_panics,
             elapsed: started.elapsed(),
+            telemetry,
+            obs_errors,
         }
     }
 }
@@ -423,6 +510,8 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
     supervision: &SupervisionConfig,
     mut faults: ShardFaults,
     obs: &mut O,
+    mut flight: Option<FlightRecorder>,
+    flight_sink: Option<&Mutex<File>>,
 ) -> ShardReport {
     let started = Instant::now();
     // Non-closing views of every ring: the backlog must survive an
@@ -436,6 +525,7 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
     let mut restarts: u32 = 0;
     let mut orphaned: u64 = 0;
     let mut gave_up = false;
+    let mut flight_dumps: u32 = 0;
 
     loop {
         let mut progress = ShardProgress::new();
@@ -443,13 +533,17 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
         let incarnation_clock = clock.clone();
         // AssertUnwindSafe: everything the closure can leave half-updated
         // is plain data (tallies in `progress`, fire-once flags in
-        // `faults`, histogram buckets in `obs`), read afterwards only in
-        // ways that tolerate a torn last write — the snapshot fields are
-        // whole-struct copies taken at slot boundaries.
+        // `faults`, histogram buckets in `obs`, the event ring in
+        // `flight`), read afterwards only in ways that tolerate a torn
+        // last write — the snapshot fields are whole-struct copies taken
+        // at slot boundaries.
         let result = catch_unwind(AssertUnwindSafe(|| {
             // Built inside the guarded scope: a panicking factory counts as
-            // an incarnation failure like any other.
+            // an incarnation failure like any other. The flight recorder
+            // rides along as the head of the observer stack so its ring
+            // holds the event tail when the incarnation unwinds.
             let service = factory();
+            let mut stack = (flight.as_mut(), &mut *obs);
             run_shard_core(
                 service,
                 incarnation_rings,
@@ -457,7 +551,7 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
                 config,
                 &mut faults,
                 &mut progress,
-                obs,
+                &mut stack,
             );
         }));
 
@@ -474,6 +568,17 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
                 }
                 orphaned += backlog;
                 obs.shard_panicked(progress.slots, backlog);
+                if let Some(f) = flight.as_mut() {
+                    f.shard_panicked(progress.slots, backlog);
+                }
+                flight_dumps += write_flight_dump(
+                    flight_sink,
+                    flight.as_ref(),
+                    "panic",
+                    progress.slots,
+                    restarts as u64,
+                    backlog,
+                );
 
                 // Packets the dead incarnation popped but never accounted
                 // (it died mid-slot) are shard-failure drops; packets still
@@ -501,6 +606,17 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
                 if restarts >= supervision.restart_budget {
                     gave_up = true;
                     obs.shard_failed(progress.slots, backlog);
+                    if let Some(f) = flight.as_mut() {
+                        f.shard_failed(progress.slots, backlog);
+                    }
+                    flight_dumps += write_flight_dump(
+                        flight_sink,
+                        flight.as_ref(),
+                        "gave_up",
+                        progress.slots,
+                        restarts as u64,
+                        backlog,
+                    );
                     obs.phase_end(Phase::Recovery);
                     break;
                 }
@@ -511,6 +627,9 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
                 }
                 live = standbys.iter().map(|s| s.shadow()).collect();
                 obs.shard_restarted(progress.slots, restarts as u64);
+                if let Some(f) = flight.as_mut() {
+                    f.shard_restarted(progress.slots, restarts as u64);
+                }
                 obs.phase_end(Phase::Recovery);
             }
         }
@@ -540,7 +659,34 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
     report.restarts = restarts;
     report.orphaned_packets = orphaned;
     report.gave_up = gave_up;
+    report.flight_dumps = flight_dumps;
     report
+}
+
+/// Appends one flight-recorder dump to the shared post-mortem sink,
+/// returning 1 if a dump was written (0 when no recorder/sink is configured
+/// or the write failed — deaths must never cascade into the supervisor).
+fn write_flight_dump(
+    sink: Option<&Mutex<File>>,
+    flight: Option<&FlightRecorder>,
+    reason: &str,
+    slot: u64,
+    attempt: u64,
+    orphans: u64,
+) -> u32 {
+    let (Some(sink), Some(flight)) = (sink, flight) else {
+        return 0;
+    };
+    let dump = flight.render_dump(reason, slot, attempt, orphans);
+    let Ok(mut file) = sink.lock() else {
+        return 0;
+    };
+    // Flush immediately: the dump must hit disk even if the process dies
+    // right after the supervisor gives up.
+    match file.write_all(dump.as_bytes()).and_then(|()| file.flush()) {
+        Ok(()) => 1,
+        Err(_) => 0,
+    }
 }
 
 /// Everything the datapath did, shard by shard and producer by producer.
@@ -557,6 +703,13 @@ pub struct RuntimeReport {
     pub shard_panics: usize,
     /// Wall-clock time from first spawn to last join.
     pub elapsed: Duration,
+    /// The telemetry sampler's report, when [`RuntimeConfig::telemetry`]
+    /// was set. Its final sample is exact: the sampler is stopped only
+    /// after every shard thread has joined.
+    pub telemetry: Option<TelemetryReport>,
+    /// Non-fatal observability failures (sink-open or write errors). The
+    /// datapath itself ran to completion regardless.
+    pub obs_errors: Vec<String>,
 }
 
 impl RuntimeReport {
@@ -612,6 +765,11 @@ impl RuntimeReport {
     /// Shards the supervisor abandoned after exhausting the restart budget.
     pub fn shards_gave_up(&self) -> usize {
         self.shards.iter().filter(|s| s.gave_up).count()
+    }
+
+    /// Flight-recorder post-mortem dumps written, across all shards.
+    pub fn flight_dumps(&self) -> u64 {
+        self.shards.iter().map(|s| u64::from(s.flight_dumps)).sum()
     }
 
     /// Packets through admission control per second of datapath wall time.
@@ -791,6 +949,135 @@ mod tests {
         assert_eq!(c.dropped_shard_failure(), 20);
         assert!(c.check_conservation(0).is_ok());
         assert!(c.check_value_conservation(0).is_ok());
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("smbm-runtime-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn telemetry_final_sample_matches_the_report() {
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 4,
+            shard: ShardConfig::lockstep(),
+            telemetry: Some(TelemetryConfig {
+                // One initial and one final tick; nothing in between.
+                interval: Duration::from_secs(3600),
+                ..TelemetryConfig::default()
+            }),
+            ..RuntimeConfig::default()
+        });
+        let id = b.add_shard(|| {
+            let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
+            WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+        });
+        b.add_producer(id, |h| {
+            for _ in 0..10 {
+                assert!(h.send(vec![wp(0, 1), wp(1, 2)]));
+            }
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert!(report.obs_errors.is_empty(), "{:?}", report.obs_errors);
+        let telemetry = report.telemetry.as_ref().expect("telemetry configured");
+        assert!(telemetry.ticks >= 2, "initial + final tick at minimum");
+        let last = telemetry.last().expect("at least the final sample");
+        // The sampler stops after the shard joins, so the final sample is
+        // exact, not merely eventually-consistent.
+        assert_eq!(last.total.arrived, report.counters().arrived());
+        assert_eq!(last.total.transmitted, report.counters().transmitted());
+        assert_eq!(last.total.arrived_value, report.counters().arrived_value());
+        assert_eq!(last.shards.len(), 1);
+        assert_eq!(last.total.buffer_limit, 8);
+        assert_eq!(last.total.ports, 2);
+    }
+
+    #[test]
+    fn flight_dump_is_written_per_shard_death() {
+        let path = temp_path("flight-panic.jsonl");
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 4,
+            shard: ShardConfig::lockstep(),
+            faults: FaultPlan::parse("panic@2").unwrap(),
+            supervision: SupervisionConfig::immediate(3),
+            flight: Some(FlightConfig::new(&path)),
+            ..RuntimeConfig::default()
+        });
+        let id = b.add_shard(|| {
+            let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
+            WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+        });
+        b.add_producer(id, |h| {
+            for _ in 0..10 {
+                assert!(h.send(vec![wp(0, 1), wp(1, 2)]));
+            }
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.shard_panics, 1);
+        assert_eq!(report.flight_dumps(), 1);
+        assert_eq!(report.shards[0].flight_dumps, 1);
+        let dump = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let header = dump.lines().next().expect("dump has a header");
+        assert!(header.contains("\"type\":\"flight_dump\""), "{header}");
+        assert!(header.contains("\"shard\":0"), "{header}");
+        assert!(header.contains("\"reason\":\"panic\""), "{header}");
+        assert!(
+            dump.contains("\"type\":\"shard_panic\""),
+            "the panic event itself is retained"
+        );
+        assert!(report.counters().check_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn exhausted_budget_writes_a_gave_up_dump() {
+        let path = temp_path("flight-gave-up.jsonl");
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 4,
+            shard: ShardConfig::lockstep(),
+            faults: FaultPlan::parse("panic@0").unwrap(),
+            supervision: SupervisionConfig::immediate(0),
+            flight: Some(FlightConfig::new(&path)),
+            ..RuntimeConfig::default()
+        });
+        let id = b.add_shard(|| {
+            let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
+            WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+        });
+        b.add_producer(id, |h| {
+            h.send(vec![wp(0, 1)]);
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.shards_gave_up(), 1);
+        // One dump for the panic, one for the give-up.
+        assert_eq!(report.flight_dumps(), 2);
+        let dump = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(dump.contains("\"reason\":\"panic\""));
+        assert!(dump.contains("\"reason\":\"gave_up\""));
+        assert!(dump.contains("\"type\":\"shard_failed\""));
+    }
+
+    #[test]
+    fn unwritable_flight_sink_degrades_to_an_error_not_a_crash() {
+        let mut b = RuntimeBuilder::new(RuntimeConfig {
+            ring_capacity: 4,
+            shard: ShardConfig::lockstep(),
+            flight: Some(FlightConfig::new("/nonexistent-dir/flight.jsonl")),
+            ..RuntimeConfig::default()
+        });
+        let id = b.add_shard(|| {
+            let cfg = WorkSwitchConfig::contiguous(2, 8).unwrap();
+            WorkService::new(WorkRunner::new(cfg, Lwd::new(), 1))
+        });
+        b.add_producer(id, |h| {
+            h.send(vec![wp(0, 1)]);
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.counters().transmitted(), 1);
+        assert_eq!(report.obs_errors.len(), 1);
+        assert!(report.obs_errors[0].contains("flight sink"));
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub trait Service: 'static {
     /// Packets currently buffered.
     fn occupancy(&self) -> usize;
 
+    /// The switch's configured shared buffer limit B (telemetry gauge).
+    fn buffer_limit(&self) -> usize;
+
+    /// The switch's configured output port count n (telemetry gauge).
+    fn ports(&self) -> usize;
+
+    /// Length of the longest output queue right now (telemetry gauge).
+    fn max_queue_depth(&self) -> usize;
+
     /// The objective so far: packets transmitted (work model) or value
     /// transmitted (value/combined models).
     fn score(&self) -> u64;
@@ -115,6 +124,18 @@ impl<P: WorkPolicy + 'static> Service for WorkService<P> {
 
     fn occupancy(&self) -> usize {
         WorkSystem::occupancy(&self.0)
+    }
+
+    fn buffer_limit(&self) -> usize {
+        self.0.switch().buffer()
+    }
+
+    fn ports(&self) -> usize {
+        self.0.switch().ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        self.0.switch().max_queue_len()
     }
 
     fn score(&self) -> u64 {
@@ -172,6 +193,18 @@ impl<P: ValuePolicy + 'static> Service for ValueService<P> {
         ValueSystem::occupancy(&self.0)
     }
 
+    fn buffer_limit(&self) -> usize {
+        self.0.switch().buffer()
+    }
+
+    fn ports(&self) -> usize {
+        self.0.switch().ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        self.0.switch().max_queue_len()
+    }
+
     fn score(&self) -> u64 {
         self.0.transmitted_value()
     }
@@ -227,6 +260,18 @@ impl<P: CombinedPolicy + 'static> Service for CombinedService<P> {
         CombinedSystem::occupancy(&self.0)
     }
 
+    fn buffer_limit(&self) -> usize {
+        self.0.switch().buffer()
+    }
+
+    fn ports(&self) -> usize {
+        self.0.switch().ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        self.0.switch().max_queue_len()
+    }
+
     fn score(&self) -> u64 {
         self.0.transmitted_value()
     }
@@ -253,6 +298,9 @@ mod tests {
         svc.offer_burst(&[pkt, pkt], &mut outcomes).unwrap();
         assert_eq!(outcomes.len(), 2);
         assert_eq!(svc.occupancy(), 2);
+        assert_eq!(svc.buffer_limit(), 4);
+        assert_eq!(svc.ports(), 2);
+        assert_eq!(svc.max_queue_depth(), 2);
         let mut out = Vec::new();
         assert_eq!(svc.transmission_into(&mut out), 1);
         svc.end_slot();

@@ -148,6 +148,9 @@ pub struct ShardReport {
     /// The supervisor exhausted its restart budget and abandoned the
     /// shard; its remaining ring backlog was dropped as shard-failure.
     pub gave_up: bool,
+    /// Flight-recorder post-mortem dumps written for this shard (one per
+    /// death when a flight sink is configured).
+    pub flight_dumps: u32,
 }
 
 /// Live accounting for one shard incarnation, written through as the loop
@@ -252,6 +255,7 @@ impl ShardProgress {
             restarts: 0,
             orphaned_packets: 0,
             gave_up: false,
+            flight_dumps: 0,
         }
     }
 }
@@ -296,6 +300,7 @@ fn drain<S: Service, O: Observer>(
         progress.slots += 1;
         sum_acc += service.occupancy() as u64;
         obs.slot_end(slot, service.occupancy());
+        obs.queue_depth(slot, service.max_queue_depth() as u64);
         progress.snapshot(service);
         guard += 1;
         if guard >= MAX_DRAIN_CYCLES {
@@ -352,6 +357,7 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
     obs: &mut O,
 ) {
     progress.label = service.label();
+    obs.shard_started(service.buffer_limit(), service.ports());
     let mut scratch: Vec<Transmitted> = Vec::new();
     let mut burst: Vec<S::Packet> = Vec::new();
     let mut outcomes: Vec<ArrivalOutcome> = Vec::new();
@@ -486,6 +492,7 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
             if let Err(e) = result {
                 progress.error = Some(e.to_string());
                 obs.slot_end(slot, service.occupancy());
+                obs.queue_depth(slot, service.max_queue_depth() as u64);
                 progress.snapshot(&service);
                 break;
             }
@@ -498,6 +505,7 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
         progress.occ_sum += service.occupancy() as u64;
         progress.occ_max = progress.occ_max.max(service.occupancy());
         obs.slot_end(slot, service.occupancy());
+        obs.queue_depth(slot, service.max_queue_depth() as u64);
         progress.snapshot(&service);
     }
 

@@ -129,6 +129,12 @@ impl WorkSwitch {
             .map(|(i, q)| (PortId::new(i), q))
     }
 
+    /// Length of the longest output queue right now — the telemetry plane's
+    /// queue-depth gauge tap.
+    pub fn max_queue_len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).max().unwrap_or(0)
+    }
+
     /// Lifetime packet accounting.
     pub fn counters(&self) -> &Counters {
         &self.counters

@@ -42,6 +42,7 @@ fn chaos_lockstep(faults: FaultPlan, budget: u32, slots: Vec<Vec<WorkPacket>>) -
         record_metrics: false,
         faults,
         supervision: SupervisionConfig::immediate(budget),
+        ..RuntimeConfig::default()
     });
     let id = b.add_shard(|| {
         let cfg = WorkSwitchConfig::contiguous(6, 48).unwrap();
@@ -191,6 +192,7 @@ fn multi_shard_report_names_the_dead_shard() {
             kind: FaultKind::Panic,
         }]),
         supervision: SupervisionConfig::immediate(2),
+        ..RuntimeConfig::default()
     });
     for seed in [1u64, 2] {
         let id = b.add_shard(|| {

@@ -192,6 +192,7 @@ fn closed_ring_rejections_are_lost_not_backpressure() {
             kind: FaultKind::Panic,
         }]),
         supervision: SupervisionConfig::immediate(0),
+        ..RuntimeConfig::default()
     });
     let shard_cfg = cfg.clone();
     let id = b.add_shard(move || {
