@@ -582,7 +582,7 @@ fn faults_from(args: &Args, shards: usize, horizon: u64) -> Result<FaultPlan, St
 /// Runs one lockstep shard over per-slot bursts — the live replica of the
 /// offline engine's slot loop (empty slots included, so flush schedules and
 /// counters line up exactly).
-fn serve_trace<S: smbm_runtime::Service>(
+fn serve_trace<S: smbm_runtime::Service + 'static>(
     slots: Vec<Vec<S::Packet>>,
     hz: Option<f64>,
     faults: FaultPlan,

@@ -13,7 +13,8 @@
 //! [`transmission_phase_into`]: WorkSystem::transmission_phase_into
 
 use smbm_switch::{
-    AdmitError, ArrivalOutcome, CombinedPacket, DropReason, Transmitted, ValuePacket, WorkPacket,
+    AdmitError, ArrivalOutcome, CombinedPacket, Counters, DropReason, Transmitted, ValuePacket,
+    WorkPacket,
 };
 
 use crate::{
@@ -91,6 +92,91 @@ pub trait WorkSystem {
 
     /// Packets currently buffered.
     fn occupancy(&self) -> usize;
+
+    /// The configured shared buffer limit B. Defaults to 0 for systems
+    /// without one (the aggregate OPT surrogates).
+    fn buffer_limit(&self) -> usize {
+        0
+    }
+
+    /// The configured output port count n. Defaults to 0 for systems
+    /// without one.
+    fn ports(&self) -> usize {
+        0
+    }
+
+    /// Length of the longest output queue right now. Defaults to 0 for
+    /// systems that do not track per-port queues.
+    fn max_queue_depth(&self) -> usize {
+        0
+    }
+
+    /// Snapshot of the switch's lifetime counters. Defaults to empty for
+    /// systems that do not keep them.
+    fn counters(&self) -> Counters {
+        Counters::new()
+    }
+}
+
+/// A `&mut` borrow drives the underlying system in place, so the engine can
+/// run a caller-owned system through the same adapters the runtime uses
+/// with owned ones.
+impl<S: WorkSystem + ?Sized> WorkSystem for &mut S {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn offer(&mut self, pkt: WorkPacket) -> Result<ArrivalOutcome, AdmitError> {
+        (**self).offer(pkt)
+    }
+
+    fn offer_burst(
+        &mut self,
+        pkts: &[WorkPacket],
+        outcomes: &mut Vec<ArrivalOutcome>,
+    ) -> Result<(), AdmitError> {
+        (**self).offer_burst(pkts, outcomes)
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        (**self).transmission_phase()
+    }
+
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        (**self).transmission_phase_into(out)
+    }
+
+    fn end_slot(&mut self) {
+        (**self).end_slot();
+    }
+
+    fn flush(&mut self) -> u64 {
+        (**self).flush()
+    }
+
+    fn transmitted(&self) -> u64 {
+        (**self).transmitted()
+    }
+
+    fn occupancy(&self) -> usize {
+        (**self).occupancy()
+    }
+
+    fn buffer_limit(&self) -> usize {
+        (**self).buffer_limit()
+    }
+
+    fn ports(&self) -> usize {
+        (**self).ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        (**self).max_queue_depth()
+    }
+
+    fn counters(&self) -> Counters {
+        (**self).counters()
+    }
 }
 
 impl<P: WorkPolicy> WorkSystem for WorkRunner<P> {
@@ -125,6 +211,22 @@ impl<P: WorkPolicy> WorkSystem for WorkRunner<P> {
 
     fn occupancy(&self) -> usize {
         self.switch().occupancy()
+    }
+
+    fn buffer_limit(&self) -> usize {
+        self.switch().buffer()
+    }
+
+    fn ports(&self) -> usize {
+        self.switch().ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        self.switch().max_queue_len()
+    }
+
+    fn counters(&self) -> Counters {
+        *self.switch().counters()
     }
 }
 
@@ -213,6 +315,90 @@ pub trait ValueSystem {
 
     /// Packets currently buffered.
     fn occupancy(&self) -> usize;
+
+    /// The configured shared buffer limit B. Defaults to 0 for systems
+    /// without one (the aggregate OPT surrogates).
+    fn buffer_limit(&self) -> usize {
+        0
+    }
+
+    /// The configured output port count n. Defaults to 0 for systems
+    /// without one.
+    fn ports(&self) -> usize {
+        0
+    }
+
+    /// Length of the longest output queue right now. Defaults to 0 for
+    /// systems that do not track per-port queues.
+    fn max_queue_depth(&self) -> usize {
+        0
+    }
+
+    /// Snapshot of the switch's lifetime counters. Defaults to empty for
+    /// systems that do not keep them.
+    fn counters(&self) -> Counters {
+        Counters::new()
+    }
+}
+
+/// A `&mut` borrow drives the underlying system in place (see the
+/// [`WorkSystem`] blanket impl).
+impl<S: ValueSystem + ?Sized> ValueSystem for &mut S {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn offer(&mut self, pkt: ValuePacket) -> Result<ArrivalOutcome, AdmitError> {
+        (**self).offer(pkt)
+    }
+
+    fn offer_burst(
+        &mut self,
+        pkts: &[ValuePacket],
+        outcomes: &mut Vec<ArrivalOutcome>,
+    ) -> Result<(), AdmitError> {
+        (**self).offer_burst(pkts, outcomes)
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        (**self).transmission_phase()
+    }
+
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        (**self).transmission_phase_into(out)
+    }
+
+    fn end_slot(&mut self) {
+        (**self).end_slot();
+    }
+
+    fn flush(&mut self) -> u64 {
+        (**self).flush()
+    }
+
+    fn transmitted_value(&self) -> u64 {
+        (**self).transmitted_value()
+    }
+
+    fn occupancy(&self) -> usize {
+        (**self).occupancy()
+    }
+
+    fn buffer_limit(&self) -> usize {
+        (**self).buffer_limit()
+    }
+
+    fn ports(&self) -> usize {
+        (**self).ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        (**self).max_queue_depth()
+    }
+
+    fn counters(&self) -> Counters {
+        (**self).counters()
+    }
 }
 
 impl<P: ValuePolicy> ValueSystem for ValueRunner<P> {
@@ -247,6 +433,22 @@ impl<P: ValuePolicy> ValueSystem for ValueRunner<P> {
 
     fn occupancy(&self) -> usize {
         self.switch().occupancy()
+    }
+
+    fn buffer_limit(&self) -> usize {
+        self.switch().buffer()
+    }
+
+    fn ports(&self) -> usize {
+        self.switch().ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        self.switch().max_queue_len()
+    }
+
+    fn counters(&self) -> Counters {
+        *self.switch().counters()
     }
 }
 
@@ -334,6 +536,90 @@ pub trait CombinedSystem {
 
     /// Packets currently buffered.
     fn occupancy(&self) -> usize;
+
+    /// The configured shared buffer limit B. Defaults to 0 for systems
+    /// without one (the aggregate OPT surrogates).
+    fn buffer_limit(&self) -> usize {
+        0
+    }
+
+    /// The configured output port count n. Defaults to 0 for systems
+    /// without one.
+    fn ports(&self) -> usize {
+        0
+    }
+
+    /// Length of the longest output queue right now. Defaults to 0 for
+    /// systems that do not track per-port queues.
+    fn max_queue_depth(&self) -> usize {
+        0
+    }
+
+    /// Snapshot of the switch's lifetime counters. Defaults to empty for
+    /// systems that do not keep them.
+    fn counters(&self) -> Counters {
+        Counters::new()
+    }
+}
+
+/// A `&mut` borrow drives the underlying system in place (see the
+/// [`WorkSystem`] blanket impl).
+impl<S: CombinedSystem + ?Sized> CombinedSystem for &mut S {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn offer(&mut self, pkt: CombinedPacket) -> Result<ArrivalOutcome, AdmitError> {
+        (**self).offer(pkt)
+    }
+
+    fn offer_burst(
+        &mut self,
+        pkts: &[CombinedPacket],
+        outcomes: &mut Vec<ArrivalOutcome>,
+    ) -> Result<(), AdmitError> {
+        (**self).offer_burst(pkts, outcomes)
+    }
+
+    fn transmission_phase(&mut self) -> u64 {
+        (**self).transmission_phase()
+    }
+
+    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
+        (**self).transmission_phase_into(out)
+    }
+
+    fn end_slot(&mut self) {
+        (**self).end_slot();
+    }
+
+    fn flush(&mut self) -> u64 {
+        (**self).flush()
+    }
+
+    fn transmitted_value(&self) -> u64 {
+        (**self).transmitted_value()
+    }
+
+    fn occupancy(&self) -> usize {
+        (**self).occupancy()
+    }
+
+    fn buffer_limit(&self) -> usize {
+        (**self).buffer_limit()
+    }
+
+    fn ports(&self) -> usize {
+        (**self).ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        (**self).max_queue_depth()
+    }
+
+    fn counters(&self) -> Counters {
+        (**self).counters()
+    }
 }
 
 impl<P: CombinedPolicy> CombinedSystem for CombinedRunner<P> {
@@ -368,6 +654,22 @@ impl<P: CombinedPolicy> CombinedSystem for CombinedRunner<P> {
 
     fn occupancy(&self) -> usize {
         self.switch().occupancy()
+    }
+
+    fn buffer_limit(&self) -> usize {
+        self.switch().buffer()
+    }
+
+    fn ports(&self) -> usize {
+        self.switch().ports()
+    }
+
+    fn max_queue_depth(&self) -> usize {
+        self.switch().max_queue_len()
+    }
+
+    fn counters(&self) -> Counters {
+        *self.switch().counters()
     }
 }
 

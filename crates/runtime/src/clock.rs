@@ -20,6 +20,14 @@ pub trait Clock {
     fn skew(&mut self, nanos: i64) {
         let _ = nanos;
     }
+
+    /// How long a batch enqueued at `enqueued` waited in its ring, as this
+    /// clock measures time. Wall clocks read the real elapsed time; the
+    /// [`VirtualClock`] reports zero, so deterministic runs produce
+    /// bit-identical reports instead of ones salted with scheduler noise.
+    fn batch_wait(&self, enqueued: Instant) -> Duration {
+        enqueued.elapsed()
+    }
 }
 
 /// A clock that never waits: every cycle starts immediately. Deterministic
@@ -41,6 +49,11 @@ impl Clock for VirtualClock {
         let c = self.cycle;
         self.cycle += 1;
         c
+    }
+
+    fn batch_wait(&self, _enqueued: Instant) -> Duration {
+        // Virtual time: no cycle ever waits, so neither does a batch.
+        Duration::ZERO
     }
 }
 
@@ -126,6 +139,13 @@ impl Clock for AnyClock {
             AnyClock::Wall(c) => c.skew(nanos),
         }
     }
+
+    fn batch_wait(&self, enqueued: Instant) -> Duration {
+        match self {
+            AnyClock::Virtual(c) => c.batch_wait(enqueued),
+            AnyClock::Wall(c) => c.batch_wait(enqueued),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +179,15 @@ mod tests {
         let mut w = AnyClock::Wall(WallClock::from_hz(1_000_000.0));
         assert_eq!(w.tick(), 0);
         assert_eq!(w.tick(), 1);
+    }
+
+    #[test]
+    fn batch_wait_is_zero_under_virtual_time() {
+        let enqueued = Instant::now() - Duration::from_millis(5);
+        assert_eq!(VirtualClock::new().batch_wait(enqueued), Duration::ZERO);
+        assert!(WallClock::from_hz(1000.0).batch_wait(enqueued) >= Duration::from_millis(5));
+        let any = AnyClock::Virtual(VirtualClock::new());
+        assert_eq!(any.batch_wait(enqueued), Duration::ZERO);
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //!   back-to-back (deterministic tests, replay, throughput measurement),
 //!   [`WallClock`] paces at a fixed cycles-per-second;
 //! * [`Service`] — the model-erased bundle of switch operations a shard
-//!   drives, one implementation per packet model ([`WorkService`],
-//!   [`ValueService`], [`CombinedService`]);
-//! * [`run_shard`] — the slot loop itself: ingest, flush schedule, arrival
-//!   phase, transmission, drain — the same phase sequence as the offline
-//!   engine, which is what makes lockstep replay counter-exact;
+//!   drives: a re-export of `smbm-datapath`'s `DatapathSystem`, with
+//!   [`WorkService`], [`ValueService`] and [`CombinedService`] aliasing the
+//!   datapath adapters over the corresponding runners;
+//! * [`run_shard`] — the ring-fed driver: ingest, clock pacing and fault
+//!   polling wrapped around `smbm-datapath`'s `SlotMachine`, which emits
+//!   the flush/arrival/transmission/drain phases — literally the same code
+//!   the offline engine drives, which is what makes lockstep replay
+//!   counter-exact;
 //! * [`FaultPlan`] — deterministic, seedable fault injection: panic a
 //!   shard at a slot, stall its loop, saturate its ingress, skew a paced
 //!   clock — the chaos harness behind `--faults`;

@@ -365,7 +365,7 @@ fn scenario_for(config: &LoadgenConfig, shard: usize) -> MmppScenario {
 
 /// Builds the datapath from per-shard service factories and pregenerated
 /// batch feeds, runs it, and wraps the report.
-fn drive<S: Service>(
+fn drive<S: Service + 'static>(
     config: &LoadgenConfig,
     policy: String,
     factories: Vec<Box<dyn Fn() -> S + Send>>,

@@ -42,9 +42,9 @@ pub struct Producer<T>(Arc<Shared<T>>);
 ///
 /// By default dropping the consumer closes the ring (legacy shutdown
 /// semantics). A supervised shard instead holds *persistent* consumers
-/// ([`Consumer::persistent`]) whose drop leaves the ring open, so the
+/// (`Consumer::persistent`) whose drop leaves the ring open, so the
 /// backlog survives the incarnation's panic and a replacement shard — fed
-/// a [`Consumer::shadow`] of the same ring — can drain it.
+/// a `Consumer::shadow` of the same ring — can drain it.
 pub struct Consumer<T> {
     shared: Arc<Shared<T>>,
     close_on_drop: bool,
@@ -234,7 +234,7 @@ impl<T> Consumer<T> {
 
     /// Abandons the stream: subsequent pushes fail with
     /// [`PushError::Closed`]. Also performed on drop (unless the handle was
-    /// made [`Consumer::persistent`]).
+    /// made `Consumer::persistent`).
     pub fn close(&self) {
         let mut st = self.shared.lock();
         st.consumer_closed = true;

@@ -266,19 +266,19 @@ impl<P: Copy> IngressHandle<P> {
 type ServiceFactory<S> = Box<dyn Fn() -> S + Send>;
 type ProducerJob<P> = Box<dyn FnOnce(&mut IngressHandle<P>) + Send>;
 
-struct ShardSlot<S: Service> {
+struct ShardSlot<S: Service + 'static> {
     factory: ServiceFactory<S>,
     producers: Vec<ProducerJob<S::Packet>>,
 }
 
 /// Assembles a datapath: shards (each owning one buffer core) and the
 /// producer jobs that feed them, then runs everything to completion.
-pub struct RuntimeBuilder<S: Service> {
+pub struct RuntimeBuilder<S: Service + 'static> {
     config: RuntimeConfig,
     shards: Vec<ShardSlot<S>>,
 }
 
-impl<S: Service> RuntimeBuilder<S> {
+impl<S: Service + 'static> RuntimeBuilder<S> {
     /// Starts an empty datapath with the given configuration.
     pub fn new(config: RuntimeConfig) -> Self {
         RuntimeBuilder {
@@ -501,7 +501,7 @@ impl<S: Service> RuntimeBuilder<S> {
 /// * the ring backlog is left in place for the replacement (or drained as
 ///   shard-failure drops on give-up).
 #[allow(clippy::too_many_arguments)]
-fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
+fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
     shard_id: usize,
     factory: &ServiceFactory<S>,
     consumers: Vec<Consumer<Batch<S::Packet>>>,
@@ -567,15 +567,15 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
                     s.peek(|b| backlog += b.packets.len() as u64);
                 }
                 orphaned += backlog;
-                obs.shard_panicked(progress.slots, backlog);
+                obs.shard_panicked(progress.stats.slots, backlog);
                 if let Some(f) = flight.as_mut() {
-                    f.shard_panicked(progress.slots, backlog);
+                    f.shard_panicked(progress.stats.slots, backlog);
                 }
                 flight_dumps += write_flight_dump(
                     flight_sink,
                     flight.as_ref(),
                     "panic",
-                    progress.slots,
+                    progress.stats.slots,
                     restarts as u64,
                     backlog,
                 );
@@ -605,15 +605,15 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
 
                 if restarts >= supervision.restart_budget {
                     gave_up = true;
-                    obs.shard_failed(progress.slots, backlog);
+                    obs.shard_failed(progress.stats.slots, backlog);
                     if let Some(f) = flight.as_mut() {
-                        f.shard_failed(progress.slots, backlog);
+                        f.shard_failed(progress.stats.slots, backlog);
                     }
                     flight_dumps += write_flight_dump(
                         flight_sink,
                         flight.as_ref(),
                         "gave_up",
-                        progress.slots,
+                        progress.stats.slots,
                         restarts as u64,
                         backlog,
                     );
@@ -626,9 +626,9 @@ fn supervise_shard<S: Service, C: Clock + Clone, O: Observer>(
                     thread::sleep(backoff);
                 }
                 live = standbys.iter().map(|s| s.shadow()).collect();
-                obs.shard_restarted(progress.slots, restarts as u64);
+                obs.shard_restarted(progress.stats.slots, restarts as u64);
                 if let Some(f) = flight.as_mut() {
-                    f.shard_restarted(progress.slots, restarts as u64);
+                    f.shard_restarted(progress.stats.slots, restarts as u64);
                 }
                 obs.phase_end(Phase::Recovery);
             }

@@ -1,291 +1,39 @@
-//! The shard's view of a policy-driven switch: a [`Service`] is the
-//! model-erased bundle of operations the datapath loop drives, with one
-//! implementation per packet model wrapping the corresponding policy runner.
+//! The shard's view of a policy-driven switch.
 //!
-//! This mirrors the simulation engine's internal `EngineSystem` adapter, but
-//! lives in public API space because shard threads construct their service
-//! from a caller-supplied factory (the service itself never crosses threads;
-//! only its plain-data [`Counters`] snapshot comes back). Factories are
+//! The trait itself now lives in `smbm-datapath`: [`Service`] is a re-export
+//! of [`DatapathSystem`](smbm_datapath::DatapathSystem), the same
+//! model-erased bundle of operations the offline simulation engine drives —
+//! the runtime's old standalone `Service` trait (and the engine's internal
+//! `EngineSystem`) are superseded by it. This module keeps the runtime's
+//! historical service names as aliases over the datapath adapters wrapping
+//! owned policy runners.
+//!
+//! Shard threads construct their service from a caller-supplied factory
+//! (the service itself never crosses threads; only its plain-data
+//! [`Counters`](smbm_switch::Counters) snapshot comes back). Factories are
 //! `Fn`, not `FnOnce`: the supervisor reinvokes the same factory to rebuild
 //! a shard's service after a panic, so a factory must yield a fresh,
 //! equivalently-configured service every time it is called.
 
-use smbm_core::{
-    CombinedPolicy, CombinedRunner, CombinedSystem, ValuePolicy, ValueRunner, ValueSystem,
-    WorkPolicy, WorkRunner, WorkSystem,
-};
-use smbm_switch::{
-    AdmitError, ArrivalOutcome, CombinedPacket, Counters, PortId, Transmitted, ValuePacket,
-    WorkPacket,
-};
+use smbm_core::{CombinedRunner, ValueRunner, WorkRunner};
+use smbm_datapath::{CombinedAdapter, ValueAdapter, WorkAdapter};
 
-/// What a switch shard needs from the system it serves: burst admission,
-/// transmission, slot bookkeeping, and counter snapshots.
-///
-/// `meta` is an associated function (not a method) so producers can carry it
-/// as a plain `fn` pointer and attribute value to backpressure-rejected
-/// packets without ever touching the service.
-pub trait Service: 'static {
-    /// The packet type flowing through the shard's ingress rings.
-    type Packet: Copy + Send + 'static;
-
-    /// Human-readable label (the policy name) for reports.
-    fn label(&self) -> String;
-
-    /// Destination port, work cycles, and value of a packet (1 wherever the
-    /// model lacks the dimension), matching the engine's arrival events.
-    fn meta(pkt: Self::Packet) -> (PortId, u32, u64);
-
-    /// Offers a whole burst to admission control, appending one outcome per
-    /// packet in offer order.
-    ///
-    /// # Errors
-    ///
-    /// Stops at the first [`AdmitError`] (an inconsistent policy decision);
-    /// outcomes already appended stay.
-    fn offer_burst(
-        &mut self,
-        pkts: &[Self::Packet],
-        outcomes: &mut Vec<ArrivalOutcome>,
-    ) -> Result<(), AdmitError>;
-
-    /// Runs one transmission phase, appending per-packet completion records;
-    /// returns the phase's contribution to the objective (packets in the
-    /// work model, value otherwise).
-    fn transmission_into(&mut self, out: &mut Vec<Transmitted>) -> u64;
-
-    /// Marks the end of the slot (advances the switch clock).
-    fn end_slot(&mut self);
-
-    /// Discards all buffered packets; returns how many were discarded.
-    fn flush(&mut self) -> u64;
-
-    /// Packets currently buffered.
-    fn occupancy(&self) -> usize;
-
-    /// The switch's configured shared buffer limit B (telemetry gauge).
-    fn buffer_limit(&self) -> usize;
-
-    /// The switch's configured output port count n (telemetry gauge).
-    fn ports(&self) -> usize;
-
-    /// Length of the longest output queue right now (telemetry gauge).
-    fn max_queue_depth(&self) -> usize;
-
-    /// The objective so far: packets transmitted (work model) or value
-    /// transmitted (value/combined models).
-    fn score(&self) -> u64;
-
-    /// Snapshot of the switch's lifetime counters.
-    fn counters(&self) -> Counters;
-}
+pub use smbm_datapath::DatapathSystem as Service;
 
 /// A work-model service: throughput objective, per-port work requirements.
-#[derive(Debug)]
-pub struct WorkService<P>(WorkRunner<P>);
-
-impl<P: WorkPolicy + 'static> WorkService<P> {
-    /// Wraps a runner.
-    pub fn new(runner: WorkRunner<P>) -> Self {
-        WorkService(runner)
-    }
-}
-
-impl<P: WorkPolicy + 'static> Service for WorkService<P> {
-    type Packet = WorkPacket;
-
-    fn label(&self) -> String {
-        WorkSystem::label(&self.0)
-    }
-
-    fn meta(pkt: WorkPacket) -> (PortId, u32, u64) {
-        (pkt.port(), pkt.work().cycles(), 1)
-    }
-
-    fn offer_burst(
-        &mut self,
-        pkts: &[WorkPacket],
-        outcomes: &mut Vec<ArrivalOutcome>,
-    ) -> Result<(), AdmitError> {
-        WorkSystem::offer_burst(&mut self.0, pkts, outcomes)
-    }
-
-    fn transmission_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
-        WorkSystem::transmission_phase_into(&mut self.0, out)
-    }
-
-    fn end_slot(&mut self) {
-        WorkSystem::end_slot(&mut self.0);
-    }
-
-    fn flush(&mut self) -> u64 {
-        WorkSystem::flush(&mut self.0)
-    }
-
-    fn occupancy(&self) -> usize {
-        WorkSystem::occupancy(&self.0)
-    }
-
-    fn buffer_limit(&self) -> usize {
-        self.0.switch().buffer()
-    }
-
-    fn ports(&self) -> usize {
-        self.0.switch().ports()
-    }
-
-    fn max_queue_depth(&self) -> usize {
-        self.0.switch().max_queue_len()
-    }
-
-    fn score(&self) -> u64 {
-        self.0.transmitted()
-    }
-
-    fn counters(&self) -> Counters {
-        *self.0.switch().counters()
-    }
-}
+pub type WorkService<P> = WorkAdapter<WorkRunner<P>>;
 
 /// A value-model service: value objective, unit work.
-#[derive(Debug)]
-pub struct ValueService<P>(ValueRunner<P>);
-
-impl<P: ValuePolicy + 'static> ValueService<P> {
-    /// Wraps a runner.
-    pub fn new(runner: ValueRunner<P>) -> Self {
-        ValueService(runner)
-    }
-}
-
-impl<P: ValuePolicy + 'static> Service for ValueService<P> {
-    type Packet = ValuePacket;
-
-    fn label(&self) -> String {
-        ValueSystem::label(&self.0)
-    }
-
-    fn meta(pkt: ValuePacket) -> (PortId, u32, u64) {
-        (pkt.port(), 1, pkt.value().get())
-    }
-
-    fn offer_burst(
-        &mut self,
-        pkts: &[ValuePacket],
-        outcomes: &mut Vec<ArrivalOutcome>,
-    ) -> Result<(), AdmitError> {
-        ValueSystem::offer_burst(&mut self.0, pkts, outcomes)
-    }
-
-    fn transmission_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
-        ValueSystem::transmission_phase_into(&mut self.0, out)
-    }
-
-    fn end_slot(&mut self) {
-        ValueSystem::end_slot(&mut self.0);
-    }
-
-    fn flush(&mut self) -> u64 {
-        ValueSystem::flush(&mut self.0)
-    }
-
-    fn occupancy(&self) -> usize {
-        ValueSystem::occupancy(&self.0)
-    }
-
-    fn buffer_limit(&self) -> usize {
-        self.0.switch().buffer()
-    }
-
-    fn ports(&self) -> usize {
-        self.0.switch().ports()
-    }
-
-    fn max_queue_depth(&self) -> usize {
-        self.0.switch().max_queue_len()
-    }
-
-    fn score(&self) -> u64 {
-        self.0.transmitted_value()
-    }
-
-    fn counters(&self) -> Counters {
-        *self.0.switch().counters()
-    }
-}
+pub type ValueService<P> = ValueAdapter<ValueRunner<P>>;
 
 /// A combined-model service (extension): value objective, per-port work.
-#[derive(Debug)]
-pub struct CombinedService<P>(CombinedRunner<P>);
-
-impl<P: CombinedPolicy + 'static> CombinedService<P> {
-    /// Wraps a runner.
-    pub fn new(runner: CombinedRunner<P>) -> Self {
-        CombinedService(runner)
-    }
-}
-
-impl<P: CombinedPolicy + 'static> Service for CombinedService<P> {
-    type Packet = CombinedPacket;
-
-    fn label(&self) -> String {
-        CombinedSystem::label(&self.0)
-    }
-
-    fn meta(pkt: CombinedPacket) -> (PortId, u32, u64) {
-        (pkt.port(), pkt.work().cycles(), pkt.value().get())
-    }
-
-    fn offer_burst(
-        &mut self,
-        pkts: &[CombinedPacket],
-        outcomes: &mut Vec<ArrivalOutcome>,
-    ) -> Result<(), AdmitError> {
-        CombinedSystem::offer_burst(&mut self.0, pkts, outcomes)
-    }
-
-    fn transmission_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
-        CombinedSystem::transmission_phase_into(&mut self.0, out)
-    }
-
-    fn end_slot(&mut self) {
-        CombinedSystem::end_slot(&mut self.0);
-    }
-
-    fn flush(&mut self) -> u64 {
-        CombinedSystem::flush(&mut self.0)
-    }
-
-    fn occupancy(&self) -> usize {
-        CombinedSystem::occupancy(&self.0)
-    }
-
-    fn buffer_limit(&self) -> usize {
-        self.0.switch().buffer()
-    }
-
-    fn ports(&self) -> usize {
-        self.0.switch().ports()
-    }
-
-    fn max_queue_depth(&self) -> usize {
-        self.0.switch().max_queue_len()
-    }
-
-    fn score(&self) -> u64 {
-        self.0.transmitted_value()
-    }
-
-    fn counters(&self) -> Counters {
-        *self.0.switch().counters()
-    }
-}
+pub type CombinedService<P> = CombinedAdapter<CombinedRunner<P>>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use smbm_core::Lwd;
-    use smbm_switch::{Work, WorkSwitchConfig};
+    use smbm_switch::{PortId, Work, WorkPacket, WorkSwitchConfig};
 
     #[test]
     fn work_service_round_trip() {
@@ -302,7 +50,7 @@ mod tests {
         assert_eq!(svc.ports(), 2);
         assert_eq!(svc.max_queue_depth(), 2);
         let mut out = Vec::new();
-        assert_eq!(svc.transmission_into(&mut out), 1);
+        assert_eq!(svc.transmission_phase_into(&mut out), 1);
         svc.end_slot();
         assert_eq!(svc.score(), 1);
         assert_eq!(svc.counters().transmitted(), 1);

@@ -2,6 +2,12 @@
 //! batches from its ingress rings and running the paper's two-phase slot
 //! loop live.
 //!
+//! The slot phases themselves — flush, arrival, transmission, drain — live
+//! in `smbm-datapath`'s [`SlotMachine`]; this module owns everything around
+//! it: ring ingest, fault injection, clock pacing, and the crash-safe
+//! progress record the supervisor reads after a panic (written through a
+//! [`SlotHook`] at every slot boundary).
+//!
 //! In [`IngestMode::Lockstep`] the shard blocks for exactly one batch per
 //! open ring per cycle, so with a single producer sending one batch per
 //! trace slot the shard executes the *exact* admission/transmission/flush
@@ -13,17 +19,14 @@
 
 use std::time::{Duration, Instant};
 
+use smbm_datapath::{SlotHook, SlotMachine, SlotStats};
 use smbm_obs::{LogHistogram, Observer, Phase};
-use smbm_switch::{ArrivalOutcome, Counters, FlushMode, FlushPolicy, Transmitted};
+use smbm_switch::{Counters, FlushPolicy};
 
 use crate::clock::Clock;
 use crate::faults::{FaultKind, ShardFaults};
 use crate::ring::{Consumer, TryPop};
 use crate::service::Service;
-
-/// Hard cap on drain cycles. The offline engine panics here; a live shard
-/// must join, so it sets [`ShardReport::drain_stalled`] and exits instead.
-const MAX_DRAIN_CYCLES: u64 = 100_000_000;
 
 /// One unit of ingress: a burst of packets plus the instant it entered the
 /// ring, so the shard can histogram queueing delay.
@@ -126,12 +129,15 @@ pub struct ShardReport {
     pub mean_occupancy: f64,
     /// Peak buffer occupancy sampled at the end of any slot.
     pub max_occupancy: usize,
-    /// Ring queueing delay of every ingested batch, in nanoseconds.
+    /// Ring queueing delay of every ingested batch, in nanoseconds, as
+    /// measured by the shard's [`Clock`] (zero under virtual time, so
+    /// deterministic runs stay bit-identical).
     pub ingress_latency_ns: LogHistogram,
     /// Wall-clock time from shard start to join.
     pub elapsed: Duration,
-    /// The final drain hit [`MAX_DRAIN_CYCLES`] without emptying the buffer
-    /// (a non-work-conserving service); the shard gave up so it could join.
+    /// The final drain hit [`smbm_datapath::MAX_DRAIN_SLOTS`] without
+    /// emptying the buffer (a non-work-conserving service); the shard gave
+    /// up so it could join.
     pub drain_stalled: bool,
     /// An admission error that aborted the loop (an inconsistent policy
     /// decision). Counters reflect everything up to the failure.
@@ -157,15 +163,15 @@ pub struct ShardReport {
 /// runs (not at exit) so that a panicking incarnation leaves an exact
 /// record behind: the supervisor reads the last completed slot's counter
 /// snapshot plus the ingest tallies to account every packet the dead shard
-/// ever held.
+/// ever held. The slot machine writes it via [`SlotHook`] at every slot
+/// boundary.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardProgress {
     pub(crate) label: String,
-    pub(crate) slots: u64,
+    /// Machine slot accounting (slots, bursts, occupancy sum/max) at the
+    /// last completed slot boundary.
+    pub(crate) stats: SlotStats,
     pub(crate) cycles: u64,
-    pub(crate) bursts: u64,
-    pub(crate) occ_sum: u64,
-    pub(crate) occ_max: usize,
     pub(crate) ingress_latency_ns: LogHistogram,
     /// Packets popped from the rings, including any not yet reflected in
     /// the counter snapshot (a mid-slot death leaves a gap).
@@ -186,11 +192,8 @@ impl ShardProgress {
     pub(crate) fn new() -> Self {
         ShardProgress {
             label: String::new(),
-            slots: 0,
+            stats: SlotStats::new(),
             cycles: 0,
-            bursts: 0,
-            occ_sum: 0,
-            occ_max: 0,
             ingress_latency_ns: LogHistogram::new(),
             ingested_packets: 0,
             ingested_value: 0,
@@ -202,7 +205,9 @@ impl ShardProgress {
         }
     }
 
-    fn snapshot<S: Service>(&mut self, service: &S) {
+    /// Copies the machine's accounting and the service's state snapshot.
+    fn record<S: Service>(&mut self, service: &S, stats: &SlotStats) {
+        self.stats = *stats;
         self.counters = service.counters();
         self.score = service.score();
         self.occupancy = service.occupancy();
@@ -215,11 +220,8 @@ impl ShardProgress {
         if !other.label.is_empty() {
             self.label = other.label.clone();
         }
-        self.slots += other.slots;
+        self.stats.absorb(&other.stats);
         self.cycles += other.cycles;
-        self.bursts += other.bursts;
-        self.occ_sum += other.occ_sum;
-        self.occ_max = self.occ_max.max(other.occ_max);
         self.ingress_latency_ns.merge(&other.ingress_latency_ns);
         self.ingested_packets += other.ingested_packets;
         self.ingested_value += other.ingested_value;
@@ -238,15 +240,11 @@ impl ShardProgress {
             label: self.label,
             counters: self.counters,
             score: self.score,
-            slots: self.slots,
+            slots: self.stats.slots,
             cycles: self.cycles,
-            bursts: self.bursts,
-            mean_occupancy: if self.slots == 0 {
-                0.0
-            } else {
-                self.occ_sum as f64 / self.slots as f64
-            },
-            max_occupancy: self.occ_max,
+            bursts: self.stats.bursts,
+            mean_occupancy: self.stats.mean_occupancy(),
+            max_occupancy: self.stats.occ_max,
             ingress_latency_ns: self.ingress_latency_ns,
             elapsed,
             drain_stalled: self.drain_stalled,
@@ -260,68 +258,23 @@ impl ShardProgress {
     }
 }
 
-/// Runs one transmission phase, forwarding completions to the observer —
-/// the exact analogue of the engine's `transmission` helper.
-fn transmission<S: Service, O: Observer>(
-    service: &mut S,
-    slot: u64,
-    scratch: &mut Vec<Transmitted>,
-    obs: &mut O,
-) {
-    scratch.clear();
-    service.transmission_into(scratch);
-    for t in scratch.iter() {
-        obs.transmitted(slot, t.port, t.latency(), t.value.get());
+/// The machine calls this after every completed slot (arrival, idle, and
+/// drain slots alike), keeping the crash-safe record exact to the last slot
+/// boundary.
+impl<S: Service> SlotHook<S> for ShardProgress {
+    fn slot_done(&mut self, sys: &S, stats: &SlotStats) {
+        self.record(sys, stats);
     }
-}
-
-/// Runs arrival-free slots until the buffer empties, mirroring the engine's
-/// drain loop. Returns `false` if the guard tripped.
-fn drain<S: Service, O: Observer>(
-    service: &mut S,
-    progress: &mut ShardProgress,
-    scratch: &mut Vec<Transmitted>,
-    obs: &mut O,
-    count_occupancy: bool,
-) -> bool {
-    if service.occupancy() == 0 {
-        return true;
-    }
-    obs.drain_start(progress.slots);
-    let mut sum_acc = 0u64;
-    let mut guard = 0u64;
-    while service.occupancy() > 0 {
-        let slot = progress.slots;
-        obs.slot_start(slot);
-        obs.phase_start(Phase::Drain);
-        transmission(service, slot, scratch, obs);
-        service.end_slot();
-        obs.phase_end(Phase::Drain);
-        progress.slots += 1;
-        sum_acc += service.occupancy() as u64;
-        obs.slot_end(slot, service.occupancy());
-        obs.queue_depth(slot, service.max_queue_depth() as u64);
-        progress.snapshot(service);
-        guard += 1;
-        if guard >= MAX_DRAIN_CYCLES {
-            obs.drain_end(progress.slots);
-            return false;
-        }
-    }
-    if count_occupancy {
-        progress.occ_sum += sum_acc;
-    }
-    obs.drain_end(progress.slots);
-    true
 }
 
 /// Drives `service` from `rings` until every ring closes (and, when
 /// configured, the buffer drains), reporting progress to `obs`.
 ///
 /// The loop per cycle: tick the clock, ingest (per [`IngestMode`]), check
-/// the flush schedule against the burst counter, then run the engine's slot
-/// phases — arrival (when a burst was ingested), transmission, end-of-slot.
-/// Closed rings are pruned; the loop exits when none remain.
+/// the flush schedule against the burst counter, then run the shared
+/// [`SlotMachine`] slot phases — arrival (when a burst was ingested),
+/// transmission, end-of-slot. Closed rings are pruned; the loop exits when
+/// none remain.
 pub fn run_shard<S: Service, C: Clock, O: Observer>(
     service: S,
     rings: Vec<Consumer<Batch<S::Packet>>>,
@@ -343,12 +296,13 @@ pub fn run_shard<S: Service, C: Clock, O: Observer>(
     progress.into_report(0, started.elapsed())
 }
 
-/// The shard loop proper, writing all accounting through `progress` so the
-/// supervisor can recover an exact record when an incarnation panics.
-/// `faults` is polled at the top of every cycle (before ingest, so an
-/// injected panic leaves a zero mid-slot gap and deterministic counters).
+/// The ring-fed driver around the shared [`SlotMachine`], writing all
+/// accounting through `progress` so the supervisor can recover an exact
+/// record when an incarnation panics. `faults` is polled at the top of
+/// every cycle (before ingest, so an injected panic leaves a zero mid-slot
+/// gap and deterministic counters).
 pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
-    mut service: S,
+    service: S,
     mut rings: Vec<Consumer<Batch<S::Packet>>>,
     mut clock: C,
     config: &ShardConfig,
@@ -358,18 +312,20 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
 ) {
     progress.label = service.label();
     obs.shard_started(service.buffer_limit(), service.ports());
-    let mut scratch: Vec<Transmitted> = Vec::new();
+    let mut machine = SlotMachine::new(service, config.flush).emit_queue_depth(true);
     let mut burst: Vec<S::Packet> = Vec::new();
-    let mut outcomes: Vec<ArrivalOutcome> = Vec::new();
 
     'datapath: while !rings.is_empty() {
         clock.tick();
         progress.cycles += 1;
 
-        for kind in faults.due(progress.slots) {
+        for kind in faults.due(progress.stats.slots) {
             match kind {
                 FaultKind::Panic => {
-                    panic!("injected fault: shard panic at slot {}", progress.slots)
+                    panic!(
+                        "injected fault: shard panic at slot {}",
+                        progress.stats.slots
+                    )
                 }
                 FaultKind::Stall { cycles } => {
                     // The whole loop stops: burn the cycles without
@@ -413,7 +369,7 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
                     },
                 };
                 if let Some(b) = item {
-                    let waited = b.enqueued.elapsed();
+                    let waited = clock.batch_wait(b.enqueued);
                     progress
                         .ingress_latency_ns
                         .record(waited.as_nanos().min(u64::MAX as u128) as u64);
@@ -433,91 +389,49 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
             if rings.is_empty() {
                 break;
             }
-            // Freerun idle cycle: nothing arrived and nothing is buffered —
-            // yield so producers get the core (this box may have one).
-            if service.occupancy() == 0 {
+            if machine.occupancy() == 0 {
+                // Freerun idle cycle: nothing arrived and nothing is
+                // buffered — yield so producers get the core (this box may
+                // have one).
                 std::thread::yield_now();
                 continue;
             }
+            // Freerun cycle with backlog: transmit without arrivals.
+            machine.idle_slot(obs, progress);
+            continue;
         }
 
         // Flush schedule, checked before this burst's arrivals — exactly
         // where the engine checks it, with the burst counter standing in
         // for the trace-slot index.
-        if popped {
-            if let Some(flush) = &config.flush {
-                if flush.due(progress.bursts) {
-                    match flush.mode {
-                        FlushMode::Drop => {
-                            obs.phase_start(Phase::Flush);
-                            let discarded = service.flush();
-                            obs.flush(progress.slots, discarded);
-                            obs.phase_end(Phase::Flush);
-                        }
-                        FlushMode::Drain => {
-                            // Mid-stream drain slots are excluded from the
-                            // occupancy statistics, as in the engine.
-                            if !drain(&mut service, progress, &mut scratch, obs, false) {
-                                progress.drain_stalled = true;
-                                break 'datapath;
-                            }
-                        }
-                    }
-                }
-            }
+        if !machine.flush_check(obs, progress) {
+            progress.drain_stalled = true;
+            break 'datapath;
         }
 
-        let slot = progress.slots;
-        obs.slot_start(slot);
-        if popped {
-            obs.phase_start(Phase::Arrival);
-            outcomes.clear();
-            let result = service.offer_burst(&burst, &mut outcomes);
-            // Emit arrival events for every packet that got an outcome, in
-            // the engine's order: arrival, then its outcome.
-            for (&pkt, outcome) in burst.iter().zip(outcomes.iter()) {
-                let (port, work, value) = S::meta(pkt);
-                obs.arrival(slot, port, work, value);
-                match outcome {
-                    ArrivalOutcome::Admitted => obs.admitted(slot, port),
-                    ArrivalOutcome::PushedOut(victim) => {
-                        obs.pushed_out(slot, *victim);
-                        obs.admitted(slot, port);
-                    }
-                    ArrivalOutcome::Dropped(reason) => obs.dropped(slot, port, *reason),
-                }
-            }
-            obs.phase_end(Phase::Arrival);
-            progress.bursts += 1;
-            if let Err(e) = result {
-                progress.error = Some(e.to_string());
-                obs.slot_end(slot, service.occupancy());
-                obs.queue_depth(slot, service.max_queue_depth() as u64);
-                progress.snapshot(&service);
-                break;
-            }
+        let slot = machine.stats().slots;
+        if let Err(e) = machine.step(&burst, obs, progress) {
+            // The slot is left incomplete: emit the end-of-slot events the
+            // machine skipped, record the failure, and join.
+            progress.error = Some(e.to_string());
+            obs.slot_end(slot, machine.occupancy());
+            obs.queue_depth(slot, machine.system().max_queue_depth() as u64);
+            let stats = *machine.stats();
+            progress.record(machine.system(), &stats);
+            break;
         }
-        obs.phase_start(Phase::Transmission);
-        transmission(&mut service, slot, &mut scratch, obs);
-        obs.phase_end(Phase::Transmission);
-        service.end_slot();
-        progress.slots += 1;
-        progress.occ_sum += service.occupancy() as u64;
-        progress.occ_max = progress.occ_max.max(service.occupancy());
-        obs.slot_end(slot, service.occupancy());
-        obs.queue_depth(slot, service.max_queue_depth() as u64);
-        progress.snapshot(&service);
     }
 
     if config.drain_at_end && progress.error.is_none() && !progress.drain_stalled {
         // The final drain contributes to the occupancy mean but not the
         // maximum (occupancy only falls while draining).
-        if !drain(&mut service, progress, &mut scratch, obs, true) {
+        if !machine.drain(obs, progress, true) {
             progress.drain_stalled = true;
         }
     }
 
-    progress.snapshot(&service);
+    let stats = *machine.stats();
+    progress.record(machine.system(), &stats);
 }
 
 #[cfg(test)]
@@ -686,5 +600,30 @@ mod tests {
         assert_eq!(report.slots, 0);
         assert_eq!(report.score, 0);
         assert_eq!(report.counters.arrived(), 0);
+    }
+
+    #[test]
+    fn virtual_clock_reports_zero_ingress_latency() {
+        let (tx, rx) = ring(8);
+        tx.push(Batch {
+            packets: vec![wp(0, 1)],
+            // Enqueued "long ago": wall clocks would record ~1h of wait.
+            enqueued: Instant::now() - Duration::from_secs(3600),
+        })
+        .unwrap();
+        drop(tx);
+        let report = run_shard(
+            service(1, 2),
+            vec![rx],
+            VirtualClock::new(),
+            &ShardConfig::lockstep(),
+            &mut NullObserver,
+        );
+        assert_eq!(report.ingress_latency_ns.count(), 1);
+        assert_eq!(
+            report.ingress_latency_ns.max(),
+            0,
+            "virtual time never waits, so lockstep reports are reproducible"
+        );
     }
 }

@@ -1,22 +1,29 @@
-//! The two-phase slot loop: drives any [`WorkSystem`]/[`ValueSystem`]
-//! through an arrival trace, with the paper's periodic flushouts.
+//! The offline trace driver: feeds any [`WorkSystem`]/[`ValueSystem`]
+//! through an arrival trace, one burst per slot, with the paper's periodic
+//! flushouts.
 //!
-//! All three packet models share one instrumented driver ([`drive`]): the
-//! model-specific `run_*` entry points only adapt their system trait to the
-//! driver's interface. Each entry point has an `_observed` variant taking an
-//! [`Observer`]; the plain variants pass [`NullObserver`], which
-//! monomorphizes every hook to a no-op, so uninstrumented runs cost the same
-//! as before the observer existed — and by construction execute the exact
-//! same slot sequence, so summaries and counters are identical either way.
+//! The slot semantics themselves — flush, arrival, transmission, drain —
+//! live in `smbm-datapath`'s [`SlotMachine`]; this module only decides when
+//! to feed it (once per trace slot) and folds the machine's [`SlotStats`]
+//! into a [`RunSummary`]. The model-specific `run_*` entry points wrap the
+//! caller's system in the matching datapath adapter. Each entry point has
+//! an `_observed` variant taking an [`Observer`]; the plain variants pass
+//! [`NullObserver`], which monomorphizes every hook to a no-op, so
+//! uninstrumented runs cost the same as before the observer existed — and
+//! by construction execute the exact same slot sequence, so summaries and
+//! counters are identical either way.
+//!
+//! [`SlotStats`]: smbm_datapath::SlotStats
 
 use smbm_core::{CombinedSystem, ValueSystem, WorkSystem};
-use smbm_obs::{NullObserver, Observer, Phase};
-use smbm_switch::{
-    AdmitError, ArrivalOutcome, CombinedPacket, PortId, Transmitted, ValuePacket, WorkPacket,
+use smbm_datapath::{
+    CombinedAdapter, DatapathSystem, NoHook, SlotMachine, ValueAdapter, WorkAdapter,
 };
+use smbm_obs::{NullObserver, Observer};
+use smbm_switch::{AdmitError, CombinedPacket, ValuePacket, WorkPacket};
 use smbm_traffic::Trace;
 
-use crate::{FlushMode, FlushPolicy};
+use crate::FlushPolicy;
 
 /// Engine knobs shared by both models.
 #[derive(Debug, Clone, Default)]
@@ -62,272 +69,37 @@ pub struct RunSummary {
     pub max_occupancy: usize,
 }
 
-/// Hard cap on drain slots, guarding against a non-work-conserving system
-/// looping forever.
-const MAX_DRAIN_SLOTS: u64 = 100_000_000;
-
-/// The driver's view of a packet: destination port, work cycles, and value
-/// (1 wherever a model lacks the dimension), feeding arrival events.
-trait EnginePacket: Copy {
-    fn meta(self) -> (PortId, u32, u64);
-}
-
-impl EnginePacket for WorkPacket {
-    fn meta(self) -> (PortId, u32, u64) {
-        (self.port(), self.work().cycles(), 1)
-    }
-}
-
-impl EnginePacket for ValuePacket {
-    fn meta(self) -> (PortId, u32, u64) {
-        (self.port(), 1, self.value().get())
-    }
-}
-
-impl EnginePacket for CombinedPacket {
-    fn meta(self) -> (PortId, u32, u64) {
-        (self.port(), self.work().cycles(), self.value().get())
-    }
-}
-
-/// The driver's view of a system: the subset of the `*System` traits the
-/// slot loop needs, adapted per model so one loop serves all three.
-trait EngineSystem {
-    type Packet: EnginePacket;
-
-    fn offer(&mut self, pkt: Self::Packet) -> Result<ArrivalOutcome, AdmitError>;
-    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64;
-    fn end_slot(&mut self);
-    fn flush(&mut self) -> u64;
-    fn occupancy(&self) -> usize;
-    fn score(&self) -> u64;
-}
-
-struct WorkAdapter<'a, S: ?Sized>(&'a mut S);
-
-impl<S: WorkSystem + ?Sized> EngineSystem for WorkAdapter<'_, S> {
-    type Packet = WorkPacket;
-
-    fn offer(&mut self, pkt: WorkPacket) -> Result<ArrivalOutcome, AdmitError> {
-        self.0.offer(pkt)
-    }
-
-    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
-        self.0.transmission_phase_into(out)
-    }
-
-    fn end_slot(&mut self) {
-        self.0.end_slot();
-    }
-
-    fn flush(&mut self) -> u64 {
-        self.0.flush()
-    }
-
-    fn occupancy(&self) -> usize {
-        self.0.occupancy()
-    }
-
-    fn score(&self) -> u64 {
-        self.0.transmitted()
-    }
-}
-
-struct ValueAdapter<'a, S: ?Sized>(&'a mut S);
-
-impl<S: ValueSystem + ?Sized> EngineSystem for ValueAdapter<'_, S> {
-    type Packet = ValuePacket;
-
-    fn offer(&mut self, pkt: ValuePacket) -> Result<ArrivalOutcome, AdmitError> {
-        self.0.offer(pkt)
-    }
-
-    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
-        self.0.transmission_phase_into(out)
-    }
-
-    fn end_slot(&mut self) {
-        self.0.end_slot();
-    }
-
-    fn flush(&mut self) -> u64 {
-        self.0.flush()
-    }
-
-    fn occupancy(&self) -> usize {
-        self.0.occupancy()
-    }
-
-    fn score(&self) -> u64 {
-        self.0.transmitted_value()
-    }
-}
-
-struct CombinedAdapter<'a, S: ?Sized>(&'a mut S);
-
-impl<S: CombinedSystem + ?Sized> EngineSystem for CombinedAdapter<'_, S> {
-    type Packet = CombinedPacket;
-
-    fn offer(&mut self, pkt: CombinedPacket) -> Result<ArrivalOutcome, AdmitError> {
-        self.0.offer(pkt)
-    }
-
-    fn transmission_phase_into(&mut self, out: &mut Vec<Transmitted>) -> u64 {
-        self.0.transmission_phase_into(out)
-    }
-
-    fn end_slot(&mut self) {
-        self.0.end_slot();
-    }
-
-    fn flush(&mut self) -> u64 {
-        self.0.flush()
-    }
-
-    fn occupancy(&self) -> usize {
-        self.0.occupancy()
-    }
-
-    fn score(&self) -> u64 {
-        self.0.transmitted_value()
-    }
-}
-
-/// Runs one transmission phase, forwarding each completed packet to the
-/// observer. `scratch` is reused across slots, so the uninstrumented path
-/// allocates no more than the pre-observer engine did.
-fn transmission<S: EngineSystem, O: Observer>(
-    sys: &mut S,
-    slot: u64,
-    scratch: &mut Vec<Transmitted>,
-    obs: &mut O,
-) {
-    scratch.clear();
-    sys.transmission_phase_into(scratch);
-    for t in scratch.iter() {
-        obs.transmitted(slot, t.port, t.latency(), t.value.get());
-    }
-}
-
-/// Runs arrival-free slots until the buffer empties. Returns the number of
-/// slots executed; the caller decides how they enter the occupancy
-/// statistics (mid-trace drains are excluded, the final drain is averaged).
-fn drain<S: EngineSystem, O: Observer>(
-    sys: &mut S,
-    slots: &mut u64,
-    scratch: &mut Vec<Transmitted>,
-    obs: &mut O,
-    occ_sum: Option<&mut u64>,
-    guard_msg: &str,
-) {
-    if sys.occupancy() == 0 {
-        return;
-    }
-    obs.drain_start(*slots);
-    let mut sum_acc = 0u64;
-    let mut guard = 0u64;
-    while sys.occupancy() > 0 {
-        let slot = *slots;
-        obs.slot_start(slot);
-        obs.phase_start(Phase::Drain);
-        transmission(sys, slot, scratch, obs);
-        sys.end_slot();
-        obs.phase_end(Phase::Drain);
-        *slots += 1;
-        sum_acc += sys.occupancy() as u64;
-        obs.slot_end(slot, sys.occupancy());
-        guard += 1;
-        assert!(guard < MAX_DRAIN_SLOTS, "{guard_msg}");
-    }
-    if let Some(occ_sum) = occ_sum {
-        *occ_sum += sum_acc;
-    }
-    obs.drain_end(*slots);
-}
-
-/// The shared two-phase slot loop. Only this function encodes the engine's
-/// semantics; the public `run_*` entry points adapt their model to it.
-fn drive<S: EngineSystem, O: Observer>(
-    sys: &mut S,
+/// The trace-fed driver: one machine step per trace slot, flush schedule
+/// checked before each, optional final drain. All phase emission happens
+/// inside the machine.
+fn drive<S: DatapathSystem, O: Observer>(
+    sys: S,
     trace: &Trace<S::Packet>,
     engine: &EngineConfig,
     obs: &mut O,
 ) -> Result<RunSummary, AdmitError> {
-    let mut slots = 0u64;
-    let mut occ_sum = 0u64;
-    let mut occ_max = 0usize;
-    let mut scratch: Vec<Transmitted> = Vec::new();
-    for (i, burst) in trace.iter().enumerate() {
-        if let Some(flush) = &engine.flush {
-            if flush.due(i as u64) {
-                match flush.mode {
-                    FlushMode::Drop => {
-                        obs.phase_start(Phase::Flush);
-                        let discarded = sys.flush();
-                        obs.flush(slots, discarded);
-                        obs.phase_end(Phase::Flush);
-                    }
-                    FlushMode::Drain => {
-                        // Mid-trace drain slots are excluded from the
-                        // occupancy statistics, as in the original engine.
-                        drain(
-                            sys,
-                            &mut slots,
-                            &mut scratch,
-                            obs,
-                            None,
-                            "drain did not terminate",
-                        );
-                    }
-                }
-            }
-        }
-        let slot = slots;
-        obs.slot_start(slot);
-        obs.phase_start(Phase::Arrival);
-        for &pkt in burst {
-            let (port, work, value) = pkt.meta();
-            obs.arrival(slot, port, work, value);
-            match sys.offer(pkt)? {
-                ArrivalOutcome::Admitted => obs.admitted(slot, port),
-                ArrivalOutcome::PushedOut(victim) => {
-                    obs.pushed_out(slot, victim);
-                    obs.admitted(slot, port);
-                }
-                ArrivalOutcome::Dropped(reason) => obs.dropped(slot, port, reason),
-            }
-        }
-        obs.phase_end(Phase::Arrival);
-        obs.phase_start(Phase::Transmission);
-        transmission(sys, slot, &mut scratch, obs);
-        obs.phase_end(Phase::Transmission);
-        sys.end_slot();
-        slots += 1;
-        occ_sum += sys.occupancy() as u64;
-        occ_max = occ_max.max(sys.occupancy());
-        obs.slot_end(slot, sys.occupancy());
+    let mut machine = SlotMachine::new(sys, engine.flush);
+    for burst in trace.iter() {
+        assert!(
+            machine.flush_check(obs, &mut NoHook),
+            "drain did not terminate"
+        );
+        machine.step(burst, obs, &mut NoHook)?;
     }
     if engine.drain_at_end {
         // The final drain contributes to the occupancy mean but not the
         // maximum (occupancy only falls while draining).
-        drain(
-            sys,
-            &mut slots,
-            &mut scratch,
-            obs,
-            Some(&mut occ_sum),
-            "final drain did not terminate",
+        assert!(
+            machine.drain(obs, &mut NoHook, true),
+            "final drain did not terminate"
         );
     }
+    let stats = *machine.stats();
     Ok(RunSummary {
-        slots,
-        score: sys.score(),
-        mean_occupancy: if slots == 0 {
-            0.0
-        } else {
-            occ_sum as f64 / slots as f64
-        },
-        max_occupancy: occ_max,
+        slots: stats.slots,
+        score: machine.score(),
+        mean_occupancy: stats.mean_occupancy(),
+        max_occupancy: stats.occ_max,
     })
 }
 
@@ -356,7 +128,7 @@ pub fn run_work_observed<S: WorkSystem + ?Sized, O: Observer>(
     engine: &EngineConfig,
     obs: &mut O,
 ) -> Result<RunSummary, AdmitError> {
-    drive(&mut WorkAdapter(sys), trace, engine, obs)
+    drive(WorkAdapter::new(sys), trace, engine, obs)
 }
 
 /// Runs a value-model system over `trace`.
@@ -384,7 +156,7 @@ pub fn run_value_observed<S: ValueSystem + ?Sized, O: Observer>(
     engine: &EngineConfig,
     obs: &mut O,
 ) -> Result<RunSummary, AdmitError> {
-    drive(&mut ValueAdapter(sys), trace, engine, obs)
+    drive(ValueAdapter::new(sys), trace, engine, obs)
 }
 
 /// Runs a combined-model system over `trace` (extension).
@@ -412,12 +184,13 @@ pub fn run_combined_observed<S: CombinedSystem + ?Sized, O: Observer>(
     engine: &EngineConfig,
     obs: &mut O,
 ) -> Result<RunSummary, AdmitError> {
-    drive(&mut CombinedAdapter(sys), trace, engine, obs)
+    drive(CombinedAdapter::new(sys), trace, engine, obs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FlushMode;
     use smbm_core::{GreedyValue, GreedyWork, ValueRunner, WorkRunner};
     use smbm_switch::{PortId, Value, ValueSwitchConfig, Work, WorkSwitchConfig};
 

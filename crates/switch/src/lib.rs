@@ -25,7 +25,7 @@
 //! doubly-linked lists threaded through the slab, so admission, push-out and
 //! transmission are O(1) pointer splices with no per-packet allocation, and
 //! buffer occupancy *is* the slab's allocation count. The pre-slab queue
-//! implementations survive verbatim in [`reference`] as differential-test
+//! implementations survive verbatim in [`mod@reference`] as differential-test
 //! oracles.
 //!
 //! ## Example

@@ -21,7 +21,7 @@ use smbm_traffic::{MmppScenario, PortMix, ValueMix};
 
 /// Runs one lockstep shard over per-slot bursts and returns what the switch
 /// counted, plus the shard's objective and slot count.
-fn lockstep<S: Service>(
+fn lockstep<S: Service + 'static>(
     factory: impl Fn() -> S + Send + 'static,
     slots: Vec<Vec<S::Packet>>,
     flush: Option<FlushPolicy>,

@@ -1,11 +1,11 @@
 //! Offline sampling-only subset of the `proptest` API used by this workspace.
 //!
 //! The build container has no network access, so the workspace vendors the
-//! parts of `proptest` its property tests rely on: the [`Strategy`] trait
-//! with `prop_map` / `prop_flat_map` / `prop_filter`, [`Just`], integer range
-//! strategies, tuple strategies, [`collection::vec`], weighted unions via
-//! [`prop_oneof!`], and the [`proptest!`] / [`prop_assert!`] /
-//! [`prop_assert_eq!`] macros.
+//! parts of `proptest` its property tests rely on: the `Strategy` trait
+//! with `prop_map` / `prop_flat_map` / `prop_filter`, `Just`, integer range
+//! strategies, tuple strategies, `collection::vec`, weighted unions via
+//! `prop_oneof!`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
 //!
 //! Unlike upstream proptest this implementation only *samples*: failing
 //! cases are reported by the panicking assertion but are not shrunk to a
@@ -71,7 +71,7 @@ pub mod test_runner {
         }
     }
 
-    /// A failed test case, usable with `?` inside [`proptest!`] bodies.
+    /// A failed test case, usable with `?` inside `proptest!` bodies.
     #[derive(Debug, Clone)]
     pub struct TestCaseError {
         reason: String,
@@ -273,7 +273,7 @@ pub mod strategy {
         }
     }
 
-    /// A weighted choice among erased strategies (backs [`prop_oneof!`]).
+    /// A weighted choice among erased strategies (backs `prop_oneof!`).
     pub struct Union<T> {
         variants: Vec<(u32, BoxedStrategy<T>)>,
         total_weight: u64,
@@ -405,7 +405,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](vec()).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
