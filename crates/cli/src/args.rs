@@ -144,6 +144,51 @@ impl Args {
         }
     }
 
+    /// Parses `flag` as a strictly positive `u64`, or returns `default`
+    /// when absent.
+    ///
+    /// Commands use this for count-like flags (`--slots`, `--shards`,
+    /// `--clients`, ...) where zero is always a configuration error: the
+    /// rejection happens here, naming the flag, instead of deep inside a
+    /// library validator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparsable or zero.
+    pub fn get_positive_u64(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => {
+                let bad = || ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: v.clone(),
+                };
+                let parsed: u64 = v.parse().map_err(|_| bad())?;
+                if parsed == 0 {
+                    return Err(bad());
+                }
+                Ok(parsed)
+            }
+        }
+    }
+
+    /// The value of `flag`, rejecting an empty (or all-whitespace) string,
+    /// or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if the supplied value is empty.
+    pub fn get_nonempty_str(&self, flag: &str, default: &str) -> Result<String, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default.to_string()),
+            Some(v) if v.trim().is_empty() => Err(ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+            Some(v) => Ok(v.clone()),
+        }
+    }
+
     /// Ensures every supplied flag is in `allowed`.
     ///
     /// # Errors
@@ -237,6 +282,56 @@ mod tests {
                 matches!(&err, ArgError::BadValue { flag, value }
                     if flag == "hz" && value == bad),
                 "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn positive_u64_accepts_counts_and_rejects_the_rest() {
+        assert_eq!(
+            parse(&["--slots", "500"])
+                .unwrap()
+                .get_positive_u64("slots", 1),
+            Ok(500)
+        );
+        assert_eq!(parse(&[]).unwrap().get_positive_u64("slots", 42), Ok(42));
+        for bad in ["0", "-1", "3.5", "many", ""] {
+            let err = parse(&["--slots", bad])
+                .unwrap()
+                .get_positive_u64("slots", 1)
+                .unwrap_err();
+            assert!(
+                matches!(&err, ArgError::BadValue { flag, value }
+                    if flag == "slots" && value == bad),
+                "{bad:?} -> {err}"
+            );
+            assert_eq!(
+                err.to_string(),
+                format!("--slots got unparsable value {bad:?}")
+            );
+        }
+    }
+
+    #[test]
+    fn nonempty_str_rejects_blank_values() {
+        let a = parse(&["--policy", "CDT"]).unwrap();
+        assert_eq!(a.get_nonempty_str("policy", "LWD"), Ok("CDT".to_string()));
+        assert_eq!(
+            parse(&[]).unwrap().get_nonempty_str("policy", "LWD"),
+            Ok("LWD".to_string())
+        );
+        for blank in ["", "   "] {
+            let err = parse(&["--policy", blank])
+                .unwrap()
+                .get_nonempty_str("policy", "LWD")
+                .unwrap_err();
+            assert!(
+                matches!(&err, ArgError::BadValue { flag, .. } if flag == "policy"),
+                "{blank:?} -> {err}"
+            );
+            assert_eq!(
+                err.to_string(),
+                format!("--policy got unparsable value {blank:?}")
             );
         }
     }

@@ -29,6 +29,10 @@ commands:
   trace-stats summarize a work-model trace (--file PATH, or text via stdin)
   serve       replay a trace through the live datapath, lockstep with the
               sim engine (--file PATH or text via stdin; --model work|value)
+              — or, with --listen ADDR[,ADDR...], serve the datapath over
+              real UDP sockets until every expected client has FINed
+  netgen      drive MMPP traffic at a `serve --listen` server over UDP
+              (--targets HOST:PORT[,..], --clients N, --json)
   loadgen     drive the live sharded datapath with MMPP traffic and report
               throughput, drop breakdown, and ingress latency percentiles
   help        show this message
@@ -47,6 +51,18 @@ runtime (serve, loadgen):
                       random:SEED for one generated fault per shard
   --restarts N        shard restart budget before the supervisor gives up
                       (default 3)
+network (serve --listen, netgen):
+  --listen ADDR       serve: bind ADDR[,ADDR...]; one receive thread each
+  --targets ADDRS     netgen: server sockets; client i targets the i-th,
+                      round-robin
+  --clients N         serve: clients expected before shutdown; netgen:
+                      concurrent client threads (default 1)
+  --fanout MODE       serve: packet-to-shard routing, port|hash
+                      (default port)
+  --idle-timeout S    serve: exit a receive loop idle for S seconds
+                      (default 10)
+  --window N          netgen: data datagrams between SYNC flow-control
+                      barriers (default 32)
 telemetry (serve, loadgen):
   --stats-out PATH    append one telemetry snapshot per sample as JSON Lines
   --stats-interval S  sampling cadence in seconds (default 0.25)
@@ -73,6 +89,7 @@ pub fn execute(args: &Args, stdin: &str) -> Result<String, String> {
         Some("trace-gen") => trace_gen(args),
         Some("trace-stats") => trace_stats(args, stdin),
         Some("serve") => serve(args, stdin),
+        Some("netgen") => netgen(args),
         Some("loadgen") => loadgen(args),
         Some("help") | None => Ok(HELP.to_string()),
         Some(other) => Err(format!("unknown command {other:?}; try `smbm help`")),
@@ -425,20 +442,10 @@ fn panel(args: &Args) -> Result<String, String> {
         }
     };
     let seed: u64 = args.get_or("seed", 0xB0FFE2u64).map_err(err)?;
-    let repeats: u32 = args.get_or("repeats", 1).map_err(err)?;
-    if repeats == 0 {
-        return Err("--repeats must be at least 1".into());
-    }
+    let repeats = u32::try_from(args.get_positive_u64("repeats", 1).map_err(err)?)
+        .map_err(|_| "--repeats is out of range".to_string())?;
     let jobs: Option<usize> = match args.get("jobs") {
-        Some(v) => {
-            let n: usize = v
-                .parse()
-                .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
-            if n == 0 {
-                return Err("--jobs must be at least 1".into());
-            }
-            Some(n)
-        }
+        Some(_) => Some(args.get_positive_u64("jobs", 1).map_err(err)? as usize),
         None => None,
     };
     let (series, spread) =
@@ -493,31 +500,20 @@ fn telemetry_from(args: &Args) -> Result<Option<TelemetryConfig>, String> {
             args.get("stats-interval").unwrap_or_default()
         )
     })?;
-    let ring: Option<usize> = match args.get("stats-ring") {
-        None => None,
-        Some(v) => {
-            let n: usize = v
-                .parse()
-                .map_err(|_| format!("--stats-ring expects a number, got {v:?}"))?;
-            if n == 0 {
-                return Err("--stats-ring must be at least 1".into());
-            }
-            Some(n)
-        }
-    };
-    if stats_out.is_none() && prom_out.is_none() && interval.is_none() && ring.is_none() {
-        return Ok(None);
-    }
+    let has_ring = args.get("stats-ring").is_some();
     let mut cfg = TelemetryConfig {
         stats_out,
         prom_out,
         ..TelemetryConfig::default()
     };
+    cfg.ring_capacity = args
+        .get_positive_u64("stats-ring", cfg.ring_capacity as u64)
+        .map_err(err)? as usize;
+    if cfg.stats_out.is_none() && cfg.prom_out.is_none() && interval.is_none() && !has_ring {
+        return Ok(None);
+    }
     if let Some(secs) = interval {
         cfg.interval = Duration::from_secs_f64(secs);
-    }
-    if let Some(capacity) = ring {
-        cfg.ring_capacity = capacity;
     }
     Ok(Some(cfg))
 }
@@ -531,15 +527,9 @@ fn flight_from(args: &Args) -> Result<Option<FlightConfig>, String> {
         return Ok(None);
     };
     let mut cfg = FlightConfig::new(path);
-    if let Some(v) = args.get("flight-cap") {
-        let capacity: usize = v
-            .parse()
-            .map_err(|_| format!("--flight-cap expects a number, got {v:?}"))?;
-        if capacity == 0 {
-            return Err("--flight-cap must be at least 1".into());
-        }
-        cfg.capacity = capacity;
-    }
+    cfg.capacity = args
+        .get_positive_u64("flight-cap", cfg.capacity as u64)
+        .map_err(err)? as usize;
     Ok(Some(cfg))
 }
 
@@ -702,6 +692,9 @@ fn render_serve(
 
 fn serve(args: &Args, stdin: &str) -> Result<String, String> {
     use smbm_runtime::{ValueService, WorkService};
+    if args.get("listen").is_some() {
+        return serve_listen(args);
+    }
     args.expect_only(&[
         "model",
         "file",
@@ -726,10 +719,8 @@ fn serve(args: &Args, stdin: &str) -> Result<String, String> {
         None => stdin.to_string(),
     };
     let buffer: usize = args.get_or("buffer", 64).map_err(err)?;
-    let speedup: u32 = args.get_or("speedup", 1).map_err(err)?;
-    if speedup == 0 {
-        return Err("--speedup must be at least 1".into());
-    }
+    let speedup = u32::try_from(args.get_positive_u64("speedup", 1).map_err(err)?)
+        .map_err(|_| "--speedup is out of range".to_string())?;
     let hz = pace_from(args)?;
     let restart_budget: u32 = args.get_or("restarts", 3).map_err(err)?;
     let telemetry = telemetry_from(args)?;
@@ -797,6 +788,194 @@ fn serve(args: &Args, stdin: &str) -> Result<String, String> {
             render_serve(header, "value", &report).map(|out| out + &sinks)
         }
         other => Err(format!("unknown --model {other:?}; use work|value")),
+    }
+}
+
+/// Parses a comma-separated `HOST:PORT[,HOST:PORT...]` list, resolving
+/// names through the system resolver (first address wins).
+fn parse_addrs(flag: &str, spec: &str) -> Result<Vec<std::net::SocketAddr>, String> {
+    use std::net::ToSocketAddrs;
+    spec.split(',')
+        .map(str::trim)
+        .map(|part| {
+            part.to_socket_addrs()
+                .map_err(|e| format!("--{flag}: bad address {part:?}: {e}"))?
+                .next()
+                .ok_or_else(|| format!("--{flag}: {part:?} resolved to no address"))
+        })
+        .collect()
+}
+
+/// `serve --listen`: the datapath served over real UDP sockets. Runs until
+/// every expected client has FINed (or the ingress idles out).
+fn serve_listen(args: &Args) -> Result<String, String> {
+    use smbm_net::{run_server, Fanout, NetConfig, ServeConfig};
+    use smbm_runtime::Model;
+    args.expect_only(&[
+        "listen",
+        "model",
+        "policy",
+        "ports",
+        "buffer",
+        "speedup",
+        "shards",
+        "ring",
+        "clients",
+        "fanout",
+        "idle-timeout",
+        "lossy",
+        "json",
+        "faults",
+        "restarts",
+        "stats-out",
+        "stats-interval",
+        "prom-out",
+        "stats-ring",
+        "flight-out",
+        "flight-cap",
+    ])
+    .map_err(err)?;
+    let listen = parse_addrs(
+        "listen",
+        args.get("listen").expect("dispatched on presence"),
+    )?;
+    let model_name = args.get_nonempty_str("model", "work").map_err(err)?;
+    let model = Model::parse(&model_name)
+        .ok_or_else(|| format!("unknown --model {model_name:?}; use work|value"))?;
+    let default_policy = match model {
+        Model::Work => "LWD",
+        Model::Value => "MRD",
+        Model::Combined => "WVD",
+    };
+    let defaults = ServeConfig::default();
+    let shards = args
+        .get_positive_u64("shards", defaults.shards as u64)
+        .map_err(err)? as usize;
+    let fanout_label = args.get_nonempty_str("fanout", "port").map_err(err)?;
+    let fanout = Fanout::parse(&fanout_label)
+        .ok_or_else(|| format!("unknown --fanout {fanout_label:?}; use port|hash"))?;
+    let mut net = NetConfig {
+        listen,
+        fanout,
+        expected_clients: args.get_positive_u64("clients", 1).map_err(err)? as usize,
+        lossy: args.has("lossy"),
+        ..NetConfig::default()
+    };
+    if let Some(secs) = args.get_positive_f64("idle-timeout").map_err(err)? {
+        net.idle_timeout = Duration::from_secs_f64(secs);
+    }
+    let config = ServeConfig {
+        model,
+        policy: args
+            .get_nonempty_str("policy", default_policy)
+            .map_err(err)?,
+        ports: args
+            .get_positive_u64("ports", defaults.ports as u64)
+            .map_err(err)? as usize,
+        buffer: args
+            .get_positive_u64("buffer", defaults.buffer as u64)
+            .map_err(err)? as usize,
+        speedup: u32::try_from(
+            args.get_positive_u64("speedup", u64::from(defaults.speedup))
+                .map_err(err)?,
+        )
+        .map_err(|_| "--speedup is out of range".to_string())?,
+        shards,
+        ring_capacity: args
+            .get_positive_u64("ring", defaults.ring_capacity as u64)
+            .map_err(err)? as usize,
+        net,
+        // Net serve has no trace length; give `--faults random:SEED` the
+        // same horizon loadgen's default slot count would.
+        faults: faults_from(args, shards, 2_000)?,
+        restart_budget: args
+            .get_or("restarts", defaults.restart_budget)
+            .map_err(err)?,
+        telemetry: telemetry_from(args)?,
+        flight: flight_from(args)?,
+    };
+    let report = run_server(&config).map_err(err)?;
+    if args.has("json") {
+        Ok(report.to_json())
+    } else {
+        let mut out = report.to_string();
+        let sinks = sink_summary(&config.telemetry, &config.flight);
+        if !sinks.is_empty() {
+            out.push_str(sinks.trim_end());
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+/// `netgen`: drive MMPP traffic at a `serve --listen` server over UDP.
+fn netgen(args: &Args) -> Result<String, String> {
+    use smbm_net::{run_netgen, NetGenConfig};
+    use smbm_runtime::Model;
+    args.expect_only(&[
+        "targets",
+        "model",
+        "clients",
+        "ports",
+        "slots",
+        "sources",
+        "seed",
+        "max-value",
+        "batch",
+        "window",
+        "bad-frames",
+        "truncated",
+        "json",
+    ])
+    .map_err(err)?;
+    let spec = args
+        .get("targets")
+        .ok_or("netgen requires --targets HOST:PORT[,HOST:PORT...]")?;
+    let model_name = args.get_nonempty_str("model", "work").map_err(err)?;
+    let model = Model::parse(&model_name)
+        .ok_or_else(|| format!("unknown --model {model_name:?}; use work|value"))?;
+    let defaults = NetGenConfig::default();
+    let config = NetGenConfig {
+        model,
+        targets: parse_addrs("targets", spec)?,
+        clients: args
+            .get_positive_u64("clients", defaults.clients as u64)
+            .map_err(err)? as usize,
+        ports: args
+            .get_positive_u64("ports", defaults.ports as u64)
+            .map_err(err)? as usize,
+        slots: args
+            .get_positive_u64("slots", defaults.slots as u64)
+            .map_err(err)? as usize,
+        sources: args
+            .get_positive_u64("sources", defaults.sources as u64)
+            .map_err(err)? as usize,
+        seed: args.get_or("seed", defaults.seed).map_err(err)?,
+        max_value: args
+            .get_positive_u64("max-value", defaults.max_value)
+            .map_err(err)?,
+        batch: args
+            .get_positive_u64("batch", defaults.batch as u64)
+            .map_err(err)? as usize,
+        window: args
+            .get_positive_u64("window", defaults.window as u64)
+            .map_err(err)? as usize,
+        bad_frames: args.get_or("bad-frames", 0usize).map_err(err)?,
+        truncated_datagrams: args.get_or("truncated", 0usize).map_err(err)?,
+        ..defaults
+    };
+    let report = run_netgen(&config).map_err(err)?;
+    let rendered = if args.has("json") {
+        report.to_json()
+    } else {
+        report.to_string()
+    };
+    if report.all_completed() {
+        Ok(rendered)
+    } else {
+        // An unfinished handshake means the server never accounted some
+        // frames; surface it as a failing exit.
+        Err(format!("netgen did not complete every client\n{rendered}"))
     }
 }
 
@@ -1280,6 +1459,84 @@ mod tests {
         assert!(text.contains("smbm_latency_slots{"), "{text}");
         let _ = std::fs::remove_file(stats);
         let _ = std::fs::remove_file(prom);
+    }
+
+    #[test]
+    fn serve_listen_and_netgen_round_trip_over_loopback() {
+        // A fixed loopback port: CLI strings cannot carry an ephemeral
+        // port back, so pick one unlikely to clash (distinct per test).
+        let addr = "127.0.0.1:47631";
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--listen",
+                addr,
+                "--clients",
+                "2",
+                "--shards",
+                "2",
+                "--ports",
+                "8",
+                "--buffer",
+                "32",
+                "--json",
+            ])
+        });
+        let gen = run(&[
+            "netgen",
+            "--targets",
+            addr,
+            "--clients",
+            "2",
+            "--ports",
+            "8",
+            "--slots",
+            "200",
+            "--sources",
+            "8",
+            "--batch",
+            "32",
+            "--window",
+            "8",
+            "--json",
+        ])
+        .unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(gen.starts_with("{\"model\":\"work\""), "{gen}");
+        assert!(gen.contains("\"completed\":true"), "{gen}");
+        assert!(
+            out.starts_with("{\"model\":\"work\",\"policy\":\"LWD\""),
+            "{out}"
+        );
+        assert!(out.contains("\"shards\":2"), "{out}");
+        assert!(out.contains("\"net\":{\"datagrams\":"), "{out}");
+        assert!(out.contains("\"net_decode\":0"), "{out}");
+    }
+
+    #[test]
+    fn serve_listen_rejects_bad_arguments() {
+        let e = run(&["serve", "--listen", "not-an-address"]).unwrap_err();
+        assert!(e.contains("not-an-address"), "{e}");
+        let e = run(&["serve", "--listen", "127.0.0.1:0", "--fanout", "spiral"]).unwrap_err();
+        assert!(e.contains("spiral"), "{e}");
+        let e = run(&["serve", "--listen", "127.0.0.1:0", "--policy", "zzz"]).unwrap_err();
+        assert!(e.contains("zzz"), "{e}");
+        let e = run(&["serve", "--listen", "127.0.0.1:0", "--clients", "0"]).unwrap_err();
+        assert!(e.contains("--clients"), "{e}");
+        let e = run(&["serve", "--listen", "127.0.0.1:0", "--model", "combined"]).unwrap_err();
+        assert!(e.contains("wire format"), "{e}");
+    }
+
+    #[test]
+    fn netgen_rejects_bad_arguments() {
+        let e = run(&["netgen"]).unwrap_err();
+        assert!(e.contains("--targets"), "{e}");
+        let e = run(&["netgen", "--targets", "nowhere"]).unwrap_err();
+        assert!(e.contains("nowhere"), "{e}");
+        let e = run(&["netgen", "--targets", "127.0.0.1:9", "--model", "sideways"]).unwrap_err();
+        assert!(e.contains("sideways"), "{e}");
+        let e = run(&["netgen", "--targets", "127.0.0.1:9", "--window", "0"]).unwrap_err();
+        assert!(e.contains("--window"), "{e}");
     }
 
     #[test]

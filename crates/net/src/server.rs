@@ -1,0 +1,382 @@
+//! The UDP ingress plane: bound sockets whose receive loops decode wire
+//! datagrams and feed the runtime's SPSC shard rings.
+//!
+//! Each socket becomes one *fanout producer* on the [`RuntimeBuilder`]: a
+//! dedicated thread owning one [`IngressHandle`] (one ring) per shard, so
+//! ring backpressure and closed-ring losses are accounted per shard with
+//! exactly the semantics of the in-process load generator. Shard panics
+//! never touch these threads — supervision restarts the shard incarnation
+//! while the sockets stay bound and keep serving — and when the datapath
+//! shuts down (or a shard's supervisor gives up and closes its rings) the
+//! receive loops observe `PushError::Closed` promptly and account every
+//! late packet instead of wedging.
+//!
+//! ## Flow control and exactness
+//!
+//! UDP gives no delivery guarantee, and even loopback silently drops
+//! datagrams once the receive buffer overflows. The protocol therefore has
+//! clients issue SYNC barriers every few datagrams (see
+//! [`crate::codec`]); a barrier is acknowledged only after the receive loop
+//! has pushed everything it decoded into the rings (or counted it as
+//! backpressure/lost), which both bounds the unacknowledged in-flight bytes
+//! below the kernel's receive buffer and makes the final tallies exact:
+//! every frame a client declared is, by the time its final barrier is
+//! acknowledged, admitted, dropped (with a reason), or orphaned.
+
+use std::collections::HashSet;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use smbm_obs::NetCounts;
+use smbm_runtime::{IngressHandle, RuntimeBuilder, Service, ShardId};
+
+use crate::codec::{decode, encode_fin_ack, encode_sync_ack, Datagram, WirePacket};
+
+/// How a socket's receive loop sprays decoded packets across the shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fanout {
+    /// Shard `port % shards`: every port has a home shard, so per-port
+    /// switch state is never split across shards.
+    ByPort,
+    /// Shard `hash(port) % shards`: a multiplicative hash decorrelates the
+    /// shard assignment from low port bits (striped port configurations).
+    Hash,
+}
+
+impl Fanout {
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fanout::ByPort => "port",
+            Fanout::Hash => "hash",
+        }
+    }
+
+    /// Parses a lowercase label.
+    pub fn parse(s: &str) -> Option<Fanout> {
+        match s {
+            "port" => Some(Fanout::ByPort),
+            "hash" => Some(Fanout::Hash),
+            _ => None,
+        }
+    }
+
+    /// The shard (out of `shards`) that `port` routes to.
+    pub fn route(&self, port: usize, shards: usize) -> usize {
+        match self {
+            Fanout::ByPort => port % shards,
+            Fanout::Hash => {
+                ((port as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+            }
+        }
+    }
+}
+
+/// Configuration of the network ingress plane.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Addresses to bind, one receive thread each. Port `0` binds an
+    /// ephemeral port (read it back via [`NetIngress::local_addrs`]).
+    pub listen: Vec<SocketAddr>,
+    /// Packet-to-shard routing.
+    pub fanout: Fanout,
+    /// Total clients expected across all sockets. Clients pick their socket
+    /// round-robin by client id (`id % sockets`, the `netgen` convention),
+    /// and each receive loop exits once every client assigned to it has
+    /// FINed.
+    pub expected_clients: usize,
+    /// Receive poll timeout; bounds how quickly a loop notices idleness.
+    pub read_timeout: Duration,
+    /// A receive loop that hears nothing for this long gives up — a crashed
+    /// client must not wedge the server forever.
+    pub idle_timeout: Duration,
+    /// Push decoded batches with non-blocking sends: a full ring rejects
+    /// the batch as backpressure instead of stalling the receive loop.
+    pub lossy: bool,
+    /// Decoded packets buffered per shard before being pushed as one ring
+    /// batch.
+    pub batch: usize,
+    /// Receive buffer size; datagrams longer than this are truncated by
+    /// the kernel and surface as truncation tallies.
+    pub max_datagram: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            listen: Vec::new(),
+            fanout: Fanout::ByPort,
+            expected_clients: 1,
+            read_timeout: Duration::from_millis(20),
+            idle_timeout: Duration::from_secs(10),
+            lossy: false,
+            batch: 256,
+            max_datagram: 64 * 1024,
+        }
+    }
+}
+
+/// Bound-but-not-yet-serving ingress sockets.
+///
+/// Binding is split from serving so callers can bind ephemeral ports,
+/// read the real addresses back, hand them to clients, and only then run
+/// the datapath ([`NetIngress::attach`] + [`RuntimeBuilder::run`]).
+#[derive(Debug)]
+pub struct NetIngress {
+    sockets: Vec<UdpSocket>,
+    config: NetConfig,
+}
+
+impl NetIngress {
+    /// Binds every address in `config.listen`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen list is empty, `expected_clients` or `batch` is
+    /// zero, or any bind fails — nothing is served half-bound.
+    pub fn bind(config: NetConfig) -> io::Result<NetIngress> {
+        if config.listen.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no listen addresses",
+            ));
+        }
+        if config.expected_clients == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "expected_clients must be positive",
+            ));
+        }
+        if config.batch == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "batch must be positive",
+            ));
+        }
+        let sockets = config
+            .listen
+            .iter()
+            .map(UdpSocket::bind)
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(NetIngress { sockets, config })
+    }
+
+    /// The actually-bound addresses, in listen order (resolves port `0`).
+    pub fn local_addrs(&self) -> io::Result<Vec<SocketAddr>> {
+        self.sockets.iter().map(|s| s.local_addr()).collect()
+    }
+
+    /// Registers one fanout producer per socket on `builder`, each feeding
+    /// all of `shards`. `check` is the per-frame validation the receiving
+    /// switch demands at admission (known port, matching work); frames
+    /// failing it are counted as `NetDecode` drops, never offered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or contains an id foreign to `builder`
+    /// (the latter via [`RuntimeBuilder::add_producer_fanout`]).
+    pub fn attach<S>(
+        self,
+        builder: &mut RuntimeBuilder<S>,
+        shards: &[ShardId],
+        check: impl Fn(&S::Packet) -> bool + Clone + Send + 'static,
+    ) where
+        S: Service + 'static,
+        S::Packet: WirePacket,
+    {
+        assert!(!shards.is_empty(), "net ingress needs at least one shard");
+        let sockets = self.sockets.len();
+        for (k, socket) in self.sockets.into_iter().enumerate() {
+            // Clients pick their socket as `id % sockets`, so socket `k`
+            // waits for exactly the clients that map onto it.
+            let quota = (0..self.config.expected_clients)
+                .filter(|id| id % sockets == k)
+                .count();
+            let config = self.config.clone();
+            let check = check.clone();
+            builder.add_producer_fanout(shards, move |handles| {
+                serve_socket(&socket, handles, &config, quota, check);
+            });
+        }
+    }
+}
+
+/// One socket's receive loop. Accounting invariant on exit: every frame
+/// ever declared to this socket in a well-formed data datagram has been
+/// pushed into a ring, tallied as backpressure/lost by its handle, or
+/// counted as a `NetDecode` drop.
+fn serve_socket<P: WirePacket>(
+    socket: &UdpSocket,
+    handles: &mut [IngressHandle<P>],
+    config: &NetConfig,
+    expected_fins: usize,
+    check: impl Fn(&P) -> bool,
+) {
+    let shards = handles.len();
+    let mut buf = vec![0u8; config.max_datagram.max(64)];
+    let mut pending: Vec<Vec<P>> = (0..shards).map(|_| Vec::new()).collect();
+    // Socket-level tallies accumulate locally and flush through the first
+    // handle (the socket's home shard) so hot-path datagrams cost no
+    // atomics; `drops` are the NetDecode frames (bad + missing).
+    let mut acc = NetCounts::default();
+    let mut drops = 0u64;
+    let mut fins: HashSet<u16> = HashSet::new();
+    let mut last_heard = Instant::now();
+    if socket.set_read_timeout(Some(config.read_timeout)).is_err() {
+        return;
+    }
+
+    loop {
+        let (len, from) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_heard.elapsed() >= config.idle_timeout {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        last_heard = Instant::now();
+        acc.datagrams += 1;
+        match decode::<P>(&buf[..len], &check) {
+            Ok(Datagram::Data {
+                packets,
+                bad_frames,
+                missing,
+                truncated,
+                ..
+            }) => {
+                acc.frames += packets.len() as u64;
+                acc.decode_errors += bad_frames + missing;
+                acc.truncations += u64::from(truncated);
+                drops += bad_frames + missing;
+                for p in packets {
+                    let shard = config.fanout.route(p.port_index(), shards);
+                    pending[shard].push(p);
+                    if pending[shard].len() >= config.batch {
+                        push_batch(&mut handles[shard], &mut pending[shard], config.lossy);
+                    }
+                }
+            }
+            Ok(Datagram::Sync { client, seq }) => {
+                // Barrier: everything received before this SYNC must be
+                // fully accounted before the ACK goes out.
+                flush_all(handles, &mut pending, config.lossy, &mut acc, &mut drops);
+                let _ = socket.send_to(&encode_sync_ack(client, seq), from);
+            }
+            Ok(Datagram::Fin { client }) => {
+                flush_all(handles, &mut pending, config.lossy, &mut acc, &mut drops);
+                let _ = socket.send_to(&encode_fin_ack(client), from);
+                fins.insert(client);
+                if fins.len() >= expected_fins {
+                    break;
+                }
+            }
+            // Acks are server-to-client; one arriving here is a confused
+            // peer, counted like any other undecodable datagram.
+            Ok(Datagram::FinAck { .. }) | Ok(Datagram::SyncAck { .. }) | Err(_) => {
+                acc.decode_errors += 1;
+            }
+        }
+        // Keep live telemetry fresh even between barriers.
+        if acc.datagrams >= 64 {
+            flush_net(handles, &mut acc, &mut drops);
+        }
+    }
+    flush_all(handles, &mut pending, config.lossy, &mut acc, &mut drops);
+}
+
+fn push_batch<P: Copy>(handle: &mut IngressHandle<P>, pending: &mut Vec<P>, lossy: bool) {
+    if pending.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(pending);
+    if lossy {
+        handle.try_send(batch);
+    } else {
+        // `false` means the ring closed (shutdown or supervisor give-up);
+        // the handle counted the batch as lost. Keep serving: later sends
+        // are counted the same way and clients still get their acks.
+        let _ = handle.send(batch);
+    }
+}
+
+fn flush_all<P: Copy>(
+    handles: &mut [IngressHandle<P>],
+    pending: &mut [Vec<P>],
+    lossy: bool,
+    acc: &mut NetCounts,
+    drops: &mut u64,
+) {
+    for (handle, batch) in handles.iter_mut().zip(pending.iter_mut()) {
+        push_batch(handle, batch, lossy);
+    }
+    flush_net(handles, acc, drops);
+}
+
+fn flush_net<P: Copy>(handles: &[IngressHandle<P>], acc: &mut NetCounts, drops: &mut u64) {
+    if *acc != NetCounts::default() || *drops != 0 {
+        handles[0].record_net(*acc, *drops);
+        *acc = NetCounts::default();
+        *drops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_labels_round_trip() {
+        for f in [Fanout::ByPort, Fanout::Hash] {
+            assert_eq!(Fanout::parse(f.label()), Some(f));
+        }
+        assert_eq!(Fanout::parse("bogus"), None);
+    }
+
+    #[test]
+    fn by_port_routing_is_modular_and_hash_covers_all_shards() {
+        assert_eq!(Fanout::ByPort.route(5, 4), 1);
+        assert_eq!(Fanout::ByPort.route(4, 4), 0);
+        let hit: HashSet<usize> = (0..64).map(|p| Fanout::Hash.route(p, 4)).collect();
+        assert_eq!(hit.len(), 4, "hash fanout reaches every shard");
+        for p in 0..64 {
+            assert!(Fanout::Hash.route(p, 4) < 4);
+        }
+    }
+
+    #[test]
+    fn bind_rejects_degenerate_configs() {
+        let err = NetIngress::bind(NetConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let cfg = NetConfig {
+            listen: vec!["127.0.0.1:0".parse().unwrap()],
+            expected_clients: 0,
+            ..NetConfig::default()
+        };
+        assert!(NetIngress::bind(cfg).is_err());
+    }
+
+    #[test]
+    fn bind_resolves_ephemeral_ports() {
+        let cfg = NetConfig {
+            listen: vec![
+                "127.0.0.1:0".parse().unwrap(),
+                "127.0.0.1:0".parse().unwrap(),
+            ],
+            ..NetConfig::default()
+        };
+        let ingress = NetIngress::bind(cfg).unwrap();
+        let addrs = ingress.local_addrs().unwrap();
+        assert_eq!(addrs.len(), 2);
+        assert!(addrs.iter().all(|a| a.port() != 0));
+        assert_ne!(addrs[0].port(), addrs[1].port());
+    }
+}

@@ -2,7 +2,7 @@
 //! events that the runtime supervisor dumps post-mortem when a shard dies,
 //! so every `ShardFailure` ships with its trailing event context.
 
-use crate::{escape_json, DropReason, Event, Observer, RingEventLog};
+use crate::{escape_json, DropReason, Event, NetCounts, Observer, RingEventLog};
 use smbm_switch::PortId;
 
 /// A fixed-size ring of the last N structured events on one shard.
@@ -47,10 +47,29 @@ impl FlightRecorder {
     /// death occurred on (0 for the first incarnation) and `orphans` the
     /// ring backlog stranded by the death.
     pub fn render_dump(&self, reason: &str, slot: u64, attempt: u64, orphans: u64) -> String {
+        self.render_dump_with_net(reason, slot, attempt, orphans, None)
+    }
+
+    /// Like [`FlightRecorder::render_dump`], but the header additionally
+    /// carries the net ingress tallies of the sockets feeding the dead
+    /// shard — so a post-mortem of a network-fed shard shows how much wire
+    /// traffic (and how many decode failures) preceded the death.
+    pub fn render_dump_with_net(
+        &self,
+        reason: &str,
+        slot: u64,
+        attempt: u64,
+        orphans: u64,
+        net: Option<&NetCounts>,
+    ) -> String {
         let shard_label = self.shard.to_string();
+        let net_field = match net {
+            Some(n) => format!(",\"net\":{}", n.to_json()),
+            None => String::new(),
+        };
         let mut out = format!(
             "{{\"type\":\"flight_dump\",\"shard\":{},\"reason\":\"{}\",\"slot\":{},\
-             \"attempt\":{},\"orphans\":{},\"events\":{},\"events_dropped\":{}}}\n",
+             \"attempt\":{},\"orphans\":{},\"events\":{},\"events_dropped\":{}{}}}\n",
             self.shard,
             escape_json(reason),
             slot,
@@ -60,6 +79,7 @@ impl FlightRecorder {
             self.ring
                 .total_recorded()
                 .saturating_sub(self.ring.len() as u64),
+            net_field,
         );
         out.push_str(&self.ring.to_jsonl_with(&[("shard", &shard_label)]));
         out
@@ -156,6 +176,29 @@ mod tests {
             lines[3],
             "{\"shard\":\"3\",\"type\":\"shard_panic\",\"slot\":10,\"orphans\":2}"
         );
+    }
+
+    #[test]
+    fn dump_header_carries_net_counts_when_given() {
+        let mut fr = FlightRecorder::new(1, 4);
+        fr.shard_panicked(5, 0);
+        let net = NetCounts {
+            datagrams: 9,
+            frames: 72,
+            decode_errors: 3,
+            truncations: 1,
+        };
+        let dump = fr.render_dump_with_net("panic", 5, 0, 0, Some(&net));
+        let header = dump.lines().next().unwrap();
+        assert!(
+            header.contains(
+                "\"net\":{\"datagrams\":9,\"frames\":72,\"decode_errors\":3,\"truncations\":1}"
+            ),
+            "{header}"
+        );
+        // The plain form stays byte-identical to the pre-net format.
+        let plain = fr.render_dump("panic", 5, 0, 0);
+        assert!(!plain.contains("\"net\""));
     }
 
     #[test]

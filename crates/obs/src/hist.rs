@@ -210,6 +210,7 @@ pub struct HistogramRecorder {
     dropped_policy: u64,
     dropped_backpressure: u64,
     dropped_shard_failure: u64,
+    dropped_net_decode: u64,
     pushed_out: u64,
     transmitted: u64,
     transmitted_value: u64,
@@ -248,6 +249,7 @@ impl HistogramRecorder {
             DropReason::Policy => self.dropped_policy,
             DropReason::Backpressure => self.dropped_backpressure,
             DropReason::ShardFailure => self.dropped_shard_failure,
+            DropReason::NetDecode => self.dropped_net_decode,
         }
     }
 
@@ -346,6 +348,7 @@ impl Observer for HistogramRecorder {
             DropReason::Policy => self.dropped_policy += 1,
             DropReason::Backpressure => self.dropped_backpressure += 1,
             DropReason::ShardFailure => self.dropped_shard_failure += 1,
+            DropReason::NetDecode => self.dropped_net_decode += 1,
         }
     }
 

@@ -54,8 +54,8 @@ pub use hist::{HistogramRecorder, LogHistogram};
 pub use profile::{PhaseProfiler, PhaseReport};
 pub use sink::JsonlWriter;
 pub use telemetry::{
-    SampleRates, StatCell, StatSnapshot, TelemetryConfig, TelemetryObserver, TelemetryReport,
-    TelemetrySample, TelemetrySampler,
+    NetCounts, SampleRates, StatCell, StatSnapshot, TelemetryConfig, TelemetryObserver,
+    TelemetryReport, TelemetrySample, TelemetrySampler,
 };
 
 use smbm_switch::PortId;

@@ -135,6 +135,42 @@ impl AtomicLogHistogram {
     }
 }
 
+/// Per-socket network ingress tallies: how many datagrams and frames a
+/// socket received and how many frames it failed to decode.
+///
+/// Lives in `smbm-obs` so the stat cells, the flight recorder, and the
+/// network plane's own reports all speak the same counter vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetCounts {
+    /// Datagrams received.
+    pub datagrams: u64,
+    /// Frames successfully decoded into packets.
+    pub frames: u64,
+    /// Frames (or whole datagrams) that failed decoding.
+    pub decode_errors: u64,
+    /// Datagrams truncated mid-frame (their missing frames also count as
+    /// decode errors).
+    pub truncations: u64,
+}
+
+impl NetCounts {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &NetCounts) {
+        self.datagrams += other.datagrams;
+        self.frames += other.frames;
+        self.decode_errors += other.decode_errors;
+        self.truncations += other.truncations;
+    }
+
+    /// Renders the tallies as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"datagrams\":{},\"frames\":{},\"decode_errors\":{},\"truncations\":{}}}",
+            self.datagrams, self.frames, self.decode_errors, self.truncations
+        )
+    }
+}
+
 /// One shard's live statistics: atomic counters and gauges written by the
 /// shard thread with relaxed ordering and read by the [`TelemetrySampler`].
 ///
@@ -151,10 +187,18 @@ pub struct StatCell {
     dropped_policy: AtomicU64,
     dropped_backpressure: AtomicU64,
     dropped_shard_failure: AtomicU64,
+    dropped_net_decode: AtomicU64,
     pushed_out: AtomicU64,
     transmitted: AtomicU64,
     transmitted_value: AtomicU64,
     flushed: AtomicU64,
+    // Net ingress counters. Unlike the single-writer fields above these are
+    // written by the *socket* thread(s) feeding the shard, not the shard
+    // thread itself; plain relaxed fetch_adds are multi-writer safe.
+    net_datagrams: AtomicU64,
+    net_frames: AtomicU64,
+    net_decode_errors: AtomicU64,
+    net_truncations: AtomicU64,
     slots: AtomicU64,
     restarts: AtomicU64,
     panics: AtomicU64,
@@ -185,10 +229,15 @@ impl StatCell {
             dropped_policy: AtomicU64::new(0),
             dropped_backpressure: AtomicU64::new(0),
             dropped_shard_failure: AtomicU64::new(0),
+            dropped_net_decode: AtomicU64::new(0),
             pushed_out: AtomicU64::new(0),
             transmitted: AtomicU64::new(0),
             transmitted_value: AtomicU64::new(0),
             flushed: AtomicU64::new(0),
+            net_datagrams: AtomicU64::new(0),
+            net_frames: AtomicU64::new(0),
+            net_decode_errors: AtomicU64::new(0),
+            net_truncations: AtomicU64::new(0),
             slots: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
             panics: AtomicU64::new(0),
@@ -199,6 +248,43 @@ impl StatCell {
             buffer_limit: AtomicU64::new(0),
             ports: AtomicU64::new(0),
             latency: AtomicLogHistogram::new(),
+        }
+    }
+
+    /// Records socket-level receive activity and decode losses from a net
+    /// ingress thread feeding this shard. Safe to call from any thread —
+    /// these counters are multi-writer by design (relaxed `fetch_add`s),
+    /// unlike the single-writer shard-loop fields. `dropped_frames` is the
+    /// [`crate::DropReason::NetDecode`] drop count: frames from well-formed
+    /// datagrams that were lost to truncation or failed validation.
+    pub fn record_net(&self, counts: NetCounts, dropped_frames: u64) {
+        let r = Ordering::Relaxed;
+        if counts.datagrams != 0 {
+            self.net_datagrams.fetch_add(counts.datagrams, r);
+        }
+        if counts.frames != 0 {
+            self.net_frames.fetch_add(counts.frames, r);
+        }
+        if counts.decode_errors != 0 {
+            self.net_decode_errors.fetch_add(counts.decode_errors, r);
+        }
+        if counts.truncations != 0 {
+            self.net_truncations.fetch_add(counts.truncations, r);
+        }
+        if dropped_frames != 0 {
+            self.dropped_net_decode.fetch_add(dropped_frames, r);
+        }
+    }
+
+    /// Reads just the net ingress tallies with relaxed loads; cheap enough
+    /// for the supervisor to call while assembling a flight dump.
+    pub fn net_counts(&self) -> NetCounts {
+        let r = Ordering::Relaxed;
+        NetCounts {
+            datagrams: self.net_datagrams.load(r),
+            frames: self.net_frames.load(r),
+            decode_errors: self.net_decode_errors.load(r),
+            truncations: self.net_truncations.load(r),
         }
     }
 
@@ -214,6 +300,8 @@ impl StatCell {
             dropped_policy: self.dropped_policy.load(r),
             dropped_backpressure: self.dropped_backpressure.load(r),
             dropped_shard_failure: self.dropped_shard_failure.load(r),
+            dropped_net_decode: self.dropped_net_decode.load(r),
+            net: self.net_counts(),
             pushed_out: self.pushed_out.load(r),
             transmitted: self.transmitted.load(r),
             transmitted_value: self.transmitted_value.load(r),
@@ -250,6 +338,11 @@ pub struct StatSnapshot {
     pub dropped_backpressure: u64,
     /// Packets lost to abandoned (given-up) shards.
     pub dropped_shard_failure: u64,
+    /// Frames lost to network decoding (truncation or failed validation).
+    pub dropped_net_decode: u64,
+    /// Socket-level receive tallies of the net ingress feeding this shard
+    /// (all zero when the datapath runs without a network plane).
+    pub net: NetCounts,
     /// Resident packets evicted to make room.
     pub pushed_out: u64,
     /// Packets transmitted.
@@ -289,6 +382,7 @@ impl StatSnapshot {
             + self.dropped_policy
             + self.dropped_backpressure
             + self.dropped_shard_failure
+            + self.dropped_net_decode
     }
 
     /// Accumulates `other` into `self`: counters add, capacity gauges add
@@ -302,6 +396,8 @@ impl StatSnapshot {
         self.dropped_policy += other.dropped_policy;
         self.dropped_backpressure += other.dropped_backpressure;
         self.dropped_shard_failure += other.dropped_shard_failure;
+        self.dropped_net_decode += other.dropped_net_decode;
+        self.net.merge(&other.net);
         self.pushed_out += other.pushed_out;
         self.transmitted += other.transmitted;
         self.transmitted_value += other.transmitted_value;
@@ -322,7 +418,8 @@ impl StatSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"arrived\":{},\"arrived_value\":{},\"admitted\":{},\
-             \"dropped\":{{\"buffer_full\":{},\"policy\":{},\"backpressure\":{},\"shard_failure\":{}}},\
+             \"dropped\":{{\"buffer_full\":{},\"policy\":{},\"backpressure\":{},\"shard_failure\":{},\"net_decode\":{}}},\
+             \"net\":{},\
              \"pushed_out\":{},\"transmitted\":{},\"transmitted_value\":{},\"flushed\":{},\
              \"slots\":{},\"restarts\":{},\"panics\":{},\"failures\":{},\
              \"occupancy\":{},\"queue_depth\":{},\"queue_hwm\":{},\"buffer_limit\":{},\"ports\":{},\
@@ -334,6 +431,8 @@ impl StatSnapshot {
             self.dropped_policy,
             self.dropped_backpressure,
             self.dropped_shard_failure,
+            self.dropped_net_decode,
+            self.net.to_json(),
             self.pushed_out,
             self.transmitted,
             self.transmitted_value,
@@ -363,6 +462,7 @@ struct Pending {
     dropped_policy: u64,
     dropped_backpressure: u64,
     dropped_shard_failure: u64,
+    dropped_net_decode: u64,
     pushed_out: u64,
     transmitted: u64,
     transmitted_value: u64,
@@ -417,6 +517,9 @@ impl TelemetryObserver {
             c.dropped_shard_failure
                 .fetch_add(p.dropped_shard_failure, r);
         }
+        if p.dropped_net_decode != 0 {
+            c.dropped_net_decode.fetch_add(p.dropped_net_decode, r);
+        }
         if p.pushed_out != 0 {
             c.pushed_out.fetch_add(p.pushed_out, r);
         }
@@ -452,6 +555,7 @@ impl Observer for TelemetryObserver {
             DropReason::Policy => self.pending.dropped_policy += 1,
             DropReason::Backpressure => self.pending.dropped_backpressure += 1,
             DropReason::ShardFailure => self.pending.dropped_shard_failure += 1,
+            DropReason::NetDecode => self.pending.dropped_net_decode += 1,
         }
     }
 
@@ -619,9 +723,24 @@ impl TelemetrySample {
                 ("policy", s.dropped_policy),
                 ("backpressure", s.dropped_backpressure),
                 ("shard_failure", s.dropped_shard_failure),
+                ("net_decode", s.dropped_net_decode),
             ] {
                 out.push_str(&format!(
                     "smbm_drops_total{{shard=\"{i}\",reason=\"{reason}\"}} {v}\n"
+                ));
+            }
+        }
+        out.push_str("# HELP smbm_net_total Network ingress activity by kind.\n");
+        out.push_str("# TYPE smbm_net_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            for (kind, v) in [
+                ("datagrams", s.net.datagrams),
+                ("frames", s.net.frames),
+                ("decode_errors", s.net.decode_errors),
+                ("truncations", s.net.truncations),
+            ] {
+                out.push_str(&format!(
+                    "smbm_net_total{{shard=\"{i}\",kind=\"{kind}\"}} {v}\n"
                 ));
             }
         }
@@ -994,6 +1113,42 @@ mod tests {
         assert_eq!(s.restarts, 1);
         assert_eq!(s.failures, 1);
         assert_eq!(s.dropped_shard_failure, 7);
+    }
+
+    #[test]
+    fn record_net_is_multi_writer_and_snapshots() {
+        let cell = Arc::new(StatCell::new());
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        c.record_net(
+                            NetCounts {
+                                datagrams: 1,
+                                frames: 8,
+                                decode_errors: 2,
+                                truncations: 1,
+                            },
+                            2,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = cell.snapshot();
+        assert_eq!(s.net.datagrams, 4_000);
+        assert_eq!(s.net.frames, 32_000);
+        assert_eq!(s.net.decode_errors, 8_000);
+        assert_eq!(s.net.truncations, 4_000);
+        assert_eq!(s.dropped_net_decode, 8_000);
+        assert_eq!(s.dropped_total(), 8_000);
+        assert_eq!(cell.net_counts(), s.net);
+        assert!(s.to_json().contains("\"net\":{\"datagrams\":4000"));
+        assert!(s.to_json().contains("\"net_decode\":8000"));
     }
 
     #[test]

@@ -99,6 +99,15 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
 impl<T> Producer<T> {
     /// Enqueues `item`, blocking while the ring is full.
     ///
+    /// A consumer closing mid-wait is observed *promptly*: the closed flag
+    /// is re-checked first on every wakeup and [`Consumer::close`] notifies
+    /// the `not_full` condvar, so a blocked producer returns
+    /// [`PushError::Closed`] on the close notification itself rather than
+    /// after riding out some timeout or backoff sleep. Network ingress
+    /// threads rely on this to shut down as soon as their shard's rings
+    /// close (see the `blocked_push_observes_close_promptly` regression
+    /// test).
+    ///
     /// # Errors
     ///
     /// Returns [`PushError::Closed`] (with the item) once the consumer is
@@ -327,6 +336,33 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         drop(rx);
         assert_eq!(h.join().unwrap(), Err(PushError::Closed(2)));
+    }
+
+    #[test]
+    fn blocked_push_observes_close_promptly() {
+        // Regression guard for the blocking path's shutdown latency: a push
+        // blocked on a full ring must return `Closed` off the close
+        // notification itself, not by spinning through a full supervision
+        // backoff cycle (250 ms cap) first. The bound below is generous
+        // against scheduler noise but well under one backoff cycle.
+        use std::time::Instant;
+        let (tx, rx) = ring(1);
+        tx.push(1).unwrap();
+        let h = thread::spawn(move || {
+            let r = tx.push(2);
+            (r, Instant::now())
+        });
+        // Let the producer actually block on the full ring first.
+        thread::sleep(Duration::from_millis(50));
+        let closed_at = Instant::now();
+        rx.close();
+        let (r, returned_at) = h.join().unwrap();
+        assert_eq!(r, Err(PushError::Closed(2)));
+        let latency = returned_at.saturating_duration_since(closed_at);
+        assert!(
+            latency < Duration::from_millis(200),
+            "blocked push took {latency:?} to observe the close"
+        );
     }
 
     #[test]

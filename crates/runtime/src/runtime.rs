@@ -30,7 +30,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use smbm_obs::{
-    FlightRecorder, HistogramRecorder, Observer, Phase, StatCell, TelemetryConfig,
+    FlightRecorder, HistogramRecorder, NetCounts, Observer, Phase, StatCell, TelemetryConfig,
     TelemetryObserver, TelemetryReport, TelemetrySampler,
 };
 use smbm_switch::{Counters, DropReason, PortId};
@@ -159,6 +159,11 @@ struct ProducerStats {
     backpressure_value: AtomicU64,
     lost_packets: AtomicU64,
     lost_value: AtomicU64,
+    net_datagrams: AtomicU64,
+    net_frames: AtomicU64,
+    net_decode_errors: AtomicU64,
+    net_truncations: AtomicU64,
+    net_decode_frames: AtomicU64,
 }
 
 /// What one producer did, reported after the runtime joins it.
@@ -182,8 +187,17 @@ pub struct ProducerReport {
     pub lost_packets: u64,
     /// Total value of the lost packets.
     pub lost_value: u64,
+    /// Wire-level receive tallies recorded through
+    /// [`IngressHandle::record_net`]; all zero for in-process producers.
+    pub net: NetCounts,
+    /// Frames from well-formed datagrams that were lost to truncation or
+    /// failed validation before ever reaching a ring.
+    /// [`RuntimeReport::counters`] folds them in as
+    /// [`DropReason::NetDecode`] drops.
+    pub net_decode_frames: u64,
     /// The producer job panicked. Tallies reflect everything up to the
-    /// panic; the shard drained whatever was already queued.
+    /// panic; the shard drained whatever was already queued. A panicking
+    /// fanout job marks every one of its per-shard rows.
     pub panicked: bool,
 }
 
@@ -207,6 +221,7 @@ pub struct IngressHandle<P: Copy> {
     producer: Producer<Batch<P>>,
     stats: Arc<ProducerStats>,
     meta: fn(P) -> (PortId, u32, u64),
+    cell: Option<Arc<StatCell>>,
 }
 
 impl<P: Copy> IngressHandle<P> {
@@ -261,10 +276,33 @@ impl<P: Copy> IngressHandle<P> {
             }
         }
     }
+
+    /// Records wire-level receive activity from a network ingress thread:
+    /// socket tallies (`counts`) plus the frames from well-formed datagrams
+    /// that were lost to truncation or failed validation
+    /// (`dropped_frames`). Both land in this producer's report; when the
+    /// runtime has telemetry attached they also flow into the target
+    /// shard's [`StatCell`], so live Prometheus/JSON dumps and flight
+    /// recorder post-mortems show the wire traffic. In-process producers
+    /// never call this.
+    pub fn record_net(&self, counts: NetCounts, dropped_frames: u64) {
+        let r = Ordering::Relaxed;
+        self.stats.net_datagrams.fetch_add(counts.datagrams, r);
+        self.stats.net_frames.fetch_add(counts.frames, r);
+        self.stats
+            .net_decode_errors
+            .fetch_add(counts.decode_errors, r);
+        self.stats.net_truncations.fetch_add(counts.truncations, r);
+        self.stats.net_decode_frames.fetch_add(dropped_frames, r);
+        if let Some(cell) = &self.cell {
+            cell.record_net(counts, dropped_frames);
+        }
+    }
 }
 
 type ServiceFactory<S> = Box<dyn Fn() -> S + Send>;
 type ProducerJob<P> = Box<dyn FnOnce(&mut IngressHandle<P>) + Send>;
+type FanoutJob<P> = Box<dyn FnOnce(&mut [IngressHandle<P>]) + Send>;
 
 struct ShardSlot<S: Service + 'static> {
     factory: ServiceFactory<S>,
@@ -276,6 +314,7 @@ struct ShardSlot<S: Service + 'static> {
 pub struct RuntimeBuilder<S: Service + 'static> {
     config: RuntimeConfig,
     shards: Vec<ShardSlot<S>>,
+    fanout: Vec<(Vec<usize>, FanoutJob<S::Packet>)>,
 }
 
 impl<S: Service + 'static> RuntimeBuilder<S> {
@@ -284,6 +323,7 @@ impl<S: Service + 'static> RuntimeBuilder<S> {
         RuntimeBuilder {
             config,
             shards: Vec::new(),
+            fanout: Vec::new(),
         }
     }
 
@@ -316,6 +356,30 @@ impl<S: Service + 'static> RuntimeBuilder<S> {
         job: impl FnOnce(&mut IngressHandle<S::Packet>) + Send + 'static,
     ) {
         self.shards[shard.0].producers.push(Box::new(job));
+    }
+
+    /// Adds a producer job that feeds *several* shards from one thread —
+    /// the shape of a network ingress socket spraying decoded packets
+    /// across the datapath. The job gets one [`IngressHandle`] (and thus
+    /// one SPSC ring, with its own backpressure/lost accounting) per entry
+    /// in `shards`, in the given order; the final report carries one
+    /// [`ProducerReport`] row per handle. When the job returns or panics
+    /// all of its rings close together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `shards` was not returned by this builder's
+    /// [`RuntimeBuilder::add_shard`].
+    pub fn add_producer_fanout(
+        &mut self,
+        shards: &[ShardId],
+        job: impl FnOnce(&mut [IngressHandle<S::Packet>]) + Send + 'static,
+    ) {
+        for id in shards {
+            assert!(id.0 < self.shards.len(), "unknown shard {}", id.0);
+        }
+        self.fanout
+            .push((shards.iter().map(|id| id.0).collect(), Box::new(job)));
     }
 
     /// Spawns every shard and producer thread, waits for the datapath to
@@ -366,25 +430,57 @@ impl<S: Service + 'static> RuntimeBuilder<S> {
             None => None,
         };
 
+        // Wire every producer — per-shard and fanout — before spawning the
+        // shards, so a fanout job sees all of its rings at once. Each
+        // producer thread reports as a *group* of (shard, stats) rows: one
+        // row for a plain producer, one per target shard for a fanout job.
+        let nshards = self.shards.len();
+        let mut consumers_per_shard: Vec<Vec<Consumer<Batch<S::Packet>>>> =
+            (0..nshards).map(|_| Vec::new()).collect();
+        let mut factories = Vec::with_capacity(nshards);
         for (i, slot) in self.shards.into_iter().enumerate() {
-            let mut consumers = Vec::with_capacity(slot.producers.len());
             for (j, job) in slot.producers.into_iter().enumerate() {
                 let (tx, rx) = ring(self.config.ring_capacity);
-                consumers.push(rx);
+                consumers_per_shard[i].push(rx);
                 let stats = Arc::new(ProducerStats::default());
                 let mut handle = IngressHandle {
                     producer: tx,
                     stats: Arc::clone(&stats),
                     meta: S::meta,
+                    cell: cells.as_ref().map(|c| Arc::clone(&c[i])),
                 };
                 let join = thread::Builder::new()
                     .name(format!("smbm-prod-{i}-{j}"))
                     .spawn(move || job(&mut handle))
                     .expect("spawn producer thread");
-                producer_handles.push((i, stats, join));
+                producer_handles.push((vec![(i, stats)], join));
             }
+            factories.push(slot.factory);
+        }
+        for (k, (targets, job)) in self.fanout.into_iter().enumerate() {
+            let mut handles = Vec::with_capacity(targets.len());
+            let mut group = Vec::with_capacity(targets.len());
+            for &t in &targets {
+                let (tx, rx) = ring(self.config.ring_capacity);
+                consumers_per_shard[t].push(rx);
+                let stats = Arc::new(ProducerStats::default());
+                handles.push(IngressHandle {
+                    producer: tx,
+                    stats: Arc::clone(&stats),
+                    meta: S::meta,
+                    cell: cells.as_ref().map(|c| Arc::clone(&c[t])),
+                });
+                group.push((t, stats));
+            }
+            let join = thread::Builder::new()
+                .name(format!("smbm-fanout-{k}"))
+                .spawn(move || job(&mut handles))
+                .expect("spawn fanout producer thread");
+            producer_handles.push((group, join));
+        }
 
-            let factory = slot.factory;
+        for (i, (factory, consumers)) in factories.into_iter().zip(consumers_per_shard).enumerate()
+        {
             let clock = clock_factory(i);
             let config = shard_config.clone();
             let supervision = supervision.clone();
@@ -401,6 +497,7 @@ impl<S: Service + 'static> RuntimeBuilder<S> {
                     // Absent layers are `None`, which the Observer blanket
                     // impls erase to no-ops — one code path for every
                     // combination of telemetry/metrics/flight.
+                    let super_cell = cell.clone();
                     let mut obs = (
                         cell.map(TelemetryObserver::new),
                         record_metrics.then(HistogramRecorder::new),
@@ -416,6 +513,7 @@ impl<S: Service + 'static> RuntimeBuilder<S> {
                         &mut obs,
                         flight,
                         sink.as_deref(),
+                        super_cell,
                     );
                     report.metrics = obs.1.take();
                     report
@@ -427,19 +525,29 @@ impl<S: Service + 'static> RuntimeBuilder<S> {
         // Producers finish first in the happy path; join them before the
         // shards so a blocked producer (shard died) unblocks via its closed
         // ring rather than deadlocking the join order.
-        let mut producers = Vec::with_capacity(producer_handles.len());
-        for (shard, stats, join) in producer_handles {
+        let mut producers = Vec::new();
+        for (group, join) in producer_handles {
             let panicked = join.join().is_err();
-            producers.push(ProducerReport {
-                shard,
-                offered_packets: stats.offered_packets.load(Ordering::Relaxed),
-                sent_packets: stats.sent_packets.load(Ordering::Relaxed),
-                backpressure_packets: stats.backpressure_packets.load(Ordering::Relaxed),
-                backpressure_value: stats.backpressure_value.load(Ordering::Relaxed),
-                lost_packets: stats.lost_packets.load(Ordering::Relaxed),
-                lost_value: stats.lost_value.load(Ordering::Relaxed),
-                panicked,
-            });
+            for (shard, stats) in group {
+                let r = Ordering::Relaxed;
+                producers.push(ProducerReport {
+                    shard,
+                    offered_packets: stats.offered_packets.load(r),
+                    sent_packets: stats.sent_packets.load(r),
+                    backpressure_packets: stats.backpressure_packets.load(r),
+                    backpressure_value: stats.backpressure_value.load(r),
+                    lost_packets: stats.lost_packets.load(r),
+                    lost_value: stats.lost_value.load(r),
+                    net: NetCounts {
+                        datagrams: stats.net_datagrams.load(r),
+                        frames: stats.net_frames.load(r),
+                        decode_errors: stats.net_decode_errors.load(r),
+                        truncations: stats.net_truncations.load(r),
+                    },
+                    net_decode_frames: stats.net_decode_frames.load(r),
+                    panicked,
+                });
+            }
         }
 
         let mut shards = Vec::with_capacity(shard_handles.len());
@@ -512,6 +620,7 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
     obs: &mut O,
     mut flight: Option<FlightRecorder>,
     flight_sink: Option<&Mutex<File>>,
+    cell: Option<Arc<StatCell>>,
 ) -> ShardReport {
     let started = Instant::now();
     // Non-closing views of every ring: the backlog must survive an
@@ -578,6 +687,7 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
                     progress.stats.slots,
                     restarts as u64,
                     backlog,
+                    cell.as_ref().map(|c| c.net_counts()),
                 );
 
                 // Packets the dead incarnation popped but never accounted
@@ -616,6 +726,7 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
                         progress.stats.slots,
                         restarts as u64,
                         backlog,
+                        cell.as_ref().map(|c| c.net_counts()),
                     );
                     obs.phase_end(Phase::Recovery);
                     break;
@@ -666,6 +777,10 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
 /// Appends one flight-recorder dump to the shared post-mortem sink,
 /// returning 1 if a dump was written (0 when no recorder/sink is configured
 /// or the write failed — deaths must never cascade into the supervisor).
+/// `net`, when present, is the dead shard's wire-ingress tallies from its
+/// stat cell; the dump header carries them so a post-mortem of a
+/// network-fed shard shows the traffic that preceded the death.
+#[allow(clippy::too_many_arguments)]
 fn write_flight_dump(
     sink: Option<&Mutex<File>>,
     flight: Option<&FlightRecorder>,
@@ -673,11 +788,12 @@ fn write_flight_dump(
     slot: u64,
     attempt: u64,
     orphans: u64,
+    net: Option<NetCounts>,
 ) -> u32 {
     let (Some(sink), Some(flight)) = (sink, flight) else {
         return 0;
     };
-    let dump = flight.render_dump(reason, slot, attempt, orphans);
+    let dump = flight.render_dump_with_net(reason, slot, attempt, orphans, net.as_ref());
     let Ok(mut file) = sink.lock() else {
         return 0;
     };
@@ -728,6 +844,9 @@ impl RuntimeReport {
         let bp_value: u64 = self.producers.iter().map(|p| p.backpressure_value).sum();
         total.record_backpressure_bulk(bp_packets, bp_value);
         total.record_shard_failure_bulk(self.lost_packets(), self.lost_value());
+        // Frames lost at the wire never carried a decodable value, so the
+        // value leg of the fold is zero by construction.
+        total.record_net_decode_bulk(self.net_decode_drops(), 0);
         total
     }
 
@@ -749,6 +868,22 @@ impl RuntimeReport {
     /// Total value of the packets in [`RuntimeReport::lost_packets`].
     pub fn lost_value(&self) -> u64 {
         self.producers.iter().map(|p| p.lost_value).sum()
+    }
+
+    /// Wire-level receive tallies merged across every producer; all zero
+    /// when nothing called [`IngressHandle::record_net`].
+    pub fn net_counts(&self) -> NetCounts {
+        let mut total = NetCounts::default();
+        for p in &self.producers {
+            total.merge(&p.net);
+        }
+        total
+    }
+
+    /// Frames dropped at the wire ([`DropReason::NetDecode`]), across all
+    /// producers.
+    pub fn net_decode_drops(&self) -> u64 {
+        self.producers.iter().map(|p| p.net_decode_frames).sum()
     }
 
     /// Supervised restarts across all shards.
@@ -864,6 +999,46 @@ mod tests {
         // The shard drained the in-flight batch before joining.
         assert_eq!(report.counters().transmitted(), 2);
         assert!(report.counters().check_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn fanout_producer_feeds_every_shard_and_reports_net() {
+        let (mut b, ids) = builder(2);
+        b.add_producer_fanout(&ids, |handles| {
+            assert_eq!(handles.len(), 2, "one handle per target shard");
+            for h in handles.iter_mut() {
+                assert!(h.send(vec![wp(0, 1), wp(1, 2)]));
+            }
+            // The shape a socket thread uses: one datagram carried the two
+            // frames for shard 0, a third frame failed validation.
+            handles[0].record_net(
+                NetCounts {
+                    datagrams: 1,
+                    frames: 2,
+                    decode_errors: 1,
+                    truncations: 0,
+                },
+                1,
+            );
+        });
+        let report = b.run(|_| VirtualClock::new());
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.producers.len(), 2, "one report row per fed shard");
+        assert_eq!(report.producers[0].shard, 0);
+        assert_eq!(report.producers[1].shard, 1);
+        for p in &report.producers {
+            assert_eq!(p.sent_packets, 2);
+            assert!(!p.panicked);
+        }
+        assert_eq!(report.net_counts().datagrams, 1);
+        assert_eq!(report.net_counts().decode_errors, 1);
+        assert_eq!(report.net_decode_drops(), 1);
+        let c = report.counters();
+        assert_eq!(c.arrived(), 5, "4 delivered + 1 net-decode drop");
+        assert_eq!(c.transmitted(), 4);
+        assert_eq!(c.dropped_net_decode(), 1);
+        assert!(c.check_conservation(0).is_ok());
+        assert!(c.check_value_conservation(0).is_ok());
     }
 
     #[test]

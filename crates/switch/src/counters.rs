@@ -37,6 +37,8 @@ pub struct Counters {
     dropped_backpressure_value: u64,
     dropped_shard_failure: u64,
     dropped_shard_failure_value: u64,
+    dropped_net_decode: u64,
+    dropped_net_decode_value: u64,
     pushed_out: u64,
     pushed_out_value: u64,
     transmitted: u64,
@@ -115,6 +117,23 @@ impl Counters {
         self.dropped_shard_failure_value += value;
     }
 
+    /// Records `packets` frames of total worth `value` that arrived over the
+    /// network but never decoded into valid packets (truncated datagrams,
+    /// out-of-range ports, mismatched work). Like backpressure this is a
+    /// bulk arrival-plus-drop — the frames reached the datapath's edge, so
+    /// they count toward `arrived` and toward `dropped` — attributed to
+    /// [`crate::DropReason::NetDecode`], never to a policy decision. An
+    /// undecodable frame's value is unknown; callers normally pass 0, which
+    /// keeps the value laws exact (nothing of known value was lost).
+    pub fn record_net_decode_bulk(&mut self, packets: u64, value: u64) {
+        self.arrived += packets;
+        self.arrived_value += value;
+        self.dropped += packets;
+        self.dropped_value += value;
+        self.dropped_net_decode += packets;
+        self.dropped_net_decode_value += value;
+    }
+
     /// Adds every count from `other` into `self` (latency maxima take the
     /// max). Merging per-shard counters yields datapath-wide totals for
     /// which the conservation laws still hold, since each law is linear.
@@ -129,6 +148,8 @@ impl Counters {
         self.dropped_backpressure_value += other.dropped_backpressure_value;
         self.dropped_shard_failure += other.dropped_shard_failure;
         self.dropped_shard_failure_value += other.dropped_shard_failure_value;
+        self.dropped_net_decode += other.dropped_net_decode;
+        self.dropped_net_decode_value += other.dropped_net_decode_value;
         self.pushed_out += other.pushed_out;
         self.pushed_out_value += other.pushed_out_value;
         self.transmitted += other.transmitted;
@@ -219,10 +240,26 @@ impl Counters {
         self.dropped_shard_failure_value
     }
 
+    /// Frames lost to network decoding (a subset of [`Counters::dropped`]).
+    pub fn dropped_net_decode(&self) -> u64 {
+        self.dropped_net_decode
+    }
+
+    /// Value lost to network decoding (a subset of
+    /// [`Counters::dropped_value`]; usually 0 — an undecodable frame's
+    /// value is unknown).
+    pub fn dropped_net_decode_value(&self) -> u64 {
+        self.dropped_net_decode_value
+    }
+
     /// Packets rejected by admission control itself (policy or full-buffer
-    /// drops, excluding upstream backpressure and shard-failure losses).
+    /// drops, excluding upstream backpressure, shard-failure, and
+    /// net-decode losses).
     pub fn dropped_at_switch(&self) -> u64 {
-        self.dropped - self.dropped_backpressure - self.dropped_shard_failure
+        self.dropped
+            - self.dropped_backpressure
+            - self.dropped_shard_failure
+            - self.dropped_net_decode
     }
 
     /// Total admitted packets later evicted (including flushed packets).
@@ -334,13 +371,15 @@ impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "arrived={} admitted={} dropped={} backpressure={} shard_failure={} pushed_out={} \
-             transmitted={} value={} admitted_value={} dropped_value={} pushed_out_value={}",
+            "arrived={} admitted={} dropped={} backpressure={} shard_failure={} net_decode={} \
+             pushed_out={} transmitted={} value={} admitted_value={} dropped_value={} \
+             pushed_out_value={}",
             self.arrived,
             self.admitted,
             self.dropped,
             self.dropped_backpressure,
             self.dropped_shard_failure,
+            self.dropped_net_decode,
             self.pushed_out,
             self.transmitted,
             self.transmitted_value,
@@ -581,6 +620,28 @@ mod tests {
         merged.merge(&c);
         assert_eq!(merged.dropped_shard_failure(), 5);
         assert_eq!(merged.dropped_shard_failure_value(), 10);
+        assert!(merged.check_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn net_decode_is_a_separate_drop_class() {
+        let mut c = Counters::new();
+        c.record_arrival(2);
+        c.record_admission(2);
+        c.record_transmission(2, 1);
+        c.record_backpressure_bulk(3, 6);
+        c.record_net_decode_bulk(4, 0);
+        assert!(c.check_conservation(0).is_ok());
+        assert!(c.check_value_conservation(0).is_ok());
+        assert_eq!(c.dropped(), 7);
+        assert_eq!(c.dropped_net_decode(), 4);
+        assert_eq!(c.dropped_net_decode_value(), 0);
+        assert_eq!(c.dropped_at_switch(), 0);
+        assert!(c.to_string().contains("net_decode=4"));
+
+        let mut merged = Counters::new();
+        merged.merge(&c);
+        assert_eq!(merged.dropped_net_decode(), 4);
         assert!(merged.check_conservation(0).is_ok());
     }
 

@@ -28,6 +28,12 @@ pub enum DropReason {
     /// separately from both policy drops and backpressure so packet
     /// conservation holds across shard restarts.
     ShardFailure,
+    /// The packet arrived over the network but never decoded into a valid
+    /// frame: the datagram was truncated mid-frame or the frame failed
+    /// validation (unknown port, mismatched work). Counted separately so
+    /// wire-level garbage is never misattributed to the policy or to
+    /// backpressure.
+    NetDecode,
 }
 
 impl DropReason {
@@ -38,6 +44,7 @@ impl DropReason {
             DropReason::Policy => "policy",
             DropReason::Backpressure => "backpressure",
             DropReason::ShardFailure => "shard_failure",
+            DropReason::NetDecode => "net_decode",
         }
     }
 }
@@ -72,6 +79,7 @@ mod tests {
         assert_eq!(DropReason::Policy.label(), "policy");
         assert_eq!(DropReason::Backpressure.label(), "backpressure");
         assert_eq!(DropReason::ShardFailure.label(), "shard_failure");
+        assert_eq!(DropReason::NetDecode.label(), "net_decode");
     }
 
     #[test]
