@@ -1,0 +1,83 @@
+//! Criterion gate for the SPSC ring's bulk operations: items moved through
+//! a ring per second, scalar ops vs the one-lock bulk publish/claim the
+//! batched ingress hot path runs on. The acceptance floor is that the bulk
+//! path moves >= 10M items/s through a full ring cycle single-threaded
+//! (and, the point of the change, beats the scalar loop — the bulk ops pay
+//! one lock round-trip per slice where the scalar loop pays one per item).
+//!
+//! Measured shapes (`DEPTH`-item ring, `DEPTH` items per iteration):
+//!
+//! * `scalar/push-pop` — a `try_push` per item, then a `try_pop` per item:
+//!   the pre-bulk receive-loop cost model;
+//! * `bulk/push-pop` — one `try_push_bulk` of the whole slice, one
+//!   `pop_bulk` claim of the backlog (buffer reused across iterations);
+//! * `bulk/batched-32` — the slice published as 32-item batches, the shape
+//!   `serve_socket` actually stages per receive burst.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use smbm_runtime::{ring, TryPop};
+
+const DEPTH: usize = 1024;
+const BURST: usize = 32;
+
+fn bench_ring_bulk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring-bulk");
+    group.throughput(Throughput::Elements(DEPTH as u64));
+
+    group.bench_function(BenchmarkId::new("scalar", "push-pop"), |b| {
+        let (tx, rx) = ring::<u64>(DEPTH);
+        b.iter(|| {
+            for i in 0..DEPTH as u64 {
+                tx.try_push(black_box(i)).expect("ring has room");
+            }
+            let mut sum = 0u64;
+            while let TryPop::Item(v) = rx.try_pop() {
+                sum += v;
+            }
+            sum
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("bulk", "push-pop"), |b| {
+        let (tx, rx) = ring::<u64>(DEPTH);
+        let items: Vec<u64> = (0..DEPTH as u64).collect();
+        let mut out: Vec<u64> = Vec::with_capacity(DEPTH);
+        b.iter(|| {
+            tx.try_push_bulk(black_box(items.clone()))
+                .expect("ring has room");
+            out.clear();
+            let claimed = rx.pop_bulk(&mut out, DEPTH);
+            black_box(claimed.popped)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("bulk", "batched-32"), |b| {
+        let (tx, rx) = ring::<u64>(DEPTH);
+        let batch: Vec<u64> = (0..BURST as u64).collect();
+        let mut out: Vec<u64> = Vec::with_capacity(DEPTH);
+        b.iter(|| {
+            for _ in 0..DEPTH / BURST {
+                tx.try_push_bulk(black_box(batch.clone()))
+                    .expect("ring has room");
+            }
+            out.clear();
+            let claimed = rx.pop_bulk(&mut out, DEPTH);
+            black_box(claimed.popped)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_ring_bulk
+}
+criterion_main!(benches);

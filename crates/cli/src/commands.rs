@@ -61,8 +61,12 @@ network (serve --listen, netgen):
                       (default port)
   --idle-timeout S    serve: exit a receive loop idle for S seconds
                       (default 10)
+  --net-batch N       serve: decoded packets buffered per shard before being
+                      published as one ring batch (default 256)
   --window N          netgen: data datagrams between SYNC flow-control
                       barriers (default 32)
+  --garbage N         netgen: header-corrupt datagrams per client (decode
+                      errors on the server, no declared frames)
 telemetry (serve, loadgen):
   --stats-out PATH    append one telemetry snapshot per sample as JSON Lines
   --stats-interval S  sampling cadence in seconds (default 0.25)
@@ -823,6 +827,7 @@ fn serve_listen(args: &Args) -> Result<String, String> {
         "clients",
         "fanout",
         "idle-timeout",
+        "net-batch",
         "lossy",
         "json",
         "faults",
@@ -861,6 +866,9 @@ fn serve_listen(args: &Args) -> Result<String, String> {
         lossy: args.has("lossy"),
         ..NetConfig::default()
     };
+    net.batch = args
+        .get_positive_u64("net-batch", net.batch as u64)
+        .map_err(err)? as usize;
     if let Some(secs) = args.get_positive_f64("idle-timeout").map_err(err)? {
         net.idle_timeout = Duration::from_secs_f64(secs);
     }
@@ -925,6 +933,7 @@ fn netgen(args: &Args) -> Result<String, String> {
         "window",
         "bad-frames",
         "truncated",
+        "garbage",
         "json",
     ])
     .map_err(err)?;
@@ -962,6 +971,7 @@ fn netgen(args: &Args) -> Result<String, String> {
             .map_err(err)? as usize,
         bad_frames: args.get_or("bad-frames", 0usize).map_err(err)?,
         truncated_datagrams: args.get_or("truncated", 0usize).map_err(err)?,
+        garbage_datagrams: args.get_or("garbage", 0usize).map_err(err)?,
         ..defaults
     };
     let report = run_netgen(&config).map_err(err)?;

@@ -16,11 +16,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Only trace-stats and serve without --file consume stdin; read lazily.
+    // Only trace-stats and offline serve without --file consume stdin; read
+    // lazily. `serve --listen` sources traffic from sockets, so slurping
+    // stdin there would block a backgrounded server (inherited terminal
+    // stdin never reaches EOF) before it ever binds.
     let needs_stdin = matches!(
         args.positional().first().map(String::as_str),
         Some("trace-stats") | Some("serve")
-    ) && args.get("file").is_none();
+    ) && args.get("file").is_none()
+        && args.get("listen").is_none();
     let stdin = if needs_stdin {
         let mut buf = String::new();
         if let Err(e) = std::io::stdin().read_to_string(&mut buf) {

@@ -48,5 +48,5 @@
 mod machine;
 mod system;
 
-pub use machine::{NoHook, SlotHook, SlotMachine, SlotStats, MAX_DRAIN_SLOTS};
+pub use machine::{NoHook, SlotHook, SlotMachine, SlotStats, MAX_BURST_BATCHES, MAX_DRAIN_SLOTS};
 pub use system::{CombinedAdapter, DatapathSystem, ValueAdapter, WorkAdapter};

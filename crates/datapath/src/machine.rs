@@ -19,6 +19,15 @@ use crate::system::DatapathSystem;
 /// records it and joins.
 pub const MAX_DRAIN_SLOTS: u64 = 100_000_000;
 
+/// Upper bound on ring batches a freerun driver folds into one slot's
+/// arrival burst when it claims its backlog bulk. Bounding the burst keeps
+/// a single [`SlotMachine::step`] slot from ballooning under a deep backlog
+/// (one slot still means one transmission phase, so an unbounded burst
+/// would distort the slot-pressure model the paper's policies assume),
+/// while staying large enough that a saturated ring amortizes the per-slot
+/// lock round-trip across many batches.
+pub const MAX_BURST_BATCHES: usize = 32;
+
 /// Shared slot accounting, written by the machine as slots complete. The
 /// engine's `RunSummary` and the runtime's shard reports are both rebuilt
 /// from this one struct.

@@ -1,0 +1,391 @@
+//! Minimal `recvmmsg(2)`/`sendmmsg(2)` bindings for the batched network
+//! ingress path (the `mmsg` cargo feature of `smbm-net`).
+//!
+//! The workspace builds offline with no registry access, so there is no
+//! `libc` crate to lean on: this crate declares the two vectored-datagram
+//! syscall wrappers and the ABI structs they need itself, for 64-bit Linux
+//! (x86_64 and aarch64 share every layout used here). Every other crate in
+//! the workspace `#![forbid(unsafe_code)]`; the entire unsafe surface of
+//! the feature is quarantined in this one small crate behind a safe,
+//! `std`-typed API.
+//!
+//! On non-Linux targets the same API compiles but every call reports
+//! [`std::io::ErrorKind::Unsupported`], so callers can build the feature
+//! everywhere and keep their portable single-syscall path as the fallback.
+//!
+//! # Semantics
+//!
+//! - [`RecvBatch::recv`] issues one `recvmmsg` with `MSG_WAITFORONE`: it
+//!   blocks (honouring the socket's `SO_RCVTIMEO`, which surfaces as
+//!   `WouldBlock` exactly like `recv_from`) until at least one datagram is
+//!   available, then claims everything already queued up to the batch
+//!   depth without blocking again.
+//! - [`send_batch`] issues one `sendmmsg` over a *connected* socket and
+//!   returns how many of the leading payloads the kernel accepted; callers
+//!   re-offer the remainder.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Whether this build actually reaches the `mmsg` syscalls (true on Linux,
+/// false where the stub implementation answers `Unsupported`).
+pub const SUPPORTED: bool = cfg!(target_os = "linux");
+
+/// A reusable receive batch: `depth` datagram buffers of `datagram_len`
+/// bytes each, filled by one [`RecvBatch::recv`] call and read back with
+/// [`RecvBatch::datagram`].
+#[derive(Debug)]
+pub struct RecvBatch {
+    bufs: Vec<Vec<u8>>,
+    lens: Vec<usize>,
+    addrs: Vec<Option<SocketAddr>>,
+    count: usize,
+}
+
+impl RecvBatch {
+    /// Allocates a batch of `depth` buffers, `datagram_len` bytes each
+    /// (datagrams longer than that are truncated by the kernel, exactly as
+    /// with an undersized `recv_from` buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `datagram_len` is zero.
+    pub fn new(depth: usize, datagram_len: usize) -> RecvBatch {
+        assert!(depth > 0, "batch depth must be positive");
+        assert!(datagram_len > 0, "datagram length must be positive");
+        RecvBatch {
+            bufs: (0..depth).map(|_| vec![0u8; datagram_len]).collect(),
+            lens: vec![0; depth],
+            addrs: vec![None; depth],
+            count: 0,
+        }
+    }
+
+    /// Datagrams filled by the last [`RecvBatch::recv`].
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the last receive filled nothing.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Payload and source address of filled datagram `i` (`i <
+    /// self.len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not within the last receive's fill count.
+    pub fn datagram(&self, i: usize) -> (&[u8], Option<SocketAddr>) {
+        assert!(i < self.count, "datagram index out of range");
+        (&self.bufs[i][..self.lens[i]], self.addrs[i])
+    }
+
+    /// Receives up to `depth` datagrams with one syscall, blocking for the
+    /// first one per the socket's read timeout. Returns the fill count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the syscall error; an expired `SO_RCVTIMEO` surfaces as
+    /// `WouldBlock`/`TimedOut` exactly like `recv_from`. On non-Linux
+    /// builds always returns `Unsupported`.
+    pub fn recv(&mut self, socket: &UdpSocket) -> io::Result<usize> {
+        self.count = 0;
+        let n = imp::recv_into(socket, &mut self.bufs, &mut self.lens, &mut self.addrs)?;
+        self.count = n;
+        Ok(n)
+    }
+}
+
+/// Sends the leading payloads of `payloads` over the *connected* `socket`
+/// with one `sendmmsg` syscall, returning how many datagrams the kernel
+/// accepted (callers re-offer the rest). An empty slice sends nothing.
+///
+/// # Errors
+///
+/// Propagates the syscall error (on non-Linux builds always
+/// `Unsupported`). A short count is not an error.
+pub fn send_batch(socket: &UdpSocket, payloads: &[Vec<u8>]) -> io::Result<usize> {
+    if payloads.is_empty() {
+        return Ok(0);
+    }
+    imp::send_connected(socket, payloads)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::io;
+    use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, SocketAddrV4, SocketAddrV6, UdpSocket};
+    use std::os::fd::AsRawFd;
+    use std::ptr;
+
+    // Stable Linux ABI constants (include/linux/socket.h, bits/socket.h).
+    const MSG_WAITFORONE: i32 = 0x10000;
+    const AF_INET: u16 = 2;
+    const AF_INET6: u16 = 10;
+    /// `UIO_MAXIOV`: the kernel rejects larger `vlen`s outright.
+    const MAX_VLEN: usize = 1024;
+
+    /// `struct iovec`: `{ void *iov_base; size_t iov_len; }`.
+    #[repr(C)]
+    struct IoVec {
+        base: *mut u8,
+        len: usize,
+    }
+
+    /// `struct msghdr` on 64-bit Linux; the compiler inserts the same
+    /// padding after `namelen` and `flags` that a C compiler does.
+    #[repr(C)]
+    struct MsgHdr {
+        name: *mut u8,
+        namelen: u32,
+        iov: *mut IoVec,
+        iovlen: usize,
+        control: *mut u8,
+        controllen: usize,
+        flags: i32,
+    }
+
+    /// `struct mmsghdr`: `{ struct msghdr msg_hdr; unsigned int msg_len; }`.
+    #[repr(C)]
+    struct MMsgHdr {
+        hdr: MsgHdr,
+        len: u32,
+    }
+
+    /// `struct sockaddr_storage`: 128 bytes, 8-aligned.
+    #[repr(C, align(8))]
+    #[derive(Clone, Copy)]
+    struct SockAddrStorage([u8; 128]);
+
+    extern "C" {
+        // glibc/musl wrappers over the syscalls; `timeout` is a
+        // `struct timespec *` we always pass as null (the socket's
+        // `SO_RCVTIMEO` governs blocking instead — the `recvmmsg` timeout
+        // argument famously only applies *between* datagrams).
+        fn recvmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32, timeout: *mut u8) -> i32;
+        fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+    }
+
+    fn decode_addr(raw: &SockAddrStorage, len: u32) -> Option<SocketAddr> {
+        let b = &raw.0;
+        let len = len as usize;
+        if len < 2 {
+            return None;
+        }
+        match u16::from_ne_bytes([b[0], b[1]]) {
+            AF_INET if len >= 8 => {
+                let port = u16::from_be_bytes([b[2], b[3]]);
+                let ip = Ipv4Addr::new(b[4], b[5], b[6], b[7]);
+                Some(SocketAddr::V4(SocketAddrV4::new(ip, port)))
+            }
+            AF_INET6 if len >= 28 => {
+                let port = u16::from_be_bytes([b[2], b[3]]);
+                let flowinfo = u32::from_be_bytes([b[4], b[5], b[6], b[7]]);
+                let mut oct = [0u8; 16];
+                oct.copy_from_slice(&b[8..24]);
+                let scope = u32::from_ne_bytes([b[24], b[25], b[26], b[27]]);
+                Some(SocketAddr::V6(SocketAddrV6::new(
+                    Ipv6Addr::from(oct),
+                    port,
+                    flowinfo,
+                    scope,
+                )))
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn recv_into(
+        socket: &UdpSocket,
+        bufs: &mut [Vec<u8>],
+        lens: &mut [usize],
+        addrs: &mut [Option<SocketAddr>],
+    ) -> io::Result<usize> {
+        let n = bufs.len().min(MAX_VLEN);
+        let mut names = vec![SockAddrStorage([0u8; 128]); n];
+        let mut iovs: Vec<IoVec> = Vec::with_capacity(n);
+        for buf in bufs.iter_mut().take(n) {
+            iovs.push(IoVec {
+                base: buf.as_mut_ptr(),
+                len: buf.len(),
+            });
+        }
+        let iov_base = iovs.as_mut_ptr();
+        let mut msgs: Vec<MMsgHdr> = Vec::with_capacity(n);
+        for (i, name) in names.iter_mut().enumerate().take(n) {
+            msgs.push(MMsgHdr {
+                hdr: MsgHdr {
+                    name: name.0.as_mut_ptr(),
+                    namelen: 128,
+                    iov: iov_base.wrapping_add(i),
+                    iovlen: 1,
+                    control: ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            });
+        }
+        // SAFETY: `msgs` points at `n` valid `mmsghdr`s whose iovecs and
+        // name buffers are owned by this frame (or by `bufs`) and outlive
+        // the call; `vlen == n`; the kernel writes at most `iov_len` bytes
+        // per message and at most 128 bytes per name. None of the vectors
+        // reallocate between pointer capture and the call.
+        let r = unsafe {
+            recvmmsg(
+                socket.as_raw_fd(),
+                msgs.as_mut_ptr(),
+                n as u32,
+                MSG_WAITFORONE,
+                ptr::null_mut(),
+            )
+        };
+        if r < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let filled = (r as usize).min(n);
+        for i in 0..filled {
+            lens[i] = (msgs[i].len as usize).min(bufs[i].len());
+            addrs[i] = decode_addr(&names[i], msgs[i].hdr.namelen);
+        }
+        Ok(filled)
+    }
+
+    pub(crate) fn send_connected(socket: &UdpSocket, payloads: &[Vec<u8>]) -> io::Result<usize> {
+        let n = payloads.len().min(MAX_VLEN);
+        let mut iovs: Vec<IoVec> = Vec::with_capacity(n);
+        for p in payloads.iter().take(n) {
+            iovs.push(IoVec {
+                // The kernel never writes through a send iovec; the cast
+                // only satisfies the shared struct layout.
+                base: p.as_ptr().cast_mut(),
+                len: p.len(),
+            });
+        }
+        let iov_base = iovs.as_mut_ptr();
+        let mut msgs: Vec<MMsgHdr> = Vec::with_capacity(n);
+        for i in 0..n {
+            msgs.push(MMsgHdr {
+                hdr: MsgHdr {
+                    name: ptr::null_mut(),
+                    namelen: 0,
+                    iov: iov_base.wrapping_add(i),
+                    iovlen: 1,
+                    control: ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            });
+        }
+        // SAFETY: as in `recv_into`, every pointer in `msgs` refers to
+        // memory valid for the duration of the call, and `vlen == n`. The
+        // socket is connected, so null `msg_name` is well-defined.
+        let r = unsafe { sendmmsg(socket.as_raw_fd(), msgs.as_mut_ptr(), n as u32, 0) };
+        if r < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((r as usize).min(n))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use std::io;
+    use std::net::{SocketAddr, UdpSocket};
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmsg syscalls are Linux-only; use the portable path",
+        )
+    }
+
+    pub(crate) fn recv_into(
+        _socket: &UdpSocket,
+        _bufs: &mut [Vec<u8>],
+        _lens: &mut [usize],
+        _addrs: &mut [Option<SocketAddr>],
+    ) -> io::Result<usize> {
+        Err(unsupported())
+    }
+
+    pub(crate) fn send_connected(_socket: &UdpSocket, _payloads: &[Vec<u8>]) -> io::Result<usize> {
+        Err(unsupported())
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pair() -> (UdpSocket, UdpSocket) {
+        let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        tx.connect(rx.local_addr().unwrap()).unwrap();
+        (tx, rx)
+    }
+
+    #[test]
+    fn send_batch_then_recv_batch_round_trips() {
+        let (tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let payloads: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; (i as usize + 1) * 3]).collect();
+        let mut offered = 0;
+        while offered < payloads.len() {
+            offered += send_batch(&tx, &payloads[offered..]).unwrap();
+        }
+        let mut batch = RecvBatch::new(8, 64);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while got.len() < payloads.len() {
+            let n = batch.recv(&rx).unwrap();
+            assert!(n >= 1);
+            for i in 0..n {
+                let (data, from) = batch.datagram(i);
+                assert_eq!(from, Some(tx.local_addr().unwrap()));
+                got.push(data.to_vec());
+            }
+        }
+        assert_eq!(got, payloads, "payloads arrive intact and in order");
+    }
+
+    #[test]
+    fn recv_honours_the_socket_read_timeout() {
+        let (_tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let mut batch = RecvBatch::new(4, 64);
+        let err = batch.recv(&rx).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "{err:?}"
+        );
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn oversized_datagrams_truncate_like_recv_from() {
+        let (tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        send_batch(&tx, &[vec![7u8; 100]]).unwrap();
+        let mut batch = RecvBatch::new(2, 16);
+        assert_eq!(batch.recv(&rx).unwrap(), 1);
+        let (data, _) = batch.datagram(0);
+        assert_eq!(data, &[7u8; 16][..]);
+    }
+
+    #[test]
+    fn empty_send_is_a_noop() {
+        let (tx, _rx) = pair();
+        assert_eq!(send_batch(&tx, &[]).unwrap(), 0);
+    }
+}

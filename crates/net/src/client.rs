@@ -17,6 +17,7 @@
 //! tallies.
 
 use std::fmt;
+use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -66,6 +67,12 @@ pub struct NetGenConfig {
     /// carrying one (the server must count one `NetDecode` drop and one
     /// truncation each).
     pub truncated_datagrams: usize,
+    /// Fault injection: whole-datagram corruption — datagrams per client
+    /// that are garbage at the header level (bad magic, or chopped off
+    /// mid-header), alternating between the two shapes. They declare no
+    /// frames, so the server must count each as exactly one decode error
+    /// and zero `NetDecode` frame drops.
+    pub garbage_datagrams: usize,
 }
 
 impl Default for NetGenConfig {
@@ -85,6 +92,7 @@ impl Default for NetGenConfig {
             ack_retries: 25,
             bad_frames: 0,
             truncated_datagrams: 0,
+            garbage_datagrams: 0,
         }
     }
 }
@@ -116,6 +124,9 @@ pub struct ClientReport {
     pub bad_frames: u64,
     /// Frames declared in a header but chopped off the payload.
     pub missing_frames: u64,
+    /// Header-level garbage datagrams sent (not counted in `datagrams`:
+    /// they carry no valid header, so they declare nothing).
+    pub garbage_datagrams: u64,
     /// SYNC datagrams sent (handshake + barriers + resends).
     pub syncs: u64,
     /// Barrier resends after an ack timeout.
@@ -162,6 +173,11 @@ impl NetGenReport {
         self.clients.iter().map(|c| c.missing_frames).sum()
     }
 
+    /// Header-level garbage datagrams sent, fleet-wide.
+    pub fn garbage_datagrams_sent(&self) -> u64 {
+        self.clients.iter().map(|c| c.garbage_datagrams).sum()
+    }
+
     /// Every frame declared on the wire, fleet-wide.
     pub fn frames_declared(&self) -> u64 {
         self.clients.iter().map(|c| c.frames_declared()).sum()
@@ -196,14 +212,15 @@ impl NetGenReport {
             }
             clients.push_str(&format!(
                 "{{\"client\":{},\"target\":\"{}\",\"datagrams\":{},\"frames\":{},\
-                 \"bad_frames\":{},\"missing_frames\":{},\"syncs\":{},\"retries\":{},\
-                 \"completed\":{}}}",
+                 \"bad_frames\":{},\"missing_frames\":{},\"garbage_datagrams\":{},\
+                 \"syncs\":{},\"retries\":{},\"completed\":{}}}",
                 c.client,
                 c.target,
                 c.datagrams,
                 c.frames,
                 c.bad_frames,
                 c.missing_frames,
+                c.garbage_datagrams,
                 c.syncs,
                 c.retries,
                 c.completed,
@@ -361,6 +378,7 @@ fn drive<P: WirePacket + Send + 'static>(
                 frames: 0,
                 bad_frames: 0,
                 missing_frames: 0,
+                garbage_datagrams: 0,
                 syncs: 0,
                 retries: 0,
                 completed: false,
@@ -390,6 +408,7 @@ fn client_loop<P: WirePacket>(
         frames: 0,
         bad_frames: 0,
         missing_frames: 0,
+        garbage_datagrams: 0,
         syncs: 0,
         retries: 0,
         completed: false,
@@ -421,18 +440,28 @@ fn client_loop<P: WirePacket>(
         return report;
     }
 
-    let mut since_sync = 0usize;
-    for batch in &batches {
-        if socket.send(&encode_data(client, batch)).is_err() {
-            report.error = Some("send failed".into());
-            return report;
-        }
-        report.datagrams += 1;
-        report.frames += batch.len() as u64;
-        since_sync += 1;
-        if since_sync >= config.window {
+    // Data flows one SYNC window at a time: encode the whole window, put
+    // it on the wire (one sendmmsg(2) syscall under the `mmsg` feature, a
+    // send-per-datagram loop otherwise), then run the barrier. Frames are
+    // tallied per datagram actually sent, so a mid-window send failure
+    // still leaves the declared counts exact.
+    let mut window_payloads: Vec<Vec<u8>> = Vec::with_capacity(config.window);
+    let mut window_frames: Vec<u64> = Vec::with_capacity(config.window);
+    let mut batches_iter = batches.iter().peekable();
+    while let Some(batch) = batches_iter.next() {
+        window_payloads.push(encode_data(client, batch));
+        window_frames.push(batch.len() as u64);
+        if window_payloads.len() >= config.window || batches_iter.peek().is_none() {
+            let (sent, err) = send_window(&socket, &window_payloads);
+            report.datagrams += sent as u64;
+            report.frames += window_frames[..sent].iter().sum::<u64>();
+            if let Some(e) = err {
+                report.error = Some(format!("send failed: {e}"));
+                return report;
+            }
+            window_payloads.clear();
+            window_frames.clear();
             seq += 1;
-            since_sync = 0;
             if let Err(e) = barrier::<P>(&socket, client, seq, config, &mut report) {
                 report.error = Some(e);
                 return report;
@@ -458,6 +487,20 @@ fn client_loop<P: WirePacket>(
             report.datagrams += 1;
             report.frames += 1;
             report.missing_frames += 1;
+        }
+    }
+    for g in 0..config.garbage_datagrams {
+        // Whole-datagram corruption: a full-size header whose magic is
+        // wrong, alternating with one chopped off mid-header. Neither
+        // declares a frame, so the server books exactly one decode error
+        // and zero NetDecode drops per datagram.
+        let junk = if g % 2 == 0 {
+            vec![0x5A; crate::codec::HEADER_LEN]
+        } else {
+            vec![0x5A; crate::codec::HEADER_LEN / 2]
+        };
+        if socket.send(&junk).is_ok() {
+            report.garbage_datagrams += 1;
         }
     }
 
@@ -486,6 +529,36 @@ fn client_loop<P: WirePacket>(
     }
     report.error = Some("no FIN-ACK from server".into());
     report
+}
+
+/// Puts one window of encoded datagrams on the wire in order, returning
+/// how many were fully sent and the error that stopped the rest (if any).
+///
+/// With the `mmsg` feature on Linux this is a `sendmmsg(2)` loop — the
+/// whole window normally leaves in one syscall, with partial-accept
+/// handling; elsewhere it is one `send` per datagram on the connected
+/// socket. Either way the sent count is datagram-exact, so the caller's
+/// declared-frame tallies stay reconcilable even on a mid-window failure.
+#[cfg(all(feature = "mmsg", target_os = "linux"))]
+fn send_window(socket: &UdpSocket, payloads: &[Vec<u8>]) -> (usize, Option<io::Error>) {
+    let mut sent = 0;
+    while sent < payloads.len() {
+        match smbm_mmsg::send_batch(socket, &payloads[sent..]) {
+            Ok(n) => sent += n,
+            Err(e) => return (sent, Some(e)),
+        }
+    }
+    (sent, None)
+}
+
+#[cfg(not(all(feature = "mmsg", target_os = "linux")))]
+fn send_window(socket: &UdpSocket, payloads: &[Vec<u8>]) -> (usize, Option<io::Error>) {
+    for (i, payload) in payloads.iter().enumerate() {
+        if let Err(e) = socket.send(payload) {
+            return (i, Some(e));
+        }
+    }
+    (payloads.len(), None)
 }
 
 /// One stop-and-wait barrier: send SYNC `seq`, block for its SYNC-ACK,

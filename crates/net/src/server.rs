@@ -22,6 +22,23 @@
 //! below the kernel's receive buffer and makes the final tallies exact:
 //! every frame a client declared is, by the time its final barrier is
 //! acknowledged, admitted, dropped (with a reason), or orphaned.
+//!
+//! ## The batched hot path
+//!
+//! The receive loop is allocation- and syscall-frugal:
+//!
+//! * full per-shard batches are staged into *ready* queues and published
+//!   with one bulk ring operation per shard per receive burst
+//!   ([`IngressHandle::send_bulk`] / [`IngressHandle::try_send_bulk`]) —
+//!   one lock round-trip publishes every batch the burst produced;
+//! * batch buffers come from a small recycling pool, so a staged batch
+//!   swaps in a pre-sized buffer instead of reallocating from zero
+//!   capacity on every flush (lossy rejects hand their emptied buffers
+//!   back to the pool);
+//! * with the `mmsg` cargo feature on Linux, each wakeup drains up to
+//!   [`RECV_BURST`] queued datagrams with a single `recvmmsg(2)` call
+//!   (elsewhere the feature quietly falls back to the portable
+//!   one-datagram `recv_from` path).
 
 use std::collections::HashSet;
 use std::io;
@@ -32,6 +49,15 @@ use smbm_obs::NetCounts;
 use smbm_runtime::{IngressHandle, RuntimeBuilder, Service, ShardId};
 
 use crate::codec::{decode, encode_fin_ack, encode_sync_ack, Datagram, WirePacket};
+
+/// Datagrams drained per `recvmmsg` wakeup when the `mmsg` feature is
+/// active. Sized to the client's default SYNC window: one syscall claims a
+/// whole unacknowledged window.
+pub const RECV_BURST: usize = 32;
+
+/// At most this many idle batch buffers are retained for reuse; beyond it
+/// the pool lets buffers drop (a bound, not a reservation).
+const POOL_DEPTH: usize = 64;
 
 /// How a socket's receive loop sprays decoded packets across the shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,6 +228,165 @@ impl NetIngress {
     }
 }
 
+/// Errors a UDP `recv_from` can surface without invalidating the socket.
+///
+/// On Linux, a previous `send_to` whose peer answered with an ICMP
+/// port-unreachable is reported on the *next* receive as
+/// `ConnectionRefused`/`ConnectionReset` — e.g. an ack sent to a client
+/// that already exited. The socket itself is fine; the other clients are
+/// still sending. Unreachable-network flavours and plain `Interrupted`
+/// (EINTR) are equally recoverable. A loop that `break`s on these kills
+/// ingress for every remaining client, so the receive loop counts them and
+/// keeps serving; only unclassified errors (bad fd, ENOMEM, ...) are fatal.
+fn transient_recv_error(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::HostUnreachable
+            | io::ErrorKind::NetworkUnreachable
+            | io::ErrorKind::Interrupted
+    )
+}
+
+/// The staging area between the decoder and the rings: per-shard queues of
+/// *full* batches awaiting one bulk publish, plus the recycling buffer
+/// pool that batch buffers are drawn from and returned to.
+struct Publisher<P> {
+    ready: Vec<Vec<Vec<P>>>,
+    pool: Vec<Vec<P>>,
+    cap: usize,
+}
+
+impl<P: Copy> Publisher<P> {
+    fn new(shards: usize, cap: usize) -> Publisher<P> {
+        Publisher {
+            ready: (0..shards).map(|_| Vec::new()).collect(),
+            pool: Vec::new(),
+            cap,
+        }
+    }
+
+    /// A batch buffer with at least `cap` capacity — recycled if the pool
+    /// has one, freshly sized otherwise.
+    fn take_buf(&mut self) -> Vec<P> {
+        self.pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.cap))
+    }
+
+    /// Returns an emptied buffer to the pool (bounded by [`POOL_DEPTH`]).
+    fn recycle(&mut self, mut buf: Vec<P>) {
+        if self.pool.len() < POOL_DEPTH {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    /// Stages every shard's pending batch — the barrier and exit flushes.
+    fn stage_all(&mut self, pending: &mut [Vec<P>]) {
+        for (shard, batch) in pending.iter_mut().enumerate() {
+            self.stage(shard, batch);
+        }
+    }
+
+    /// Moves `pending` into shard `shard`'s ready queue, swapping in a
+    /// pooled buffer so the caller keeps filling at full capacity — the
+    /// hot path never reallocates a batch buffer from zero.
+    fn stage(&mut self, shard: usize, pending: &mut Vec<P>) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut staged = self.take_buf();
+        std::mem::swap(pending, &mut staged);
+        debug_assert!(
+            pending.capacity() >= self.cap,
+            "staging must hand back a full-capacity buffer, not a fresh Vec"
+        );
+        self.ready[shard].push(staged);
+    }
+
+    /// Publishes every staged batch, one bulk ring operation per shard.
+    /// Lossy rejects come back as emptied buffers and rejoin the pool.
+    fn publish(&mut self, handles: &mut [IngressHandle<P>], lossy: bool) {
+        for (shard, handle) in handles.iter_mut().enumerate() {
+            if self.ready[shard].is_empty() {
+                continue;
+            }
+            let batches = std::mem::take(&mut self.ready[shard]);
+            if lossy {
+                for buf in handle.try_send_bulk(batches) {
+                    self.recycle(buf);
+                }
+            } else {
+                // `false` means the ring closed (shutdown or supervisor
+                // give-up); the handle counted the remainder as lost. Keep
+                // serving: later sends are counted the same way and
+                // clients still get their acks.
+                let _ = handle.send_bulk(batches);
+            }
+        }
+    }
+}
+
+/// The receive side of the loop: with the `mmsg` feature on Linux, one
+/// `recvmmsg(2)` per wakeup drains up to [`RECV_BURST`] datagrams;
+/// otherwise one `recv_from` yields one datagram. Same shape either way:
+/// `fill` blocks for the first datagram (honouring the socket read
+/// timeout) and returns how many arrived; `datagram(i)` reads them back.
+#[cfg(all(feature = "mmsg", target_os = "linux"))]
+struct DatagramSource {
+    batch: smbm_mmsg::RecvBatch,
+}
+
+#[cfg(all(feature = "mmsg", target_os = "linux"))]
+impl DatagramSource {
+    fn new(config: &NetConfig) -> DatagramSource {
+        DatagramSource {
+            batch: smbm_mmsg::RecvBatch::new(RECV_BURST, config.max_datagram.max(64)),
+        }
+    }
+
+    fn fill(&mut self, socket: &UdpSocket) -> io::Result<usize> {
+        self.batch.recv(socket)
+    }
+
+    fn datagram(&self, i: usize) -> (&[u8], Option<SocketAddr>) {
+        self.batch.datagram(i)
+    }
+}
+
+#[cfg(not(all(feature = "mmsg", target_os = "linux")))]
+struct DatagramSource {
+    buf: Vec<u8>,
+    len: usize,
+    from: Option<SocketAddr>,
+}
+
+#[cfg(not(all(feature = "mmsg", target_os = "linux")))]
+impl DatagramSource {
+    fn new(config: &NetConfig) -> DatagramSource {
+        DatagramSource {
+            buf: vec![0u8; config.max_datagram.max(64)],
+            len: 0,
+            from: None,
+        }
+    }
+
+    fn fill(&mut self, socket: &UdpSocket) -> io::Result<usize> {
+        let (len, from) = socket.recv_from(&mut self.buf)?;
+        self.len = len;
+        self.from = Some(from);
+        Ok(1)
+    }
+
+    fn datagram(&self, i: usize) -> (&[u8], Option<SocketAddr>) {
+        debug_assert_eq!(i, 0, "portable source holds one datagram");
+        (&self.buf[..self.len], self.from)
+    }
+}
+
 /// One socket's receive loop. Accounting invariant on exit: every frame
 /// ever declared to this socket in a well-formed data datagram has been
 /// pushed into a ring, tallied as backpressure/lost by its handle, or
@@ -214,22 +399,36 @@ fn serve_socket<P: WirePacket>(
     check: impl Fn(&P) -> bool,
 ) {
     let shards = handles.len();
-    let mut buf = vec![0u8; config.max_datagram.max(64)];
-    let mut pending: Vec<Vec<P>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut pending: Vec<Vec<P>> = (0..shards)
+        .map(|_| Vec::with_capacity(config.batch))
+        .collect();
+    let mut publisher = Publisher::new(shards, config.batch);
     // Socket-level tallies accumulate locally and flush through the first
     // handle (the socket's home shard) so hot-path datagrams cost no
     // atomics; `drops` are the NetDecode frames (bad + missing).
     let mut acc = NetCounts::default();
     let mut drops = 0u64;
     let mut fins: HashSet<u16> = HashSet::new();
+    let mut recv_errors = 0u64;
     let mut last_heard = Instant::now();
-    if socket.set_read_timeout(Some(config.read_timeout)).is_err() {
+    let mut source = DatagramSource::new(config);
+    // A socket that cannot poll cannot serve, but the failure must not
+    // vanish: surface it on the report and still run the exit flush so the
+    // accounting invariant holds trivially (nothing pending, zero tallies).
+    if let Err(e) = socket.set_read_timeout(Some(config.read_timeout)) {
+        handles[0].record_error(format!(
+            "net: set_read_timeout failed on {:?}: {e}",
+            socket.local_addr()
+        ));
+        publisher.stage_all(&mut pending);
+        publisher.publish(handles, config.lossy);
+        flush_net(handles, &mut acc, &mut drops);
         return;
     }
 
-    loop {
-        let (len, from) = match socket.recv_from(&mut buf) {
-            Ok(x) => x,
+    'serve: loop {
+        let burst = match source.fill(socket) {
+            Ok(n) => n,
             Err(e)
                 if matches!(
                     e.kind(),
@@ -241,84 +440,97 @@ fn serve_socket<P: WirePacket>(
                 }
                 continue;
             }
-            Err(_) => break,
-        };
-        last_heard = Instant::now();
-        acc.datagrams += 1;
-        match decode::<P>(&buf[..len], &check) {
-            Ok(Datagram::Data {
-                packets,
-                bad_frames,
-                missing,
-                truncated,
-                ..
-            }) => {
-                acc.frames += packets.len() as u64;
-                acc.decode_errors += bad_frames + missing;
-                acc.truncations += u64::from(truncated);
-                drops += bad_frames + missing;
-                for p in packets {
-                    let shard = config.fanout.route(p.port_index(), shards);
-                    pending[shard].push(p);
-                    if pending[shard].len() >= config.batch {
-                        push_batch(&mut handles[shard], &mut pending[shard], config.lossy);
-                    }
-                }
-            }
-            Ok(Datagram::Sync { client, seq }) => {
-                // Barrier: everything received before this SYNC must be
-                // fully accounted before the ACK goes out.
-                flush_all(handles, &mut pending, config.lossy, &mut acc, &mut drops);
-                let _ = socket.send_to(&encode_sync_ack(client, seq), from);
-            }
-            Ok(Datagram::Fin { client }) => {
-                flush_all(handles, &mut pending, config.lossy, &mut acc, &mut drops);
-                let _ = socket.send_to(&encode_fin_ack(client), from);
-                fins.insert(client);
-                if fins.len() >= expected_fins {
+            Err(e) if transient_recv_error(e.kind()) => {
+                // An ICMP echo of an earlier ack (peer gone), EINTR, and
+                // friends: the socket is fine, other clients are still
+                // sending. Count it, keep the idle clock honest, serve on.
+                recv_errors += 1;
+                if last_heard.elapsed() >= config.idle_timeout {
                     break;
                 }
+                continue;
             }
-            // Acks are server-to-client; one arriving here is a confused
-            // peer, counted like any other undecodable datagram.
-            Ok(Datagram::FinAck { .. }) | Ok(Datagram::SyncAck { .. }) | Err(_) => {
-                acc.decode_errors += 1;
+            Err(e) => {
+                handles[0].record_error(format!(
+                    "net: fatal receive error on {:?}: {e}",
+                    socket.local_addr()
+                ));
+                break;
+            }
+        };
+        last_heard = Instant::now();
+        for d in 0..burst {
+            let (payload, from) = source.datagram(d);
+            acc.datagrams += 1;
+            match decode::<P>(payload, &check) {
+                Ok(Datagram::Data {
+                    packets,
+                    bad_frames,
+                    missing,
+                    truncated,
+                    ..
+                }) => {
+                    acc.frames += packets.len() as u64;
+                    acc.decode_errors += bad_frames + missing;
+                    acc.truncations += u64::from(truncated);
+                    drops += bad_frames + missing;
+                    for p in packets {
+                        let shard = config.fanout.route(p.port_index(), shards);
+                        pending[shard].push(p);
+                        if pending[shard].len() >= config.batch {
+                            publisher.stage(shard, &mut pending[shard]);
+                        }
+                    }
+                }
+                Ok(Datagram::Sync { client, seq }) => {
+                    // Barrier: everything received before this SYNC must
+                    // be fully accounted before the ACK goes out.
+                    publisher.stage_all(&mut pending);
+                    publisher.publish(handles, config.lossy);
+                    flush_net(handles, &mut acc, &mut drops);
+                    if let Some(from) = from {
+                        let _ = socket.send_to(&encode_sync_ack(client, seq), from);
+                    }
+                }
+                Ok(Datagram::Fin { client }) => {
+                    publisher.stage_all(&mut pending);
+                    publisher.publish(handles, config.lossy);
+                    flush_net(handles, &mut acc, &mut drops);
+                    if let Some(from) = from {
+                        let _ = socket.send_to(&encode_fin_ack(client), from);
+                    }
+                    fins.insert(client);
+                    if fins.len() >= expected_fins {
+                        // Every client on this socket has FINed after its
+                        // final acknowledged barrier; anything left in the
+                        // burst can only be retried barriers.
+                        break 'serve;
+                    }
+                }
+                // Acks are server-to-client; one arriving here is a
+                // confused peer, counted like any other undecodable
+                // datagram.
+                Ok(Datagram::FinAck { .. }) | Ok(Datagram::SyncAck { .. }) | Err(_) => {
+                    acc.decode_errors += 1;
+                }
             }
         }
+        // One bulk publish per shard covers every batch the burst filled.
+        publisher.publish(handles, config.lossy);
         // Keep live telemetry fresh even between barriers.
         if acc.datagrams >= 64 {
             flush_net(handles, &mut acc, &mut drops);
         }
     }
-    flush_all(handles, &mut pending, config.lossy, &mut acc, &mut drops);
-}
-
-fn push_batch<P: Copy>(handle: &mut IngressHandle<P>, pending: &mut Vec<P>, lossy: bool) {
-    if pending.is_empty() {
-        return;
+    publisher.stage_all(&mut pending);
+    publisher.publish(handles, config.lossy);
+    flush_net(handles, &mut acc, &mut drops);
+    if recv_errors > 0 {
+        handles[0].record_error(format!(
+            "net: {recv_errors} transient receive error(s) tolerated on {:?}",
+            socket.local_addr()
+        ));
     }
-    let batch = std::mem::take(pending);
-    if lossy {
-        handle.try_send(batch);
-    } else {
-        // `false` means the ring closed (shutdown or supervisor give-up);
-        // the handle counted the batch as lost. Keep serving: later sends
-        // are counted the same way and clients still get their acks.
-        let _ = handle.send(batch);
-    }
-}
-
-fn flush_all<P: Copy>(
-    handles: &mut [IngressHandle<P>],
-    pending: &mut [Vec<P>],
-    lossy: bool,
-    acc: &mut NetCounts,
-    drops: &mut u64,
-) {
-    for (handle, batch) in handles.iter_mut().zip(pending.iter_mut()) {
-        push_batch(handle, batch, lossy);
-    }
-    flush_net(handles, acc, drops);
 }
 
 fn flush_net<P: Copy>(handles: &[IngressHandle<P>], acc: &mut NetCounts, drops: &mut u64) {
@@ -378,5 +590,67 @@ mod tests {
         assert_eq!(addrs.len(), 2);
         assert!(addrs.iter().all(|a| a.port() != 0));
         assert_ne!(addrs[0].port(), addrs[1].port());
+    }
+
+    #[test]
+    fn icmp_echo_errors_are_transient_but_bad_fd_is_fatal() {
+        for kind in [
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::HostUnreachable,
+            io::ErrorKind::NetworkUnreachable,
+            io::ErrorKind::Interrupted,
+        ] {
+            assert!(transient_recv_error(kind), "{kind:?} must not kill ingress");
+        }
+        for kind in [
+            io::ErrorKind::InvalidInput,
+            io::ErrorKind::OutOfMemory,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::NotConnected,
+            io::ErrorKind::WouldBlock, // handled by the idle path, not here
+        ] {
+            assert!(!transient_recv_error(kind), "{kind:?} must stay fatal");
+        }
+    }
+
+    // The mem::take regression: staging a full batch must hand the hot
+    // path a buffer that still has full capacity (a taken Vec has zero
+    // and reallocates its way back up on every single flush).
+    #[test]
+    fn staging_retains_batch_capacity_and_recycles_buffers() {
+        let cap = 32;
+        let mut publisher: Publisher<u32> = Publisher::new(2, cap);
+        let mut pending: Vec<u32> = Vec::with_capacity(cap);
+        for round in 0..4 {
+            pending.extend(0..cap as u32);
+            publisher.stage(0, &mut pending);
+            assert!(pending.is_empty());
+            assert!(
+                pending.capacity() >= cap,
+                "round {round}: capacity fell to {}",
+                pending.capacity()
+            );
+        }
+        assert_eq!(publisher.ready[0].len(), 4);
+        assert!(publisher.ready[1].is_empty());
+        // Rejected buffers come home and are reused before any allocation.
+        let reject: Vec<u32> = Vec::with_capacity(cap * 2);
+        publisher.recycle(reject);
+        let reused = publisher.take_buf();
+        assert!(reused.capacity() >= cap * 2, "pool must hand back reuses");
+        // Staging nothing is a no-op — no empty batches reach the rings.
+        publisher.stage(1, &mut pending);
+        assert!(publisher.ready[1].is_empty());
+    }
+
+    #[test]
+    fn pool_depth_is_bounded() {
+        let mut publisher: Publisher<u32> = Publisher::new(1, 4);
+        for _ in 0..(POOL_DEPTH + 10) {
+            publisher.recycle(Vec::with_capacity(4));
+        }
+        assert_eq!(publisher.pool.len(), POOL_DEPTH);
     }
 }

@@ -53,7 +53,7 @@ mod shard;
 pub use clock::{AnyClock, Clock, VirtualClock, WallClock};
 pub use faults::{Fault, FaultKind, FaultPlan, ShardFaults};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenError, LoadgenReport, Model};
-pub use ring::{ring, Consumer, Producer, PushError, TryPop};
+pub use ring::{ring, BulkPop, Consumer, Producer, PushError, TryPop};
 pub use runtime::{
     FlightConfig, IngressHandle, ProducerReport, RuntimeBuilder, RuntimeConfig, RuntimeReport,
     SendOutcome, ShardId, SupervisionConfig,

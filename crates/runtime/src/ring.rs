@@ -70,6 +70,18 @@ pub enum TryPop<T> {
     Closed,
 }
 
+/// Outcome of a [`Consumer::pop_bulk`]: how many items were claimed in the
+/// one lock round-trip, and whether the producer has closed. End of stream
+/// is `popped == 0 && closed` — a closed producer's backlog still drains
+/// first, exactly as with the scalar [`Consumer::try_pop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkPop {
+    /// Items appended to the caller's buffer, oldest first.
+    pub popped: usize,
+    /// The producer is gone; nothing further will ever be queued.
+    pub closed: bool,
+}
+
 /// Creates a bounded ring holding at most `capacity` items.
 ///
 /// # Panics
@@ -149,6 +161,95 @@ impl<T> Producer<T> {
         Ok(())
     }
 
+    /// Enqueues every item of `items` in order, blocking whenever the ring
+    /// is full. The whole slice that fits the current free window is
+    /// published under a *single* lock round-trip and a single consumer
+    /// notification — this is the bulk counterpart of [`Producer::push`],
+    /// with identical per-item semantics: items already enqueued when the
+    /// consumer closes stay queued (the shard drains or accounts them), and
+    /// the unpushed remainder is handed back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] with the items that did *not* enter
+    /// the ring once the consumer is gone; never returns
+    /// [`PushError::Full`].
+    pub fn push_bulk(&self, items: Vec<T>) -> Result<(), PushError<Vec<T>>> {
+        let mut iter = items.into_iter();
+        // `pending` always holds the next unpushed item, so a full ring
+        // with an exhausted iterator returns instead of blocking forever.
+        let mut pending = iter.next();
+        if pending.is_none() {
+            return Ok(());
+        }
+        let mut st = self.0.lock();
+        loop {
+            if st.consumer_closed {
+                drop(st);
+                let mut rest: Vec<T> = pending.into_iter().collect();
+                rest.extend(iter);
+                return Err(PushError::Closed(rest));
+            }
+            let mut pushed = false;
+            while st.queue.len() < self.0.capacity {
+                let Some(item) = pending.take() else { break };
+                st.queue.push_back(item);
+                pushed = true;
+                pending = iter.next();
+            }
+            if pending.is_none() {
+                drop(st);
+                if pushed {
+                    self.0.not_empty.notify_one();
+                }
+                return Ok(());
+            }
+            if pushed {
+                self.0.not_empty.notify_one();
+            }
+            st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Enqueues as many leading items of `items` as fit, without blocking,
+    /// in one lock round-trip. Per-item semantics match a [`Producer::try_push`]
+    /// loop exactly: the first `k` items enter a ring with `k` free slots
+    /// and the rest come back as [`PushError::Full`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] with the items that did not fit, or
+    /// [`PushError::Closed`] with every unpushed item once the consumer is
+    /// gone ([`PushError::Closed`] wins when the ring is both full and
+    /// closed, as with the scalar op).
+    pub fn try_push_bulk(&self, items: Vec<T>) -> Result<(), PushError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let mut iter = items.into_iter();
+        let mut st = self.0.lock();
+        if st.consumer_closed {
+            drop(st);
+            return Err(PushError::Closed(iter.collect()));
+        }
+        let mut pushed = false;
+        while st.queue.len() < self.0.capacity {
+            let Some(item) = iter.next() else { break };
+            st.queue.push_back(item);
+            pushed = true;
+        }
+        drop(st);
+        if pushed {
+            self.0.not_empty.notify_one();
+        }
+        let rest: Vec<T> = iter.collect();
+        if rest.is_empty() {
+            Ok(())
+        } else {
+            Err(PushError::Full(rest))
+        }
+    }
+
     /// Marks the stream finished. Queued items stay poppable; afterwards the
     /// consumer sees end-of-stream. Also performed on drop.
     pub fn close(&self) {
@@ -200,6 +301,33 @@ impl<T> Consumer<T> {
             TryPop::Closed
         } else {
             TryPop::Empty
+        }
+    }
+
+    /// Dequeues up to `max` items into `out` (appending, oldest first)
+    /// without blocking — the whole backlog is claimed under a *single*
+    /// lock round-trip, the bulk counterpart of a [`Consumer::try_pop`]
+    /// loop. The returned [`BulkPop`] carries the count and whether the
+    /// producer has closed; end of stream is `popped == 0 && closed`.
+    pub fn pop_bulk(&self, out: &mut Vec<T>, max: usize) -> BulkPop {
+        let mut st = self.shared.lock();
+        let take = st.queue.len().min(max);
+        out.reserve(take);
+        for _ in 0..take {
+            // `take` is bounded by the queue length read under this same
+            // lock, so the pops cannot miss.
+            if let Some(item) = st.queue.pop_front() {
+                out.push(item);
+            }
+        }
+        let closed = st.producer_closed;
+        drop(st);
+        if take > 0 {
+            self.shared.not_full.notify_one();
+        }
+        BulkPop {
+            popped: take,
+            closed,
         }
     }
 
@@ -407,5 +535,189 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ring::<u32>(0);
+    }
+
+    #[test]
+    fn push_bulk_publishes_whole_slice_fifo() {
+        let (tx, rx) = ring(8);
+        tx.push_bulk((0..5).collect()).unwrap();
+        let mut out = Vec::new();
+        let r = rx.pop_bulk(&mut out, 16);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            r,
+            BulkPop {
+                popped: 5,
+                closed: false
+            }
+        );
+    }
+
+    #[test]
+    fn push_bulk_empty_is_a_noop_even_when_full() {
+        let (tx, _rx) = ring::<u32>(1);
+        tx.push(1).unwrap();
+        // Must not block despite the full ring: there is nothing to push.
+        tx.push_bulk(Vec::new()).unwrap();
+    }
+
+    #[test]
+    fn push_bulk_blocks_across_capacity_and_wakes_on_pops() {
+        let (tx, rx) = ring(2);
+        let h = thread::spawn(move || tx.push_bulk((0..10).collect()));
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            if let Some(v) = rx.pop() {
+                got.push(v);
+            }
+        }
+        h.join().unwrap().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_bulk_hands_back_unpushed_remainder_on_close() {
+        let (tx, rx) = ring(2);
+        let h = thread::spawn(move || tx.push_bulk((0..6).collect()));
+        thread::sleep(Duration::from_millis(20));
+        // Two items fit; close with the producer blocked on the third.
+        assert_eq!(rx.pop(), Some(0));
+        thread::sleep(Duration::from_millis(20));
+        rx.close();
+        let err = h.join().unwrap().unwrap_err();
+        // Items already published stay published; only the remainder comes
+        // back. The consumer freed one slot, so 3 entered before the close.
+        assert_eq!(err, PushError::Closed(vec![3, 4, 5]));
+    }
+
+    #[test]
+    fn try_push_bulk_matches_a_scalar_try_push_loop() {
+        // Differential check: same op sequence, one ring driven bulk, one
+        // scalar, identical outcomes item by item.
+        let (bulk_tx, bulk_rx) = ring(4);
+        let (scalar_tx, scalar_rx) = ring(4);
+        let items: Vec<u32> = (0..7).collect();
+        let rest = match bulk_tx.try_push_bulk(items.clone()) {
+            Err(PushError::Full(rest)) => rest,
+            other => panic!("expected Full, got {other:?}"),
+        };
+        let mut scalar_rest = Vec::new();
+        for item in items {
+            if let Err(PushError::Full(it)) = scalar_tx.try_push(item) {
+                scalar_rest.push(it);
+            }
+        }
+        assert_eq!(rest, scalar_rest);
+        assert_eq!(rest, vec![4, 5, 6]);
+        let mut bulk_out = Vec::new();
+        bulk_rx.pop_bulk(&mut bulk_out, usize::MAX);
+        let mut scalar_out = Vec::new();
+        while let TryPop::Item(v) = scalar_rx.try_pop() {
+            scalar_out.push(v);
+        }
+        assert_eq!(bulk_out, scalar_out);
+    }
+
+    #[test]
+    fn bulk_closed_wins_over_full() {
+        let (tx, rx) = ring(1);
+        tx.push(0).unwrap();
+        assert_eq!(tx.try_push_bulk(vec![1]), Err(PushError::Full(vec![1])));
+        drop(rx);
+        assert_eq!(
+            tx.try_push_bulk(vec![1, 2]),
+            Err(PushError::Closed(vec![1, 2]))
+        );
+        assert_eq!(tx.push_bulk(vec![3]), Err(PushError::Closed(vec![3])));
+    }
+
+    #[test]
+    fn pop_bulk_respects_max_and_reports_close() {
+        let (tx, rx) = ring(8);
+        tx.push_bulk(vec![1, 2, 3]).unwrap();
+        drop(tx);
+        let mut out = Vec::new();
+        assert_eq!(
+            rx.pop_bulk(&mut out, 2),
+            BulkPop {
+                popped: 2,
+                closed: true
+            }
+        );
+        assert_eq!(
+            rx.pop_bulk(&mut out, 2),
+            BulkPop {
+                popped: 1,
+                closed: true
+            }
+        );
+        assert_eq!(out, vec![1, 2, 3]);
+        // Drained and closed: end of stream, same as TryPop::Closed.
+        assert_eq!(
+            rx.pop_bulk(&mut out, 2),
+            BulkPop {
+                popped: 0,
+                closed: true
+            }
+        );
+        assert_eq!(rx.try_pop(), TryPop::Closed);
+    }
+
+    #[test]
+    fn pop_bulk_empty_open_ring_reports_neither() {
+        let (_tx, rx) = ring::<u32>(4);
+        let mut out = Vec::new();
+        assert_eq!(
+            rx.pop_bulk(&mut out, 8),
+            BulkPop {
+                popped: 0,
+                closed: false
+            }
+        );
+    }
+
+    #[test]
+    fn pop_bulk_wakes_a_blocked_producer() {
+        let (tx, rx) = ring(1);
+        tx.push(1).unwrap();
+        let h = thread::spawn(move || tx.push_bulk(vec![2, 3]));
+        thread::sleep(Duration::from_millis(20));
+        let mut out = Vec::new();
+        while out.len() < 3 {
+            rx.pop_bulk(&mut out, 4);
+        }
+        h.join().unwrap().unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bulk_ops_deliver_the_scalar_sequence_under_concurrency() {
+        // Differential soak: the same item stream pushed bulk (varying
+        // slice sizes) and drained bulk must arrive exactly as the scalar
+        // path would deliver it — in order, nothing lost or duplicated.
+        let total: u32 = 10_000;
+        let (tx, rx) = ring(7);
+        let h = thread::spawn(move || {
+            let mut next = 0u32;
+            let mut size = 1usize;
+            while next < total {
+                let end = (next + size as u32).min(total);
+                tx.push_bulk((next..end).collect()).unwrap();
+                next = end;
+                size = size % 13 + 1;
+            }
+        });
+        let mut got: Vec<u32> = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            out.clear();
+            let r = rx.pop_bulk(&mut out, 5);
+            got.extend(&out);
+            if r.popped == 0 && r.closed {
+                break;
+            }
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..total).collect::<Vec<_>>());
     }
 }

@@ -19,13 +19,13 @@
 
 use std::time::{Duration, Instant};
 
-use smbm_datapath::{SlotHook, SlotMachine, SlotStats};
+use smbm_datapath::{SlotHook, SlotMachine, SlotStats, MAX_BURST_BATCHES};
 use smbm_obs::{LogHistogram, Observer, Phase};
 use smbm_switch::{Counters, FlushPolicy};
 
 use crate::clock::Clock;
 use crate::faults::{FaultKind, ShardFaults};
-use crate::ring::{Consumer, TryPop};
+use crate::ring::Consumer;
 use crate::service::Service;
 
 /// One unit of ingress: a burst of packets plus the instant it entered the
@@ -314,6 +314,10 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
     obs.shard_started(service.buffer_limit(), service.ports());
     let mut machine = SlotMachine::new(service, config.flush).emit_queue_depth(true);
     let mut burst: Vec<S::Packet> = Vec::new();
+    // Batches claimed from one ring this cycle; freerun drains the backlog
+    // bulk (one lock round-trip per ring, up to `MAX_BURST_BATCHES`),
+    // lockstep stays at exactly one blocking pop per ring for determinism.
+    let mut claimed: Vec<Batch<S::Packet>> = Vec::new();
 
     'datapath: while !rings.is_empty() {
         clock.tick();
@@ -351,24 +355,25 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
         if !faults.ingest_paused() {
             let mut i = 0;
             while i < rings.len() {
-                let item = match config.mode {
+                match config.mode {
                     IngestMode::Lockstep => match rings[i].pop() {
-                        Some(b) => Some(b),
+                        Some(b) => claimed.push(b),
                         None => {
                             rings.remove(i);
                             continue;
                         }
                     },
-                    IngestMode::Freerun => match rings[i].try_pop() {
-                        TryPop::Item(b) => Some(b),
-                        TryPop::Empty => None,
-                        TryPop::Closed => {
+                    IngestMode::Freerun => {
+                        // Claim the whole backlog (bounded) in one lock
+                        // round-trip instead of one `try_pop` per batch.
+                        let r = rings[i].pop_bulk(&mut claimed, MAX_BURST_BATCHES);
+                        if r.popped == 0 && r.closed {
                             rings.remove(i);
                             continue;
                         }
-                    },
-                };
-                if let Some(b) = item {
+                    }
+                }
+                for b in claimed.drain(..) {
                     let waited = clock.batch_wait(b.enqueued);
                     progress
                         .ingress_latency_ns
@@ -489,6 +494,52 @@ mod tests {
         );
         assert_eq!(report.score, 1);
         assert!(report.cycles >= report.slots);
+    }
+
+    #[test]
+    fn freerun_claims_the_backlog_as_one_burst() {
+        // Five batches already queued when the shard starts: the bulk drain
+        // must claim them in a single cycle and fold them into one arrival
+        // burst (the scalar path would have run five one-batch bursts).
+        let (tx, rx) = ring(8);
+        for _ in 0..5 {
+            tx.push(Batch::new(vec![wp(0, 1)])).unwrap();
+        }
+        drop(tx);
+        let report = run_shard(
+            service(1, 8),
+            vec![rx],
+            VirtualClock::new(),
+            &ShardConfig::freerun(),
+            &mut NullObserver,
+        );
+        assert_eq!(report.bursts, 1, "backlog coalesced into one burst");
+        assert_eq!(report.ingress_latency_ns.count(), 5, "latency per batch");
+        assert_eq!(report.counters.arrived(), 5);
+        assert_eq!(report.score, 5);
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn freerun_burst_is_bounded_by_max_burst_batches() {
+        // More batches than MAX_BURST_BATCHES queued: one cycle must not
+        // swallow them all, the bound splits them across several bursts.
+        let n = MAX_BURST_BATCHES + 3;
+        let (tx, rx) = ring(n);
+        for _ in 0..n {
+            tx.push(Batch::new(vec![wp(0, 1)])).unwrap();
+        }
+        drop(tx);
+        let report = run_shard(
+            service(1, n),
+            vec![rx],
+            VirtualClock::new(),
+            &ShardConfig::freerun(),
+            &mut NullObserver,
+        );
+        assert_eq!(report.bursts, 2, "bounded drain takes two cycles");
+        assert_eq!(report.counters.arrived(), n as u64);
+        assert_eq!(report.score, n as u64);
     }
 
     #[test]

@@ -114,6 +114,59 @@ fn four_clients_four_shards_reconcile_exactly() {
 }
 
 #[test]
+fn whole_datagram_corruption_reconciles_decode_errors_exactly() {
+    // Three corruption shapes at once: frame-level garbage (bad port),
+    // declared-but-chopped frames, and whole-datagram garbage (bad magic /
+    // truncated header). The first two are declared frames and must be
+    // charged as NetDecode drops; the last declares nothing and must show
+    // up only in the decode-error tally — reconciliation stays frame-exact
+    // either way.
+    let clients = 3;
+    let (bad, truncated, garbage) = (4, 2, 6);
+    let (report, gen) = run_pair(
+        ServeConfig {
+            ports: 16,
+            buffer: 64,
+            shards: 2,
+            net: listen(1, clients),
+            ..ServeConfig::default()
+        },
+        NetGenConfig {
+            clients,
+            ports: 16,
+            slots: 200,
+            sources: 8,
+            batch: 32,
+            window: 8,
+            bad_frames: bad,
+            truncated_datagrams: truncated,
+            garbage_datagrams: garbage,
+            ..NetGenConfig::default()
+        },
+    );
+    assert_reconciled(&report, &gen);
+    assert_eq!(gen.garbage_datagrams_sent(), (clients * garbage) as u64);
+    let net = report.net_counts();
+    // Every corruption the clients put on the wire is a decode error...
+    assert_eq!(
+        net.decode_errors,
+        gen.bad_frames_sent() + gen.missing_frames_declared() + gen.garbage_datagrams_sent(),
+        "{net:?}\n{gen}"
+    );
+    // ...but only *declared* frames can be NetDecode drops: garbage
+    // datagrams carry no valid header and charge nothing to the switch.
+    assert_eq!(
+        report.counters().dropped_net_decode(),
+        gen.bad_frames_sent() + gen.missing_frames_declared()
+    );
+    assert_eq!(net.truncations, (clients * truncated) as u64);
+    assert!(
+        net.datagrams >= gen.datagrams_sent() + gen.garbage_datagrams_sent(),
+        "{net:?}"
+    );
+}
+
+#[test]
 fn value_model_with_hash_fanout_reconciles() {
     let (report, gen) = run_pair(
         ServeConfig {
@@ -255,7 +308,7 @@ fn abandoned_shard_charges_shard_failure_drops() {
     );
 }
 
-/// The throughput gate: ≥ 1M packets/s end-to-end over loopback, client
+/// The throughput gate: ≥ 4M packets/s end-to-end over loopback, client
 /// fleet to admitted-or-accounted. Run with `cargo test -q --test net_e2e
 /// -- --ignored`.
 #[test]
@@ -293,8 +346,9 @@ fn loopback_throughput_gate() {
     );
     assert_reconciled(&report, &gen);
     let rate = gen.frames_per_sec();
+    eprintln!("loopback gate: {rate:.0} packets/s end-to-end");
     assert!(
-        rate >= 1_000_000.0,
-        "end-to-end rate {rate:.0} packets/s below the 1M gate\n{gen}\n{report}"
+        rate >= 4_000_000.0,
+        "end-to-end rate {rate:.0} packets/s below the 4M gate\n{gen}\n{report}"
     );
 }
