@@ -30,7 +30,8 @@
 //! * full per-shard batches are staged into *ready* queues and published
 //!   with one bulk ring operation per shard per receive burst
 //!   ([`IngressHandle::send_bulk`] / [`IngressHandle::try_send_bulk`]) —
-//!   one lock round-trip publishes every batch the burst produced;
+//!   the lock-free ring publishes every batch the burst produced with a
+//!   single release store and at most one consumer wake;
 //! * batch buffers come from a small recycling pool, so a staged batch
 //!   swaps in a pre-sized buffer instead of reallocating from zero
 //!   capacity on every flush (lossy rejects hand their emptied buffers

@@ -5,9 +5,12 @@
 //!
 //! The moving parts, bottom to top:
 //!
-//! * [`ring`](fn@ring) — bounded SPSC ingress rings carrying packet batches
-//!   from producer threads into switch shards, with explicit backpressure
-//!   ([`PushError::Full`]) and drain-on-close shutdown;
+//! * [`ring`](fn@ring) — bounded lock-free SPSC ingress rings (re-exported
+//!   from `smbm-spsc`; this crate itself stays `#![forbid(unsafe_code)]`)
+//!   carrying packet batches from producer threads into switch shards, with
+//!   explicit backpressure ([`PushError::Full`]) and drain-on-close
+//!   shutdown; the original Mutex ring survives as the [`mod@reference`]
+//!   oracle for the differential suite;
 //! * [`Clock`] — pacing for the shard loop: [`VirtualClock`] runs cycles
 //!   back-to-back (deterministic tests, replay, throughput measurement),
 //!   [`WallClock`] paces at a fixed cycles-per-second;
@@ -53,7 +56,7 @@ mod shard;
 pub use clock::{AnyClock, Clock, VirtualClock, WallClock};
 pub use faults::{Fault, FaultKind, FaultPlan, ShardFaults};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenError, LoadgenReport, Model};
-pub use ring::{ring, BulkPop, Consumer, Producer, PushError, TryPop};
+pub use ring::{reference, ring, BulkPop, Consumer, Producer, PushError, TryPop};
 pub use runtime::{
     FlightConfig, IngressHandle, ProducerReport, RuntimeBuilder, RuntimeConfig, RuntimeReport,
     SendOutcome, ShardId, SupervisionConfig,

@@ -1,723 +1,360 @@
 //! Bounded SPSC ingress rings.
 //!
 //! One producer thread feeds one shard through each ring; items move at
-//! *batch* granularity, so the `Mutex`-and-`Condvar` implementation (kept
-//! safe — the workspace forbids `unsafe`) costs one lock round-trip per
-//! batch of packets, not per packet.
+//! *batch* granularity. The live implementation is `smbm-spsc`'s lock-free
+//! ring (cache-padded atomic indices, bulk publishes with a single release
+//! store, spin-then-park blocking) re-exported verbatim — this crate stays
+//! `#![forbid(unsafe_code)]`; all of the ring's `unsafe` lives in that one
+//! crate, under Miri in CI.
 //!
 //! Either endpoint closes the ring when dropped. A closed producer lets the
 //! consumer drain everything already queued before seeing end-of-stream —
 //! this is the shutdown path, and it also makes producer *panics* safe: the
 //! unwinding thread drops its [`Producer`], the shard drains the remaining
-//! batches, and joins normally.
+//! batches, and joins normally. (Shard-side panic survival works the other
+//! way around: the supervisor *owns* the consumers and incarnations only
+//! borrow them, so an unwinding incarnation never drops — and thus never
+//! closes — the rings; see `runtime::supervise_shard`.)
+//!
+//! The previous `Mutex`+`Condvar` implementation lives on as
+//! [`mod@reference`]: same contract, trivially-auditable internals. The
+//! differential suite in `tests/ring_suite.rs` runs both implementations
+//! through one generic test body plus randomized op sequences, pinning the
+//! lock-free ring's observable behavior to the oracle's.
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+pub use smbm_spsc::{ring, BulkPop, Consumer, Producer, PushError, TryPop};
 
-struct State<T> {
-    queue: VecDeque<T>,
-    producer_closed: bool,
-    consumer_closed: bool,
-}
+/// The original `Mutex`+`Condvar` ring, kept as the behavioral oracle for
+/// the lock-free implementation.
+///
+/// Same observable contract as the re-exported lock-free ring — per-item
+/// [`PushError::Full`]/[`PushError::Closed`] outcomes (with `Closed`
+/// winning when a ring is both), drain-on-close, prompt close observation
+/// mid-blocking-push, identical bulk split points — expressed with a
+/// single lock and two condvars so the implementation is trivially
+/// auditable. Not used on any live path; the differential suite drives it
+/// and the lock-free ring through the same operation sequences and demands
+/// identical outcomes, and the bench suite keeps it around to measure what
+/// removing the lock bought.
+pub mod reference {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
 
-struct Shared<T> {
-    capacity: usize,
-    state: Mutex<State<T>>,
-    not_empty: Condvar,
-    not_full: Condvar,
-}
+    pub use smbm_spsc::{BulkPop, PushError, TryPop};
 
-impl<T> Shared<T> {
-    /// Locks the state, tolerating poison: a panic elsewhere must not wedge
-    /// the shutdown path (counter state is plain data, always consistent).
-    fn lock(&self) -> MutexGuard<'_, State<T>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    struct State<T> {
+        queue: VecDeque<T>,
+        producer_closed: bool,
+        consumer_closed: bool,
     }
-}
 
-/// The sending half of a ring, held by exactly one producer thread.
-pub struct Producer<T>(Arc<Shared<T>>);
+    struct Shared<T> {
+        capacity: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
 
-/// The receiving half of a ring, held by exactly one shard thread.
-///
-/// By default dropping the consumer closes the ring (legacy shutdown
-/// semantics). A supervised shard instead holds *persistent* consumers
-/// (`Consumer::persistent`) whose drop leaves the ring open, so the
-/// backlog survives the incarnation's panic and a replacement shard — fed
-/// a `Consumer::shadow` of the same ring — can drain it.
-pub struct Consumer<T> {
-    shared: Arc<Shared<T>>,
-    close_on_drop: bool,
-}
+    impl<T> Shared<T> {
+        /// Locks the state, tolerating poison: a panic elsewhere must not
+        /// wedge the shutdown path (counter state is plain data, always
+        /// consistent).
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
 
-/// A push that did not enqueue, returning the item to the caller.
-#[derive(Debug, PartialEq, Eq)]
-pub enum PushError<T> {
-    /// The ring is at capacity ([`Producer::try_push`] only).
-    Full(T),
-    /// The consumer is gone; the item can never be delivered.
-    Closed(T),
-}
+    /// The sending half of a ring, held by exactly one producer thread.
+    pub struct Producer<T>(Arc<Shared<T>>);
 
-/// Outcome of a non-blocking pop.
-#[derive(Debug, PartialEq, Eq)]
-pub enum TryPop<T> {
-    /// The oldest queued item.
-    Item(T),
-    /// Nothing queued right now, but the producer is still alive.
-    Empty,
-    /// Nothing queued and the producer is gone: end of stream.
-    Closed,
-}
+    /// The receiving half of a ring, held by exactly one consumer thread.
+    /// Dropping it closes the ring.
+    pub struct Consumer<T>(Arc<Shared<T>>);
 
-/// Outcome of a [`Consumer::pop_bulk`]: how many items were claimed in the
-/// one lock round-trip, and whether the producer has closed. End of stream
-/// is `popped == 0 && closed` — a closed producer's backlog still drains
-/// first, exactly as with the scalar [`Consumer::try_pop`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BulkPop {
-    /// Items appended to the caller's buffer, oldest first.
-    pub popped: usize,
-    /// The producer is gone; nothing further will ever be queued.
-    pub closed: bool,
-}
-
-/// Creates a bounded ring holding at most `capacity` items.
-///
-/// # Panics
-///
-/// Panics if `capacity` is zero.
-pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
-    assert!(capacity > 0, "ring capacity must be positive");
-    let shared = Arc::new(Shared {
-        capacity,
-        state: Mutex::new(State {
-            queue: VecDeque::with_capacity(capacity),
-            producer_closed: false,
-            consumer_closed: false,
-        }),
-        not_empty: Condvar::new(),
-        not_full: Condvar::new(),
-    });
-    (
-        Producer(shared.clone()),
-        Consumer {
-            shared,
-            close_on_drop: true,
-        },
-    )
-}
-
-impl<T> Producer<T> {
-    /// Enqueues `item`, blocking while the ring is full.
+    /// Creates a bounded ring holding at most `capacity` items.
     ///
-    /// A consumer closing mid-wait is observed *promptly*: the closed flag
-    /// is re-checked first on every wakeup and [`Consumer::close`] notifies
-    /// the `not_full` condvar, so a blocked producer returns
-    /// [`PushError::Closed`] on the close notification itself rather than
-    /// after riding out some timeout or backoff sleep. Network ingress
-    /// threads rely on this to shut down as soon as their shard's rings
-    /// close (see the `blocked_push_observes_close_promptly` regression
-    /// test).
+    /// # Panics
     ///
-    /// # Errors
-    ///
-    /// Returns [`PushError::Closed`] (with the item) once the consumer is
-    /// gone; never returns [`PushError::Full`].
-    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut st = self.0.lock();
-        loop {
+    /// Panics if `capacity` is zero.
+    pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let shared = Arc::new(Shared {
+            capacity,
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity),
+                producer_closed: false,
+                consumer_closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Producer(shared.clone()), Consumer(shared))
+    }
+
+    impl<T> Producer<T> {
+        /// Enqueues `item`, blocking while the ring is full. See the
+        /// lock-free [`smbm_spsc::Producer::push`] for the contract.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`PushError::Closed`] (with the item) once the consumer
+        /// is gone; never returns [`PushError::Full`].
+        pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+            let mut st = self.0.lock();
+            loop {
+                if st.consumer_closed {
+                    return Err(PushError::Closed(item));
+                }
+                if st.queue.len() < self.0.capacity {
+                    st.queue.push_back(item);
+                    drop(st);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Enqueues `item` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`PushError::Full`] at capacity or [`PushError::Closed`]
+        /// once the consumer is gone (`Closed` wins when both hold).
+        pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+            let mut st = self.0.lock();
             if st.consumer_closed {
                 return Err(PushError::Closed(item));
             }
-            if st.queue.len() < self.0.capacity {
-                st.queue.push_back(item);
-                drop(st);
-                self.0.not_empty.notify_one();
+            if st.queue.len() >= self.0.capacity {
+                return Err(PushError::Full(item));
+            }
+            st.queue.push_back(item);
+            drop(st);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues every item of `items` in order, blocking whenever the
+        /// ring is full; each run that fits is published under one lock
+        /// round-trip.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`PushError::Closed`] with the unpushed remainder once
+        /// the consumer is gone; never returns [`PushError::Full`].
+        pub fn push_bulk(&self, items: Vec<T>) -> Result<(), PushError<Vec<T>>> {
+            let mut iter = items.into_iter();
+            // `pending` always holds the next unpushed item, so a full ring
+            // with an exhausted iterator returns instead of blocking.
+            let mut pending = iter.next();
+            if pending.is_none() {
                 return Ok(());
             }
-            st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-
-    /// Enqueues `item` without blocking.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PushError::Full`] when the ring is at capacity (this is the
-    /// backpressure signal) or [`PushError::Closed`] once the consumer is
-    /// gone, handing the item back either way.
-    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut st = self.0.lock();
-        if st.consumer_closed {
-            return Err(PushError::Closed(item));
-        }
-        if st.queue.len() >= self.0.capacity {
-            return Err(PushError::Full(item));
-        }
-        st.queue.push_back(item);
-        drop(st);
-        self.0.not_empty.notify_one();
-        Ok(())
-    }
-
-    /// Enqueues every item of `items` in order, blocking whenever the ring
-    /// is full. The whole slice that fits the current free window is
-    /// published under a *single* lock round-trip and a single consumer
-    /// notification — this is the bulk counterpart of [`Producer::push`],
-    /// with identical per-item semantics: items already enqueued when the
-    /// consumer closes stay queued (the shard drains or accounts them), and
-    /// the unpushed remainder is handed back.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PushError::Closed`] with the items that did *not* enter
-    /// the ring once the consumer is gone; never returns
-    /// [`PushError::Full`].
-    pub fn push_bulk(&self, items: Vec<T>) -> Result<(), PushError<Vec<T>>> {
-        let mut iter = items.into_iter();
-        // `pending` always holds the next unpushed item, so a full ring
-        // with an exhausted iterator returns instead of blocking forever.
-        let mut pending = iter.next();
-        if pending.is_none() {
-            return Ok(());
-        }
-        let mut st = self.0.lock();
-        loop {
-            if st.consumer_closed {
-                drop(st);
-                let mut rest: Vec<T> = pending.into_iter().collect();
-                rest.extend(iter);
-                return Err(PushError::Closed(rest));
-            }
-            let mut pushed = false;
-            while st.queue.len() < self.0.capacity {
-                let Some(item) = pending.take() else { break };
-                st.queue.push_back(item);
-                pushed = true;
-                pending = iter.next();
-            }
-            if pending.is_none() {
-                drop(st);
+            let mut st = self.0.lock();
+            loop {
+                if st.consumer_closed {
+                    drop(st);
+                    let mut rest: Vec<T> = pending.into_iter().collect();
+                    rest.extend(iter);
+                    return Err(PushError::Closed(rest));
+                }
+                let mut pushed = false;
+                while st.queue.len() < self.0.capacity {
+                    let Some(item) = pending.take() else { break };
+                    st.queue.push_back(item);
+                    pushed = true;
+                    pending = iter.next();
+                }
+                if pending.is_none() {
+                    drop(st);
+                    if pushed {
+                        self.0.not_empty.notify_one();
+                    }
+                    return Ok(());
+                }
                 if pushed {
                     self.0.not_empty.notify_one();
                 }
+                st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Enqueues as many leading items of `items` as fit, without
+        /// blocking, in one lock round-trip.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`PushError::Full`] with the items that did not fit, or
+        /// [`PushError::Closed`] with every unpushed item once the consumer
+        /// is gone (`Closed` wins when both hold).
+        pub fn try_push_bulk(&self, items: Vec<T>) -> Result<(), PushError<Vec<T>>> {
+            if items.is_empty() {
                 return Ok(());
             }
+            let mut iter = items.into_iter();
+            let mut st = self.0.lock();
+            if st.consumer_closed {
+                drop(st);
+                return Err(PushError::Closed(iter.collect()));
+            }
+            let mut pushed = false;
+            while st.queue.len() < self.0.capacity {
+                let Some(item) = iter.next() else { break };
+                st.queue.push_back(item);
+                pushed = true;
+            }
+            drop(st);
             if pushed {
                 self.0.not_empty.notify_one();
             }
-            st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+            let rest: Vec<T> = iter.collect();
+            if rest.is_empty() {
+                Ok(())
+            } else {
+                Err(PushError::Full(rest))
+            }
         }
-    }
 
-    /// Enqueues as many leading items of `items` as fit, without blocking,
-    /// in one lock round-trip. Per-item semantics match a [`Producer::try_push`]
-    /// loop exactly: the first `k` items enter a ring with `k` free slots
-    /// and the rest come back as [`PushError::Full`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PushError::Full`] with the items that did not fit, or
-    /// [`PushError::Closed`] with every unpushed item once the consumer is
-    /// gone ([`PushError::Closed`] wins when the ring is both full and
-    /// closed, as with the scalar op).
-    pub fn try_push_bulk(&self, items: Vec<T>) -> Result<(), PushError<Vec<T>>> {
-        if items.is_empty() {
-            return Ok(());
-        }
-        let mut iter = items.into_iter();
-        let mut st = self.0.lock();
-        if st.consumer_closed {
+        /// Marks the stream finished. Queued items stay poppable;
+        /// afterwards the consumer sees end-of-stream. Also on drop.
+        pub fn close(&self) {
+            let mut st = self.0.lock();
+            st.producer_closed = true;
             drop(st);
-            return Err(PushError::Closed(iter.collect()));
-        }
-        let mut pushed = false;
-        while st.queue.len() < self.0.capacity {
-            let Some(item) = iter.next() else { break };
-            st.queue.push_back(item);
-            pushed = true;
-        }
-        drop(st);
-        if pushed {
-            self.0.not_empty.notify_one();
-        }
-        let rest: Vec<T> = iter.collect();
-        if rest.is_empty() {
-            Ok(())
-        } else {
-            Err(PushError::Full(rest))
+            self.0.not_empty.notify_all();
+            self.0.not_full.notify_all();
         }
     }
 
-    /// Marks the stream finished. Queued items stay poppable; afterwards the
-    /// consumer sees end-of-stream. Also performed on drop.
-    pub fn close(&self) {
-        let mut st = self.0.lock();
-        st.producer_closed = true;
-        drop(st);
-        self.0.not_empty.notify_all();
-        self.0.not_full.notify_all();
-    }
-}
-
-impl<T> Drop for Producer<T> {
-    fn drop(&mut self) {
-        self.close();
-    }
-}
-
-impl<T> Consumer<T> {
-    /// Dequeues the oldest item, blocking while the ring is empty. Returns
-    /// `None` only when the ring is empty *and* the producer is gone.
-    pub fn pop(&self) -> Option<T> {
-        let mut st = self.shared.lock();
-        loop {
-            if let Some(item) = st.queue.pop_front() {
-                drop(st);
-                self.shared.not_full.notify_one();
-                return Some(item);
-            }
-            if st.producer_closed {
-                return None;
-            }
-            st = self
-                .shared
-                .not_empty
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-    }
-
-    /// Dequeues the oldest item without blocking.
-    pub fn try_pop(&self) -> TryPop<T> {
-        let mut st = self.shared.lock();
-        if let Some(item) = st.queue.pop_front() {
-            drop(st);
-            self.shared.not_full.notify_one();
-            return TryPop::Item(item);
-        }
-        if st.producer_closed {
-            TryPop::Closed
-        } else {
-            TryPop::Empty
-        }
-    }
-
-    /// Dequeues up to `max` items into `out` (appending, oldest first)
-    /// without blocking — the whole backlog is claimed under a *single*
-    /// lock round-trip, the bulk counterpart of a [`Consumer::try_pop`]
-    /// loop. The returned [`BulkPop`] carries the count and whether the
-    /// producer has closed; end of stream is `popped == 0 && closed`.
-    pub fn pop_bulk(&self, out: &mut Vec<T>, max: usize) -> BulkPop {
-        let mut st = self.shared.lock();
-        let take = st.queue.len().min(max);
-        out.reserve(take);
-        for _ in 0..take {
-            // `take` is bounded by the queue length read under this same
-            // lock, so the pops cannot miss.
-            if let Some(item) = st.queue.pop_front() {
-                out.push(item);
-            }
-        }
-        let closed = st.producer_closed;
-        drop(st);
-        if take > 0 {
-            self.shared.not_full.notify_one();
-        }
-        BulkPop {
-            popped: take,
-            closed,
-        }
-    }
-
-    /// Items currently queued.
-    pub fn len(&self) -> usize {
-        self.shared.lock().queue.len()
-    }
-
-    /// True when nothing is queued right now.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Converts this handle into one whose drop does *not* close the ring.
-    /// Supervised shards use this so an incarnation's panic (which drops
-    /// its consumers mid-unwind) leaves the backlog intact for the
-    /// replacement; the supervisor closes the ring explicitly when done.
-    pub(crate) fn persistent(mut self) -> Self {
-        self.close_on_drop = false;
-        self
-    }
-
-    /// A second non-closing view of the same ring. The SPSC discipline
-    /// still applies: at most one handle may pop at a time (the supervisor
-    /// only shadows rings of a shard incarnation that is already dead).
-    pub(crate) fn shadow(&self) -> Self {
-        Consumer {
-            shared: self.shared.clone(),
-            close_on_drop: false,
-        }
-    }
-
-    /// Visits every queued item without dequeuing, oldest first. Used by
-    /// the supervisor to count a dead shard's orphaned backlog.
-    pub(crate) fn peek<F: FnMut(&T)>(&self, mut f: F) {
-        let st = self.shared.lock();
-        for item in st.queue.iter() {
-            f(item);
-        }
-    }
-
-    /// Abandons the stream: subsequent pushes fail with
-    /// [`PushError::Closed`]. Also performed on drop (unless the handle was
-    /// made `Consumer::persistent`).
-    pub fn close(&self) {
-        let mut st = self.shared.lock();
-        st.consumer_closed = true;
-        drop(st);
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
-    }
-}
-
-impl<T> Drop for Consumer<T> {
-    fn drop(&mut self) {
-        if self.close_on_drop {
+    impl<T> Drop for Producer<T> {
+        fn drop(&mut self) {
             self.close();
         }
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::thread;
-    use std::time::Duration;
-
-    #[test]
-    fn fifo_within_capacity() {
-        let (tx, rx) = ring(4);
-        tx.push(1).unwrap();
-        tx.push(2).unwrap();
-        assert_eq!(rx.len(), 2);
-        assert_eq!(rx.pop(), Some(1));
-        assert_eq!(rx.try_pop(), TryPop::Item(2));
-        assert_eq!(rx.try_pop(), TryPop::Empty);
-    }
-
-    #[test]
-    fn try_push_reports_full() {
-        let (tx, rx) = ring(2);
-        tx.try_push(1).unwrap();
-        tx.try_push(2).unwrap();
-        assert_eq!(tx.try_push(3), Err(PushError::Full(3)));
-        assert_eq!(rx.pop(), Some(1));
-        tx.try_push(3).unwrap();
-        assert_eq!(rx.pop(), Some(2));
-        assert_eq!(rx.pop(), Some(3));
-    }
-
-    #[test]
-    fn closed_producer_drains_then_ends() {
-        let (tx, rx) = ring(4);
-        tx.push(7).unwrap();
-        drop(tx);
-        assert_eq!(rx.pop(), Some(7));
-        assert_eq!(rx.pop(), None);
-        assert_eq!(rx.try_pop(), TryPop::Closed);
-    }
-
-    #[test]
-    fn closed_consumer_rejects_pushes() {
-        let (tx, rx) = ring(4);
-        drop(rx);
-        assert_eq!(tx.push(1), Err(PushError::Closed(1)));
-        assert_eq!(tx.try_push(2), Err(PushError::Closed(2)));
-    }
-
-    #[test]
-    fn blocking_push_wakes_on_pop() {
-        let (tx, rx) = ring(1);
-        tx.push(1).unwrap();
-        let h = thread::spawn(move || tx.push(2));
-        thread::sleep(Duration::from_millis(20));
-        assert_eq!(rx.pop(), Some(1));
-        h.join().unwrap().unwrap();
-        assert_eq!(rx.pop(), Some(2));
-    }
-
-    #[test]
-    fn blocking_pop_wakes_on_close() {
-        let (tx, rx) = ring::<u32>(1);
-        let h = thread::spawn(move || rx.pop());
-        thread::sleep(Duration::from_millis(20));
-        drop(tx);
-        assert_eq!(h.join().unwrap(), None);
-    }
-
-    #[test]
-    fn blocked_full_push_fails_when_consumer_drops() {
-        let (tx, rx) = ring(1);
-        tx.push(1).unwrap();
-        let h = thread::spawn(move || tx.push(2));
-        thread::sleep(Duration::from_millis(20));
-        drop(rx);
-        assert_eq!(h.join().unwrap(), Err(PushError::Closed(2)));
-    }
-
-    #[test]
-    fn blocked_push_observes_close_promptly() {
-        // Regression guard for the blocking path's shutdown latency: a push
-        // blocked on a full ring must return `Closed` off the close
-        // notification itself, not by spinning through a full supervision
-        // backoff cycle (250 ms cap) first. The bound below is generous
-        // against scheduler noise but well under one backoff cycle.
-        use std::time::Instant;
-        let (tx, rx) = ring(1);
-        tx.push(1).unwrap();
-        let h = thread::spawn(move || {
-            let r = tx.push(2);
-            (r, Instant::now())
-        });
-        // Let the producer actually block on the full ring first.
-        thread::sleep(Duration::from_millis(50));
-        let closed_at = Instant::now();
-        rx.close();
-        let (r, returned_at) = h.join().unwrap();
-        assert_eq!(r, Err(PushError::Closed(2)));
-        let latency = returned_at.saturating_duration_since(closed_at);
-        assert!(
-            latency < Duration::from_millis(200),
-            "blocked push took {latency:?} to observe the close"
-        );
-    }
-
-    #[test]
-    fn closed_wins_over_full() {
-        // A full ring whose consumer is gone must report `Closed`, never
-        // `Full`: shutdown rejections are not load-induced backpressure and
-        // must not be tallied as such.
-        let (tx, rx) = ring(1);
-        tx.try_push(1).unwrap();
-        assert_eq!(tx.try_push(2), Err(PushError::Full(2)));
-        drop(rx);
-        assert_eq!(tx.try_push(3), Err(PushError::Closed(3)));
-    }
-
-    #[test]
-    fn persistent_consumer_drop_keeps_ring_open() {
-        let (tx, rx) = ring(4);
-        tx.push(1).unwrap();
-        let shadow = rx.shadow();
-        drop(rx.persistent());
-        // The backlog survived and the ring still accepts pushes.
-        tx.push(2).unwrap();
-        assert_eq!(shadow.pop(), Some(1));
-        assert_eq!(shadow.pop(), Some(2));
-        // An explicit close still works from a shadow handle.
-        shadow.close();
-        assert_eq!(tx.try_push(3), Err(PushError::Closed(3)));
-    }
-
-    #[test]
-    fn peek_counts_without_dequeuing() {
-        let (tx, rx) = ring(4);
-        tx.push(10).unwrap();
-        tx.push(20).unwrap();
-        let mut seen = Vec::new();
-        rx.peek(|&v| seen.push(v));
-        assert_eq!(seen, vec![10, 20]);
-        assert_eq!(rx.len(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_rejected() {
-        let _ = ring::<u32>(0);
-    }
-
-    #[test]
-    fn push_bulk_publishes_whole_slice_fifo() {
-        let (tx, rx) = ring(8);
-        tx.push_bulk((0..5).collect()).unwrap();
-        let mut out = Vec::new();
-        let r = rx.pop_bulk(&mut out, 16);
-        assert_eq!(out, vec![0, 1, 2, 3, 4]);
-        assert_eq!(
-            r,
-            BulkPop {
-                popped: 5,
-                closed: false
-            }
-        );
-    }
-
-    #[test]
-    fn push_bulk_empty_is_a_noop_even_when_full() {
-        let (tx, _rx) = ring::<u32>(1);
-        tx.push(1).unwrap();
-        // Must not block despite the full ring: there is nothing to push.
-        tx.push_bulk(Vec::new()).unwrap();
-    }
-
-    #[test]
-    fn push_bulk_blocks_across_capacity_and_wakes_on_pops() {
-        let (tx, rx) = ring(2);
-        let h = thread::spawn(move || tx.push_bulk((0..10).collect()));
-        let mut got = Vec::new();
-        while got.len() < 10 {
-            if let Some(v) = rx.pop() {
-                got.push(v);
+    impl<T> Consumer<T> {
+        /// Dequeues the oldest item, blocking while the ring is empty.
+        /// Returns `None` only when empty *and* the producer is gone.
+        pub fn pop(&self) -> Option<T> {
+            let mut st = self.0.lock();
+            loop {
+                if let Some(item) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Some(item);
+                }
+                if st.producer_closed {
+                    return None;
+                }
+                st = self.0.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         }
-        h.join().unwrap().unwrap();
-        assert_eq!(got, (0..10).collect::<Vec<_>>());
-    }
 
-    #[test]
-    fn push_bulk_hands_back_unpushed_remainder_on_close() {
-        let (tx, rx) = ring(2);
-        let h = thread::spawn(move || tx.push_bulk((0..6).collect()));
-        thread::sleep(Duration::from_millis(20));
-        // Two items fit; close with the producer blocked on the third.
-        assert_eq!(rx.pop(), Some(0));
-        thread::sleep(Duration::from_millis(20));
-        rx.close();
-        let err = h.join().unwrap().unwrap_err();
-        // Items already published stay published; only the remainder comes
-        // back. The consumer freed one slot, so 3 entered before the close.
-        assert_eq!(err, PushError::Closed(vec![3, 4, 5]));
-    }
-
-    #[test]
-    fn try_push_bulk_matches_a_scalar_try_push_loop() {
-        // Differential check: same op sequence, one ring driven bulk, one
-        // scalar, identical outcomes item by item.
-        let (bulk_tx, bulk_rx) = ring(4);
-        let (scalar_tx, scalar_rx) = ring(4);
-        let items: Vec<u32> = (0..7).collect();
-        let rest = match bulk_tx.try_push_bulk(items.clone()) {
-            Err(PushError::Full(rest)) => rest,
-            other => panic!("expected Full, got {other:?}"),
-        };
-        let mut scalar_rest = Vec::new();
-        for item in items {
-            if let Err(PushError::Full(it)) = scalar_tx.try_push(item) {
-                scalar_rest.push(it);
+        /// Dequeues the oldest item without blocking.
+        pub fn try_pop(&self) -> TryPop<T> {
+            let mut st = self.0.lock();
+            if let Some(item) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return TryPop::Item(item);
+            }
+            if st.producer_closed {
+                TryPop::Closed
+            } else {
+                TryPop::Empty
             }
         }
-        assert_eq!(rest, scalar_rest);
-        assert_eq!(rest, vec![4, 5, 6]);
-        let mut bulk_out = Vec::new();
-        bulk_rx.pop_bulk(&mut bulk_out, usize::MAX);
-        let mut scalar_out = Vec::new();
-        while let TryPop::Item(v) = scalar_rx.try_pop() {
-            scalar_out.push(v);
-        }
-        assert_eq!(bulk_out, scalar_out);
-    }
 
-    #[test]
-    fn bulk_closed_wins_over_full() {
-        let (tx, rx) = ring(1);
-        tx.push(0).unwrap();
-        assert_eq!(tx.try_push_bulk(vec![1]), Err(PushError::Full(vec![1])));
-        drop(rx);
-        assert_eq!(
-            tx.try_push_bulk(vec![1, 2]),
-            Err(PushError::Closed(vec![1, 2]))
-        );
-        assert_eq!(tx.push_bulk(vec![3]), Err(PushError::Closed(vec![3])));
-    }
-
-    #[test]
-    fn pop_bulk_respects_max_and_reports_close() {
-        let (tx, rx) = ring(8);
-        tx.push_bulk(vec![1, 2, 3]).unwrap();
-        drop(tx);
-        let mut out = Vec::new();
-        assert_eq!(
-            rx.pop_bulk(&mut out, 2),
+        /// Dequeues up to `max` items into `out` (appending, oldest first)
+        /// without blocking, in one lock round-trip. End of stream is
+        /// `popped == 0 && closed`.
+        pub fn pop_bulk(&self, out: &mut Vec<T>, max: usize) -> BulkPop {
+            let mut st = self.0.lock();
+            let take = st.queue.len().min(max);
+            out.reserve(take);
+            for _ in 0..take {
+                // `take` is bounded by the queue length read under this
+                // same lock, so the pops cannot miss.
+                if let Some(item) = st.queue.pop_front() {
+                    out.push(item);
+                }
+            }
+            let closed = st.producer_closed;
+            drop(st);
+            if take > 0 {
+                self.0.not_full.notify_one();
+            }
             BulkPop {
-                popped: 2,
-                closed: true
-            }
-        );
-        assert_eq!(
-            rx.pop_bulk(&mut out, 2),
-            BulkPop {
-                popped: 1,
-                closed: true
-            }
-        );
-        assert_eq!(out, vec![1, 2, 3]);
-        // Drained and closed: end of stream, same as TryPop::Closed.
-        assert_eq!(
-            rx.pop_bulk(&mut out, 2),
-            BulkPop {
-                popped: 0,
-                closed: true
-            }
-        );
-        assert_eq!(rx.try_pop(), TryPop::Closed);
-    }
-
-    #[test]
-    fn pop_bulk_empty_open_ring_reports_neither() {
-        let (_tx, rx) = ring::<u32>(4);
-        let mut out = Vec::new();
-        assert_eq!(
-            rx.pop_bulk(&mut out, 8),
-            BulkPop {
-                popped: 0,
-                closed: false
-            }
-        );
-    }
-
-    #[test]
-    fn pop_bulk_wakes_a_blocked_producer() {
-        let (tx, rx) = ring(1);
-        tx.push(1).unwrap();
-        let h = thread::spawn(move || tx.push_bulk(vec![2, 3]));
-        thread::sleep(Duration::from_millis(20));
-        let mut out = Vec::new();
-        while out.len() < 3 {
-            rx.pop_bulk(&mut out, 4);
-        }
-        h.join().unwrap().unwrap();
-        assert_eq!(out, vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn bulk_ops_deliver_the_scalar_sequence_under_concurrency() {
-        // Differential soak: the same item stream pushed bulk (varying
-        // slice sizes) and drained bulk must arrive exactly as the scalar
-        // path would deliver it — in order, nothing lost or duplicated.
-        let total: u32 = 10_000;
-        let (tx, rx) = ring(7);
-        let h = thread::spawn(move || {
-            let mut next = 0u32;
-            let mut size = 1usize;
-            while next < total {
-                let end = (next + size as u32).min(total);
-                tx.push_bulk((next..end).collect()).unwrap();
-                next = end;
-                size = size % 13 + 1;
-            }
-        });
-        let mut got: Vec<u32> = Vec::new();
-        let mut out = Vec::new();
-        loop {
-            out.clear();
-            let r = rx.pop_bulk(&mut out, 5);
-            got.extend(&out);
-            if r.popped == 0 && r.closed {
-                break;
+                popped: take,
+                closed,
             }
         }
-        h.join().unwrap();
-        assert_eq!(got, (0..total).collect::<Vec<_>>());
+
+        /// Items currently queued.
+        pub fn len(&self) -> usize {
+            self.0.lock().queue.len()
+        }
+
+        /// True when nothing is queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Visits every queued item without dequeuing, oldest first.
+        pub fn peek<F: FnMut(&T)>(&self, mut f: F) {
+            let st = self.0.lock();
+            for item in st.queue.iter() {
+                f(item);
+            }
+        }
+
+        /// Blocks until the ring is non-empty, the producer has closed, or
+        /// `timeout` (when given) elapses. Returns `true` when there is
+        /// something to observe (data or end-of-stream), `false` on
+        /// timeout.
+        pub fn wait_nonempty(&self, timeout: Option<Duration>) -> bool {
+            let deadline = timeout.map(|t| Instant::now() + t);
+            let mut st = self.0.lock();
+            loop {
+                if !st.queue.is_empty() || st.producer_closed {
+                    return true;
+                }
+                match deadline {
+                    None => {
+                        st = self.0.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return false;
+                        }
+                        st = self
+                            .0
+                            .not_empty
+                            .wait_timeout(st, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
+            }
+        }
+
+        /// Abandons the stream: subsequent pushes fail with
+        /// [`PushError::Closed`]. Also on drop.
+        pub fn close(&self) {
+            let mut st = self.0.lock();
+            st.consumer_closed = true;
+            drop(st);
+            self.0.not_empty.notify_all();
+            self.0.not_full.notify_all();
+        }
+    }
+
+    impl<T> Drop for Consumer<T> {
+        fn drop(&mut self) {
+            self.close();
+        }
     }
 }

@@ -13,12 +13,13 @@
 //! supervisor loop that catches the incarnation's unwind, counts the
 //! orphaned ring backlog, rebuilds the service from the same factory, and
 //! restarts within a [`SupervisionConfig`] budget (bounded exponential
-//! backoff). The orphaned backlog survives in the rings — consumers held by
-//! a supervised incarnation never close on drop — so the replacement drains
-//! it; when the budget is exhausted the supervisor closes the rings itself
-//! and accounts every remaining packet as a
-//! [`DropReason::ShardFailure`] loss, keeping packet conservation exact
-//! across restarts and give-ups alike.
+//! backoff). The orphaned backlog survives in the rings because the
+//! supervisor *owns* the consumers and each incarnation only borrows them
+//! — the unwind never drops (and thus never closes) a ring — so the
+//! replacement picks up exactly where the dead incarnation stopped; when
+//! the budget is exhausted the supervisor closes the rings itself and
+//! accounts every remaining packet as a [`DropReason::ShardFailure`] loss,
+//! keeping packet conservation exact across restarts and give-ups alike.
 
 use std::fs::File;
 use std::io::Write;
@@ -278,8 +279,8 @@ impl<P: Copy> IngressHandle<P> {
         }
     }
 
-    /// Sends several batches with one bulk ring publish — a single lock
-    /// round-trip and consumer notification for the whole slice — blocking
+    /// Sends several batches with one bulk ring publish — a single release
+    /// store and at most one consumer wake per free window — blocking
     /// while the ring is full, with accounting identical to a
     /// [`IngressHandle::send`] loop. Empty batches are skipped. Returns
     /// `false` when the shard is gone: batches already published are
@@ -747,12 +748,14 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
     cell: Option<Arc<StatCell>>,
 ) -> ShardReport {
     let started = Instant::now();
-    // Non-closing views of every ring: the backlog must survive an
-    // incarnation's unwind (which drops that incarnation's consumers), and
-    // the supervisor itself peeks, drains, and finally closes through them.
-    let standbys: Vec<Consumer<Batch<S::Packet>>> = consumers.iter().map(|c| c.shadow()).collect();
-    let mut live: Vec<Consumer<Batch<S::Packet>>> =
-        consumers.into_iter().map(|c| c.persistent()).collect();
+    // The supervisor owns the rings; incarnations only *borrow* them (see
+    // `run_shard_core`), so a panicking incarnation's unwind cannot drop —
+    // and thus cannot close — a ring. The backlog survives in place for
+    // the replacement, and the supervisor peeks, drains, and finally
+    // closes through the same owned handles. This is also what keeps the
+    // lock-free ring's SPSC discipline intact across restarts: there is
+    // exactly one consumer handle per ring, ever.
+    let mut rings: Vec<Consumer<Batch<S::Packet>>> = consumers;
 
     let mut acc = ShardProgress::new();
     let mut restarts: u32 = 0;
@@ -762,14 +765,14 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
 
     loop {
         let mut progress = ShardProgress::new();
-        let incarnation_rings = std::mem::take(&mut live);
         let incarnation_clock = clock.clone();
         // AssertUnwindSafe: everything the closure can leave half-updated
         // is plain data (tallies in `progress`, fire-once flags in
         // `faults`, histogram buckets in `obs`, the event ring in
-        // `flight`), read afterwards only in ways that tolerate a torn
-        // last write — the snapshot fields are whole-struct copies taken
-        // at slot boundaries.
+        // `flight`, pruned-but-consistent ring handles in `rings`), read
+        // afterwards only in ways that tolerate a torn last write — the
+        // snapshot fields are whole-struct copies taken at slot
+        // boundaries.
         let result = catch_unwind(AssertUnwindSafe(|| {
             // Built inside the guarded scope: a panicking factory counts as
             // an incarnation failure like any other. The flight recorder
@@ -779,7 +782,7 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
             let mut stack = (flight.as_mut(), &mut *obs);
             run_shard_core(
                 service,
-                incarnation_rings,
+                &mut rings,
                 incarnation_clock,
                 config,
                 &mut faults,
@@ -796,8 +799,8 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
             Err(_) => {
                 obs.phase_start(Phase::Recovery);
                 let mut backlog = 0u64;
-                for s in &standbys {
-                    s.peek(|b| backlog += b.packets.len() as u64);
+                for r in rings.iter() {
+                    r.peek(|b| backlog += b.packets.len() as u64);
                 }
                 orphaned += backlog;
                 obs.shard_panicked(progress.stats.slots, backlog);
@@ -860,7 +863,8 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
                 if !backoff.is_zero() {
                     thread::sleep(backoff);
                 }
-                live = standbys.iter().map(|s| s.shadow()).collect();
+                // The replacement borrows the same `rings` on the next
+                // iteration — nothing to rewire.
                 obs.shard_restarted(progress.stats.slots, restarts as u64);
                 if let Some(f) = flight.as_mut() {
                     f.shard_restarted(progress.stats.slots, restarts as u64);
@@ -870,18 +874,18 @@ fn supervise_shard<S: Service + 'static, C: Clock + Clone, O: Observer>(
         }
     }
 
-    // Close the rings explicitly (persistent handles never close on drop):
-    // blocked producers unblock with `Closed`, and whatever is still queued
-    // — the give-up backlog, or leftovers after an admission-error abort —
-    // is drained and accounted as shard-failure drops. A normal completion
-    // leaves the rings empty, so this is a no-op there.
-    for s in &standbys {
-        s.close();
+    // Close the surviving rings explicitly: blocked producers unblock with
+    // `Closed`, and whatever is still queued — the give-up backlog, or
+    // leftovers after an admission-error abort — is drained and accounted
+    // as shard-failure drops. A normal completion pruned (and thereby
+    // closed) every ring already, so this is a no-op there.
+    for r in rings.iter() {
+        r.close();
     }
     let mut drained_p = 0u64;
     let mut drained_v = 0u64;
-    for s in &standbys {
-        while let TryPop::Item(b) = s.try_pop() {
+    for r in rings.iter() {
+        while let TryPop::Item(b) = r.try_pop() {
             drained_p += b.packets.len() as u64;
             drained_v += b.packets.iter().map(|&p| S::meta(p).2).sum::<u64>();
         }

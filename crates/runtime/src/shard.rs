@@ -277,7 +277,7 @@ impl<S: Service> SlotHook<S> for ShardProgress {
 /// none remain.
 pub fn run_shard<S: Service, C: Clock, O: Observer>(
     service: S,
-    rings: Vec<Consumer<Batch<S::Packet>>>,
+    mut rings: Vec<Consumer<Batch<S::Packet>>>,
     clock: C,
     config: &ShardConfig,
     obs: &mut O,
@@ -286,7 +286,7 @@ pub fn run_shard<S: Service, C: Clock, O: Observer>(
     let mut progress = ShardProgress::new();
     run_shard_core(
         service,
-        rings,
+        &mut rings,
         clock,
         config,
         &mut ShardFaults::none(),
@@ -301,9 +301,15 @@ pub fn run_shard<S: Service, C: Clock, O: Observer>(
 /// record when an incarnation panics. `faults` is polled at the top of
 /// every cycle (before ingest, so an injected panic leaves a zero mid-slot
 /// gap and deterministic counters).
+///
+/// `rings` is borrowed, not owned: the supervisor keeps the consumers, so
+/// a panicking incarnation's unwind never drops (and thus never closes)
+/// them — the backlog survives in place for the replacement. Rings this
+/// loop observes to be finished are pruned from the vector (and only then
+/// dropped/closed).
 pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
     service: S,
-    mut rings: Vec<Consumer<Batch<S::Packet>>>,
+    rings: &mut Vec<Consumer<Batch<S::Packet>>>,
     mut clock: C,
     config: &ShardConfig,
     faults: &mut ShardFaults,
@@ -315,8 +321,9 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
     let mut machine = SlotMachine::new(service, config.flush).emit_queue_depth(true);
     let mut burst: Vec<S::Packet> = Vec::new();
     // Batches claimed from one ring this cycle; freerun drains the backlog
-    // bulk (one lock round-trip per ring, up to `MAX_BURST_BATCHES`),
-    // lockstep stays at exactly one blocking pop per ring for determinism.
+    // bulk (one ring claim — a single index advance — per ring, up to
+    // `MAX_BURST_BATCHES`), lockstep stays at exactly one blocking pop per
+    // ring for determinism.
     let mut claimed: Vec<Batch<S::Packet>> = Vec::new();
 
     'datapath: while !rings.is_empty() {
@@ -352,7 +359,10 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
         obs.phase_start(Phase::Ingress);
         burst.clear();
         let mut popped = false;
-        if !faults.ingest_paused() {
+        // `ingest_paused` burns one pause cycle per call; latch it so the
+        // idle branch below sees this cycle's verdict without burning two.
+        let paused = faults.ingest_paused();
+        if !paused {
             let mut i = 0;
             while i < rings.len() {
                 match config.mode {
@@ -364,8 +374,8 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
                         }
                     },
                     IngestMode::Freerun => {
-                        // Claim the whole backlog (bounded) in one lock
-                        // round-trip instead of one `try_pop` per batch.
+                        // Claim the whole backlog (bounded) with one bulk
+                        // index advance instead of one `try_pop` per batch.
                         let r = rings[i].pop_bulk(&mut claimed, MAX_BURST_BATCHES);
                         if r.popped == 0 && r.closed {
                             rings.remove(i);
@@ -379,10 +389,14 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
                         .ingress_latency_ns
                         .record(waited.as_nanos().min(u64::MAX as u128) as u64);
                     progress.ingested_packets += b.packets.len() as u64;
+                    // One pass over the batch: tally value and append to
+                    // the burst together, instead of iterating the slice
+                    // for the tally and copying it again afterwards.
+                    burst.reserve(b.packets.len());
                     for &pkt in &b.packets {
                         progress.ingested_value += S::meta(pkt).2;
+                        burst.push(pkt);
                     }
-                    burst.extend_from_slice(&b.packets);
                     popped = true;
                 }
                 i += 1;
@@ -396,9 +410,20 @@ pub(crate) fn run_shard_core<S: Service, C: Clock, O: Observer>(
             }
             if machine.occupancy() == 0 {
                 // Freerun idle cycle: nothing arrived and nothing is
-                // buffered — yield so producers get the core (this box may
-                // have one).
-                std::thread::yield_now();
+                // buffered — park on the ring instead of burning the core
+                // with empty polls. With one ring the shard sleeps until
+                // data or close (the producer's publish unparks it); with
+                // several it parks on ring 0 with a short timeout and
+                // re-polls the rest. Under a saturate-ingress fault only
+                // yield: the pause cycles must keep burning (that is the
+                // fault being injected), not sleep through the ring.
+                if paused {
+                    std::thread::yield_now();
+                } else if rings.len() == 1 {
+                    rings[0].wait_nonempty(None);
+                } else {
+                    rings[0].wait_nonempty(Some(Duration::from_micros(200)));
+                }
                 continue;
             }
             // Freerun cycle with backlog: transmit without arrivals.
@@ -598,7 +623,7 @@ mod tests {
         let mut progress = ShardProgress::new();
         run_shard_core(
             service(1, 2),
-            vec![rx],
+            &mut vec![rx],
             VirtualClock::new(),
             &ShardConfig::lockstep(),
             &mut faults,
@@ -624,7 +649,7 @@ mod tests {
         let mut progress = ShardProgress::new();
         run_shard_core(
             service(1, 4),
-            vec![rx],
+            &mut vec![rx],
             VirtualClock::new(),
             &ShardConfig::lockstep(),
             &mut faults,
